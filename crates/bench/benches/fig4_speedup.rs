@@ -1,0 +1,49 @@
+//! Criterion companion to the Fig. 4 scatter plot: wall-clock cost of the
+//! three simulator presets on representative workloads. The `fig4_speedup`
+//! binary measures the full suite at paper scale; this bench gives
+//! statistically rigorous timings on a fast subset so preset-relative
+//! performance regressions are caught in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_workloads::Scale;
+
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    // A quarter of the RTX 2080 Ti keeps Criterion's repeated runs fast
+    // while preserving per-SM ratios.
+    let mut cfg = swiftsim_config::presets::rtx2080ti();
+    cfg.num_sms = 17;
+    cfg.memory.partitions = 6;
+    cfg
+}
+
+fn bench_presets(c: &mut Criterion) {
+    let gpu = small_gpu();
+    let mut group = c.benchmark_group("fig4_presets");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for app_name in ["nw", "bfs", "gemm"] {
+        let app = swiftsim_workloads::by_name(app_name)
+            .expect("workload")
+            .generate(Scale::Small);
+        for (label, preset) in [
+            ("detailed", SimulatorPreset::Detailed),
+            ("swift_basic", SimulatorPreset::SwiftBasic),
+            ("swift_memory", SimulatorPreset::SwiftMemory),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, app_name),
+                &app,
+                |b, app| {
+                    let sim = SimulatorBuilder::new(gpu.clone()).preset(preset).build();
+                    b.iter(|| sim.run(app).expect("bench run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_presets);
+criterion_main!(benches);

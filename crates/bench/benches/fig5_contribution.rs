@@ -1,0 +1,72 @@
+//! Criterion companion to Fig. 5: isolates each speedup contribution —
+//! the analytical ALU model, the analytical memory model, and parallel
+//! simulation — on one memory-bound workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
+use swiftsim_workloads::Scale;
+
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = swiftsim_config::presets::rtx2080ti();
+    cfg.num_sms = 17;
+    cfg.memory.partitions = 6;
+    cfg
+}
+
+fn bench_contributions(c: &mut Criterion) {
+    let gpu = small_gpu();
+    let app = swiftsim_workloads::by_name("nw")
+        .expect("workload")
+        .generate(Scale::Small);
+
+    let mut group = c.benchmark_group("fig5_contributions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.measurement_time(std::time::Duration::from_secs(10));
+
+    let cases: Vec<(&str, SimulatorBuilder)> = vec![
+        (
+            "baseline_detailed",
+            SimulatorBuilder::new(gpu.clone())
+                .alu_model(AluModelKind::CycleAccurate)
+                .memory_model(MemoryModelKind::CycleAccurate)
+                .frontend_detailed(true)
+                .skip_idle(false),
+        ),
+        (
+            "analytical_alu",
+            SimulatorBuilder::new(gpu.clone())
+                .alu_model(AluModelKind::Analytical)
+                .memory_model(MemoryModelKind::CycleAccurate)
+                .frontend_detailed(false)
+                .skip_idle(true),
+        ),
+        (
+            "analytical_alu_and_memory",
+            SimulatorBuilder::new(gpu.clone())
+                .alu_model(AluModelKind::Analytical)
+                .memory_model(MemoryModelKind::Analytical)
+                .frontend_detailed(false)
+                .skip_idle(true),
+        ),
+        (
+            "analytical_all_parallel4",
+            SimulatorBuilder::new(gpu.clone())
+                .alu_model(AluModelKind::Analytical)
+                .memory_model(MemoryModelKind::Analytical)
+                .frontend_detailed(false)
+                .skip_idle(true)
+                .threads(4),
+        ),
+    ];
+    for (label, builder) in cases {
+        let sim = builder.build();
+        group.bench_function(label, |b| {
+            b.iter(|| sim.run(&app).expect("bench run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contributions);
+criterion_main!(benches);

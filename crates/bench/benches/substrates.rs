@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the substrate modules: sector cache, coalescer,
+//! reuse-distance analyzer, and interconnect. These guard the hot paths
+//! the whole-simulator benchmarks sit on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swiftsim_config::presets;
+use swiftsim_mem::{
+    coalesce_accesses, AccessOutcome, AddressMapping, MemTxn, ReuseDistanceAnalyzer, SectorCache,
+};
+use swiftsim_noc::{Crossbar, Interconnect};
+
+fn bench_sector_cache(c: &mut Criterion) {
+    let cfg = presets::rtx2080ti().sm.l1d;
+    c.bench_function("sector_cache_access_hit", |b| {
+        let mut cache = SectorCache::new(&cfg, 0);
+        let txn = MemTxn {
+            line_addr: 0x1000,
+            sector_mask: 0b0001,
+            write: false,
+        };
+        // Warm the line.
+        if let AccessOutcome::Miss { .. } = cache.access(txn, 0, 0) {
+            cache.fill(0x1000, 10);
+        }
+        let mut now = 100u64;
+        b.iter(|| {
+            now += 2;
+            std::hint::black_box(cache.access(txn, now, now))
+        });
+    });
+
+    c.bench_function("sector_cache_miss_fill_cycle", |b| {
+        let mut cache = SectorCache::new(&cfg, 0);
+        let mut now = 0u64;
+        let mut line = 0u64;
+        b.iter(|| {
+            now += 10;
+            line += 0x80;
+            let txn = MemTxn {
+                line_addr: line,
+                sector_mask: 0b0001,
+                write: false,
+            };
+            if let AccessOutcome::Miss { fetch, .. } = cache.access(txn, now, now) {
+                std::hint::black_box(cache.fill(fetch.line_addr, now + 200));
+            }
+        });
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mapping = AddressMapping::new(&presets::rtx2080ti().sm.l1d);
+    let coalesced: Vec<u64> = (0..32).map(|i| 0x2000 + i * 4).collect();
+    let divergent: Vec<u64> = (0..32).map(|i| 0x10_0000 + i * 4096).collect();
+    c.bench_function("coalesce_unit_stride", |b| {
+        b.iter(|| std::hint::black_box(coalesce_accesses(&mapping, &coalesced, 4, false)));
+    });
+    c.bench_function("coalesce_fully_divergent", |b| {
+        b.iter(|| std::hint::black_box(coalesce_accesses(&mapping, &divergent, 4, false)));
+    });
+}
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    c.bench_function("reuse_distance_record", |b| {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(rd.record(i % 4096))
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let cfg = presets::rtx2080ti();
+    c.bench_function("crossbar_traverse", |b| {
+        let mut x = Crossbar::new(&cfg.noc, 68, 22);
+        let mut now = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            now += 1;
+            i += 1;
+            std::hint::black_box(x.traverse(i % 68, i % 22, 1, now))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sector_cache,
+    bench_coalescer,
+    bench_reuse_distance,
+    bench_noc
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation study of Swift-Sim's own design choices (DESIGN.md calls for
+//! these): what does each simplification and optimization contribute, and
+//! what does it cost in fidelity?
+//!
+//! Dimensions:
+//! * idle-cycle skipping on/off (hybrid engine optimization),
+//! * frontend-cache modeling on/off,
+//! * analytical ALU vs cycle-accurate ALU (holding memory constant),
+//! * hit-rate source: functional cache sim vs reuse-distance tool,
+//! * NoC topology: crossbar vs mesh.
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin ablation_sweep
+//! ```
+
+use std::time::Instant;
+use swiftsim_bench::Knobs;
+use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
+use swiftsim_metrics::Table;
+
+fn main() {
+    let knobs = Knobs::from_env();
+    let gpu = swiftsim_config::presets::rtx2080ti();
+    let workload = knobs
+        .workloads()
+        .into_iter()
+        .find(|w| w.name == "hotspot")
+        .or_else(|| knobs.workloads().into_iter().next())
+        .expect("at least one workload");
+    let app = workload.generate(knobs.scale);
+    eprintln!("ablation on {} [{}]", workload.name, knobs.describe());
+
+    let cases: Vec<(&str, SimulatorBuilder)> = vec![
+        (
+            "detailed baseline",
+            SimulatorBuilder::new(gpu.clone()),
+        ),
+        (
+            "- per-cycle frontend caches",
+            SimulatorBuilder::new(gpu.clone()).frontend_detailed(false),
+        ),
+        (
+            "- cycle-accurate ALU (analytical ALU)",
+            SimulatorBuilder::new(gpu.clone())
+                .frontend_detailed(false)
+                .alu_model(AluModelKind::Analytical),
+        ),
+        (
+            "+ idle-cycle skipping (= Swift-Sim-Basic)",
+            SimulatorBuilder::new(gpu.clone())
+                .frontend_detailed(false)
+                .alu_model(AluModelKind::Analytical)
+                .skip_idle(true),
+        ),
+        (
+            "+ analytical memory, funcsim rates (= Swift-Sim-Memory)",
+            SimulatorBuilder::new(gpu.clone())
+                .frontend_detailed(false)
+                .alu_model(AluModelKind::Analytical)
+                .memory_model(MemoryModelKind::Analytical)
+                .skip_idle(true),
+        ),
+        (
+            "+ analytical memory, reuse-distance rates",
+            SimulatorBuilder::new(gpu.clone())
+                .frontend_detailed(false)
+                .alu_model(AluModelKind::Analytical)
+                .memory_model(MemoryModelKind::AnalyticalReuse)
+                .skip_idle(true),
+        ),
+        (
+            "detailed baseline over a 2D-mesh NoC",
+            {
+                let mut mesh_gpu = gpu.clone();
+                mesh_gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
+                SimulatorBuilder::new(mesh_gpu)
+            },
+        ),
+    ];
+
+    let mut table = Table::new(vec!["Configuration", "Cycles", "Wall s", "Speedup"]);
+    let mut baseline: Option<(u64, f64)> = None;
+    for (label, builder) in cases {
+        let sim = builder.build();
+        let started = Instant::now();
+        let r = sim.run(&app).expect("ablation run");
+        let wall = started.elapsed().as_secs_f64();
+        let (_, base_wall) = *baseline.get_or_insert((r.cycles, wall));
+        table.row(vec![
+            label.to_owned(),
+            r.cycles.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.1}x", base_wall / wall.max(1e-9)),
+        ]);
+    }
+    println!();
+    print!("{table}");
+}

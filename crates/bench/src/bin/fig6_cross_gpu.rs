@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 6**: prediction errors of Swift-Sim-Basic and the
+//! detailed baseline across three GPU architectures.
+//!
+//! Paper targets: on the RTX 3060 Basic 25.14% vs Accel-Sim 23.81%; on the
+//! RTX 3090 Basic 20.23% vs Accel-Sim 27.93% (Accel-Sim degraded by cache
+//! reservation failures on BFS/ADI/LU).
+//!
+//! ```sh
+//! SWIFTSIM_SCALE=paper cargo run --release -p swiftsim-bench --bin fig6_cross_gpu
+//! ```
+
+use swiftsim_bench::{mean_of, sweep_app_accuracy_cached, Knobs};
+use swiftsim_metrics::Table;
+
+fn main() {
+    let knobs = Knobs::from_env();
+    eprintln!("Fig. 6: cross-architecture accuracy [{}]", knobs.describe());
+
+    let mut summary = Table::new(vec!["GPU", "Baseline mean err %", "Basic mean err %"]);
+    for gpu in swiftsim_config::presets::all() {
+        eprintln!("== {} ==", gpu.name);
+        let mut t = Table::new(vec!["App", "Baseline err %", "Basic err %"]);
+        let mut results = Vec::new();
+        for w in knobs.workloads() {
+            eprintln!("  running {} ...", w.name);
+            let r = sweep_app_accuracy_cached(&gpu, &w, knobs.scale);
+            t.row(vec![
+                r.app.to_owned(),
+                format!("{:.1}", 100.0 * r.error(r.detailed)),
+                format!("{:.1}", 100.0 * r.error(r.basic_1t)),
+            ]);
+            results.push(r);
+        }
+        println!();
+        println!("{}:", gpu.name);
+        print!("{t}");
+        summary.row(vec![
+            gpu.name.clone(),
+            format!("{:.2}", 100.0 * mean_of(&results, |r| r.error(r.detailed))),
+            format!("{:.2}", 100.0 * mean_of(&results, |r| r.error(r.basic_1t))),
+        ]);
+    }
+
+    println!();
+    println!("Summary:");
+    print!("{summary}");
+    println!();
+    println!("paper: RTX 3060 — Accel-Sim 23.81%, Basic 25.14%; RTX 3090 — Accel-Sim 27.93%, Basic 20.23%");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table I**: comparison of the three NVIDIA GPUs the paper
+//! validates against.
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin table1_gpus
+//! ```
+
+use swiftsim_metrics::Table;
+
+fn main() {
+    let gpus = swiftsim_config::presets::all();
+    let mut t = Table::new(vec![
+        "NVIDIA GPUs",
+        "RTX 2080 Ti",
+        "RTX 3060",
+        "RTX 3090",
+    ]);
+    let col = |f: &dyn Fn(&swiftsim_config::GpuConfig) -> String| -> Vec<String> {
+        gpus.iter().map(|g| f(g)).collect()
+    };
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        ("Architecture", col(&|g| g.architecture.clone())),
+        ("SMs", col(&|g| g.num_sms.to_string())),
+        ("CUDA Cores", col(&|g| g.cuda_cores().to_string())),
+        (
+            "L2 Cache",
+            col(&|g| {
+                let kib = g.memory.l2_capacity_bytes() as f64 / 1024.0 / 1024.0;
+                format!("{kib}MB")
+            }),
+        ),
+    ];
+    for (name, cells) in rows {
+        let mut row = vec![name.to_owned()];
+        row.extend(cells);
+        t.row(row);
+    }
+    println!("Table I: comparison of three NVIDIA GPUs");
+    println!();
+    print!("{t}");
+}

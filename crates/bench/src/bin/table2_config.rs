@@ -1,0 +1,99 @@
+//! Regenerates **Table II**: the NVIDIA RTX 2080 Ti configuration used for
+//! the paper's detailed comparison.
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin table2_config
+//! ```
+
+use swiftsim_config::{presets, ExecUnitKind};
+use swiftsim_metrics::Table;
+
+fn main() {
+    let g = presets::rtx2080ti();
+    let sm = &g.sm;
+    let unit = |k: ExecUnitKind| sm.exec_unit(k).lanes;
+
+    let mut t = Table::new(vec!["Parameter", "Value"]);
+    t.row(vec!["# SMs".into(), g.num_sms.to_string()]);
+    t.row(vec!["# Sub-Cores/SM".into(), sm.sub_cores.to_string()]);
+    t.row(vec![
+        "Resources/Sub-core".into(),
+        format!(
+            "Warp Scheduler: {}x, {}",
+            sm.schedulers_per_sub_core,
+            sm.scheduler.to_string().to_uppercase()
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "Exec Units: INT:{}x, SP:{}x, DP:{}x, SFU:{}x",
+            unit(ExecUnitKind::Int),
+            unit(ExecUnitKind::Sp),
+            // Table II writes the shared DP unit as 0.5x per sub-core.
+            0.5 * f64::from(unit(ExecUnitKind::Dp)) * 2.0 / 2.0,
+            unit(ExecUnitKind::Sfu),
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!("LD/ST Units: {}x", unit(ExecUnitKind::LdSt)),
+    ]);
+    t.row(vec![
+        "L1 in SM".into(),
+        format!(
+            "Sectored, streaming, {}, {} banks,",
+            sm.l1d.write_policy, sm.l1d.banks
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "{} B/line, {} B/sector, {} MSHR entries,",
+            sm.l1d.line_bytes, sm.l1d.sector_bytes, sm.l1d.mshr_entries
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "{} maximum merge / MSHR, {}, {} cycles",
+            sm.l1d.mshr_max_merge,
+            sm.l1d.replacement.to_string().to_uppercase(),
+            sm.l1d.latency
+        ),
+    ]);
+    let l2 = &g.memory.l2;
+    t.row(vec![
+        "L2 Cache".into(),
+        format!(
+            "Sectored, {}, {}B/line, {}B/sector,",
+            l2.write_policy, l2.line_bytes, l2.sector_bytes
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "{} MSHR entries, {} maximum merge/MSHR,",
+            l2.mshr_entries, l2.mshr_max_merge
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "{}, {} cycles",
+            l2.replacement.to_string().to_uppercase(),
+            l2.latency
+        ),
+    ]);
+    t.row(vec![
+        "Memory".into(),
+        format!(
+            "{} memory partitions, {} cycles",
+            g.memory.partitions, g.memory.dram_latency
+        ),
+    ]);
+
+    println!("Table II: NVIDIA RTX 2080 Ti GPU configuration");
+    println!();
+    print!("{t}");
+}

@@ -1,0 +1,298 @@
+//! `swiftsim` — the Swift-Sim command-line driver.
+//!
+//! Runs any simulator preset on a hardware configuration and an
+//! application trace, and prints the Metrics Gatherer report:
+//!
+//! ```text
+//! swiftsim --preset swift-basic --gpu rtx2080ti --workload bfs --scale small
+//! swiftsim --preset detailed --config my_gpu.cfg --trace app.sstrace
+//! swiftsim --list-workloads
+//! swiftsim --dump-config rtx3090 > rtx3090.cfg
+//! swiftsim --dump-trace nw --scale tiny > nw.sstrace
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use swiftsim_config::{presets, GpuConfig};
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_trace::ApplicationTrace;
+use swiftsim_workloads::Scale;
+
+const USAGE: &str = "\
+swiftsim — modular and hybrid GPU architecture simulation
+
+USAGE:
+    swiftsim [OPTIONS]
+
+OPTIONS:
+    --preset <detailed|swift-basic|swift-memory>   simulator preset [default: swift-basic]
+    --gpu <rtx2080ti|rtx3060|rtx3090>              built-in hardware preset [default: rtx2080ti]
+    --config <FILE>                                hardware config file (overrides --gpu)
+    --workload <NAME>                              built-in synthetic workload
+    --trace <FILE>                                 application trace file (overrides --workload)
+    --scale <tiny|small|paper>                     workload scale [default: small]
+    --threads <N>                                  worker threads [default: 1]
+    --list-workloads                               list built-in workloads and exit
+    --dump-config <GPU>                            print a GPU preset as a config file and exit
+    --dump-trace <NAME>                            print a workload's trace and exit
+    --dump-trace-bin <NAME> <FILE>                 write a workload's binary trace and exit
+    --help                                         show this help
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Write to stdout, treating a broken pipe (e.g. `swiftsim ... | head`) as
+/// a clean exit instead of a panic.
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error: cannot write to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    preset: SimulatorPreset,
+    gpu: GpuConfig,
+    workload: Option<String>,
+    trace_file: Option<String>,
+    scale: Scale,
+    threads: usize,
+}
+
+fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
+    let mut preset = SimulatorPreset::SwiftBasic;
+    let mut gpu = presets::rtx2080ti();
+    let mut workload = None;
+    let mut trace_file = None;
+    let mut scale = Scale::Small;
+    let mut threads = 1usize;
+
+    let mut it = argv.drain(..);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                emit(USAGE);
+                return Ok(None);
+            }
+            "--list-workloads" => {
+                let mut out = String::new();
+                for w in swiftsim_workloads::suite() {
+                    out.push_str(&format!("{:<12} {}\n", w.name, w.suite));
+                }
+                emit(&out);
+                return Ok(None);
+            }
+            "--dump-config" => {
+                let name = value("--dump-config")?;
+                let cfg = presets::by_name(&name)
+                    .ok_or_else(|| format!("unknown GPU preset {name:?}"))?;
+                emit(&cfg.to_config_text());
+                return Ok(None);
+            }
+            "--dump-trace" => {
+                let name = value("--dump-trace")?;
+                let w = find_workload(&name)?;
+                emit(&w.generate(scale).to_trace_text());
+                return Ok(None);
+            }
+            "--dump-trace-bin" => {
+                let name = value("--dump-trace-bin")?;
+                let path = value("--dump-trace-bin")?;
+                let w = find_workload(&name)?;
+                w.generate(scale)
+                    .write_binary_file(&path)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                return Ok(None);
+            }
+            "--preset" => {
+                preset = match value("--preset")?.as_str() {
+                    "detailed" | "accelsim" => SimulatorPreset::Detailed,
+                    "swift-basic" | "basic" => SimulatorPreset::SwiftBasic,
+                    "swift-memory" | "memory" => SimulatorPreset::SwiftMemory,
+                    other => return Err(format!("unknown preset {other:?}")),
+                };
+            }
+            "--gpu" => {
+                let name = value("--gpu")?;
+                gpu = presets::by_name(&name)
+                    .ok_or_else(|| format!("unknown GPU preset {name:?}"))?;
+            }
+            "--config" => {
+                let path = value("--config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                gpu = GpuConfig::parse(&text).map_err(|e| e.to_string())?;
+            }
+            "--workload" => workload = Some(value("--workload")?),
+            "--trace" => trace_file = Some(value("--trace")?),
+            "--scale" => {
+                scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid thread count".to_owned())?;
+            }
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    Ok(Some(Args {
+        preset,
+        gpu,
+        workload,
+        trace_file,
+        scale,
+        threads,
+    }))
+}
+
+fn find_workload(name: &str) -> Result<swiftsim_workloads::Workload, String> {
+    swiftsim_workloads::suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload {name:?} (see --list-workloads)"))
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some(args) = parse_args(argv)? else {
+        return Ok(());
+    };
+
+    let app: ApplicationTrace = match (&args.trace_file, &args.workload) {
+        (Some(path), _) => {
+            // Binary traces are detected by their magic, not the extension.
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            if bytes.starts_with(b"SSTB") {
+                ApplicationTrace::from_binary(&bytes).map_err(|e| e.to_string())?
+            } else {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| format!("{path} is neither a binary nor a text trace"))?;
+                ApplicationTrace::parse(&text).map_err(|e| e.to_string())?
+            }
+        }
+        (None, Some(name)) => find_workload(name)?.generate(args.scale),
+        (None, None) => return Err("need --workload or --trace (try --help)".to_owned()),
+    };
+
+    let sim = SimulatorBuilder::new(args.gpu.clone())
+        .preset(args.preset)
+        .threads(args.threads)
+        .build();
+
+    eprintln!(
+        "simulating {:?} ({} instructions) on {} with {} ({})...",
+        app.name,
+        app.num_insts(),
+        args.gpu.name,
+        args.preset.label(),
+        sim.description(),
+    );
+    let result = sim.run(&app).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    out.push_str(&format!("app        = {}\n", result.app));
+    out.push_str(&format!("simulator  = {}\n", result.simulator));
+    out.push_str(&format!("cycles     = {}\n", result.cycles));
+    out.push_str(&format!("insts      = {}\n", result.instructions()));
+    out.push_str(&format!("ipc        = {:.3}\n", result.ipc()));
+    out.push_str(&format!("wall_time  = {:.3}s\n", result.wall_time.as_secs_f64()));
+    out.push_str(&format!("sim_rate   = {:.0} cycles/s\n\n", result.sim_rate()));
+    for k in &result.kernels {
+        out.push_str(&format!(
+            "kernel {:<24} cycles={:<10} insts={:<10} ipc={:.3}\n",
+            k.name,
+            k.cycles,
+            k.instructions,
+            k.ipc()
+        ));
+    }
+    out.push('\n');
+    out.push_str(&result.metrics.to_report());
+    emit(&out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let args = parse_args(vec![]).unwrap().unwrap();
+        assert_eq!(args.preset, SimulatorPreset::SwiftBasic);
+        assert_eq!(args.gpu.name, "RTX 2080 Ti");
+        assert!(args.workload.is_none());
+        assert!(args.trace_file.is_none());
+        assert_eq!(args.threads, 1);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let argv: Vec<String> = [
+            "--preset",
+            "swift-memory",
+            "--gpu",
+            "rtx3090",
+            "--workload",
+            "bfs",
+            "--scale",
+            "tiny",
+            "--threads",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse_args(argv).unwrap().unwrap();
+        assert_eq!(args.preset, SimulatorPreset::SwiftMemory);
+        assert_eq!(args.gpu.num_sms, 82);
+        assert_eq!(args.workload.as_deref(), Some("bfs"));
+        assert_eq!(args.scale, Scale::Tiny);
+        assert_eq!(args.threads, 4);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_args(vec!["--frobnicate".into()]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        assert!(parse_args(vec!["--preset".into()]).is_err());
+        assert!(parse_args(vec!["--gpu".into(), "gtx9000".into()]).is_err());
+        assert!(parse_args(vec!["--scale".into(), "huge".into()]).is_err());
+    }
+
+    #[test]
+    fn run_requires_a_workload_or_trace() {
+        assert!(run(vec![]).is_err());
+    }
+
+    #[test]
+    fn find_workload_matches_suite() {
+        assert!(find_workload("bfs").is_ok());
+        assert!(find_workload("doom").is_err());
+    }
+}

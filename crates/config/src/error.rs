@@ -1,0 +1,94 @@
+//! Error type for configuration parsing and validation.
+
+use std::fmt;
+
+/// Error produced while parsing or validating a [`GpuConfig`].
+///
+/// [`GpuConfig`]: crate::GpuConfig
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A config-file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A key was given a value outside its domain.
+    InvalidValue {
+        /// The parameter the value was supplied for.
+        what: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required key is missing from the config file.
+    MissingKey(
+        /// The missing key, e.g. `-num_sms`.
+        String,
+    ),
+    /// A structural constraint between fields is violated.
+    Constraint(
+        /// Description of the violated constraint.
+        String,
+    ),
+}
+
+impl ConfigError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        ConfigError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn invalid_value(what: impl Into<String>, value: impl Into<String>) -> Self {
+        ConfigError::InvalidValue {
+            what: what.into(),
+            value: value.into(),
+        }
+    }
+
+    pub(crate) fn missing_key(key: impl Into<String>) -> Self {
+        ConfigError::MissingKey(key.into())
+    }
+
+    pub(crate) fn constraint(message: impl Into<String>) -> Self {
+        ConfigError::Constraint(message.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Parse { line, message } => {
+                write!(f, "config line {line}: {message}")
+            }
+            ConfigError::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value:?}")
+            }
+            ConfigError::MissingKey(key) => write!(f, "missing config key {key}"),
+            ConfigError::Constraint(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = ConfigError::invalid_value("scheduler policy", "gso");
+        assert_eq!(err.to_string(), "invalid scheduler policy: \"gso\"");
+        let err = ConfigError::missing_key("-num_sms");
+        assert_eq!(err.to_string(), "missing config key -num_sms");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,277 @@
+//! Validated configurations for the three real GPUs the paper evaluates
+//! against (Table I), with the RTX 2080 Ti detailed per Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use swiftsim_config::presets;
+//!
+//! let turing = presets::rtx2080ti();
+//! assert_eq!(turing.num_sms, 68);
+//! assert_eq!(turing.cuda_cores(), 4352);
+//! ```
+
+use crate::arch::{
+    AllocPolicy, CacheConfig, CacheWriteAllocate, CacheWritePolicy, ExecUnitConfig, GpuConfig,
+    MemoryConfig, NocConfig, NocTopology, ReplacementPolicy, SchedulerPolicy, SmConfig,
+};
+
+/// L1 data cache per Table II: sectored, streaming (allocate-on-fill),
+/// write-through, 4 banks, 128 B lines, 32 B sectors, 256 MSHR entries with
+/// up to 8 merged requests each, LRU, 32-cycle hit latency.
+fn turing_l1(capacity_bytes: u32) -> CacheConfig {
+    let ways = 4;
+    let line = 128;
+    CacheConfig {
+        sets: capacity_bytes / (ways * line),
+        ways,
+        line_bytes: line,
+        sector_bytes: 32,
+        banks: 4,
+        mshr_entries: 256,
+        mshr_max_merge: 8,
+        replacement: ReplacementPolicy::Lru,
+        write_policy: CacheWritePolicy::WriteThrough,
+        write_allocate: CacheWriteAllocate::NoWriteAllocate,
+        alloc: AllocPolicy::OnFill,
+        latency: 32,
+    }
+}
+
+/// L2 slice per Table II: sectored, write-back, 128 B lines, 32 B sectors,
+/// 192 MSHR entries with up to 4 merged requests each, LRU, 188-cycle
+/// latency. `capacity_bytes` is the per-partition slice size.
+fn turing_l2(capacity_bytes: u32, latency: u32) -> CacheConfig {
+    let ways = 16;
+    let line = 128;
+    CacheConfig {
+        sets: capacity_bytes / (ways * line),
+        ways,
+        line_bytes: line,
+        sector_bytes: 32,
+        banks: 2,
+        mshr_entries: 192,
+        mshr_max_merge: 4,
+        replacement: ReplacementPolicy::Lru,
+        write_policy: CacheWritePolicy::WriteBack,
+        write_allocate: CacheWriteAllocate::WriteAllocate,
+        alloc: AllocPolicy::OnMiss,
+        latency,
+    }
+}
+
+fn default_noc() -> NocConfig {
+    NocConfig {
+        topology: NocTopology::Crossbar,
+        latency: 8,
+        flit_bytes: 40,
+        queue_depth: 16,
+        flits_per_cycle: 1,
+    }
+}
+
+/// NVIDIA GeForce RTX 2080 Ti (Turing TU102) — the GPU chosen for the
+/// paper's detailed comparison. All values follow Table II; derived sizes
+/// match Table I (68 SMs, 4352 CUDA cores, 5.5 MB L2).
+pub fn rtx2080ti() -> GpuConfig {
+    GpuConfig {
+        name: "RTX 2080 Ti".to_owned(),
+        architecture: "Turing".to_owned(),
+        num_sms: 68,
+        sm: SmConfig {
+            sub_cores: 4,
+            warp_size: 32,
+            max_warps: 32,
+            max_blocks: 16,
+            max_threads: 1024,
+            registers: 65_536,
+            shared_mem_bytes: 65_536,
+            shared_mem_banks: 32,
+            shared_mem_latency: 24,
+            schedulers_per_sub_core: 1,
+            scheduler: SchedulerPolicy::Gto,
+            // Table II: INT:16x, SP:16x, DP:0.5x (one lane shared), SFU:4x,
+            // LD/ST:4x per sub-core.
+            exec_units: [
+                ExecUnitConfig::new(16, 4),  // INT
+                ExecUnitConfig::new(16, 4),  // SP
+                ExecUnitConfig::new(1, 48),  // DP (0.5x per Table II)
+                ExecUnitConfig::new(4, 21),  // SFU
+                ExecUnitConfig::new(8, 32),  // Tensor
+                ExecUnitConfig::new(4, 2),   // LD/ST address generation
+            ],
+            l1d: turing_l1(64 * 1024),
+        },
+        memory: MemoryConfig {
+            partitions: 22,
+            // 5.5 MB / 22 partitions = 256 KiB per slice.
+            l2: turing_l2(256 * 1024, 188),
+            dram_latency: 227,
+            dram_cycles_per_txn: 2,
+            dram_queue_depth: 64,
+        },
+        noc: default_noc(),
+    }
+}
+
+/// NVIDIA GeForce RTX 3060 (Ampere GA106): 28 SMs, 3584 CUDA cores, 3 MB L2
+/// over a 192-bit bus (12 partitions).
+pub fn rtx3060() -> GpuConfig {
+    GpuConfig {
+        name: "RTX 3060".to_owned(),
+        architecture: "Ampere".to_owned(),
+        num_sms: 28,
+        sm: SmConfig {
+            sub_cores: 4,
+            warp_size: 32,
+            max_warps: 48,
+            max_blocks: 16,
+            max_threads: 1536,
+            registers: 65_536,
+            shared_mem_bytes: 102_400,
+            shared_mem_banks: 32,
+            shared_mem_latency: 23,
+            schedulers_per_sub_core: 1,
+            scheduler: SchedulerPolicy::Gto,
+            // Ampere doubles FP32 throughput: 32 SP lanes per sub-core.
+            exec_units: [
+                ExecUnitConfig::new(16, 4),  // INT
+                ExecUnitConfig::new(32, 4),  // SP
+                ExecUnitConfig::new(1, 48),  // DP
+                ExecUnitConfig::new(4, 21),  // SFU
+                ExecUnitConfig::new(8, 32),  // Tensor
+                ExecUnitConfig::new(4, 2),   // LD/ST
+            ],
+            l1d: turing_l1(128 * 1024),
+        },
+        memory: MemoryConfig {
+            partitions: 12,
+            // 3 MB / 12 partitions = 256 KiB per slice.
+            l2: turing_l2(256 * 1024, 200),
+            dram_latency: 250,
+            dram_cycles_per_txn: 2,
+            dram_queue_depth: 64,
+        },
+        noc: default_noc(),
+    }
+}
+
+/// NVIDIA GeForce RTX 3090 (Ampere GA102): 82 SMs, 10496 CUDA cores, 6 MB L2
+/// over a 384-bit bus (24 partitions).
+pub fn rtx3090() -> GpuConfig {
+    GpuConfig {
+        name: "RTX 3090".to_owned(),
+        architecture: "Ampere".to_owned(),
+        num_sms: 82,
+        sm: SmConfig {
+            sub_cores: 4,
+            warp_size: 32,
+            max_warps: 48,
+            max_blocks: 16,
+            max_threads: 1536,
+            registers: 65_536,
+            shared_mem_bytes: 102_400,
+            shared_mem_banks: 32,
+            shared_mem_latency: 23,
+            schedulers_per_sub_core: 1,
+            scheduler: SchedulerPolicy::Gto,
+            exec_units: [
+                ExecUnitConfig::new(16, 4),  // INT
+                ExecUnitConfig::new(32, 4),  // SP
+                ExecUnitConfig::new(1, 48),  // DP
+                ExecUnitConfig::new(4, 21),  // SFU
+                ExecUnitConfig::new(8, 32),  // Tensor
+                ExecUnitConfig::new(4, 2),   // LD/ST
+            ],
+            l1d: turing_l1(128 * 1024),
+        },
+        memory: MemoryConfig {
+            partitions: 24,
+            // 6 MB / 24 partitions = 256 KiB per slice.
+            l2: turing_l2(256 * 1024, 200),
+            dram_latency: 250,
+            dram_cycles_per_txn: 2,
+            dram_queue_depth: 64,
+        },
+        noc: default_noc(),
+    }
+}
+
+/// All three preset GPUs in Table I order.
+pub fn all() -> Vec<GpuConfig> {
+    vec![rtx2080ti(), rtx3060(), rtx3090()]
+}
+
+/// Look up a preset by (case-insensitive) name: `"RTX 2080 Ti"`,
+/// `"RTX 3060"`, or `"RTX 3090"`. Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<GpuConfig> {
+    let norm: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    match norm.as_str() {
+        "rtx2080ti" | "2080ti" => Some(rtx2080ti()),
+        "rtx3060" | "3060" => Some(rtx3060()),
+        "rtx3090" | "3090" => Some(rtx3090()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match() {
+        // Table I: SMs, CUDA cores, L2 capacity for all three GPUs.
+        let t = rtx2080ti();
+        assert_eq!((t.num_sms, t.cuda_cores()), (68, 4352));
+        assert_eq!(t.memory.l2_capacity_bytes(), 5_632 * 1024); // 5.5 MB
+        assert_eq!(t.architecture, "Turing");
+
+        let a = rtx3060();
+        assert_eq!((a.num_sms, a.cuda_cores()), (28, 3584));
+        assert_eq!(a.memory.l2_capacity_bytes(), 3 * 1024 * 1024);
+        assert_eq!(a.architecture, "Ampere");
+
+        let a = rtx3090();
+        assert_eq!((a.num_sms, a.cuda_cores()), (82, 10496));
+        assert_eq!(a.memory.l2_capacity_bytes(), 6 * 1024 * 1024);
+        assert_eq!(a.architecture, "Ampere");
+    }
+
+    #[test]
+    fn table2_values_match() {
+        let t = rtx2080ti();
+        assert_eq!(t.sm.sub_cores, 4);
+        assert_eq!(t.sm.schedulers_per_sub_core, 1);
+        assert_eq!(t.sm.scheduler.to_string(), "gto");
+        assert_eq!(t.sm.l1d.banks, 4);
+        assert_eq!(t.sm.l1d.line_bytes, 128);
+        assert_eq!(t.sm.l1d.sector_bytes, 32);
+        assert_eq!(t.sm.l1d.mshr_entries, 256);
+        assert_eq!(t.sm.l1d.mshr_max_merge, 8);
+        assert_eq!(t.sm.l1d.latency, 32);
+        assert_eq!(t.memory.l2.mshr_entries, 192);
+        assert_eq!(t.memory.l2.mshr_max_merge, 4);
+        assert_eq!(t.memory.l2.latency, 188);
+        assert_eq!(t.memory.partitions, 22);
+        assert_eq!(t.memory.dram_latency, 227);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in all() {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(by_name("RTX 2080 Ti").unwrap().num_sms, 68);
+        assert_eq!(by_name("rtx-3060").unwrap().num_sms, 28);
+        assert_eq!(by_name("3090").unwrap().num_sms, 82);
+        assert!(by_name("RTX 4090").is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: arbitrary valid configurations survive the
+//! config-file round trip, and validation invariants hold.
+
+use proptest::prelude::*;
+use swiftsim_config::{presets, GpuConfig, ReplacementPolicy, SchedulerPolicy};
+
+fn arb_config() -> impl Strategy<Value = GpuConfig> {
+    (
+        1u32..128,                        // num_sms
+        prop::sample::select(vec![1u32, 2, 4, 8]), // sub_cores
+        prop::sample::select(vec![32u32, 64, 128, 256, 512]), // l1 sets
+        1u32..17,                         // l1 ways
+        prop::sample::select(vec![
+            SchedulerPolicy::Gto,
+            SchedulerPolicy::Lrr,
+            SchedulerPolicy::TwoLevel,
+        ]),
+        prop::sample::select(vec![
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ]),
+        1u32..33,                         // partitions
+        1u32..512,                        // dram latency
+    )
+        .prop_map(
+            |(num_sms, sub_cores, l1_sets, l1_ways, sched, repl, partitions, dram_latency)| {
+                let mut cfg = presets::rtx2080ti();
+                cfg.name = format!("prop-gpu-{num_sms}-{l1_sets}");
+                cfg.num_sms = num_sms;
+                cfg.sm.sub_cores = sub_cores;
+                cfg.sm.l1d.sets = l1_sets;
+                cfg.sm.l1d.ways = l1_ways;
+                cfg.sm.scheduler = sched;
+                cfg.sm.l1d.replacement = repl;
+                cfg.memory.partitions = partitions;
+                cfg.memory.dram_latency = dram_latency;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_configs_round_trip(cfg in arb_config()) {
+        prop_assert!(cfg.validate().is_ok());
+        let text = cfg.to_config_text();
+        let back = GpuConfig::parse(&text).expect("round trip");
+        prop_assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn cuda_cores_scale_with_sms(cfg in arb_config()) {
+        // CUDA cores = SP lanes × sub-cores × SMs, always.
+        let per_sm = cfg.sm.exec_unit(swiftsim_config::ExecUnitKind::Sp).lanes * cfg.sm.sub_cores;
+        prop_assert_eq!(cfg.cuda_cores(), per_sm * cfg.num_sms);
+    }
+
+    #[test]
+    fn capacity_math_is_consistent(cfg in arb_config()) {
+        let l1 = &cfg.sm.l1d;
+        prop_assert_eq!(
+            l1.capacity_bytes(),
+            u64::from(l1.sets) * u64::from(l1.ways) * u64::from(l1.line_bytes)
+        );
+        prop_assert_eq!(
+            cfg.memory.l2_capacity_bytes(),
+            cfg.memory.l2.capacity_bytes() * u64::from(cfg.memory.partitions)
+        );
+        prop_assert_eq!(l1.sectors_per_line(), l1.line_bytes / l1.sector_bytes);
+    }
+
+    /// Corrupting any single numeric value to zero is caught by validation
+    /// or the parser (no silent acceptance of nonsense configs).
+    #[test]
+    fn zeroed_fields_are_rejected(which in 0usize..6) {
+        let mut cfg = presets::rtx3060();
+        match which {
+            0 => cfg.num_sms = 0,
+            1 => cfg.sm.sub_cores = 0,
+            2 => cfg.sm.l1d.ways = 0,
+            3 => cfg.memory.partitions = 0,
+            4 => cfg.memory.dram_latency = 0,
+            _ => cfg.noc.latency = 0,
+        }
+        prop_assert!(cfg.validate().is_err());
+        prop_assert!(GpuConfig::parse(&cfg.to_config_text()).is_err());
+    }
+}

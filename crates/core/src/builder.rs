@@ -1,0 +1,342 @@
+//! Simulator construction: per-module model selection and the paper's
+//! three presets.
+//!
+//! "Based on the modular modeling approach, we can adopt various modeling
+//! methods for a single module" (§III-B3). The builder chooses a model per
+//! module; [`SimulatorPreset`] bundles the choices evaluated in §IV.
+
+use crate::error::SimError;
+use crate::gpu::{merge_into, run_kernel_shard};
+use crate::mem_system::{
+    build_analytical_memory, build_analytical_memory_reuse, CycleAccurateMemory, MemorySystem,
+};
+use crate::parallel::run_parallel;
+use crate::result::{KernelResult, SimulationResult};
+use crate::Cycle;
+use swiftsim_config::GpuConfig;
+use swiftsim_metrics::{MetricsCollector, Value};
+use swiftsim_trace::ApplicationTrace;
+
+/// Which model simulates the ALU pipeline (§III-D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluModelKind {
+    /// Explicit pipeline-stage registers, ticked every cycle.
+    CycleAccurate,
+    /// Fixed latency + cycle-accurately observed contention (Fig. 3).
+    Analytical,
+}
+
+/// Which model simulates memory accesses (§III-D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModelKind {
+    /// Full L1/NoC/L2/DRAM event simulation.
+    CycleAccurate,
+    /// Eq. 1 expected latency + contention adder, with hit rates from a
+    /// functional cache-simulation pre-pass.
+    Analytical,
+    /// Eq. 1 with hit rates from the reuse-distance tool instead
+    /// (fully-associative LRU approximation).
+    AnalyticalReuse,
+}
+
+/// The three simulator configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimulatorPreset {
+    /// Everything cycle-accurate, every structure ticked per cycle,
+    /// single-threaded: the stand-in for Accel-Sim.
+    Detailed,
+    /// Swift-Sim-Basic: analytical ALU pipeline, simplified instruction and
+    /// constant caches, cycle-accurate memory.
+    SwiftBasic,
+    /// Swift-Sim-Memory: Swift-Sim-Basic plus the analytical memory model.
+    SwiftMemory,
+}
+
+impl SimulatorPreset {
+    /// Short name used in reports ("accelsim" denotes the detailed
+    /// baseline's role in the evaluation).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimulatorPreset::Detailed => "detailed-baseline",
+            SimulatorPreset::SwiftBasic => "swift-sim-basic",
+            SimulatorPreset::SwiftMemory => "swift-sim-memory",
+        }
+    }
+}
+
+/// Builder for [`GpuSimulator`].
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_config::presets;
+/// use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
+///
+/// // A custom hybrid: cycle-accurate ALU exploration over analytical
+/// // memory.
+/// let sim = SimulatorBuilder::new(presets::rtx3060())
+///     .alu_model(AluModelKind::CycleAccurate)
+///     .memory_model(MemoryModelKind::Analytical)
+///     .build();
+/// assert!(sim.description().contains("analytical_memory"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder {
+    cfg: GpuConfig,
+    alu: AluModelKind,
+    mem: MemoryModelKind,
+    detailed_frontend: bool,
+    skip_idle: bool,
+    threads: usize,
+}
+
+impl SimulatorBuilder {
+    /// Start from a hardware configuration with the detailed-baseline
+    /// module choices.
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimulatorBuilder {
+            cfg,
+            alu: AluModelKind::CycleAccurate,
+            mem: MemoryModelKind::CycleAccurate,
+            detailed_frontend: true,
+            skip_idle: false,
+            threads: 1,
+        }
+    }
+
+    /// Apply one of the paper's presets.
+    pub fn preset(mut self, preset: SimulatorPreset) -> Self {
+        match preset {
+            SimulatorPreset::Detailed => {
+                self.alu = AluModelKind::CycleAccurate;
+                self.mem = MemoryModelKind::CycleAccurate;
+                self.detailed_frontend = true;
+                self.skip_idle = false;
+            }
+            SimulatorPreset::SwiftBasic => {
+                self.alu = AluModelKind::Analytical;
+                self.mem = MemoryModelKind::CycleAccurate;
+                self.detailed_frontend = false;
+                self.skip_idle = true;
+            }
+            SimulatorPreset::SwiftMemory => {
+                self.alu = AluModelKind::Analytical;
+                self.mem = MemoryModelKind::Analytical;
+                self.detailed_frontend = false;
+                self.skip_idle = true;
+            }
+        }
+        self
+    }
+
+    /// Choose the ALU-pipeline model.
+    pub fn alu_model(mut self, kind: AluModelKind) -> Self {
+        self.alu = kind;
+        self
+    }
+
+    /// Choose the memory-access model.
+    pub fn memory_model(mut self, kind: MemoryModelKind) -> Self {
+        self.mem = kind;
+        self
+    }
+
+    /// Model (or simplify away) the instruction/constant caches.
+    pub fn frontend_detailed(mut self, detailed: bool) -> Self {
+        self.detailed_frontend = detailed;
+        self
+    }
+
+    /// Allow the engine to skip cycles in which nothing can happen
+    /// (hybrid-simulator optimization; the detailed baseline ticks every
+    /// cycle).
+    pub fn skip_idle(mut self, skip: bool) -> Self {
+        self.skip_idle = skip;
+        self
+    }
+
+    /// Simulate with `threads` worker threads (SM-sharded; capped at the
+    /// paper's 50-thread experimental maximum and at the SM count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, 50);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> GpuSimulator {
+        GpuSimulator {
+            cfg: self.cfg,
+            alu: self.alu,
+            mem: self.mem,
+            detailed_frontend: self.detailed_frontend,
+            skip_idle: self.skip_idle,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A fully configured Swift-Sim simulator instance.
+#[derive(Debug, Clone)]
+pub struct GpuSimulator {
+    pub(crate) cfg: GpuConfig,
+    pub(crate) alu: AluModelKind,
+    pub(crate) mem: MemoryModelKind,
+    pub(crate) detailed_frontend: bool,
+    pub(crate) skip_idle: bool,
+    pub(crate) threads: usize,
+}
+
+impl GpuSimulator {
+    /// The simulated hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Human-readable model description, e.g.
+    /// `"analytical_alu+cycle_accurate_memory"`.
+    pub fn description(&self) -> String {
+        let alu = match self.alu {
+            AluModelKind::CycleAccurate => "cycle_accurate_alu",
+            AluModelKind::Analytical => "analytical_alu",
+        };
+        let mem = match self.mem {
+            MemoryModelKind::CycleAccurate => "cycle_accurate_memory",
+            MemoryModelKind::Analytical => "analytical_memory",
+            MemoryModelKind::AnalyticalReuse => "analytical_memory_rd",
+        };
+        format!("{alu}+{mem}")
+    }
+
+    /// Simulate `app` and return the predicted cycles and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the trace is inconsistent with its launch
+    /// geometry, a block exceeds SM resources, or the model deadlocks.
+    pub fn run(&self, app: &ApplicationTrace) -> Result<SimulationResult, SimError> {
+        let started = std::time::Instant::now();
+        let mut result = if self.threads > 1 {
+            run_parallel(self, app)?
+        } else {
+            self.run_single(app)?
+        };
+        result.wall_time = started.elapsed();
+        Ok(result)
+    }
+
+    fn run_single(&self, app: &ApplicationTrace) -> Result<SimulationResult, SimError> {
+        let mut mem: Box<dyn MemorySystem> = match self.mem {
+            MemoryModelKind::CycleAccurate => Box::new(CycleAccurateMemory::new(&self.cfg)),
+            MemoryModelKind::Analytical => build_analytical_memory(&self.cfg, app),
+            MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&self.cfg, app),
+        };
+
+        let num_sms = self.cfg.num_sms as usize;
+        let mut start: Cycle = 0;
+        let mut kernels = Vec::new();
+        let mut total_stats = crate::sm::SmStats::default();
+
+        for kernel in app.kernels() {
+            let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
+            let outcome = run_kernel_shard(
+                &self.cfg,
+                kernel,
+                &blocks,
+                num_sms,
+                mem.as_mut(),
+                self.alu,
+                self.detailed_frontend,
+                self.skip_idle,
+                start,
+            )?;
+            kernels.push(KernelResult {
+                name: kernel.name.clone(),
+                cycles: outcome.end_cycle - start,
+                instructions: outcome.stats.issued,
+                blocks: outcome.blocks,
+            });
+            merge_into(&mut total_stats, outcome.stats);
+            start = outcome.end_cycle;
+        }
+
+        let mut metrics = MetricsCollector::new();
+        report_common(&mut metrics, start, &total_stats, self);
+        mem.report(&mut metrics);
+
+        Ok(SimulationResult {
+            app: app.name.clone(),
+            simulator: self.description(),
+            cycles: start,
+            kernels,
+            metrics,
+            wall_time: std::time::Duration::ZERO, // filled by run()
+        })
+    }
+}
+
+/// Report engine-level counters shared by single and parallel runs.
+pub(crate) fn report_common(
+    metrics: &mut MetricsCollector,
+    cycles: Cycle,
+    stats: &crate::sm::SmStats,
+    sim: &GpuSimulator,
+) {
+    metrics.set("gpu.cycles", Value::Cycles(cycles));
+    metrics.set("gpu.instructions", Value::Count(stats.issued));
+    let mut core = metrics.scope("core");
+    core.set("mem_insts", Value::Count(stats.mem_insts));
+    core.set("stall.scoreboard", Value::Cycles(stats.stall_scoreboard));
+    core.set("stall.unit_busy", Value::Cycles(stats.stall_unit_busy));
+    core.set("stall.barrier", Value::Cycles(stats.stall_barrier));
+    core.set("stall.empty", Value::Cycles(stats.stall_empty));
+    core.set(
+        "shared.bank_conflicts",
+        Value::Count(stats.shared_bank_conflicts),
+    );
+    core.set("icache.misses", Value::Count(stats.icache_misses));
+    core.set("ccache.misses", Value::Count(stats.ccache_misses));
+    core.set("active_cycles", Value::Cycles(stats.active_cycles));
+    metrics.set(
+        "sim.threads",
+        Value::Count(sim.threads as u64),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_config::presets;
+
+    #[test]
+    fn presets_select_models() {
+        let detailed = SimulatorBuilder::new(presets::rtx2080ti())
+            .preset(SimulatorPreset::Detailed)
+            .build();
+        assert_eq!(detailed.description(), "cycle_accurate_alu+cycle_accurate_memory");
+
+        let basic = SimulatorBuilder::new(presets::rtx2080ti())
+            .preset(SimulatorPreset::SwiftBasic)
+            .build();
+        assert_eq!(basic.description(), "analytical_alu+cycle_accurate_memory");
+
+        let memory = SimulatorBuilder::new(presets::rtx2080ti())
+            .preset(SimulatorPreset::SwiftMemory)
+            .build();
+        assert_eq!(memory.description(), "analytical_alu+analytical_memory");
+    }
+
+    #[test]
+    fn threads_are_clamped() {
+        let sim = SimulatorBuilder::new(presets::rtx2080ti()).threads(400).build();
+        assert_eq!(sim.threads, 50);
+        let sim = SimulatorBuilder::new(presets::rtx2080ti()).threads(0).build();
+        assert_eq!(sim.threads, 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimulatorPreset::Detailed.label(), "detailed-baseline");
+        assert_eq!(SimulatorPreset::SwiftBasic.label(), "swift-sim-basic");
+        assert_eq!(SimulatorPreset::SwiftMemory.label(), "swift-sim-memory");
+    }
+}

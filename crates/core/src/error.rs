@@ -1,0 +1,67 @@
+//! Error type for simulation runs.
+
+use std::fmt;
+
+/// Error produced while running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace is inconsistent with its declared launch geometry.
+    InconsistentTrace {
+        /// The offending kernel's name.
+        kernel: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A kernel needs more per-block resources than one SM provides.
+    BlockTooLarge {
+        /// The offending kernel's name.
+        kernel: String,
+        /// Which resource is exceeded.
+        resource: String,
+    },
+    /// The simulation exceeded its cycle safety limit, which indicates a
+    /// modeling deadlock (e.g. a warp waiting on a completion that was
+    /// never scheduled).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InconsistentTrace { kernel, message } => {
+                write!(f, "kernel {kernel}: inconsistent trace: {message}")
+            }
+            SimError::BlockTooLarge { kernel, resource } => {
+                write!(f, "kernel {kernel}: block exceeds SM {resource}")
+            }
+            SimError::Deadlock { cycle } => {
+                write!(f, "simulation made no progress at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::BlockTooLarge {
+            kernel: "k".to_owned(),
+            resource: "shared memory".to_owned(),
+        };
+        assert_eq!(e.to_string(), "kernel k: block exceeds SM shared memory");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! The simulation engine: puts all the modules together (§III-D3).
+//!
+//! "In each cycle, the Warp Scheduler & Dispatch issues instructions to the
+//! execution units and LD/ST units. Upon receiving the instructions, these
+//! units calculate the instruction delay based on the \[chosen\] model and
+//! return the instruction completion acknowledgment after X cycles. After
+//! getting the acknowledgment, the Warp Scheduler & Dispatch then issues
+//! the next instruction that depends on the completed instruction,
+//! continuing this process until all instructions are executed."
+//!
+//! The engine runs a *shard*: a subset of SMs with its own memory system.
+//! Single-threaded simulation is one shard covering the whole GPU; parallel
+//! simulation runs several shards concurrently (see [`crate::parallel`]).
+
+use crate::alu::{AluModel, AnalyticalAlu, CycleAccurateAlu};
+use crate::block_scheduler::{BlockScheduler, Occupancy};
+use crate::builder::AluModelKind;
+use crate::error::SimError;
+use crate::mem_system::{MemCompletion, MemorySystem};
+use crate::scheduler::make_policy;
+use crate::sm::{SmCore, SmStats, WbTarget};
+use crate::Cycle;
+use std::collections::HashMap;
+use swiftsim_config::GpuConfig;
+use swiftsim_trace::KernelTrace;
+
+/// Outcome of simulating one kernel on one shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardKernelOutcome {
+    /// Cycle (absolute) at which the shard's last block finished.
+    pub end_cycle: Cycle,
+    /// Aggregated SM counters.
+    pub stats: SmStats,
+    /// Blocks executed by this shard.
+    pub blocks: u64,
+}
+
+pub(crate) fn merge_into(total: &mut SmStats, s: SmStats) {
+    total.issued += s.issued;
+    total.mem_insts += s.mem_insts;
+    total.stall_scoreboard += s.stall_scoreboard;
+    total.stall_unit_busy += s.stall_unit_busy;
+    total.stall_barrier += s.stall_barrier;
+    total.stall_empty += s.stall_empty;
+    total.shared_bank_conflicts += s.shared_bank_conflicts;
+    total.icache_misses += s.icache_misses;
+    total.ccache_misses += s.ccache_misses;
+    total.active_cycles += s.active_cycles;
+}
+
+fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
+    match kind {
+        AluModelKind::CycleAccurate => Box::new(CycleAccurateAlu::new(&cfg.sm)),
+        AluModelKind::Analytical => Box::new(AnalyticalAlu::new(&cfg.sm)),
+    }
+}
+
+/// Per-shard kernel simulation.
+///
+/// `block_indices` are the kernel's block ids this shard executes; `sm_ids`
+/// are the *global* SM ids the shard owns (their count sets the local SM
+/// array size; memory-system calls use local indices).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_kernel_shard(
+    cfg: &GpuConfig,
+    kernel: &KernelTrace,
+    block_indices: &[usize],
+    num_local_sms: usize,
+    mem: &mut dyn MemorySystem,
+    alu_kind: AluModelKind,
+    detailed_frontend: bool,
+    skip_idle: bool,
+    start: Cycle,
+) -> Result<ShardKernelOutcome, SimError> {
+    if !kernel.is_consistent(cfg.sm.warp_size) {
+        return Err(SimError::InconsistentTrace {
+            kernel: kernel.name.clone(),
+            message: format!(
+                "trace has {} blocks for grid {} and warp counts must match block size",
+                kernel.blocks().len(),
+                kernel.grid_dim
+            ),
+        });
+    }
+    let occupancy = Occupancy::compute(&cfg.sm, kernel)?;
+
+    let mut sms: Vec<SmCore<'_>> = (0..num_local_sms)
+        .map(|i| {
+            SmCore::new(
+                i,
+                &cfg.sm,
+                occupancy.blocks_per_sm as usize,
+                make_alu(alu_kind, cfg),
+                detailed_frontend,
+                &|| make_policy(cfg.sm.scheduler),
+            )
+        })
+        .collect();
+
+    let prof = std::env::var_os("SWIFTSIM_PROF").is_some();
+    let mut t_tick = std::time::Duration::ZERO;
+    let mut t_mem = std::time::Duration::ZERO;
+    let mut iters = 0u64;
+    let mut bs = BlockScheduler::new(num_local_sms, block_indices.len(), occupancy.blocks_per_sm);
+    let mut tokens: HashMap<u64, (usize, WbTarget)> = HashMap::new();
+    let mut completions: Vec<MemCompletion> = Vec::new();
+    let mut now = start;
+    let mut idle_streak = 0u32;
+    let blocks = kernel.blocks();
+
+    loop {
+        // 1. Dispatch pending blocks to SMs with free slots (Block
+        //    Scheduler, cycle-accurate in every preset).
+        if bs.remaining() > 0 {
+            for sm in 0..num_local_sms {
+                while sms[sm].has_free_slot() {
+                    match bs.dispatch(sm) {
+                        Some(local_idx) => {
+                            let global = block_indices[local_idx];
+                            sms[sm].install_block(global, &blocks[global], now);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // 2. Deliver memory completions due by now.
+        iters += 1;
+        let t0 = prof.then(std::time::Instant::now);
+        completions.clear();
+        mem.advance(now, &mut completions);
+        for c in completions.drain(..) {
+            if let Some((sm, target)) = tokens.remove(&c.token) {
+                sms[sm].writeback_now(target);
+            }
+        }
+
+        if let Some(t0) = t0 {
+            t_mem += t0.elapsed();
+        }
+        let t1 = prof.then(std::time::Instant::now);
+        // 3. Tick every SM.
+        let mut issued = 0u32;
+        let mut wakeup: Option<Cycle> = None;
+        for (sm_idx, sm) in sms.iter_mut().enumerate() {
+            let outcome = sm.tick(now, mem);
+            issued += outcome.issued;
+            for global in outcome.completed_blocks {
+                let _ = global;
+                bs.complete(sm_idx);
+            }
+            for (token, target) in outcome.new_tokens {
+                tokens.insert(token, (sm_idx, target));
+            }
+            wakeup = match (wakeup, outcome.next_wakeup) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+
+        if let Some(t1) = t1 {
+            t_tick += t1.elapsed();
+        }
+        // 4. Termination: every block completed and the memory system is
+        //    quiet.
+        if bs.all_done() && tokens.is_empty() && mem.next_event().is_none() {
+            if prof {
+                eprintln!(
+                    "[prof] kernel {}: iters={iters} mem={t_mem:?} tick={t_tick:?}",
+                    kernel.name
+                );
+            }
+            let mut stats = SmStats::default();
+            for sm in &sms {
+                merge_into(&mut stats, sm.stats());
+            }
+            return Ok(ShardKernelOutcome {
+                end_cycle: now,
+                stats,
+                blocks: block_indices.len() as u64,
+            });
+        }
+
+        // 5. Advance time. The detailed baseline ticks every cycle; hybrid
+        //    simulators skip cycles in which provably nothing can happen.
+        let next_mem = mem.next_event();
+        if issued > 0 || !skip_idle {
+            now += 1;
+            idle_streak = if issued > 0 { 0 } else { idle_streak + 1 };
+        } else {
+            let candidate = match (wakeup, next_mem) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match candidate {
+                Some(t) if t > now => {
+                    now = t;
+                    idle_streak = 0;
+                }
+                Some(_) => {
+                    now += 1;
+                    idle_streak = 0;
+                }
+                None => {
+                    now += 1;
+                    idle_streak += 1;
+                }
+            }
+        }
+        // A memory event or token always reappears within the DRAM latency;
+        // a much longer silent streak means the model deadlocked.
+        if idle_streak > 1_000_000 {
+            return Err(SimError::Deadlock { cycle: now });
+        }
+    }
+}
+
+/// Round-robin split of a kernel's blocks across `shards`.
+pub(crate) fn split_blocks(num_blocks: usize, shards: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); shards.max(1)];
+    for b in 0..num_blocks {
+        out[b % shards.max(1)].push(b);
+    }
+    out
+}
+
+/// A scaled-down configuration for one shard of a parallel run: the shard
+/// owns `local_sms` of `total_sms` SMs and a proportional slice of the
+/// memory system, preserving per-SM bandwidth and capacity ratios.
+pub(crate) fn shard_config(cfg: &GpuConfig, local_sms: u32, total_sms: u32) -> GpuConfig {
+    let mut shard = cfg.clone();
+    shard.num_sms = local_sms;
+    let parts = (u64::from(cfg.memory.partitions) * u64::from(local_sms)
+        / u64::from(total_sms.max(1))) as u32;
+    shard.memory.partitions = parts.max(1);
+    shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_blocks_round_robin() {
+        let s = split_blocks(7, 3);
+        assert_eq!(s[0], vec![0, 3, 6]);
+        assert_eq!(s[1], vec![1, 4]);
+        assert_eq!(s[2], vec![2, 5]);
+        assert_eq!(split_blocks(0, 3), vec![vec![], vec![], vec![]] as Vec<Vec<usize>>);
+    }
+
+    #[test]
+    fn shard_config_scales_partitions() {
+        let cfg = swiftsim_config::presets::rtx2080ti(); // 68 SMs, 22 parts
+        let shard = shard_config(&cfg, 17, 68);
+        assert_eq!(shard.num_sms, 17);
+        assert_eq!(shard.memory.partitions, 5); // 22*17/68 = 5.5 -> 5
+        // Degenerate shard still has one partition.
+        assert_eq!(shard_config(&cfg, 1, 68).memory.partitions, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parallel simulation (§III-B2, evaluated in §IV-B2).
+//!
+//! "The modular approach provides us with the opportunity for parallel
+//! simulation. We can leverage multithreading to simulate applications
+//! concurrently, achieving noticeable speedup."
+//!
+//! The implementation shards the GPU: each worker thread owns a contiguous
+//! group of SMs together with a proportional slice of the memory system
+//! (L2 partitions and DRAM channels), so per-SM bandwidth and capacity
+//! ratios are preserved. Blocks are distributed round-robin across shards —
+//! the same policy the Block Scheduler uses across SMs — and a kernel ends
+//! when its slowest shard finishes. Cross-shard L2 sharing is the one
+//! interaction this approximates away; it is part of the "minor and
+//! acceptable degradation in overall accuracy" the paper trades for speed.
+
+use crate::builder::{GpuSimulator, MemoryModelKind};
+use crate::error::SimError;
+use crate::gpu::{merge_into, run_kernel_shard, shard_config, split_blocks};
+use crate::mem_system::{build_analytical_memory, CycleAccurateMemory, MemorySystem};
+use crate::result::{KernelResult, SimulationResult};
+use crate::sm::SmStats;
+use crate::Cycle;
+use swiftsim_metrics::MetricsCollector;
+use swiftsim_trace::ApplicationTrace;
+
+/// The maximum worker threads a simulation will use on this host: the
+/// machine's available parallelism, capped at the paper's experimental
+/// maximum of 50 threads.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(50)
+}
+
+/// Split `total` SMs into `shards` contiguous groups (sizes differ by at
+/// most one).
+fn split_sms(total: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1).min(total.max(1));
+    let base = total / shards;
+    let extra = total % shards;
+    (0..shards)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
+pub(crate) fn run_parallel(
+    sim: &GpuSimulator,
+    app: &ApplicationTrace,
+) -> Result<SimulationResult, SimError> {
+    let total_sms = sim.cfg.num_sms as usize;
+    let group_sizes = split_sms(total_sms, sim.threads);
+    let shards = group_sizes.len();
+
+    // Shard configurations and memory systems (persisting across kernels so
+    // caches stay warm, as in the single-threaded path).
+    let shard_cfgs: Vec<_> = group_sizes
+        .iter()
+        .map(|&n| shard_config(&sim.cfg, n as u32, sim.cfg.num_sms))
+        .collect();
+    let mut mems: Vec<Box<dyn MemorySystem>> = shard_cfgs
+        .iter()
+        .map(|cfg| match sim.mem {
+            MemoryModelKind::CycleAccurate => {
+                Box::new(CycleAccurateMemory::new(cfg)) as Box<dyn MemorySystem>
+            }
+            MemoryModelKind::Analytical => build_analytical_memory(cfg, app),
+            MemoryModelKind::AnalyticalReuse => {
+                crate::mem_system::build_analytical_memory_reuse(cfg, app)
+            }
+        })
+        .collect();
+
+    let mut start: Cycle = 0;
+    let mut kernels = Vec::new();
+    let mut total_stats = SmStats::default();
+
+    for kernel in app.kernels() {
+        let block_split = split_blocks(kernel.blocks().len(), shards);
+
+        let outcomes: Vec<Result<crate::gpu::ShardKernelOutcome, SimError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = mems
+                    .iter_mut()
+                    .zip(&shard_cfgs)
+                    .zip(&group_sizes)
+                    .zip(&block_split)
+                    .map(|(((mem, cfg), &local_sms), blocks)| {
+                        scope.spawn(move || {
+                            run_kernel_shard(
+                                cfg,
+                                kernel,
+                                blocks,
+                                local_sms,
+                                mem.as_mut(),
+                                sim.alu,
+                                sim.detailed_frontend,
+                                sim.skip_idle,
+                                start,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+
+        let mut end = start;
+        let mut kernel_stats = SmStats::default();
+        let mut blocks = 0;
+        for outcome in outcomes {
+            let o = outcome?;
+            end = end.max(o.end_cycle);
+            merge_into(&mut kernel_stats, o.stats);
+            blocks += o.blocks;
+        }
+        kernels.push(KernelResult {
+            name: kernel.name.clone(),
+            cycles: end - start,
+            instructions: kernel_stats.issued,
+            blocks,
+        });
+        merge_into(&mut total_stats, kernel_stats);
+        start = end;
+    }
+
+    let mut metrics = MetricsCollector::new();
+    crate::builder::report_common(&mut metrics, start, &total_stats, sim);
+    for (i, mem) in mems.iter().enumerate() {
+        let mut shard_collector = MetricsCollector::new();
+        mem.report(&mut shard_collector);
+        metrics.absorb(&format!("shard{i}"), &shard_collector);
+    }
+
+    Ok(SimulationResult {
+        app: app.name.clone(),
+        simulator: format!("{}@{}threads", sim.description(), shards),
+        cycles: start,
+        kernels,
+        metrics,
+        wall_time: std::time::Duration::ZERO, // filled by run()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sms_balances() {
+        assert_eq!(split_sms(68, 4), vec![17, 17, 17, 17]);
+        assert_eq!(split_sms(7, 3), vec![3, 2, 2]);
+        assert_eq!(split_sms(2, 8), vec![1, 1], "never more shards than SMs");
+        assert_eq!(split_sms(5, 1), vec![5]);
+    }
+
+    #[test]
+    fn max_threads_bounded() {
+        let t = max_threads();
+        assert!(t >= 1);
+        assert!(t <= 50);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation results.
+
+use crate::Cycle;
+use swiftsim_metrics::MetricsCollector;
+
+/// Outcome of simulating one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles this kernel took (from launch to last block completion).
+    pub cycles: Cycle,
+    /// Dynamic instructions issued.
+    pub instructions: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+}
+
+impl KernelResult {
+    /// Instructions per cycle over the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+}
+
+/// Outcome of simulating one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    /// Application name.
+    pub app: String,
+    /// Simulator preset/model description (for reports).
+    pub simulator: String,
+    /// Total predicted execution cycles (kernels serialize).
+    pub cycles: Cycle,
+    /// Per-kernel breakdown, in launch order.
+    pub kernels: Vec<KernelResult>,
+    /// All Metrics Gatherer counters.
+    pub metrics: MetricsCollector,
+    /// Host wall-clock time spent simulating.
+    pub wall_time: std::time::Duration,
+}
+
+impl SimulationResult {
+    /// Total dynamic instructions across kernels.
+    pub fn instructions(&self) -> u64 {
+        self.kernels.iter().map(|k| k.instructions).sum()
+    }
+
+    /// Whole-application IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions() as f64 / self.cycles as f64
+    }
+
+    /// Simulated cycles per host second — the simulation-speed metric the
+    /// paper's Fig. 4 scatter plot is built from.
+    pub fn sim_rate(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_math() {
+        let k = KernelResult {
+            name: "k".into(),
+            cycles: 100,
+            instructions: 250,
+            blocks: 2,
+        };
+        assert!((k.ipc() - 2.5).abs() < 1e-12);
+        let zero = KernelResult {
+            name: "z".into(),
+            cycles: 0,
+            instructions: 0,
+            blocks: 0,
+        };
+        assert_eq!(zero.ipc(), 0.0);
+    }
+
+    #[test]
+    fn result_aggregates() {
+        let result = SimulationResult {
+            app: "a".into(),
+            simulator: "s".into(),
+            cycles: 1000,
+            kernels: vec![
+                KernelResult {
+                    name: "k0".into(),
+                    cycles: 400,
+                    instructions: 800,
+                    blocks: 4,
+                },
+                KernelResult {
+                    name: "k1".into(),
+                    cycles: 600,
+                    instructions: 1200,
+                    blocks: 8,
+                },
+            ],
+            metrics: MetricsCollector::new(),
+            wall_time: std::time::Duration::from_millis(500),
+        };
+        assert_eq!(result.instructions(), 2000);
+        assert!((result.ipc() - 2.0).abs() < 1e-12);
+        assert!((result.sim_rate() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,805 @@
+//! The streaming-multiprocessor model: sub-cores, Warp Scheduler &
+//! Dispatch, scoreboard, execution-unit dispatch, LD/ST units, shared
+//! memory, barriers, and the (simplifiable) instruction/constant caches.
+//!
+//! The SM implements the GPU execution model of §III-B1: blocks arrive from
+//! the Block Scheduler; each cycle every sub-core's scheduler selects a
+//! ready warp and issues one instruction; arithmetic goes to the execution
+//! units (through the [`AluModel`] interface), loads/stores go through the
+//! LD/ST units to the memory system (through the [`MemorySystem`]
+//! interface); instruction-completion acknowledgments release scoreboard
+//! entries and wake dependent warps.
+
+use crate::alu::AluModel;
+use crate::scheduler::{WarpSchedulerPolicy, WarpView};
+use crate::scoreboard::Scoreboard;
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use swiftsim_config::{ExecUnitKind, SmConfig};
+use swiftsim_mem::{coalesce_accesses, AddressMapping};
+use swiftsim_trace::{AddressList, BlockTrace, MemSpace, Opcode, OpcodeClass, Reg, TraceInstruction};
+
+use crate::mem_system::{MemReply, MemorySystem};
+
+/// Issue-stall breakdown per SM (Metrics Gatherer counters, §III-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // self-describing counters
+pub struct SmStats {
+    pub issued: u64,
+    pub mem_insts: u64,
+    pub stall_scoreboard: u64,
+    pub stall_unit_busy: u64,
+    pub stall_barrier: u64,
+    pub stall_empty: u64,
+    pub shared_bank_conflicts: u64,
+    pub icache_misses: u64,
+    pub ccache_misses: u64,
+    pub active_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+#[derive(Debug)]
+struct WarpContext<'a> {
+    insts: &'a [TraceInstruction],
+    next: usize,
+    scoreboard: Scoreboard,
+    state: WarpState,
+    /// Parked on a scoreboard hazard: skip re-evaluation until one of this
+    /// warp's pending writebacks lands (hot-path optimization — readiness
+    /// cannot change before then).
+    parked: bool,
+}
+
+impl WarpContext<'_> {
+    fn current(&self) -> Option<&TraceInstruction> {
+        self.insts.get(self.next)
+    }
+}
+
+#[derive(Debug)]
+struct BlockCtx<'a> {
+    global_block: usize,
+    warps: Vec<WarpContext<'a>>,
+    barrier_waiting: u32,
+    live_warps: u32,
+    age: Cycle,
+}
+
+/// Simplified instruction + constant caches.
+///
+/// The detailed preset models both as small direct-mapped tag arrays whose
+/// misses delay the instruction; Swift-Sim-Basic "simplif\[ies\] less
+/// critical modules like instruction cache, constant cache" (§IV-A3) to
+/// always-hit.
+#[derive(Debug)]
+struct FrontendCaches {
+    detailed: bool,
+    itags: Vec<u64>,
+    ctags: Vec<u64>,
+    imiss_latency: Cycle,
+    cmiss_latency: Cycle,
+}
+
+impl FrontendCaches {
+    fn new(detailed: bool) -> Self {
+        FrontendCaches {
+            detailed,
+            itags: vec![u64::MAX; 256],
+            ctags: vec![u64::MAX; 128],
+            imiss_latency: 20,
+            cmiss_latency: 40,
+        }
+    }
+
+    /// Extra fetch latency for the instruction at `pc`.
+    fn fetch_penalty(&mut self, pc: u32, stats: &mut SmStats) -> Cycle {
+        if !self.detailed {
+            return 0;
+        }
+        // 128 B instruction lines, direct mapped.
+        let line = u64::from(pc) >> 7;
+        let set = (line as usize) % self.itags.len();
+        if self.itags[set] == line {
+            0
+        } else {
+            self.itags[set] = line;
+            stats.icache_misses += 1;
+            self.imiss_latency
+        }
+    }
+
+    /// Extra latency for a constant-memory access at `addr`.
+    fn const_penalty(&mut self, addr: u64, stats: &mut SmStats) -> Cycle {
+        if !self.detailed {
+            return 0;
+        }
+        let line = addr >> 6;
+        let set = (line as usize) % self.ctags.len();
+        if self.ctags[set] == line {
+            0
+        } else {
+            self.ctags[set] = line;
+            stats.ccache_misses += 1;
+            self.cmiss_latency
+        }
+    }
+}
+
+/// Reference to a pending writeback target inside an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WbTarget {
+    pub slot: usize,
+    pub warp: usize,
+    pub reg: Reg,
+}
+
+/// What one SM tick produced, for the top-level run loop.
+#[derive(Debug, Default)]
+pub(crate) struct TickOutcome {
+    /// Instructions issued this cycle across sub-cores.
+    pub issued: u32,
+    /// Global block ids that completed this cycle.
+    pub completed_blocks: Vec<usize>,
+    /// Earliest future cycle at which this SM could make progress if
+    /// nothing was issued (writeback/port wakeups). `None` = idle.
+    pub next_wakeup: Option<Cycle>,
+    /// Whether some warp was blocked only by a busy issue port this cycle
+    /// (such stalls resolve within an initiation interval, so idle-skipping
+    /// simulators must not jump past them).
+    pub unit_busy_stall: bool,
+    /// Pending memory tokens issued this cycle: (token, writeback target).
+    pub new_tokens: Vec<(u64, WbTarget)>,
+}
+
+/// One streaming multiprocessor.
+pub(crate) struct SmCore<'a> {
+    id: usize,
+    cfg: SmConfig,
+    schedulers: Vec<Box<dyn WarpSchedulerPolicy>>,
+    blocks: Vec<Option<BlockCtx<'a>>>,
+    wb_events: BinaryHeap<Reverse<(Cycle, usize, usize, u16)>>,
+    alu: Box<dyn AluModel>,
+    frontend: FrontendCaches,
+    mapping: AddressMapping,
+    stats: SmStats,
+    /// Warps in `Running` state and not parked — the only warps a
+    /// scheduler could possibly pick. When zero, the whole tick can
+    /// early-out (hybrid fast path).
+    schedulable: u32,
+    /// Warps parked on a full LD/ST queue, woken in bulk when the memory
+    /// system accepts again.
+    mem_parked: Vec<(usize, usize)>,
+    /// Reused scan buffers (hot path, avoids per-cycle allocation).
+    scan_views: Vec<WarpView>,
+    scan_refs: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Debug for SmCore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmCore")
+            .field("id", &self.id)
+            .field("resident_blocks", &self.blocks.iter().flatten().count())
+            .finish()
+    }
+}
+
+impl<'a> SmCore<'a> {
+    pub(crate) fn new(
+        id: usize,
+        cfg: &SmConfig,
+        slots: usize,
+        alu: Box<dyn AluModel>,
+        detailed_frontend: bool,
+        make_scheduler: &dyn Fn() -> Box<dyn WarpSchedulerPolicy>,
+    ) -> Self {
+        SmCore {
+            id,
+            cfg: cfg.clone(),
+            schedulers: (0..cfg.sub_cores).map(|_| make_scheduler()).collect(),
+            blocks: (0..slots).map(|_| None).collect(),
+            wb_events: BinaryHeap::new(),
+            alu,
+            frontend: FrontendCaches::new(detailed_frontend),
+            mapping: AddressMapping::new(&cfg.l1d),
+            stats: SmStats::default(),
+            schedulable: 0,
+            mem_parked: Vec::new(),
+            scan_views: Vec::new(),
+            scan_refs: Vec::new(),
+        }
+    }
+
+    /// Whether a block slot is free.
+    pub(crate) fn has_free_slot(&self) -> bool {
+        self.blocks.iter().any(Option::is_none)
+    }
+
+    /// Install a traced block into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free (callers check [`SmCore::has_free_slot`]).
+    pub(crate) fn install_block(&mut self, global_block: usize, block: &'a BlockTrace, now: Cycle) {
+        let slot = self
+            .blocks
+            .iter()
+            .position(Option::is_none)
+            .expect("install_block requires a free slot");
+        let warps: Vec<WarpContext<'a>> = block
+            .warps()
+            .iter()
+            .map(|w| WarpContext {
+                insts: w.instructions(),
+                next: 0,
+                scoreboard: Scoreboard::new(),
+                state: if w.is_empty() {
+                    WarpState::Done
+                } else {
+                    WarpState::Running
+                },
+                parked: false,
+            })
+            .collect();
+        let live = warps.iter().filter(|w| w.state != WarpState::Done).count() as u32;
+        self.schedulable += live;
+        self.blocks[slot] = Some(BlockCtx {
+            global_block,
+            warps,
+            barrier_waiting: 0,
+            live_warps: live,
+            age: now,
+        });
+    }
+
+    /// Whether any block is resident.
+    pub(crate) fn is_active(&self) -> bool {
+        self.blocks.iter().any(Option::is_some)
+    }
+
+    /// Apply a writeback immediately (memory completion path). A register
+    /// of `u16::MAX` marks a completion nobody waits on (a rare dst-less
+    /// pending access) and is ignored.
+    pub(crate) fn writeback_now(&mut self, target: WbTarget) {
+        if target.reg.0 == u16::MAX {
+            return;
+        }
+        if let Some(block) = self.blocks[target.slot].as_mut() {
+            let warp = &mut block.warps[target.warp];
+            warp.scoreboard.writeback(target.reg);
+            if warp.parked {
+                warp.parked = false;
+                self.schedulable += 1;
+            }
+        }
+    }
+
+    /// Stats snapshot.
+    pub(crate) fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    fn drain_writebacks(&mut self, now: Cycle) {
+        while let Some(&Reverse((at, slot, warp, reg))) = self.wb_events.peek() {
+            if at > now {
+                break;
+            }
+            self.wb_events.pop();
+            if let Some(block) = self.blocks[slot].as_mut() {
+                let w = &mut block.warps[warp];
+                w.scoreboard.writeback(Reg(reg));
+                if w.parked {
+                    w.parked = false;
+                    self.schedulable += 1;
+                }
+            }
+        }
+    }
+
+
+
+    /// Simulate one cycle; issues at most one instruction per sub-core.
+    pub(crate) fn tick(&mut self, now: Cycle, mem: &mut dyn MemorySystem) -> TickOutcome {
+        self.alu.tick(now);
+        self.drain_writebacks(now);
+
+        let mut outcome = TickOutcome::default();
+        if self.is_active() {
+            self.stats.active_cycles += 1;
+        }
+
+        if self.frontend.detailed {
+            self.detailed_core_tick();
+        }
+        let mem_ok = mem.can_accept(self.id);
+        if mem_ok && !self.mem_parked.is_empty() {
+            let parked = std::mem::take(&mut self.mem_parked);
+            for (slot, w) in parked {
+                if let Some(block) = self.blocks[slot].as_mut() {
+                    let warp = &mut block.warps[w];
+                    if warp.parked {
+                        warp.parked = false;
+                        self.schedulable += 1;
+                    }
+                }
+            }
+        }
+        if !self.frontend.detailed && self.schedulable == 0 {
+            // Hybrid fast path: every warp is parked, at a barrier, or
+            // done — no scheduler can issue, so skip the scan entirely.
+            if self.is_active() {
+                self.stats.stall_scoreboard += u64::from(self.cfg.sub_cores);
+            }
+            outcome.next_wakeup = self.wb_events.peek().map(|Reverse((at, ..))| *at);
+            return outcome;
+        }
+        for sc in 0..self.cfg.sub_cores as usize {
+            self.tick_sub_core(sc, now, mem, mem_ok, &mut outcome);
+        }
+
+        // Wakeups for the skip-idle optimization: pending writebacks, and
+        // next cycle if a port-busy stall can resolve soon.
+        let mut wakeup = self.wb_events.peek().map(|Reverse((at, ..))| *at);
+        if outcome.unit_busy_stall {
+            wakeup = Some(wakeup.map_or(now + 1, |w| w.min(now + 1)));
+        }
+        outcome.next_wakeup = wakeup;
+        outcome
+    }
+
+    /// The per-cycle fetch/decode work of the detailed baseline: every
+    /// resident warp's fetch group is looked up in the instruction cache
+    /// and its instruction-buffer dependences re-examined each cycle —
+    /// exactly the frontend activity a detailed simulator like Accel-Sim
+    /// performs (and the work the hybrid presets eliminate).
+    fn detailed_core_tick(&mut self) {
+        let frontend = &mut self.frontend;
+        let stats = &mut self.stats;
+        for block in self.blocks.iter().flatten() {
+            for warp in &block.warps {
+                if warp.state == WarpState::Done {
+                    continue;
+                }
+                if let Some(inst) = warp.current() {
+                    // Fetch: the fetch group is re-probed each cycle the
+                    // warp occupies an ibuffer slot.
+                    let line = u64::from(inst.pc) >> 7;
+                    let set = (line as usize) % frontend.itags.len();
+                    if frontend.itags[set] != line {
+                        frontend.itags[set] = line;
+                        stats.icache_misses += 1;
+                    }
+                    // Decode: dependence pre-check against the scoreboard.
+                    std::hint::black_box(warp.scoreboard.outstanding());
+                    std::hint::black_box(inst.srcs.len());
+                }
+            }
+        }
+    }
+
+    fn tick_sub_core(
+        &mut self,
+        sc: usize,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        mem_ok: bool,
+        outcome: &mut TickOutcome,
+    ) {
+        // Collect warps of this sub-core: warp w of slot s belongs to
+        // sub-core (w % sub_cores).
+        let sub_cores = self.cfg.sub_cores as usize;
+        let mut views = std::mem::take(&mut self.scan_views);
+        let mut refs = std::mem::take(&mut self.scan_refs);
+        views.clear();
+        refs.clear();
+        let mut any_unit_busy = false;
+        let mut any_scoreboard = false;
+        let mut any_barrier = false;
+
+        let alu = self.alu.as_ref();
+        let schedulable = &mut self.schedulable;
+        let mem_parked = &mut self.mem_parked;
+        for (slot, block) in self.blocks.iter_mut().enumerate() {
+            let Some(block) = block else { continue };
+            let age = block.age;
+            for (w, warp) in block.warps.iter_mut().enumerate() {
+                if w % sub_cores != sc || warp.state == WarpState::Done {
+                    continue;
+                }
+                let id = refs.len();
+                refs.push((slot, w));
+                let ready = if warp.state == WarpState::AtBarrier {
+                    any_barrier = true;
+                    false
+                } else if warp.parked {
+                    // Still waiting on a pending writeback: readiness
+                    // cannot have changed, skip the full check.
+                    any_scoreboard = true;
+                    false
+                } else {
+                    match issue_check(alu, sc, warp, now, mem_ok) {
+                        Ok(_) => true,
+                        Err(Stall::Scoreboard) => {
+                            warp.parked = true;
+                            *schedulable -= 1;
+                            any_scoreboard = true;
+                            false
+                        }
+                        Err(Stall::UnitBusy) => {
+                            any_unit_busy = true;
+                            false
+                        }
+                        Err(Stall::MemQueue) => {
+                            warp.parked = true;
+                            *schedulable -= 1;
+                            mem_parked.push((slot, w));
+                            any_unit_busy = true;
+                            false
+                        }
+                        Err(Stall::Empty) => false,
+                    }
+                };
+                views.push(WarpView {
+                    id,
+                    ready,
+                    age,
+                });
+            }
+        }
+
+        if any_unit_busy {
+            outcome.unit_busy_stall = true;
+        }
+        let picked = self.schedulers[sc].pick(&views, now);
+        let target = picked.map(|view_id| refs[view_id]);
+        if target.is_none() {
+            if any_scoreboard {
+                self.stats.stall_scoreboard += 1;
+            } else if any_unit_busy {
+                self.stats.stall_unit_busy += 1;
+            } else if any_barrier {
+                self.stats.stall_barrier += 1;
+            } else if !views.is_empty() {
+                self.stats.stall_empty += 1;
+            }
+        }
+        self.scan_views = views;
+        self.scan_refs = refs;
+        if let Some((slot, warp_idx)) = target {
+            self.issue(slot, warp_idx, sc, now, mem, outcome);
+        }
+    }
+
+    fn issue(
+        &mut self,
+        slot: usize,
+        warp_idx: usize,
+        sc: usize,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        outcome: &mut TickOutcome,
+    ) {
+        // Copy only the small header fields; the payload stays in place
+        // (cloning the instruction per issue would allocate on the hot
+        // path).
+        let (pc, opcode, dst) = {
+            let inst = self.blocks[slot]
+                .as_ref()
+                .expect("picked warp exists")
+                .warps[warp_idx]
+                .current()
+                .expect("ready warp has inst");
+            (inst.pc, inst.opcode, inst.dst)
+        };
+        let fetch_penalty = self.frontend.fetch_penalty(pc, &mut self.stats);
+
+        self.stats.issued += 1;
+        outcome.issued += 1;
+
+        match opcode.class() {
+            OpcodeClass::Barrier => {
+                let block = self.blocks[slot].as_mut().expect("picked warp exists");
+                let warp = &mut block.warps[warp_idx];
+                warp.next += 1;
+                warp.state = WarpState::AtBarrier;
+                self.schedulable -= 1;
+                block.barrier_waiting += 1;
+                if block.barrier_waiting == block.live_warps {
+                    block.barrier_waiting = 0;
+                    for w in &mut block.warps {
+                        if w.state == WarpState::AtBarrier {
+                            w.state = WarpState::Running;
+                            self.schedulable += 1;
+                        }
+                    }
+                }
+            }
+            OpcodeClass::Exit => {
+                let completed = {
+                    let block = self.blocks[slot].as_mut().expect("picked warp exists");
+                    let warp = &mut block.warps[warp_idx];
+                    warp.next += 1;
+                    warp.state = WarpState::Done;
+                    self.schedulable -= 1;
+                    block.live_warps -= 1;
+                    // A warp at the barrier may now satisfy it.
+                    if block.live_warps > 0 && block.barrier_waiting == block.live_warps {
+                        block.barrier_waiting = 0;
+                        for w in &mut block.warps {
+                            if w.state == WarpState::AtBarrier {
+                                w.state = WarpState::Running;
+                                self.schedulable += 1;
+                            }
+                        }
+                    }
+                    (block.live_warps == 0).then_some(block.global_block)
+                };
+                if let Some(global_block) = completed {
+                    outcome.completed_blocks.push(global_block);
+                    self.blocks[slot] = None;
+                }
+            }
+            OpcodeClass::Memory => {
+                self.stats.mem_insts += 1;
+                self.issue_memory(slot, warp_idx, sc, now, fetch_penalty, mem, outcome);
+            }
+            _ => {
+                let kind = unit_for_class(opcode.class()).expect("arithmetic class has a unit");
+                let wb_at = self.alu.issue(sc, kind, now) + fetch_penalty;
+                let block = self.blocks[slot].as_mut().expect("picked warp exists");
+                let warp = &mut block.warps[warp_idx];
+                warp.scoreboard.issue_dst(dst);
+                warp.next += 1;
+                if let Some(dst) = dst {
+                    self.wb_events.push(Reverse((wb_at, slot, warp_idx, dst.0)));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_memory(
+        &mut self,
+        slot: usize,
+        warp_idx: usize,
+        sc: usize,
+        now: Cycle,
+        fetch_penalty: Cycle,
+        mem: &mut dyn MemorySystem,
+        outcome: &mut TickOutcome,
+    ) {
+        // Occupy the LD/ST issue port.
+        let agu_done = self.alu.issue(sc, ExecUnitKind::LdSt, now) + fetch_penalty;
+
+        // Disjoint field borrows: the instruction stays borrowed from
+        // `self.blocks` while `self.stats`/`self.frontend`/`self.mapping`
+        // are used — no clone needed.
+        let inst = self.blocks[slot]
+            .as_ref()
+            .expect("picked warp exists")
+            .warps[warp_idx]
+            .current()
+            .expect("ready warp has inst");
+        let dst = inst.dst;
+        let mem_info = inst.mem.as_ref().expect("memory opcode carries payload");
+        let lanes = inst.active_lanes();
+
+        let completion = match mem_info.space {
+            MemSpace::Shared => {
+                // Banked scratchpad: conflict degree serializes the access.
+                let degree =
+                    shared_conflict_degree_list(&mem_info.addresses, lanes, self.cfg.shared_mem_banks);
+                if degree > 1 {
+                    self.stats.shared_bank_conflicts += u64::from(degree - 1);
+                }
+                Some(agu_done + Cycle::from(self.cfg.shared_mem_latency) + Cycle::from(degree - 1))
+            }
+            MemSpace::Const => {
+                let first = match &mem_info.addresses {
+                    AddressList::Strided { base, .. } => *base,
+                    AddressList::Explicit(a) => a.first().copied().unwrap_or(0),
+                };
+                let penalty = self.frontend.const_penalty(first, &mut self.stats);
+                Some(agu_done + Cycle::from(self.cfg.shared_mem_latency) + penalty)
+            }
+            MemSpace::Global | MemSpace::Local => {
+                let addrs = mem_info.addresses.expand(lanes);
+                let txns = coalesce_accesses(
+                    &self.mapping,
+                    &addrs,
+                    mem_info.width,
+                    inst.opcode.is_store(),
+                );
+                if txns.is_empty() {
+                    Some(agu_done)
+                } else {
+                    match mem.access(self.id, inst.pc, &txns, agu_done) {
+                        MemReply::Done(at) => Some(at),
+                        MemReply::Pending(token) => {
+                            outcome.new_tokens.push((
+                                token,
+                                WbTarget {
+                                    slot,
+                                    warp: warp_idx,
+                                    reg: dst.unwrap_or(Reg(u16::MAX)),
+                                },
+                            ));
+                            None
+                        }
+                    }
+                }
+            }
+        };
+
+        let block = self.blocks[slot].as_mut().expect("picked warp exists");
+        let warp = &mut block.warps[warp_idx];
+        warp.scoreboard.issue_dst(dst);
+        warp.next += 1;
+        match completion {
+            Some(at) => {
+                if let Some(dst) = dst {
+                    self.wb_events.push(Reverse((at, slot, warp_idx, dst.0)));
+                }
+            }
+            None => {
+                // Writeback arrives through the memory-completion path.
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stall {
+    Scoreboard,
+    UnitBusy,
+    /// The SM's LD/ST queue is full (memory instructions only).
+    MemQueue,
+    Empty,
+}
+
+/// Whether `warp`'s next instruction could issue right now on sub-core
+/// `sc`, and if not, why.
+fn issue_check(
+    alu: &dyn AluModel,
+    sc: usize,
+    warp: &WarpContext<'_>,
+    now: Cycle,
+    mem_ok: bool,
+) -> Result<ExecUnitKind, Stall> {
+    let Some(inst) = warp.current() else {
+        return Err(Stall::Empty);
+    };
+    let kind = unit_for(inst);
+    if !warp.scoreboard.can_issue(inst) {
+        return Err(Stall::Scoreboard);
+    }
+    if inst.opcode == Opcode::Exit && !warp.scoreboard.is_clear() {
+        return Err(Stall::Scoreboard);
+    }
+    if inst.opcode.class() == OpcodeClass::Memory && !mem_ok {
+        // LD/ST queue full: structural stall, resolves as fills drain.
+        return Err(Stall::MemQueue);
+    }
+    if let Some(kind) = kind {
+        if !alu.port_free(sc, kind, now) {
+            return Err(Stall::UnitBusy);
+        }
+        return Ok(kind);
+    }
+    Ok(ExecUnitKind::Int) // barrier/exit issue through the scheduler only
+}
+
+/// Execution unit an opcode dispatches to; `None` for scheduler-internal
+/// classes (barrier, exit).
+fn unit_for(inst: &TraceInstruction) -> Option<ExecUnitKind> {
+    unit_for_class(inst.opcode.class())
+}
+
+/// Maximum number of lanes mapping to the same shared-memory bank
+/// (identical addresses broadcast and do not conflict). Allocation-free:
+/// a warp has at most 32 lanes and the modeled GPUs at most 64 banks.
+fn shared_conflict_degree(addrs: &[u64], banks: u32) -> u32 {
+    let banks = u64::from(banks.max(1)).min(64);
+    let mut sorted = [0u64; 32];
+    let n = addrs.len().min(32);
+    sorted[..n].copy_from_slice(&addrs[..n]);
+    let uniq = &mut sorted[..n];
+    uniq.sort_unstable();
+    let mut counts = [0u8; 64];
+    let mut degree = 1u32;
+    let mut prev: Option<u64> = None;
+    for &a in uniq.iter() {
+        if prev == Some(a) {
+            continue; // identical addresses broadcast
+        }
+        prev = Some(a);
+        let bank = ((a / 4) % banks) as usize;
+        counts[bank] += 1;
+        degree = degree.max(u32::from(counts[bank]));
+    }
+    degree
+}
+
+/// [`shared_conflict_degree`] straight from a compressed [`AddressList`],
+/// avoiding the per-instruction address expansion on the hot path.
+fn shared_conflict_degree_list(list: &AddressList, lanes: u32, banks: u32) -> u32 {
+    match list {
+        AddressList::Strided { base, stride } => {
+            if *stride == 0 || lanes <= 1 {
+                return 1; // broadcast
+            }
+            let banks = u64::from(banks.max(1)).min(64);
+            let mut counts = [0u8; 64];
+            let mut degree = 1u32;
+            for i in 0..u64::from(lanes.min(32)) {
+                let a = base.wrapping_add(i * stride);
+                let bank = ((a / 4) % banks) as usize;
+                counts[bank] += 1;
+                degree = degree.max(u32::from(counts[bank]));
+            }
+            degree
+        }
+        AddressList::Explicit(addrs) => shared_conflict_degree(addrs, banks),
+    }
+}
+
+/// Execution unit for an opcode class ([`unit_for`] without the
+/// instruction borrow).
+fn unit_for_class(class: OpcodeClass) -> Option<ExecUnitKind> {
+    match class {
+        OpcodeClass::Int | OpcodeClass::Control => Some(ExecUnitKind::Int),
+        OpcodeClass::Sp => Some(ExecUnitKind::Sp),
+        OpcodeClass::Dp => Some(ExecUnitKind::Dp),
+        OpcodeClass::Sfu => Some(ExecUnitKind::Sfu),
+        OpcodeClass::Tensor => Some(ExecUnitKind::Tensor),
+        OpcodeClass::Memory => Some(ExecUnitKind::LdSt),
+        OpcodeClass::Barrier | OpcodeClass::Exit => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_conflicts_counted() {
+        // 32 lanes, same bank (stride 128 bytes = 32 words): full conflict.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(shared_conflict_degree(&addrs, 32), 32);
+        // Stride 4: conflict-free.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(shared_conflict_degree(&addrs, 32), 1);
+        // Broadcast: same address everywhere, no conflict.
+        let addrs = vec![0x40u64; 32];
+        assert_eq!(shared_conflict_degree(&addrs, 32), 1);
+        // Empty input (fully predicated-off warp).
+        assert_eq!(shared_conflict_degree(&[], 32), 1);
+    }
+
+    #[test]
+    fn unit_mapping_covers_all_classes() {
+        use swiftsim_trace::InstBuilder;
+        let cases = [
+            (Opcode::Iadd, Some(ExecUnitKind::Int)),
+            (Opcode::Bra, Some(ExecUnitKind::Int)),
+            (Opcode::Ffma, Some(ExecUnitKind::Sp)),
+            (Opcode::Dfma, Some(ExecUnitKind::Dp)),
+            (Opcode::Mufu, Some(ExecUnitKind::Sfu)),
+            (Opcode::Hmma, Some(ExecUnitKind::Tensor)),
+            (Opcode::Bar, None),
+            (Opcode::Exit, None),
+        ];
+        for (op, expect) in cases {
+            let inst = InstBuilder::new(op).build();
+            assert_eq!(unit_for(&inst), expect, "{op}");
+        }
+        let ldg = InstBuilder::new(Opcode::Ldg).dst(1).global_strided(0, 4, 4).build();
+        assert_eq!(unit_for(&ldg), Some(ExecUnitKind::LdSt));
+    }
+}

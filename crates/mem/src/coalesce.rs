@@ -1,0 +1,160 @@
+//! Per-warp memory-access coalescing.
+//!
+//! When a warp executes a load or store, the LD/ST unit merges the 32 lane
+//! addresses into the minimal set of line-granularity transactions, each
+//! carrying a sector mask (32 B sectors within 128 B lines on the modeled
+//! GPUs). A fully coalesced warp access touches one line (4 sectors); a
+//! fully divergent one touches up to 32 distinct lines — this transaction
+//! count is what drives cache pressure, NoC traffic, and DRAM bandwidth in
+//! both the cycle-accurate and the analytical memory models.
+
+use crate::addr::AddressMapping;
+
+/// One line-granularity memory transaction produced by the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemTxn {
+    /// Line-aligned address.
+    pub line_addr: u64,
+    /// Sectors of the line touched (bit per sector).
+    pub sector_mask: u8,
+    /// Whether this is a store.
+    pub write: bool,
+}
+
+impl MemTxn {
+    /// Number of sectors this transaction moves.
+    pub fn num_sectors(&self) -> u32 {
+        u32::from(self.sector_mask.count_ones())
+    }
+}
+
+/// Coalesce per-lane addresses into line transactions.
+///
+/// `addresses` holds one byte address per active lane; `width` is the
+/// per-lane access width in bytes. Transactions are returned in ascending
+/// line-address order so downstream behavior is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_config::presets;
+/// use swiftsim_mem::{coalesce_accesses, AddressMapping};
+///
+/// let mapping = AddressMapping::new(&presets::rtx2080ti().sm.l1d);
+/// // 32 consecutive 4-byte words: one 128 B line, all four sectors.
+/// let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+/// let txns = coalesce_accesses(&mapping, &addrs, 4, false);
+/// assert_eq!(txns.len(), 1);
+/// assert_eq!(txns[0].num_sectors(), 4);
+/// ```
+pub fn coalesce_accesses(
+    mapping: &AddressMapping,
+    addresses: &[u64],
+    width: u8,
+    write: bool,
+) -> Vec<MemTxn> {
+    let mut txns: Vec<MemTxn> = Vec::new();
+    for &addr in addresses {
+        let line_addr = mapping.line_addr(addr);
+        let mask = mapping.sector_mask(addr, u32::from(width));
+        match txns.iter_mut().find(|t| t.line_addr == line_addr) {
+            Some(txn) => txn.sector_mask |= mask,
+            None => txns.push(MemTxn {
+                line_addr,
+                sector_mask: mask,
+                write,
+            }),
+        }
+        // Accesses wider than the distance to the line end spill into the
+        // next line's first sector(s).
+        let end = addr + u64::from(width.max(1)) - 1;
+        let end_line = mapping.line_addr(end);
+        if end_line != line_addr {
+            let spill_mask = mapping.sector_mask(end_line, (end - end_line + 1) as u32);
+            match txns.iter_mut().find(|t| t.line_addr == end_line) {
+                Some(txn) => txn.sector_mask |= spill_mask,
+                None => txns.push(MemTxn {
+                    line_addr: end_line,
+                    sector_mask: spill_mask,
+                    write,
+                }),
+            }
+        }
+    }
+    txns.sort_by_key(|t| t.line_addr);
+    txns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_config::presets;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(&presets::rtx2080ti().sm.l1d)
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_one_txn() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x2000 + i * 4).collect();
+        let txns = coalesce_accesses(&mapping(), &addrs, 4, false);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].line_addr, 0x2000);
+        assert_eq!(txns[0].sector_mask, 0b1111);
+        assert!(!txns[0].write);
+    }
+
+    #[test]
+    fn single_sector_access() {
+        // 8 lanes in one 32 B sector.
+        let addrs: Vec<u64> = (0..8).map(|i| 0x2000 + i * 4).collect();
+        let txns = coalesce_accesses(&mapping(), &addrs, 4, false);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].sector_mask, 0b0001);
+        assert_eq!(txns[0].num_sectors(), 1);
+    }
+
+    #[test]
+    fn strided_access_fans_out() {
+        // Stride of one line: every lane its own line, one sector each.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x4000 + i * 128).collect();
+        let txns = coalesce_accesses(&mapping(), &addrs, 4, false);
+        assert_eq!(txns.len(), 32);
+        assert!(txns.iter().all(|t| t.sector_mask == 0b0001));
+        // Sorted by line address.
+        assert!(txns.windows(2).all(|w| w[0].line_addr < w[1].line_addr));
+    }
+
+    #[test]
+    fn duplicate_addresses_merge() {
+        let addrs = vec![0x1000u64; 32];
+        let txns = coalesce_accesses(&mapping(), &addrs, 4, true);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].sector_mask, 0b0001);
+        assert!(txns[0].write);
+    }
+
+    #[test]
+    fn wide_access_crossing_line_boundary_spills() {
+        // A 16-byte access starting 8 bytes before the line end.
+        let txns = coalesce_accesses(&mapping(), &[0x1078], 16, false);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].line_addr, 0x1000);
+        assert_eq!(txns[0].sector_mask, 0b1000);
+        assert_eq!(txns[1].line_addr, 0x1080);
+        assert_eq!(txns[1].sector_mask, 0b0001);
+    }
+
+    #[test]
+    fn empty_input_yields_no_txns() {
+        assert!(coalesce_accesses(&mapping(), &[], 4, false).is_empty());
+    }
+
+    #[test]
+    fn random_access_txn_count_bounded_by_lanes() {
+        let addrs: Vec<u64> = (0..32).map(|i| (i * 7919 + 13) * 64).collect();
+        let txns = coalesce_accesses(&mapping(), &addrs, 4, false);
+        assert!(txns.len() <= 32);
+        assert!(!txns.is_empty());
+    }
+}

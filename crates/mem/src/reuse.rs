@@ -1,0 +1,230 @@
+//! Reuse-distance (stack-distance) analysis.
+//!
+//! §III-D2 of the paper obtains the hit rates `R_L1`, `R_L2`, `R_DRAM` of
+//! Eq. 1 "using a reuse distance tool or cache simulator". This module is
+//! the reuse-distance tool: it computes, for every access, the number of
+//! *distinct* lines touched since the previous access to the same line
+//! (the Mattson stack distance). Under fully-associative LRU, an access
+//! hits a cache of capacity `C` lines iff its stack distance is `< C`, so a
+//! distance histogram yields hit rates for *every* capacity in one pass.
+//!
+//! The implementation is the classic O(log n) Bentley–Sleator style
+//! algorithm: a Fenwick tree over access timestamps marks the most recent
+//! occurrence of each line, and the distance is the count of marked
+//! timestamps after the line's previous access.
+
+use std::collections::HashMap;
+
+/// Fenwick (binary indexed) tree over access timestamps, growing by
+/// capacity doubling. With a power-of-two capacity `N`, node `N` holds the
+/// sum of the whole range `1..=N`, so doubling only needs to copy the old
+/// root into the new one — all other new nodes cover untouched (zero)
+/// ranges.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<i64>,
+    capacity: usize,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Fenwick {
+            tree: vec![0, 0],
+            capacity: 1,
+        }
+    }
+
+    /// Ensure capacity for 1-based index `i`.
+    fn ensure(&mut self, i: usize) {
+        while self.capacity < i {
+            let old = self.capacity;
+            self.capacity *= 2;
+            self.tree.resize(self.capacity + 1, 0);
+            self.tree[self.capacity] = self.tree[old];
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        self.ensure(i);
+        while i <= self.capacity {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Prefix sum over `1..=i`.
+    fn sum(&self, mut i: usize) -> i64 {
+        let mut s = 0;
+        i = i.min(self.capacity);
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming reuse-distance analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_mem::ReuseDistanceAnalyzer;
+///
+/// let mut rd = ReuseDistanceAnalyzer::new();
+/// assert_eq!(rd.record(0x100), None);      // cold
+/// assert_eq!(rd.record(0x200), None);      // cold
+/// assert_eq!(rd.record(0x100), Some(1));   // one distinct line in between
+/// assert_eq!(rd.record(0x100), Some(0));   // immediate reuse
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseDistanceAnalyzer {
+    fenwick: Option<Fenwick>,
+    last_seen: HashMap<u64, usize>,
+    time: usize,
+    /// histogram[d] = number of accesses with stack distance d (saturated
+    /// at the last bucket).
+    histogram: Vec<u64>,
+    cold_misses: u64,
+}
+
+const HIST_BUCKETS: usize = 1 << 20;
+
+impl ReuseDistanceAnalyzer {
+    /// Create an empty analyzer.
+    pub fn new() -> Self {
+        ReuseDistanceAnalyzer {
+            fenwick: Some(Fenwick::new()),
+            ..Default::default()
+        }
+    }
+
+    /// Record an access to `line_addr` and return its stack distance, or
+    /// `None` for a cold (first-touch) access.
+    pub fn record(&mut self, line_addr: u64) -> Option<u64> {
+        self.time += 1;
+        let now = self.time;
+        let fenwick = self.fenwick.get_or_insert_with(Fenwick::new);
+
+        let distance = match self.last_seen.insert(line_addr, now) {
+            Some(prev) => {
+                // Distinct lines touched strictly after `prev`.
+                let d = (fenwick.sum(now - 1) - fenwick.sum(prev)) as u64;
+                fenwick.add(prev, -1);
+                Some(d)
+            }
+            None => None,
+        };
+        fenwick.add(now, 1);
+
+        match distance {
+            Some(d) => {
+                let bucket = (d as usize).min(HIST_BUCKETS - 1);
+                if self.histogram.len() <= bucket {
+                    self.histogram.resize(bucket + 1, 0);
+                }
+                self.histogram[bucket] += 1;
+            }
+            None => self.cold_misses += 1,
+        }
+        distance
+    }
+
+    /// Total recorded accesses.
+    pub fn accesses(&self) -> u64 {
+        self.time as u64
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// Predicted hit rate for a fully-associative LRU cache holding
+    /// `capacity_lines` lines: the fraction of accesses with stack distance
+    /// `< capacity_lines` (cold misses always miss).
+    pub fn hit_rate(&self, capacity_lines: u64) -> f64 {
+        if self.time == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .histogram
+            .iter()
+            .take(capacity_lines.min(HIST_BUCKETS as u64) as usize)
+            .sum();
+        hits as f64 / self.time as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_reuse() {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        assert_eq!(rd.record(1), None);
+        assert_eq!(rd.record(1), Some(0));
+        assert_eq!(rd.record(2), None);
+        assert_eq!(rd.record(1), Some(1));
+        assert_eq!(rd.cold_misses(), 2);
+        assert_eq!(rd.accesses(), 4);
+    }
+
+    #[test]
+    fn distance_counts_distinct_lines_only() {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        rd.record(1);
+        rd.record(2);
+        rd.record(2);
+        rd.record(2);
+        // Only one distinct line (2) touched since line 1's last access.
+        assert_eq!(rd.record(1), Some(1));
+    }
+
+    #[test]
+    fn cyclic_pattern_distance_is_working_set() {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        let lines: Vec<u64> = (0..8).collect();
+        for &l in &lines {
+            assert_eq!(rd.record(l), None);
+        }
+        // Second sweep: each access has distance 7.
+        for &l in &lines {
+            assert_eq!(rd.record(l), Some(7));
+        }
+    }
+
+    #[test]
+    fn hit_rate_thresholds() {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        // Working set of 8 lines swept 10 times: 8 cold + 72 distance-7.
+        for _ in 0..10 {
+            for l in 0..8u64 {
+                rd.record(l);
+            }
+        }
+        // Cache of 8 lines captures all reuses: 72/80 hits.
+        assert!((rd.hit_rate(8) - 0.9).abs() < 1e-12);
+        // Cache of 7 lines captures none (distance 7 >= 7).
+        assert_eq!(rd.hit_rate(7), 0.0);
+        // Monotone in capacity.
+        assert!(rd.hit_rate(16) >= rd.hit_rate(8));
+    }
+
+    #[test]
+    fn empty_analyzer_hit_rate_is_zero() {
+        let rd = ReuseDistanceAnalyzer::new();
+        assert_eq!(rd.hit_rate(100), 0.0);
+    }
+
+    #[test]
+    fn streaming_pattern_never_hits() {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        for l in 0..1000u64 {
+            rd.record(l);
+        }
+        assert_eq!(rd.hit_rate(1 << 19), 0.0);
+        assert_eq!(rd.cold_misses(), 1000);
+    }
+}

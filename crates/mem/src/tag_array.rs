@@ -1,0 +1,371 @@
+//! Sectored tag array with pluggable replacement.
+
+use crate::addr::AddressMapping;
+use crate::Cycle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swiftsim_config::{CacheConfig, ReplacementPolicy};
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// No data, no reservation.
+    Invalid,
+    /// Allocated for an in-flight fill (allocate-on-miss caches).
+    Reserved,
+    /// Holding data; per-sector validity in the entry's sector mask.
+    Valid,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    /// Valid sectors (bit per sector).
+    valid_mask: u8,
+    /// Dirty sectors (write-back caches).
+    dirty_mask: u8,
+    last_use: Cycle,
+    alloc_time: Cycle,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        state: LineState::Invalid,
+        valid_mask: 0,
+        dirty_mask: 0,
+        last_use: 0,
+        alloc_time: 0,
+    };
+}
+
+/// Result of probing the tag array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// All requested sectors valid in the named way.
+    Hit {
+        /// Way within the set.
+        way: usize,
+    },
+    /// Line present (valid or reserved) but at least one requested sector is
+    /// not valid — a *sector miss* that still merges into the line.
+    SectorMiss {
+        /// Way within the set.
+        way: usize,
+    },
+    /// Tag not present.
+    LineMiss,
+}
+
+/// A victim chosen for eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Way within the set that was reclaimed.
+    pub way: usize,
+    /// Line-aligned address of the evicted line, if it held data.
+    pub evicted_line: Option<u64>,
+    /// Dirty-sector mask of the evicted line (write-back caches must write
+    /// these sectors out).
+    pub dirty_mask: u8,
+}
+
+/// Sectored tag array: tags at line granularity, validity and dirtiness at
+/// sector granularity, replacement per [`ReplacementPolicy`].
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    mapping: AddressMapping,
+    ways: usize,
+    lines: Vec<Line>,
+    replacement: ReplacementPolicy,
+    rng: SmallRng,
+}
+
+impl TagArray {
+    /// Build a tag array for the given cache configuration. `seed` feeds
+    /// the Random replacement policy so simulations stay deterministic.
+    pub fn new(cfg: &CacheConfig, seed: u64) -> Self {
+        TagArray {
+            mapping: AddressMapping::new(cfg),
+            ways: cfg.ways as usize,
+            lines: vec![Line::INVALID; (cfg.sets * cfg.ways) as usize],
+            replacement: cfg.replacement,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The address mapping shared with the enclosing cache.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = self.mapping.set_index(addr);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Probe for `addr` requesting `sector_mask` sectors; updates LRU on
+    /// hits.
+    pub fn probe(&mut self, addr: u64, sector_mask: u8, now: Cycle) -> Probe {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+        for way_off in 0..self.ways {
+            let idx = range.start + way_off;
+            let line = &mut self.lines[idx];
+            if line.state != LineState::Invalid && line.tag == line_addr {
+                line.last_use = now;
+                if line.state == LineState::Valid && line.valid_mask & sector_mask == sector_mask {
+                    return Probe::Hit { way: way_off };
+                }
+                return Probe::SectorMiss { way: way_off };
+            }
+        }
+        Probe::LineMiss
+    }
+
+    /// Probe without touching replacement state (for functional inspection).
+    pub fn probe_silent(&self, addr: u64, sector_mask: u8) -> Probe {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+        for way_off in 0..self.ways {
+            let line = &self.lines[range.start + way_off];
+            if line.state != LineState::Invalid && line.tag == line_addr {
+                if line.state == LineState::Valid && line.valid_mask & sector_mask == sector_mask {
+                    return Probe::Hit { way: way_off };
+                }
+                return Probe::SectorMiss { way: way_off };
+            }
+        }
+        Probe::LineMiss
+    }
+
+    /// Allocate a way for `addr`, evicting per the replacement policy.
+    /// Reserved lines are never victimized (their fills are in flight), so
+    /// this returns `None` — a *reservation failure* — when every way in the
+    /// set is reserved.
+    pub fn allocate(&mut self, addr: u64, reserve: bool, now: Cycle) -> Option<Victim> {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+
+        // Prefer an invalid way.
+        let mut victim_off = None;
+        for way_off in 0..self.ways {
+            if self.lines[range.start + way_off].state == LineState::Invalid {
+                victim_off = Some(way_off);
+                break;
+            }
+        }
+        // Otherwise choose among valid (non-reserved) ways.
+        if victim_off.is_none() {
+            let candidates: Vec<usize> = (0..self.ways)
+                .filter(|off| self.lines[range.start + off].state == LineState::Valid)
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            victim_off = Some(match self.replacement {
+                ReplacementPolicy::Lru => *candidates
+                    .iter()
+                    .min_by_key(|&&off| self.lines[range.start + off].last_use)
+                    .expect("non-empty"),
+                ReplacementPolicy::Fifo => *candidates
+                    .iter()
+                    .min_by_key(|&&off| self.lines[range.start + off].alloc_time)
+                    .expect("non-empty"),
+                ReplacementPolicy::Random => {
+                    candidates[self.rng.gen_range(0..candidates.len())]
+                }
+            });
+        }
+
+        let way = victim_off.expect("selected above");
+        let line = &mut self.lines[range.start + way];
+        let evicted_line = (line.state == LineState::Valid).then_some(line.tag);
+        let dirty_mask = if line.state == LineState::Valid {
+            line.dirty_mask
+        } else {
+            0
+        };
+        *line = Line {
+            tag: line_addr,
+            state: if reserve { LineState::Reserved } else { LineState::Valid },
+            valid_mask: 0,
+            dirty_mask: 0,
+            last_use: now,
+            alloc_time: now,
+        };
+        Some(Victim {
+            way,
+            evicted_line,
+            dirty_mask,
+        })
+    }
+
+    /// Mark sectors of an existing line valid (fill completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present; fills always target a line that
+    /// [`TagArray::allocate`] created.
+    pub fn fill(&mut self, addr: u64, sector_mask: u8, now: Cycle) {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+        for way_off in 0..self.ways {
+            let line = &mut self.lines[range.start + way_off];
+            if line.state != LineState::Invalid && line.tag == line_addr {
+                line.state = LineState::Valid;
+                line.valid_mask |= sector_mask;
+                line.last_use = now;
+                return;
+            }
+        }
+        panic!("fill for absent line {line_addr:#x}");
+    }
+
+    /// Mark sectors dirty (write hit in a write-back cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not valid.
+    pub fn mark_dirty(&mut self, addr: u64, sector_mask: u8) {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+        for way_off in 0..self.ways {
+            let line = &mut self.lines[range.start + way_off];
+            if line.state == LineState::Valid && line.tag == line_addr {
+                line.dirty_mask |= sector_mask;
+                line.valid_mask |= sector_mask;
+                return;
+            }
+        }
+        panic!("mark_dirty for absent line {line_addr:#x}");
+    }
+
+    /// State of the line holding `addr`, if any.
+    pub fn line_state(&self, addr: u64) -> Option<(LineState, u8)> {
+        let line_addr = self.mapping.line_addr(addr);
+        let range = self.set_range(addr);
+        for way_off in 0..self.ways {
+            let line = &self.lines[range.start + way_off];
+            if line.state != LineState::Invalid && line.tag == line_addr {
+                return Some((line.state, line.valid_mask));
+            }
+        }
+        None
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_config::presets;
+
+    fn small_cfg(replacement: ReplacementPolicy) -> CacheConfig {
+        let mut cfg = presets::rtx2080ti().sm.l1d;
+        cfg.sets = 2;
+        cfg.ways = 2;
+        cfg.replacement = replacement;
+        cfg
+    }
+
+    #[test]
+    fn probe_miss_then_fill_hits() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        assert_eq!(t.probe(0x1000, 0b0001, 0), Probe::LineMiss);
+        t.allocate(0x1000, true, 0).expect("allocation");
+        assert_eq!(t.probe(0x1000, 0b0001, 1), Probe::SectorMiss { way: 0 });
+        t.fill(0x1000, 0b0001, 2);
+        assert_eq!(t.probe(0x1000, 0b0001, 3), Probe::Hit { way: 0 });
+        // A different sector of the same line still sector-misses.
+        assert_eq!(t.probe(0x1020, 0b0010, 4), Probe::SectorMiss { way: 0 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        // Set 0 holds lines 0x0000 and 0x0100 (2 sets of 128 B lines).
+        for (i, addr) in [0x0000u64, 0x0100].iter().enumerate() {
+            t.allocate(*addr, false, i as u64).unwrap();
+            t.fill(*addr, 0b1111, i as u64);
+        }
+        // Touch 0x0000 so 0x0100 is LRU.
+        t.probe(0x0000, 0b0001, 10);
+        let victim = t.allocate(0x0200, false, 11).unwrap();
+        assert_eq!(victim.evicted_line, Some(0x0100));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Fifo), 0);
+        for (i, addr) in [0x0000u64, 0x0100].iter().enumerate() {
+            t.allocate(*addr, false, i as u64).unwrap();
+            t.fill(*addr, 0b1111, i as u64);
+        }
+        // Touch 0x0000; FIFO must still evict it (allocated first).
+        t.probe(0x0000, 0b0001, 10);
+        let victim = t.allocate(0x0200, false, 11).unwrap();
+        assert_eq!(victim.evicted_line, Some(0x0000));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let pick = |seed: u64| {
+            let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Random), seed);
+            for (i, addr) in [0x0000u64, 0x0100].iter().enumerate() {
+                t.allocate(*addr, false, i as u64).unwrap();
+                t.fill(*addr, 0b1111, i as u64);
+            }
+            t.allocate(0x0200, false, 11).unwrap().evicted_line
+        };
+        assert_eq!(pick(7), pick(7));
+    }
+
+    #[test]
+    fn reserved_lines_are_not_victims() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        t.allocate(0x0000, true, 0).unwrap();
+        t.allocate(0x0100, true, 1).unwrap();
+        // Both ways of set 0 reserved: allocation fails.
+        assert!(t.allocate(0x0200, true, 2).is_none());
+        // But set 1 is unaffected.
+        assert!(t.allocate(0x0080, true, 2).is_some());
+    }
+
+    #[test]
+    fn eviction_reports_dirty_mask() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        t.allocate(0x0000, false, 0).unwrap();
+        t.fill(0x0000, 0b0011, 0);
+        t.mark_dirty(0x0000, 0b0010);
+        t.allocate(0x0100, false, 1).unwrap();
+        t.fill(0x0100, 0b1111, 1);
+        let victim = t.allocate(0x0200, false, 2).unwrap();
+        assert_eq!(victim.evicted_line, Some(0x0000));
+        assert_eq!(victim.dirty_mask, 0b0010);
+    }
+
+    #[test]
+    fn silent_probe_does_not_disturb_lru() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        for (i, addr) in [0x0000u64, 0x0100].iter().enumerate() {
+            t.allocate(*addr, false, i as u64).unwrap();
+            t.fill(*addr, 0b1111, i as u64);
+        }
+        // Silent probe of 0x0000 must NOT refresh it.
+        assert_eq!(t.probe_silent(0x0000, 0b0001), Probe::Hit { way: 0 });
+        let victim = t.allocate(0x0200, false, 11).unwrap();
+        assert_eq!(victim.evicted_line, Some(0x0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn fill_absent_line_panics() {
+        let mut t = TagArray::new(&small_cfg(ReplacementPolicy::Lru), 0);
+        t.fill(0x1000, 0b0001, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the memory substrate's core invariants.
+
+use proptest::prelude::*;
+use swiftsim_config::{presets, ReplacementPolicy};
+use swiftsim_mem::{
+    coalesce_accesses, AccessOutcome, AddressMapping, MemTxn, ReuseDistanceAnalyzer, SectorCache,
+};
+
+fn mapping() -> AddressMapping {
+    AddressMapping::new(&presets::rtx2080ti().sm.l1d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Coalescing never produces more transactions than lanes (plus line
+    /// spills), covers every lane's address, and merges duplicates.
+    #[test]
+    fn coalescer_covers_all_lanes(
+        addrs in prop::collection::vec(0u64..(1 << 30), 1..32),
+        width in prop::sample::select(vec![1u8, 2, 4, 8, 16]),
+    ) {
+        let m = mapping();
+        let txns = coalesce_accesses(&m, &addrs, width, false);
+        // Bounded: at most 2 txns per lane (line-crossing access).
+        prop_assert!(txns.len() <= addrs.len() * 2);
+        // Every lane's first byte is covered by some transaction sector.
+        for &a in &addrs {
+            let line = m.line_addr(a);
+            let sector_bit = 1u8 << m.sector_index(a);
+            prop_assert!(
+                txns.iter().any(|t| t.line_addr == line && t.sector_mask & sector_bit != 0),
+                "address {a:#x} not covered"
+            );
+        }
+        // Line addresses are unique and sorted.
+        prop_assert!(txns.windows(2).all(|w| w[0].line_addr < w[1].line_addr));
+    }
+
+    /// For every replacement policy: after access+fill, re-access of the
+    /// same sectors hits, and hit/miss counters are conserved.
+    #[test]
+    fn cache_conservation(
+        lines in prop::collection::vec(0u64..64, 1..100),
+        policy in prop::sample::select(vec![
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ]),
+    ) {
+        let mut cfg = presets::rtx2080ti().sm.l1d;
+        cfg.sets = 4;
+        cfg.ways = 2;
+        cfg.replacement = policy;
+        let mut cache = SectorCache::new(&cfg, 42);
+
+        let mut now = 0u64;
+        let mut waiter = 0u64;
+        for &l in &lines {
+            let txn = MemTxn { line_addr: l * 128, sector_mask: 0b0001, write: false };
+            now += 10;
+            waiter += 1;
+            match cache.access(txn, waiter, now) {
+                AccessOutcome::Miss { fetch, .. } => {
+                    // Fill immediately; the line must then be present.
+                    now += 100;
+                    let fill = cache.fill(fetch.line_addr, now);
+                    prop_assert!(fill.waiters.contains(&waiter));
+                }
+                AccessOutcome::Hit { ready_at, .. } => {
+                    prop_assert!(ready_at >= now);
+                }
+                AccessOutcome::MissMerged { .. } => {
+                    prop_assert!(false, "no overlapping misses in this driver");
+                }
+                AccessOutcome::WriteForwarded { .. } => {
+                    prop_assert!(false, "reads cannot be write-forwarded");
+                }
+                AccessOutcome::ReservationFailure => {
+                    prop_assert!(false, "MSHR is large enough to never fail here");
+                }
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
+        prop_assert_eq!(s.fills, s.misses);
+        prop_assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
+    }
+
+    /// Reuse-distance invariants: cold count equals distinct lines, hit
+    /// rate is monotone in capacity and bounded by 1 - cold share.
+    #[test]
+    fn reuse_distance_invariants(lines in prop::collection::vec(0u64..32, 1..200)) {
+        let mut rd = ReuseDistanceAnalyzer::new();
+        for &l in &lines {
+            if let Some(d) = rd.record(l) {
+                // Distance is bounded by the number of distinct lines.
+                prop_assert!(d < 32);
+            }
+        }
+        let distinct = lines.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert_eq!(rd.cold_misses(), distinct);
+        prop_assert_eq!(rd.accesses(), lines.len() as u64);
+
+        let mut prev = 0.0;
+        for cap in [1u64, 2, 4, 8, 16, 32, 64] {
+            let r = rd.hit_rate(cap);
+            prop_assert!(r >= prev - 1e-12, "hit rate not monotone");
+            prev = r;
+        }
+        // A cache big enough for everything captures every non-cold access.
+        let max_rate = rd.hit_rate(64);
+        let expected = (lines.len() as u64 - distinct) as f64 / lines.len() as f64;
+        prop_assert!((max_rate - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! Metrics Gatherer for the Swift-Sim GPU simulation framework (§III-C of
+//! the paper).
+//!
+//! After modeling, architects gather performance metrics from each module:
+//! total simulation cycles from the Block Scheduler, core stall cycles, L1
+//! miss rates and bank conflicts from the SMs, NoC stall cycles and LLC miss
+//! rates from the memory side. Thanks to the framework's modular design,
+//! each module keeps plain counters locally (cheap to bump in the hot loop)
+//! and *reports* them into a [`MetricsCollector`] when simulation finishes.
+//!
+//! The crate also provides the statistics helpers used throughout the
+//! evaluation ([`geomean`], [`mean`], [`rel_error`]) and a fixed-width text
+//! [`Table`] used by the experiment harness to print paper-style rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use swiftsim_metrics::{MetricsCollector, Value};
+//!
+//! let mut collector = MetricsCollector::new();
+//! collector.set("gpu.cycles", Value::Cycles(123_456));
+//! {
+//!     let mut sm = collector.scope("sm0");
+//!     sm.set("l1.miss_rate", Value::Ratio(0.18));
+//!     sm.set("l1.bank_conflicts", Value::Count(42));
+//! }
+//! assert_eq!(collector.cycles("gpu.cycles"), Some(123_456));
+//! assert_eq!(collector.count("sm0.l1.bank_conflicts"), Some(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod stats;
+mod table;
+
+pub use collector::{MetricsCollector, ScopedCollector, Value};
+pub use stats::{geomean, mean, mean_abs, rel_error};
+pub use table::Table;

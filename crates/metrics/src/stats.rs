@@ -1,0 +1,104 @@
+//! Statistics helpers used by the evaluation harness.
+//!
+//! The paper reports geometric-mean speedups (82.6x and 211.2x in §IV-B2)
+//! and arithmetic-mean prediction errors (§IV-B1); these are the exact
+//! reductions implemented here.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Arithmetic mean of absolute values. Returns 0.0 for an empty slice.
+pub fn mean_abs(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean, computed in log space for numerical robustness.
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive: a geometric mean over speedups is
+/// only meaningful for positive ratios, so a non-positive input is a bug in
+/// the caller.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Relative prediction error `|predicted - actual| / actual`, as used for
+/// the bar charts of Figs. 4 and 6.
+///
+/// # Panics
+///
+/// Panics if `actual` is zero.
+pub fn rel_error(predicted: f64, actual: f64) -> f64 {
+    assert!(actual != 0.0, "relative error against a zero reference");
+    ((predicted - actual) / actual).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_basic() {
+        assert_eq!(mean_abs(&[-1.0, 2.0, -3.0]), 2.0);
+        assert_eq!(mean_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[10.0, 10.0, 10.0]) - 10.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean() {
+        let values = [1.0, 2.0, 50.0, 400.0];
+        assert!(geomean(&values) < mean(&values));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn rel_error_basic() {
+        assert!((rel_error(120.0, 100.0) - 0.2).abs() < 1e-12);
+        assert!((rel_error(80.0, 100.0) - 0.2).abs() < 1e-12);
+        assert_eq!(rel_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reference")]
+    fn rel_error_rejects_zero_actual() {
+        rel_error(1.0, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed-width text tables for paper-style reports.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// Used by the experiment harness to print rows matching the paper's tables
+/// and figure data.
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_metrics::Table;
+///
+/// let mut t = Table::new(vec!["App", "Error (%)"]);
+/// t.row(vec!["bfs".to_owned(), format!("{:.1}", 22.6)]);
+/// let text = t.to_string();
+/// assert!(text.contains("bfs"));
+/// assert!(text.starts_with("App"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{cell:<w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The second column starts at the same offset in every row.
+        let col = lines[0].find('v').unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

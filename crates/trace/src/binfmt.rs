@@ -1,0 +1,460 @@
+//! Compact binary trace format (`.sstraceb`).
+//!
+//! Text traces are convenient to inspect but large: real NVBit captures run
+//! to gigabytes. This module provides a varint-packed binary encoding that
+//! is typically 3–6x smaller than the text format and parses without any
+//! string processing. The encoding is self-describing (magic + version) and
+//! deliberately simple:
+//!
+//! ```text
+//! "SSTB" u8-version
+//! app-name
+//! kernel-count { name grid(3) block(3) shmem regs
+//!                block-count { warp-count { inst-count { instruction } } } }
+//! ```
+//!
+//! All integers are LEB128 varints; strings are length-prefixed UTF-8. An
+//! instruction is `pc opcode flags [dst] srcs... mask [space width addrs]`
+//! where `flags` packs the destination presence, source count, and
+//! address-list kind.
+
+use crate::error::TraceError;
+use crate::inst::{AddressList, MemInfo, Reg, TraceInstruction};
+use crate::isa::Opcode;
+use crate::kernel::{ApplicationTrace, KernelTrace, WarpTrace};
+
+const MAGIC: &[u8; 4] = b"SSTB";
+const VERSION: u8 = 1;
+
+// Flag bits of the per-instruction header byte.
+const FLAG_HAS_DST: u8 = 0b0000_0001;
+const FLAG_HAS_MEM: u8 = 0b0000_0010;
+const FLAG_EXPLICIT_ADDRS: u8 = 0b0000_0100;
+const SRC_COUNT_SHIFT: u8 = 4;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> TraceError {
+        TraceError::invalid_value("binary trace", format!("{what} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err("overflow"))?;
+        if end > self.bytes.len() {
+            return Err(self.err("unexpected end of data"));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint too long"))
+    }
+
+    fn varint_u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        u32::try_from(self.varint()?).map_err(|_| self.err(what))
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        let len = self.varint()? as usize;
+        if len > 1 << 20 {
+            return Err(self.err("string too long"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8"))
+    }
+}
+
+fn encode_inst(out: &mut Vec<u8>, inst: &TraceInstruction) {
+    push_varint(out, u64::from(inst.pc));
+    let op_index = Opcode::ALL
+        .iter()
+        .position(|&o| o == inst.opcode)
+        .expect("opcode is in ALL") as u8;
+    out.push(op_index);
+
+    let mut flags = 0u8;
+    if inst.dst.is_some() {
+        flags |= FLAG_HAS_DST;
+    }
+    let explicit = matches!(
+        inst.mem.as_ref().map(|m| &m.addresses),
+        Some(AddressList::Explicit(_))
+    );
+    if inst.mem.is_some() {
+        flags |= FLAG_HAS_MEM;
+    }
+    if explicit {
+        flags |= FLAG_EXPLICIT_ADDRS;
+    }
+    flags |= (inst.srcs.len().min(15) as u8) << SRC_COUNT_SHIFT;
+    out.push(flags);
+
+    if let Some(dst) = inst.dst {
+        push_varint(out, u64::from(dst.0));
+    }
+    for src in &inst.srcs {
+        push_varint(out, u64::from(src.0));
+    }
+    push_varint(out, u64::from(inst.active_mask));
+
+    if let Some(mem) = &inst.mem {
+        out.push(mem.width);
+        match &mem.addresses {
+            AddressList::Strided { base, stride } => {
+                push_varint(out, *base);
+                push_varint(out, *stride);
+            }
+            AddressList::Explicit(addrs) => {
+                push_varint(out, addrs.len() as u64);
+                // Delta-encode: consecutive-lane addresses are near each
+                // other in practice, keeping varints short.
+                let mut prev = 0u64;
+                for &a in addrs {
+                    push_varint(out, a.wrapping_sub(prev));
+                    prev = a;
+                }
+            }
+        }
+    }
+}
+
+fn decode_inst(r: &mut Reader<'_>) -> Result<TraceInstruction, TraceError> {
+    let pc = r.varint_u32("pc out of range")?;
+    let op_index = r.byte()? as usize;
+    let opcode = *Opcode::ALL
+        .get(op_index)
+        .ok_or_else(|| r.err("opcode index out of range"))?;
+    let flags = r.byte()?;
+    let dst = if flags & FLAG_HAS_DST != 0 {
+        Some(Reg(u16::try_from(r.varint()?).map_err(|_| r.err("dst register"))?))
+    } else {
+        None
+    };
+    let n_srcs = usize::from(flags >> SRC_COUNT_SHIFT);
+    let mut srcs = Vec::with_capacity(n_srcs);
+    for _ in 0..n_srcs {
+        srcs.push(Reg(
+            u16::try_from(r.varint()?).map_err(|_| r.err("src register"))?
+        ));
+    }
+    let active_mask = r.varint_u32("active mask")?;
+
+    let mem = if flags & FLAG_HAS_MEM != 0 {
+        let space = opcode
+            .mem_space()
+            .ok_or_else(|| r.err("memory payload on non-memory opcode"))?;
+        let width = r.byte()?;
+        let addresses = if flags & FLAG_EXPLICIT_ADDRS != 0 {
+            let n = r.varint()? as usize;
+            if n > 32 {
+                return Err(r.err("more than 32 lane addresses"));
+            }
+            let mut addrs = Vec::with_capacity(n);
+            let mut prev = 0u64;
+            for _ in 0..n {
+                prev = prev.wrapping_add(r.varint()?);
+                addrs.push(prev);
+            }
+            AddressList::Explicit(addrs)
+        } else {
+            let base = r.varint()?;
+            let stride = r.varint()?;
+            AddressList::Strided { base, stride }
+        };
+        Some(MemInfo {
+            space,
+            width,
+            addresses,
+        })
+    } else {
+        None
+    };
+
+    let inst = TraceInstruction {
+        pc,
+        opcode,
+        dst,
+        srcs,
+        active_mask,
+        mem,
+    };
+    if !inst.is_well_formed() {
+        return Err(r.err("inconsistent instruction"));
+    }
+    Ok(inst)
+}
+
+impl ApplicationTrace {
+    /// Serialize to the compact binary format.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        push_string(&mut out, &self.name);
+        push_varint(&mut out, self.kernels().len() as u64);
+        for kernel in self.kernels() {
+            push_string(&mut out, &kernel.name);
+            for d in [kernel.grid_dim.x, kernel.grid_dim.y, kernel.grid_dim.z] {
+                push_varint(&mut out, u64::from(d));
+            }
+            for d in [kernel.block_dim.x, kernel.block_dim.y, kernel.block_dim.z] {
+                push_varint(&mut out, u64::from(d));
+            }
+            push_varint(&mut out, u64::from(kernel.shared_mem_bytes));
+            push_varint(&mut out, u64::from(kernel.regs_per_thread));
+            push_varint(&mut out, kernel.blocks().len() as u64);
+            for block in kernel.blocks() {
+                push_varint(&mut out, block.num_warps() as u64);
+                for warp in block.warps() {
+                    push_varint(&mut out, warp.len() as u64);
+                    for inst in warp {
+                        encode_inst(&mut out, inst);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidValue`] on a bad magic/version, a
+    /// truncated stream, or any field outside its domain.
+    pub fn from_binary(bytes: &[u8]) -> Result<ApplicationTrace, TraceError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(TraceError::invalid_value("binary trace", "bad magic"));
+        }
+        let version = r.byte()?;
+        if version != VERSION {
+            return Err(TraceError::invalid_value(
+                "binary trace version",
+                version.to_string(),
+            ));
+        }
+        let name = r.string()?;
+        let num_kernels = r.varint()? as usize;
+        if num_kernels > 1 << 20 {
+            return Err(r.err("kernel count"));
+        }
+        let mut kernels = Vec::with_capacity(num_kernels);
+        for _ in 0..num_kernels {
+            let kname = r.string()?;
+            let g = [
+                r.varint_u32("grid dim")?,
+                r.varint_u32("grid dim")?,
+                r.varint_u32("grid dim")?,
+            ];
+            let b = [
+                r.varint_u32("block dim")?,
+                r.varint_u32("block dim")?,
+                r.varint_u32("block dim")?,
+            ];
+            let mut kernel = KernelTrace::new(kname, (g[0], g[1], g[2]), (b[0], b[1], b[2]));
+            kernel.shared_mem_bytes = r.varint_u32("shared memory")?;
+            kernel.regs_per_thread = r.varint_u32("registers")?;
+            let num_blocks = r.varint()? as usize;
+            if num_blocks > 1 << 24 {
+                return Err(r.err("block count"));
+            }
+            for _ in 0..num_blocks {
+                let block = kernel.push_block();
+                let num_warps = r.varint()? as usize;
+                if num_warps > 1 << 16 {
+                    return Err(r.err("warp count"));
+                }
+                for _ in 0..num_warps {
+                    let num_insts = r.varint()? as usize;
+                    if num_insts > 1 << 28 {
+                        return Err(r.err("instruction count"));
+                    }
+                    let mut warp = WarpTrace::new();
+                    for _ in 0..num_insts {
+                        warp.push(decode_inst(&mut r)?);
+                    }
+                    *block.push_warp() = warp;
+                }
+            }
+            kernels.push(kernel);
+        }
+        if r.pos != bytes.len() {
+            return Err(r.err("trailing bytes"));
+        }
+        Ok(ApplicationTrace::new(name, kernels))
+    }
+
+    /// Write the binary format to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_binary_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_binary())
+    }
+
+    /// Read the binary format from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] (parse failures wrapped as
+    /// `InvalidData`).
+    pub fn read_binary_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<ApplicationTrace> {
+        let bytes = std::fs::read(path)?;
+        ApplicationTrace::from_binary(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstBuilder;
+
+    fn sample_app() -> ApplicationTrace {
+        let mut kernel = KernelTrace::new("k0", (2, 1, 1), (64, 1, 1));
+        kernel.shared_mem_bytes = 2048;
+        kernel.regs_per_thread = 40;
+        for b in 0u64..2 {
+            let block = kernel.push_block();
+            for w in 0u64..2 {
+                let warp = block.push_warp();
+                warp.push(
+                    InstBuilder::new(Opcode::Ldg)
+                        .pc(0)
+                        .dst(4)
+                        .src(1)
+                        .global_strided(0x10_0000 + b * 0x1000 + w * 0x100, 4, 4),
+                );
+                warp.push(InstBuilder::new(Opcode::Ffma).pc(16).dst(5).src(4).src(4));
+                warp.push(
+                    InstBuilder::new(Opcode::Stg)
+                        .pc(32)
+                        .src(5)
+                        .explicit_addrs(vec![0x40, 0x99, 0x80, 0x20_0000], 4),
+                );
+                warp.push(InstBuilder::new(Opcode::Bar).pc(48));
+                warp.push(InstBuilder::new(Opcode::Exit).pc(64).mask(0x00ff_00ff));
+            }
+        }
+        ApplicationTrace::new("binary_sample", vec![kernel])
+    }
+
+    #[test]
+    fn round_trip() {
+        let app = sample_app();
+        let bytes = app.to_binary();
+        let back = ApplicationTrace::from_binary(&bytes).expect("round trip");
+        assert_eq!(back, app);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let app = sample_app();
+        assert!(app.to_binary().len() < app.to_trace_text().len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_app().to_binary();
+        bytes[0] = b'X';
+        assert!(ApplicationTrace::from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_app().to_binary();
+        bytes[4] = 99;
+        assert!(ApplicationTrace::from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_app().to_binary();
+        // Any prefix must fail, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                ApplicationTrace::from_binary(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_app().to_binary();
+        bytes.push(0);
+        assert!(ApplicationTrace::from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        // Flip every byte (one at a time): decoding must return, not panic.
+        let bytes = sample_app().to_binary();
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xff;
+            let _ = ApplicationTrace::from_binary(&corrupted);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let app = sample_app();
+        let dir = std::env::temp_dir().join("swiftsim_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.sstraceb");
+        app.write_binary_file(&path).unwrap();
+        assert_eq!(ApplicationTrace::read_binary_file(&path).unwrap(), app);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_app_round_trips() {
+        let app = ApplicationTrace::new("empty", vec![]);
+        let back = ApplicationTrace::from_binary(&app.to_binary()).unwrap();
+        assert_eq!(back, app);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for trace parsing.
+
+use std::fmt;
+
+/// Error produced while parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A trace line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A token was outside its domain (unknown opcode, bad register, ...).
+    InvalidValue {
+        /// What was being parsed.
+        what: String,
+        /// The offending token.
+        value: String,
+    },
+    /// The file ended inside a kernel, block, or warp section.
+    UnexpectedEof(
+        /// The section that was left open.
+        String,
+    ),
+}
+
+impl TraceError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn invalid_value(what: impl Into<String>, value: impl Into<String>) -> Self {
+        TraceError::InvalidValue {
+            what: what.into(),
+            value: value.into(),
+        }
+    }
+
+    pub(crate) fn eof(section: impl Into<String>) -> Self {
+        TraceError::UnexpectedEof(section.into())
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+            TraceError::InvalidValue { what, value } => write!(f, "invalid {what}: {value:?}"),
+            TraceError::UnexpectedEof(section) => {
+                write!(f, "unexpected end of trace inside {section}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            TraceError::parse(3, "bad token").to_string(),
+            "trace line 3: bad token"
+        );
+        assert_eq!(
+            TraceError::eof("warp").to_string(),
+            "unexpected end of trace inside warp"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,370 @@
+//! Dynamic trace instructions and compressed per-thread address lists.
+
+use crate::isa::{MemSpace, Opcode};
+use std::fmt;
+
+/// An architectural register number.
+///
+/// Registers only matter to the performance model through data dependences
+/// (the scoreboard), so a bare index is sufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u16> for Reg {
+    fn from(value: u16) -> Self {
+        Reg(value)
+    }
+}
+
+/// Per-thread addresses of a memory instruction, compressed.
+///
+/// NVBit-style traces record one address per active thread. Storing 32
+/// addresses per instruction explodes trace size, so — like the Accel-Sim
+/// trace format — the common base+stride pattern is stored in constant
+/// space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AddressList {
+    /// Lane `i` (counting only *active* lanes, in ascending lane order)
+    /// accesses `base + i * stride`.
+    Strided {
+        /// Address accessed by the first active lane.
+        base: u64,
+        /// Byte distance between consecutive active lanes.
+        stride: u64,
+    },
+    /// Explicit per-active-lane addresses, ascending lane order. The length
+    /// must equal the number of set bits in the instruction's active mask.
+    Explicit(Vec<u64>),
+}
+
+impl AddressList {
+    /// Expand to one address per active lane.
+    ///
+    /// `active_lanes` is the number of set bits in the active mask. For
+    /// [`AddressList::Explicit`] the stored list is returned as-is (callers
+    /// validate length at construction).
+    pub fn expand(&self, active_lanes: u32) -> Vec<u64> {
+        match self {
+            AddressList::Strided { base, stride } => (0..u64::from(active_lanes))
+                .map(|i| base.wrapping_add(i * stride))
+                .collect(),
+            AddressList::Explicit(addrs) => addrs.clone(),
+        }
+    }
+
+    /// Number of addresses this list yields for `active_lanes` active lanes.
+    pub fn len(&self, active_lanes: u32) -> usize {
+        match self {
+            AddressList::Strided { .. } => active_lanes as usize,
+            AddressList::Explicit(addrs) => addrs.len(),
+        }
+    }
+
+    /// Whether the list yields no addresses.
+    pub fn is_empty(&self, active_lanes: u32) -> bool {
+        self.len(active_lanes) == 0
+    }
+}
+
+/// Memory-access payload of a load/store instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemInfo {
+    /// Memory space accessed.
+    pub space: MemSpace,
+    /// Access width per thread in bytes (1, 2, 4, 8, or 16).
+    pub width: u8,
+    /// Per-thread addresses.
+    pub addresses: AddressList,
+}
+
+/// One dynamic instruction of one warp.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceInstruction {
+    /// Program counter (byte offset of the instruction in the kernel).
+    pub pc: u32,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// Source registers (data dependences).
+    pub srcs: Vec<Reg>,
+    /// 32-bit lane mask of threads executing this instruction.
+    pub active_mask: u32,
+    /// Memory payload for load/store opcodes.
+    pub mem: Option<MemInfo>,
+}
+
+impl TraceInstruction {
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> u32 {
+        self.active_mask.count_ones()
+    }
+
+    /// Whether the instruction accesses memory.
+    pub fn is_memory(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// Internal consistency check used by the parser and by property tests:
+    /// memory payload present iff the opcode is a memory opcode, spaces
+    /// agree, and explicit address lists match the active-lane count.
+    pub fn is_well_formed(&self) -> bool {
+        match (&self.mem, self.opcode.mem_space()) {
+            (None, None) => true,
+            (Some(mem), Some(space)) => {
+                if mem.space != space {
+                    return false;
+                }
+                if !matches!(mem.width, 1 | 2 | 4 | 8 | 16) {
+                    return false;
+                }
+                match &mem.addresses {
+                    AddressList::Strided { .. } => true,
+                    AddressList::Explicit(addrs) => addrs.len() == self.active_lanes() as usize,
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Ergonomic builder for [`TraceInstruction`], used by the synthetic
+/// workload generators and by tests.
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_trace::{InstBuilder, Opcode};
+///
+/// let inst = InstBuilder::new(Opcode::Ffma)
+///     .pc(0x120)
+///     .dst(8)
+///     .src(4)
+///     .src(5)
+///     .mask(0xffff_ffff)
+///     .build();
+/// assert_eq!(inst.active_lanes(), 32);
+/// assert!(inst.is_well_formed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstBuilder {
+    inst: TraceInstruction,
+}
+
+impl InstBuilder {
+    /// Start building an instruction with full active mask and PC 0.
+    pub fn new(opcode: Opcode) -> Self {
+        InstBuilder {
+            inst: TraceInstruction {
+                pc: 0,
+                opcode,
+                dst: None,
+                srcs: Vec::new(),
+                active_mask: u32::MAX,
+                mem: None,
+            },
+        }
+    }
+
+    /// Set the program counter.
+    pub fn pc(mut self, pc: u32) -> Self {
+        self.inst.pc = pc;
+        self
+    }
+
+    /// Set the destination register.
+    pub fn dst(mut self, reg: u16) -> Self {
+        self.inst.dst = Some(Reg(reg));
+        self
+    }
+
+    /// Append a source register.
+    pub fn src(mut self, reg: u16) -> Self {
+        self.inst.srcs.push(Reg(reg));
+        self
+    }
+
+    /// Set the active-thread mask.
+    pub fn mask(mut self, mask: u32) -> Self {
+        self.inst.active_mask = mask;
+        self
+    }
+
+    /// Attach a strided access in the opcode's memory space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode is not a memory opcode; that is a bug in the
+    /// caller, not a data error.
+    pub fn global_strided(mut self, base: u64, stride: u64, width: u8) -> Self {
+        let space = self
+            .inst
+            .opcode
+            .mem_space()
+            .expect("strided access attached to non-memory opcode");
+        self.inst.mem = Some(MemInfo {
+            space,
+            width,
+            addresses: AddressList::Strided { base, stride },
+        });
+        self
+    }
+
+    /// Attach an explicit per-lane address list in the opcode's memory
+    /// space, and narrow the active mask to the list length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode is not a memory opcode or if `addrs` holds more
+    /// than 32 addresses.
+    pub fn explicit_addrs(mut self, addrs: Vec<u64>, width: u8) -> Self {
+        let space = self
+            .inst
+            .opcode
+            .mem_space()
+            .expect("explicit access attached to non-memory opcode");
+        assert!(addrs.len() <= 32, "a warp has at most 32 lanes");
+        self.inst.active_mask = if addrs.len() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << addrs.len()) - 1
+        };
+        self.inst.mem = Some(MemInfo {
+            space,
+            width,
+            addresses: AddressList::Explicit(addrs),
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TraceInstruction {
+        debug_assert!(self.inst.is_well_formed());
+        self.inst
+    }
+}
+
+impl From<InstBuilder> for TraceInstruction {
+    fn from(builder: InstBuilder) -> Self {
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_expansion() {
+        let list = AddressList::Strided { base: 0x100, stride: 4 };
+        assert_eq!(list.expand(4), vec![0x100, 0x104, 0x108, 0x10c]);
+        assert_eq!(list.len(4), 4);
+        assert!(!list.is_empty(4));
+        assert!(list.is_empty(0));
+    }
+
+    #[test]
+    fn strided_expansion_wraps_instead_of_panicking() {
+        let list = AddressList::Strided { base: u64::MAX - 4, stride: 4 };
+        let addrs = list.expand(3);
+        assert_eq!(addrs[0], u64::MAX - 4);
+        assert_eq!(addrs[2], 3); // wrapped
+    }
+
+    #[test]
+    fn explicit_expansion_is_identity() {
+        let addrs = vec![0x10, 0x200, 0x8];
+        let list = AddressList::Explicit(addrs.clone());
+        assert_eq!(list.expand(3), addrs);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let inst = InstBuilder::new(Opcode::Iadd).build();
+        assert_eq!(inst.active_lanes(), 32);
+        assert_eq!(inst.pc, 0);
+        assert!(inst.dst.is_none());
+        assert!(!inst.is_memory());
+        assert!(inst.is_well_formed());
+    }
+
+    #[test]
+    fn builder_memory() {
+        let inst = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .src(1)
+            .global_strided(0x1000, 4, 4)
+            .build();
+        assert!(inst.is_memory());
+        let mem = inst.mem.as_ref().unwrap();
+        assert_eq!(mem.space, MemSpace::Global);
+        assert!(inst.is_well_formed());
+    }
+
+    #[test]
+    fn explicit_addrs_sets_mask() {
+        let inst = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .explicit_addrs(vec![1, 2, 3], 4)
+            .build();
+        assert_eq!(inst.active_lanes(), 3);
+        assert!(inst.is_well_formed());
+
+        let full = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .explicit_addrs((0..32).map(|i| i * 8).collect(), 8)
+            .build();
+        assert_eq!(full.active_lanes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-memory opcode")]
+    fn memory_payload_on_alu_panics() {
+        let _ = InstBuilder::new(Opcode::Fadd).global_strided(0, 4, 4);
+    }
+
+    #[test]
+    fn well_formedness_catches_mismatches() {
+        let mut inst = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .global_strided(0x1000, 4, 4)
+            .build();
+        // Wrong space.
+        inst.mem.as_mut().unwrap().space = MemSpace::Shared;
+        assert!(!inst.is_well_formed());
+
+        // Missing payload.
+        let mut inst2 = InstBuilder::new(Opcode::Ldg).dst(2).build_unchecked_for_tests();
+        inst2.mem = None;
+        assert!(!inst2.is_well_formed());
+
+        // Bad width.
+        let mut inst3 = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .global_strided(0x1000, 4, 4)
+            .build();
+        inst3.mem.as_mut().unwrap().width = 3;
+        assert!(!inst3.is_well_formed());
+
+        // Explicit list length mismatch.
+        let mut inst4 = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .explicit_addrs(vec![1, 2, 3], 4)
+            .build();
+        inst4.active_mask = u32::MAX;
+        assert!(!inst4.is_well_formed());
+    }
+
+    impl InstBuilder {
+        /// Test helper that skips the well-formedness debug assertion.
+        fn build_unchecked_for_tests(self) -> TraceInstruction {
+            self.inst
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The 20-application benchmark suite.
+//!
+//! Each entry substitutes one application from the paper's evaluation
+//! (Fig. 4 / Fig. 6) with a synthetic generator reproducing its
+//! architectural character. Suites and the application set follow §IV-A2:
+//! Rodinia, Polybench, Mars, Tango, and Pannotia, covering pattern
+//! recognition, graph computing, linear algebra, stencils, web data
+//! analysis, and deep learning.
+
+use crate::gen::{MemPattern, Mix, PatternKernel, Scale};
+use swiftsim_trace::ApplicationTrace;
+
+/// Benchmark suite of origin (§IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia: heterogeneous computing kernels.
+    Rodinia,
+    /// Polybench: polyhedral linear-algebra and stencil kernels.
+    Polybench,
+    /// Mars: MapReduce on GPUs.
+    Mars,
+    /// Tango: deep neural networks.
+    Tango,
+    /// Pannotia: irregular graph analytics.
+    Pannotia,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Rodinia => f.write_str("Rodinia"),
+            Suite::Polybench => f.write_str("Polybench"),
+            Suite::Mars => f.write_str("Mars"),
+            Suite::Tango => f.write_str("Tango"),
+            Suite::Pannotia => f.write_str("Pannotia"),
+        }
+    }
+}
+
+/// One benchmark application: a named, deterministic trace generator.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application name as it appears on the paper's figure axes.
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    kernels: Vec<PatternKernel>,
+}
+
+impl Workload {
+    /// Generate the application trace at the given scale.
+    pub fn generate(&self, scale: Scale) -> ApplicationTrace {
+        ApplicationTrace::new(
+            self.name,
+            self.kernels.iter().map(|k| k.generate(scale)).collect(),
+        )
+    }
+
+    /// The kernel specs (for inspection in tests and docs).
+    pub fn kernels(&self) -> &[PatternKernel] {
+        &self.kernels
+    }
+}
+
+fn kernel(
+    name: &str,
+    blocks: u32,
+    threads: u32,
+    iters: u32,
+    mix: Mix,
+    pattern: MemPattern,
+) -> PatternKernel {
+    PatternKernel {
+        name: name.to_owned(),
+        blocks,
+        threads_per_block: threads,
+        iters,
+        mix,
+        pattern,
+        shared_mem_bytes: 0,
+        regs_per_thread: 32,
+        barrier: false,
+    }
+}
+
+/// The full 20-application suite in figure order.
+pub fn suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+
+    // ---------------- Rodinia ----------------
+    // BFS: frontier expansion, graph-irregular loads, little compute.
+    v.push(Workload {
+        name: "bfs",
+        suite: Suite::Rodinia,
+        kernels: (0..2)
+            .map(|i| {
+                kernel(
+                    &format!("bfs_kernel{i}"),
+                    192,
+                    256,
+                    24,
+                    Mix { loads: 3, stores: 1, int_ops: 4, ..Mix::default() },
+                    MemPattern::Irregular { footprint_lines: 200_000, hot_fraction: 0.35 },
+                )
+            })
+            .collect(),
+    });
+    // NW: Needleman-Wunsch wavefront; streaming, memory-dominated, almost
+    // no arithmetic — one of the paper's >1000x Swift-Sim-Memory apps.
+    v.push(Workload {
+        name: "nw",
+        suite: Suite::Rodinia,
+        kernels: vec![{
+            let mut k = kernel(
+                "nw_dynproc",
+                256,
+                128,
+                48,
+                Mix { loads: 4, stores: 2, int_ops: 2, fp: 0, ..Mix::default() },
+                MemPattern::Streaming,
+            );
+            k.shared_mem_bytes = 8_192;
+            k
+        }],
+    });
+    // HOTSPOT: 2D thermal stencil with shared-memory tiling and barriers.
+    v.push(Workload {
+        name: "hotspot",
+        suite: Suite::Rodinia,
+        kernels: vec![{
+            let mut k = kernel(
+                "hotspot_calc",
+                224,
+                256,
+                20,
+                Mix {
+                    loads: 3,
+                    stores: 1,
+                    fp: 8,
+                    int_ops: 3,
+                    shared_ld: 2,
+                    shared_st: 1,
+                    ..Mix::default()
+                },
+                MemPattern::Stencil { row_bytes: 8_192, rows: 3 },
+            );
+            k.shared_mem_bytes = 12_288;
+            k.barrier = true;
+            k
+        }],
+    });
+    // PATHFINDER: dynamic-programming row sweep.
+    v.push(Workload {
+        name: "pathfinder",
+        suite: Suite::Rodinia,
+        kernels: vec![{
+            let mut k = kernel(
+                "pathfinder_dynproc",
+                160,
+                256,
+                28,
+                Mix { loads: 2, stores: 1, int_ops: 6, shared_ld: 1, shared_st: 1, ..Mix::default() },
+                MemPattern::Streaming,
+            );
+            k.shared_mem_bytes = 4_096;
+            k.barrier = true;
+            k
+        }],
+    });
+    // BACKPROP: two dense layers, FP-heavy with strided weight access.
+    v.push(Workload {
+        name: "backprop",
+        suite: Suite::Rodinia,
+        kernels: vec![
+            kernel(
+                "backprop_forward",
+                192,
+                256,
+                16,
+                Mix { loads: 2, stores: 1, fp: 10, int_ops: 2, sfu: 1, ..Mix::default() },
+                MemPattern::Strided { lane_stride: 64 },
+            ),
+            kernel(
+                "backprop_adjust",
+                192,
+                256,
+                12,
+                Mix { loads: 3, stores: 2, fp: 6, int_ops: 2, ..Mix::default() },
+                MemPattern::Streaming,
+            ),
+        ],
+    });
+    // SRAD: speckle-reducing diffusion stencil, FP-heavy with SFU.
+    v.push(Workload {
+        name: "srad",
+        suite: Suite::Rodinia,
+        kernels: vec![kernel(
+            "srad_main",
+            224,
+            256,
+            18,
+            Mix { loads: 4, stores: 1, fp: 12, int_ops: 3, sfu: 2, ..Mix::default() },
+            MemPattern::Stencil { row_bytes: 16_384, rows: 3 },
+        )],
+    });
+
+    // ---------------- Polybench ----------------
+    // ADI: alternating-direction implicit sweeps; long streaming passes,
+    // trivial compute — a >1000x Swift-Sim-Memory app.
+    v.push(Workload {
+        name: "adi",
+        suite: Suite::Polybench,
+        kernels: (0..2)
+            .map(|i| {
+                kernel(
+                    &format!("adi_sweep{i}"),
+                    144,
+                    128,
+                    28,
+                    Mix { loads: 4, stores: 2, fp: 2, int_ops: 1, ..Mix::default() },
+                    if i == 0 {
+                        MemPattern::Streaming
+                    } else {
+                        MemPattern::Strided { lane_stride: 512 }
+                    },
+                )
+            })
+            .collect(),
+    });
+    // GEMM: tiled matrix multiply — compute-bound, shared-memory reuse.
+    v.push(Workload {
+        name: "gemm",
+        suite: Suite::Polybench,
+        kernels: vec![{
+            let mut k = kernel(
+                "gemm_tiled",
+                256,
+                256,
+                24,
+                Mix {
+                    loads: 2,
+                    stores: 1,
+                    fp: 16,
+                    int_ops: 2,
+                    shared_ld: 4,
+                    shared_st: 2,
+                    ..Mix::default()
+                },
+                MemPattern::Tiled { tile_bytes: 16_384 },
+            );
+            k.shared_mem_bytes = 16_384;
+            k.barrier = true;
+            k.regs_per_thread = 48;
+            k
+        }],
+    });
+    // LU: decomposition with shrinking parallelism and strided columns.
+    v.push(Workload {
+        name: "lu",
+        suite: Suite::Polybench,
+        kernels: vec![
+            kernel(
+                "lu_diag",
+                96,
+                128,
+                20,
+                Mix { loads: 3, stores: 1, fp: 6, int_ops: 3, ..Mix::default() },
+                MemPattern::Strided { lane_stride: 256 },
+            ),
+            kernel(
+                "lu_perimeter",
+                160,
+                256,
+                16,
+                Mix { loads: 3, stores: 2, fp: 8, int_ops: 2, ..Mix::default() },
+                MemPattern::Streaming,
+            ),
+        ],
+    });
+    // MVT: matrix-vector transpose product; bandwidth-bound.
+    v.push(Workload {
+        name: "mvt",
+        suite: Suite::Polybench,
+        kernels: vec![kernel(
+            "mvt_main",
+            112,
+            256,
+            16,
+            Mix { loads: 3, stores: 1, fp: 3, int_ops: 1, ..Mix::default() },
+            MemPattern::Strided { lane_stride: 128 },
+        )],
+    });
+    // 2DCONV: small-stencil convolution; streaming with modest compute.
+    v.push(Workload {
+        name: "2dconv",
+        suite: Suite::Polybench,
+        kernels: vec![kernel(
+            "conv2d_main",
+            256,
+            256,
+            24,
+            Mix { loads: 3, stores: 1, fp: 9, int_ops: 2, ..Mix::default() },
+            MemPattern::Stencil { row_bytes: 8_192, rows: 3 },
+        )],
+    });
+
+    // ---------------- Mars ----------------
+    // SM (StringMatch): byte streaming + integer compares — memory
+    // dominated, a >1000x Swift-Sim-Memory app.
+    v.push(Workload {
+        name: "sm",
+        suite: Suite::Mars,
+        kernels: vec![kernel(
+            "sm_match",
+            288,
+            256,
+            40,
+            Mix { loads: 4, stores: 1, int_ops: 6, ..Mix::default() },
+            MemPattern::Streaming,
+        )],
+    });
+    // WC (WordCount): streaming map + irregular reduce.
+    v.push(Workload {
+        name: "wc",
+        suite: Suite::Mars,
+        kernels: vec![
+            kernel(
+                "wc_map",
+                224,
+                256,
+                24,
+                Mix { loads: 3, stores: 1, int_ops: 5, ..Mix::default() },
+                MemPattern::Streaming,
+            ),
+            kernel(
+                "wc_reduce",
+                96,
+                128,
+                16,
+                Mix { loads: 2, stores: 1, int_ops: 4, ..Mix::default() },
+                MemPattern::Irregular { footprint_lines: 30_000, hot_fraction: 0.5 },
+            ),
+        ],
+    });
+    // KMEANS: distance computation (FP) over streaming points with hot
+    // centroids.
+    v.push(Workload {
+        name: "kmeans",
+        suite: Suite::Mars,
+        kernels: vec![kernel(
+            "kmeans_assign",
+            224,
+            256,
+            20,
+            Mix { loads: 3, stores: 1, fp: 10, int_ops: 3, sfu: 1, ..Mix::default() },
+            MemPattern::Irregular { footprint_lines: 50_000, hot_fraction: 0.75 },
+        )],
+    });
+
+    // ---------------- Tango ----------------
+    // GRU: small recurrent cells — many short memory-bound steps with SFU
+    // activations; a >1000x Swift-Sim-Memory app.
+    v.push(Workload {
+        name: "gru",
+        suite: Suite::Tango,
+        kernels: (0..3)
+            .map(|i| {
+                kernel(
+                    &format!("gru_cell{i}"),
+                    128,
+                    128,
+                    36,
+                    Mix { loads: 4, stores: 2, fp: 4, int_ops: 1, sfu: 2, ..Mix::default() },
+                    MemPattern::Streaming,
+                )
+            })
+            .collect(),
+    });
+    // LSTM: like GRU with more gates and more FP.
+    v.push(Workload {
+        name: "lstm",
+        suite: Suite::Tango,
+        kernels: (0..2)
+            .map(|i| {
+                kernel(
+                    &format!("lstm_cell{i}"),
+                    144,
+                    128,
+                    28,
+                    Mix { loads: 4, stores: 2, fp: 8, int_ops: 1, sfu: 3, ..Mix::default() },
+                    MemPattern::Streaming,
+                )
+            })
+            .collect(),
+    });
+    // ALEXNET: convolution + dense layers, tensor-core heavy, tiled reuse.
+    v.push(Workload {
+        name: "alexnet",
+        suite: Suite::Tango,
+        kernels: vec![
+            {
+                let mut k = kernel(
+                    "alexnet_conv",
+                    256,
+                    256,
+                    20,
+                    Mix {
+                        loads: 2,
+                        stores: 1,
+                        fp: 6,
+                        tensor: 4,
+                        int_ops: 2,
+                        shared_ld: 2,
+                        shared_st: 1,
+                        ..Mix::default()
+                    },
+                    MemPattern::Tiled { tile_bytes: 32_768 },
+                );
+                k.shared_mem_bytes = 32_768;
+                k.barrier = true;
+                k
+            },
+            kernel(
+                "alexnet_fc",
+                128,
+                256,
+                16,
+                Mix { loads: 3, stores: 1, fp: 12, int_ops: 1, sfu: 1, ..Mix::default() },
+                MemPattern::Streaming,
+            ),
+        ],
+    });
+
+    // ---------------- Pannotia ----------------
+    // PAGERANK: scatter/gather over a power-law graph.
+    v.push(Workload {
+        name: "pagerank",
+        suite: Suite::Pannotia,
+        kernels: (0..2)
+            .map(|i| {
+                kernel(
+                    &format!("pagerank_phase{i}"),
+                    192,
+                    256,
+                    20,
+                    Mix { loads: 4, stores: 1, fp: 2, int_ops: 3, ..Mix::default() },
+                    MemPattern::Irregular { footprint_lines: 300_000, hot_fraction: 0.45 },
+                )
+            })
+            .collect(),
+    });
+    // COLOR: graph coloring — irregular with wide fan-out.
+    v.push(Workload {
+        name: "color",
+        suite: Suite::Pannotia,
+        kernels: vec![kernel(
+            "color_maxmin",
+            176,
+            256,
+            22,
+            Mix { loads: 5, stores: 1, int_ops: 5, ..Mix::default() },
+            MemPattern::Irregular { footprint_lines: 250_000, hot_fraction: 0.3 },
+        )],
+    });
+    // SSSP: single-source shortest paths — frontier relaxation.
+    v.push(Workload {
+        name: "sssp",
+        suite: Suite::Pannotia,
+        kernels: vec![kernel(
+            "sssp_relax",
+            192,
+            256,
+            24,
+            Mix { loads: 4, stores: 2, int_ops: 4, ..Mix::default() },
+            MemPattern::Irregular { footprint_lines: 220_000, hot_fraction: 0.4 },
+        )],
+    });
+
+    debug_assert_eq!(v.len(), 20);
+    v
+}
+
+/// Look up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_20_unique_apps_across_5_suites() {
+        let s = suite();
+        assert_eq!(s.len(), 20);
+        let names: HashSet<&str> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 20);
+        let suites: HashSet<_> = s.iter().map(|w| format!("{}", w.suite)).collect();
+        assert_eq!(suites.len(), 5);
+    }
+
+    #[test]
+    fn all_apps_generate_consistent_traces() {
+        for w in suite() {
+            let app = w.generate(Scale::Tiny);
+            assert_eq!(app.name, w.name);
+            assert!(!app.kernels().is_empty());
+            for k in app.kernels() {
+                assert!(k.is_consistent(32), "{} / {}", w.name, k.name);
+            }
+            assert!(app.num_insts() > 0);
+        }
+    }
+
+    #[test]
+    fn apps_have_distinct_memory_intensity() {
+        // Memory-dominated apps (the paper's >1000x set) must be more
+        // memory-intense than the compute-bound GEMM.
+        let intensity = |name: &str| {
+            by_name(name)
+                .unwrap()
+                .generate(Scale::Tiny)
+                .stats()
+                .memory_intensity()
+        };
+        for heavy in ["nw", "adi", "sm", "gru"] {
+            assert!(
+                intensity(heavy) > intensity("gemm"),
+                "{heavy} should be more memory-bound than gemm"
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_rejects() {
+        assert!(by_name("bfs").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_app() {
+        for w in suite().into_iter().take(4) {
+            assert_eq!(w.generate(Scale::Tiny), w.generate(Scale::Tiny));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The silicon oracle: a stand-in for real-GPU cycle measurements.
+//!
+//! The paper computes prediction error against cycles measured on real
+//! hardware with NVIDIA Nsight Compute (§IV-A1). Without hardware, this
+//! module models "real silicon" as the detailed baseline's prediction
+//! perturbed by a deterministic, per-(application, GPU) lognormal factor
+//! representing behaviour no academic simulator captures (clock
+//! management, instruction replay, driver overheads, undisclosed
+//! microarchitecture). The dispersion is calibrated so the *baseline's*
+//! mean absolute error lands near the paper's ~20%; the Swift-Sim presets'
+//! errors are then **emergent** — they are measured against the same
+//! oracle, so the accuracy deltas between simulators come from genuine
+//! model differences, not from this module. See DESIGN.md §3.
+
+use crate::gen::hash64;
+
+/// Dispersion of the lognormal perturbation (σ of ln-factor). 0.26 yields
+/// a mean absolute relative deviation of ≈20%, matching the accuracy level
+/// the paper reports for Accel-Sim on the RTX 2080 Ti.
+const SIGMA: f64 = 0.26;
+
+/// Deterministic standard-normal-ish variate for (app, gpu), via the
+/// Irwin–Hall sum of 12 hash-derived uniforms.
+fn z_score(app: &str, gpu: &str) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..12u64 {
+        let h = splitmix64(hash64(&format!("{app}|{gpu}|{i}")));
+        sum += (h >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    sum - 6.0
+}
+
+/// Finalizing mix (splitmix64): FNV's raw output is not uniform enough in
+/// its high bits for short, similar strings.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The hardware/simulator discrepancy factor for (app, gpu): real cycles
+/// are modeled as `baseline_prediction * factor`.
+pub fn discrepancy_factor(app: &str, gpu: &str) -> f64 {
+    (z_score(app, gpu) * SIGMA).exp()
+}
+
+/// "Measured" hardware cycles for `app` on `gpu`, given the detailed
+/// baseline's prediction.
+///
+/// # Examples
+///
+/// ```
+/// use swiftsim_workloads::silicon;
+///
+/// let cycles = silicon::hardware_cycles("bfs", "RTX 2080 Ti", 1_000_000);
+/// assert!(cycles > 300_000 && cycles < 3_000_000);
+/// ```
+pub fn hardware_cycles(app: &str, gpu: &str, baseline_prediction: u64) -> u64 {
+    let cycles = baseline_prediction as f64 * discrepancy_factor(app, gpu);
+    cycles.round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_is_deterministic() {
+        assert_eq!(
+            hardware_cycles("bfs", "RTX 2080 Ti", 123_456),
+            hardware_cycles("bfs", "RTX 2080 Ti", 123_456)
+        );
+    }
+
+    #[test]
+    fn factors_vary_per_app_and_gpu() {
+        let a = discrepancy_factor("bfs", "RTX 2080 Ti");
+        let b = discrepancy_factor("gemm", "RTX 2080 Ti");
+        let c = discrepancy_factor("bfs", "RTX 3090");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dispersion_is_calibrated_to_about_20_percent() {
+        // Mean |factor - 1| over many (app, gpu) pairs should sit near the
+        // paper's ~20% baseline error band.
+        let mut total = 0.0;
+        let mut n = 0;
+        for app in 0..200 {
+            for gpu in ["a", "b", "c"] {
+                let f = discrepancy_factor(&format!("app{app}"), gpu);
+                total += (f - 1.0).abs();
+                n += 1;
+            }
+        }
+        let mean = total / f64::from(n);
+        assert!(
+            (0.12..=0.30).contains(&mean),
+            "mean |factor-1| = {mean:.3} outside the calibration band"
+        );
+    }
+
+    #[test]
+    fn factors_are_positive_and_bounded() {
+        for app in ["bfs", "nw", "adi", "gemm", "sssp"] {
+            for gpu in ["RTX 2080 Ti", "RTX 3060", "RTX 3090"] {
+                let f = discrepancy_factor(app, gpu);
+                assert!(f > 0.3 && f < 3.0, "{app}/{gpu}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_cycles_never_zero() {
+        assert_eq!(hardware_cycles("x", "y", 0), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Design-space exploration of the L1 cache — size and replacement policy.
+//!
+//! The paper's motivation (§II-B) calls out that reuse-distance analytical
+//! cache models "typically assume that the cache replacement policy is
+//! LRU, which makes it difficult to simulate other replacement policies
+//! such as FIFO or Random". Swift-Sim's cycle-accurate cache module
+//! supports all three, so this sweep uses Swift-Sim-Basic (cycle-accurate
+//! memory, analytical ALU).
+//!
+//! ```sh
+//! cargo run --release -p swift-examples --bin cache_exploration
+//! ```
+
+use swiftsim_config::{presets, ReplacementPolicy};
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::Table;
+use swiftsim_workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = swiftsim_workloads::by_name("kmeans")
+        .expect("known workload")
+        .generate(Scale::Small);
+
+    println!("L1 design-space exploration on kmeans (Swift-Sim-Basic, RTX 2080 Ti base):");
+    println!();
+
+    // Sweep 1: L1 capacity (sets doubled/halved), LRU.
+    let mut size_table = Table::new(vec!["L1 size", "Cycles", "L1 miss rate"]);
+    for scale in [1u32, 2, 4] {
+        let mut gpu = presets::rtx2080ti();
+        gpu.sm.l1d.sets = gpu.sm.l1d.sets / 4 * scale; // 16/32/64 KiB
+        let kib = gpu.sm.l1d.capacity_bytes() / 1024;
+        let sim = SimulatorBuilder::new(gpu)
+            .preset(SimulatorPreset::SwiftBasic)
+            .build();
+        let r = sim.run(&app)?;
+        size_table.row(vec![
+            format!("{kib} KiB"),
+            r.cycles.to_string(),
+            format!("{:.3}", r.metrics.ratio("mem.l1.miss_rate").unwrap_or(0.0)),
+        ]);
+    }
+    print!("{size_table}");
+    println!();
+
+    // Sweep 2: replacement policy at the base size.
+    let mut policy_table = Table::new(vec!["Replacement", "Cycles", "L1 miss rate"]);
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
+        let mut gpu = presets::rtx2080ti();
+        gpu.sm.l1d.replacement = policy;
+        let sim = SimulatorBuilder::new(gpu)
+            .preset(SimulatorPreset::SwiftBasic)
+            .build();
+        let r = sim.run(&app)?;
+        policy_table.row(vec![
+            policy.to_string(),
+            r.cycles.to_string(),
+            format!("{:.3}", r.metrics.ratio("mem.l1.miss_rate").unwrap_or(0.0)),
+        ]);
+    }
+    print!("{policy_table}");
+    println!();
+    println!(
+        "Because the cache is a cycle-accurate module here, non-LRU policies\n\
+         are first-class citizens — no analytical remodeling required."
+    );
+    Ok(())
+}

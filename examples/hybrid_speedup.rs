@@ -1,0 +1,55 @@
+//! The headline trade-off: simulation speed vs prediction fidelity across
+//! the three presets of the paper's evaluation, on one workload.
+//!
+//! ```sh
+//! cargo run --release -p swift-examples --bin hybrid_speedup [workload]
+//! ```
+
+use std::time::Instant;
+use swiftsim_config::presets;
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::Table;
+use swiftsim_workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "nw".to_owned());
+    let workload = swiftsim_workloads::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let app = workload.generate(Scale::Small);
+    println!(
+        "workload {} ({}, {} instructions)",
+        workload.name,
+        workload.suite,
+        app.num_insts()
+    );
+    println!();
+
+    let mut table = Table::new(vec!["Simulator", "Cycles", "Wall time", "Speedup"]);
+    let mut baseline_time = None;
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        let sim = SimulatorBuilder::new(presets::rtx2080ti()).preset(preset).build();
+        let started = Instant::now();
+        let result = sim.run(&app)?;
+        let elapsed = started.elapsed();
+        let base = *baseline_time.get_or_insert(elapsed);
+        table.row(vec![
+            preset.label().to_owned(),
+            result.cycles.to_string(),
+            format!("{:.3}s", elapsed.as_secs_f64()),
+            format!("{:.1}x", base.as_secs_f64() / elapsed.as_secs_f64()),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "Swift-Sim-Basic replaces the per-cycle ALU pipeline simulation with\n\
+         the improved analytical model; Swift-Sim-Memory additionally replaces\n\
+         the cache/NoC/DRAM walk with the Eq. 1 latency model. Predictions\n\
+         stay close to the detailed baseline while wall time drops."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Design-space exploration of warp-scheduling policies — the paper's
+//! canonical hybrid-modeling scenario (§III-D): "Assuming we need to
+//! explore a new warp scheduling algorithm, Warp Scheduler & Dispatch needs
+//! cycle-accurate simulation ... For other modules, architects can choose
+//! appropriate modeling methods as needed."
+//!
+//! The scheduler is always simulated cycle-accurately; everything else uses
+//! the fast Swift-Sim-Memory models, so a three-policy sweep over several
+//! workloads finishes in seconds.
+//!
+//! ```sh
+//! cargo run --release -p swift-examples --bin scheduler_exploration
+//! ```
+
+use swiftsim_config::{presets, SchedulerPolicy};
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::Table;
+use swiftsim_workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let apps = ["bfs", "gemm", "hotspot", "mvt", "gru"];
+    let policies = [
+        SchedulerPolicy::Gto,
+        SchedulerPolicy::Lrr,
+        SchedulerPolicy::TwoLevel,
+    ];
+
+    let mut table = Table::new(vec!["App", "GTO", "LRR", "Two-level", "Best"]);
+    for app_name in apps {
+        let app = swiftsim_workloads::by_name(app_name)
+            .expect("known workload")
+            .generate(Scale::Small);
+
+        let mut cycles = Vec::new();
+        for policy in policies {
+            let mut gpu = presets::rtx2080ti();
+            gpu.sm.scheduler = policy;
+            let sim = SimulatorBuilder::new(gpu)
+                .preset(SimulatorPreset::SwiftMemory)
+                .build();
+            cycles.push(sim.run(&app)?.cycles);
+        }
+
+        let best = policies[cycles
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        table.row(vec![
+            app_name.to_owned(),
+            cycles[0].to_string(),
+            cycles[1].to_string(),
+            cycles[2].to_string(),
+            best.to_string(),
+        ]);
+    }
+
+    println!("Warp-scheduler exploration (cycles, Swift-Sim-Memory, RTX 2080 Ti):");
+    println!();
+    print!("{table}");
+    println!();
+    println!(
+        "The Warp Scheduler & Dispatch module runs cycle-accurately in every\n\
+         preset, so policy differences are faithfully modeled while the rest\n\
+         of the GPU uses fast analytical models."
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Host crate for the workspace-level integration tests in `tests/tests/`.
+//!
+//! The actual assertions live in the integration-test binaries; this
+//! library only provides shared helpers.
+
+use swiftsim_config::GpuConfig;
+
+/// A reduced RTX 2080 Ti (fewer SMs and partitions) so detailed simulation
+/// stays fast inside tests while preserving per-SM ratios.
+pub fn small_gpu() -> GpuConfig {
+    let mut cfg = swiftsim_config::presets::rtx2080ti();
+    cfg.num_sms = 4;
+    cfg.memory.partitions = 4;
+    cfg
+}

@@ -1,0 +1,127 @@
+//! Workspace-level integration tests: the full pipeline from config files
+//! and trace files on disk through the simulator to the Metrics Gatherer,
+//! crossing every crate boundary.
+
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_integration_tests::small_gpu;
+use swiftsim_trace::ApplicationTrace;
+use swiftsim_workloads::Scale;
+
+/// Config file → parse → simulate → metrics, end to end through the text
+/// formats (what the `swiftsim` CLI does).
+#[test]
+fn config_and_trace_files_round_trip_through_simulation() {
+    let cfg_text = small_gpu().to_config_text();
+    let cfg = swiftsim_config::GpuConfig::parse(&cfg_text).expect("config round trip");
+
+    let app = swiftsim_workloads::by_name("hotspot")
+        .expect("workload")
+        .generate(Scale::Tiny);
+    let trace_text = app.to_trace_text();
+    let parsed = ApplicationTrace::parse(&trace_text).expect("trace round trip");
+    assert_eq!(parsed, app);
+
+    let direct = SimulatorBuilder::new(cfg.clone())
+        .preset(SimulatorPreset::SwiftBasic)
+        .build()
+        .run(&app)
+        .expect("direct run");
+    let via_files = SimulatorBuilder::new(cfg)
+        .preset(SimulatorPreset::SwiftBasic)
+        .build()
+        .run(&parsed)
+        .expect("file-mediated run");
+    assert_eq!(direct.cycles, via_files.cycles, "serialization must not change timing");
+}
+
+/// The three GPU presets must give different predictions for the same app —
+/// the cross-architecture sensitivity Fig. 6 depends on.
+#[test]
+fn predictions_differ_across_gpu_presets() {
+    let app = swiftsim_workloads::by_name("srad")
+        .expect("workload")
+        .generate(Scale::Tiny);
+    let mut cycles = Vec::new();
+    for gpu in swiftsim_config::presets::all() {
+        let r = SimulatorBuilder::new(gpu)
+            .preset(SimulatorPreset::SwiftMemory)
+            .build()
+            .run(&app)
+            .expect("run");
+        cycles.push(r.cycles);
+    }
+    assert_eq!(cycles.len(), 3);
+    assert!(
+        cycles.windows(2).any(|w| w[0] != w[1]),
+        "three different GPUs produced identical predictions: {cycles:?}"
+    );
+}
+
+/// A bigger GPU (RTX 3090) should not be slower than a much smaller one
+/// (RTX 3060) on a parallel workload.
+#[test]
+fn more_sms_do_not_hurt() {
+    let app = swiftsim_workloads::by_name("sm")
+        .expect("workload")
+        .generate(Scale::Small);
+    let run = |gpu| {
+        SimulatorBuilder::new(gpu)
+            .preset(SimulatorPreset::SwiftBasic)
+            .build()
+            .run(&app)
+            .expect("run")
+            .cycles
+    };
+    let small = run(swiftsim_config::presets::rtx3060());
+    let big = run(swiftsim_config::presets::rtx3090());
+    assert!(
+        big <= small,
+        "RTX 3090 ({big} cycles) slower than RTX 3060 ({small} cycles)"
+    );
+}
+
+/// Silicon oracle interplay: prediction errors of all three presets against
+/// the oracle stay within a sane band at tiny scale.
+#[test]
+fn prediction_errors_against_oracle_are_bounded() {
+    let gpu = small_gpu();
+    for name in ["bfs", "nw", "gemm"] {
+        let app = swiftsim_workloads::by_name(name).expect("workload").generate(Scale::Tiny);
+        let detailed = SimulatorBuilder::new(gpu.clone())
+            .preset(SimulatorPreset::Detailed)
+            .build()
+            .run(&app)
+            .expect("run")
+            .cycles;
+        let hw = swiftsim_workloads::silicon::hardware_cycles(name, &gpu.name, detailed);
+        for preset in [SimulatorPreset::SwiftBasic, SimulatorPreset::SwiftMemory] {
+            let predicted = SimulatorBuilder::new(gpu.clone())
+                .preset(preset)
+                .build()
+                .run(&app)
+                .expect("run")
+                .cycles;
+            let err = swiftsim_metrics::rel_error(predicted as f64, hw as f64);
+            assert!(err < 1.5, "{name}/{preset:?}: error {err:.2} out of band");
+        }
+    }
+}
+
+/// The memory substrate and the core's analytical model agree on hit-rate
+/// inputs: a cache-friendly app must see lower analytical latencies than a
+/// streaming one.
+#[test]
+fn analytical_model_reflects_locality() {
+    use std::collections::HashMap;
+    use swiftsim_core::mem_system::{AnalyticalMemory, LatencyTerms};
+    use swiftsim_mem::PcHitRates;
+
+    let gpu = small_gpu();
+    let terms = LatencyTerms::from_config(&gpu);
+    let mut rates = HashMap::new();
+    rates.insert(1u32, PcHitRates { l1: 0.9, l2: 0.1, dram: 0.0 });
+    rates.insert(2u32, PcHitRates { l1: 0.0, l2: 0.0, dram: 1.0 });
+    let mem = AnalyticalMemory::new(&gpu, &rates);
+    assert!(mem.latency_of(1) < mem.latency_of(2));
+    assert!((mem.latency_of(2) - terms.dram).abs() < 1e-9);
+}
