@@ -32,14 +32,10 @@ fn bench_presets(c: &mut Criterion) {
             ("swift_basic", SimulatorPreset::SwiftBasic),
             ("swift_memory", SimulatorPreset::SwiftMemory),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, app_name),
-                &app,
-                |b, app| {
-                    let sim = SimulatorBuilder::new(gpu.clone()).preset(preset).build();
-                    b.iter(|| sim.run(app).expect("bench run"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, app_name), &app, |b, app| {
+                let sim = SimulatorBuilder::new(gpu.clone()).preset(preset).build();
+                b.iter(|| sim.run(app).expect("bench run"));
+            });
         }
     }
     group.finish();

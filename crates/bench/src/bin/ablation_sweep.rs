@@ -31,10 +31,7 @@ fn main() {
     eprintln!("ablation on {} [{}]", workload.name, knobs.describe());
 
     let cases: Vec<(&str, SimulatorBuilder)> = vec![
-        (
-            "detailed baseline",
-            SimulatorBuilder::new(gpu.clone()),
-        ),
+        ("detailed baseline", SimulatorBuilder::new(gpu.clone())),
         (
             "- per-cycle frontend caches",
             SimulatorBuilder::new(gpu.clone()).frontend_detailed(false),
@@ -68,14 +65,11 @@ fn main() {
                 .memory_model(MemoryModelKind::AnalyticalReuse)
                 .skip_idle(true),
         ),
-        (
-            "detailed baseline over a 2D-mesh NoC",
-            {
-                let mut mesh_gpu = gpu.clone();
-                mesh_gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
-                SimulatorBuilder::new(mesh_gpu)
-            },
-        ),
+        ("detailed baseline over a 2D-mesh NoC", {
+            let mut mesh_gpu = gpu.clone();
+            mesh_gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
+            SimulatorBuilder::new(mesh_gpu)
+        }),
     ];
 
     let mut table = Table::new(vec!["Configuration", "Cycles", "Wall s", "Speedup"]);

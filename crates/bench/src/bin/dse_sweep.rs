@@ -2,75 +2,129 @@
 //! policies and L1 replacement policies across several workloads with the
 //! fast hybrid presets, the workflow the framework is built for.
 //!
+//! Both sweeps run as *campaigns*: the `swiftsim-campaign` engine expands
+//! the policy × workload grid, simulates the jobs on a worker pool, and
+//! serves repeat invocations from the content-addressed result cache — so
+//! re-running this binary after editing one policy only re-simulates the
+//! affected cells.
+//!
 //! ```sh
 //! cargo run --release -p swiftsim-bench --bin dse_sweep
 //! ```
 
 use swiftsim_bench::Knobs;
+use swiftsim_campaign::{
+    run_campaign, CampaignOptions, CampaignReport, CampaignSpec, WorkloadSource,
+};
 use swiftsim_config::{presets, ReplacementPolicy, SchedulerPolicy};
 use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_workloads::{MemPattern, Mix, PatternKernel, Scale};
 
+const DSE_APPS: [&str; 5] = ["bfs", "gemm", "hotspot", "kmeans", "mvt"];
+
+/// The campaign-row cycles for (workload, policy-column), rendered as a
+/// table cell; failed jobs show up as `error` instead of aborting the
+/// whole sweep.
+fn cycles_cell(report: &CampaignReport, app: &str, column: &Option<String>) -> String {
+    report
+        .rows
+        .iter()
+        .find(|r| r.workload == app && (&r.scheduler == column || &r.replacement == column))
+        .map_or_else(
+            || "error".to_owned(),
+            |r| match &r.result {
+                Some(res) => res.cycles.to_string(),
+                None => "error".to_owned(),
+            },
+        )
+}
+
+fn policy_table(report: &CampaignReport, apps: &[&str], columns: &[String]) -> Table {
+    let mut headers = vec!["App".to_owned()];
+    headers.extend(columns.iter().cloned());
+    let mut t = Table::new(headers);
+    for app in apps {
+        let mut cells = vec![(*app).to_owned()];
+        for col in columns {
+            cells.push(cycles_cell(report, app, &Some(col.clone())));
+        }
+        t.row(cells);
+    }
+    t
+}
+
 fn main() {
     let knobs = Knobs::from_env();
-    let apps: Vec<_> = knobs
+    let apps: Vec<String> = knobs
         .workloads()
         .into_iter()
-        .filter(|w| ["bfs", "gemm", "hotspot", "kmeans", "mvt"].contains(&w.name))
+        .filter(|w| DSE_APPS.contains(&w.name))
+        .map(|w| w.name.to_owned())
         .collect();
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
     eprintln!("DSE sweep [{}]", knobs.describe());
+
+    let base = CampaignSpec {
+        workloads: apps.iter().cloned().map(WorkloadSource::Builtin).collect(),
+        scale: knobs.scale,
+        threads: vec![knobs.threads],
+        ..CampaignSpec::default()
+    };
+    let opts = CampaignOptions::default();
 
     // Scheduler sweep with Swift-Sim-Memory (scheduler stays
     // cycle-accurate, everything else analytical).
-    let mut sched = Table::new(vec!["App", "GTO", "LRR", "Two-level"]);
-    for w in &apps {
-        let app = w.generate(knobs.scale);
-        let mut cells = vec![w.name.to_owned()];
-        for policy in [SchedulerPolicy::Gto, SchedulerPolicy::Lrr, SchedulerPolicy::TwoLevel] {
-            let mut gpu = presets::rtx2080ti();
-            gpu.sm.scheduler = policy;
-            let r = SimulatorBuilder::new(gpu)
-                .preset(SimulatorPreset::SwiftMemory)
-                .threads(knobs.threads)
-                .build()
-                .run(&app)
-                .expect("dse run");
-            cells.push(r.cycles.to_string());
-        }
-        sched.row(cells);
-    }
+    let sched_spec = CampaignSpec {
+        name: "dse-scheduler".to_owned(),
+        presets: vec![SimulatorPreset::SwiftMemory],
+        schedulers: [
+            SchedulerPolicy::Gto,
+            SchedulerPolicy::Lrr,
+            SchedulerPolicy::TwoLevel,
+        ]
+        .into_iter()
+        .map(Some)
+        .collect(),
+        ..base.clone()
+    };
+    let sched = run_campaign(&sched_spec, &opts).expect("scheduler campaign");
+    eprintln!("scheduler sweep: {}", sched.summary_line());
     println!("Warp-scheduler sweep (cycles, Swift-Sim-Memory):");
     println!();
-    print!("{sched}");
+    let columns: Vec<String> = sched_spec
+        .schedulers
+        .iter()
+        .map(|s| s.unwrap().to_string())
+        .collect();
+    print!("{}", policy_table(&sched, &app_refs, &columns));
 
     // Replacement-policy sweep needs the cycle-accurate cache: Swift-Sim-
     // Basic (the exact scenario §II-B says analytical models cannot cover).
-    let mut repl = Table::new(vec!["App", "LRU", "FIFO", "Random"]);
-    for w in &apps {
-        let app = w.generate(knobs.scale);
-        let mut cells = vec![w.name.to_owned()];
-        for policy in [
+    let repl_spec = CampaignSpec {
+        name: "dse-replacement".to_owned(),
+        presets: vec![SimulatorPreset::SwiftBasic],
+        replacements: [
             ReplacementPolicy::Lru,
             ReplacementPolicy::Fifo,
             ReplacementPolicy::Random,
-        ] {
-            let mut gpu = presets::rtx2080ti();
-            gpu.sm.l1d.replacement = policy;
-            let r = SimulatorBuilder::new(gpu)
-                .preset(SimulatorPreset::SwiftBasic)
-                .threads(knobs.threads)
-                .build()
-                .run(&app)
-                .expect("dse run");
-            cells.push(r.cycles.to_string());
-        }
-        repl.row(cells);
-    }
+        ]
+        .into_iter()
+        .map(Some)
+        .collect(),
+        ..base
+    };
+    let repl = run_campaign(&repl_spec, &opts).expect("replacement campaign");
+    eprintln!("replacement sweep: {}", repl.summary_line());
     println!();
     println!("L1 replacement-policy sweep (cycles, Swift-Sim-Basic):");
     println!();
-    print!("{repl}");
+    let columns: Vec<String> = repl_spec
+        .replacements
+        .iter()
+        .map(|r| r.unwrap().to_string())
+        .collect();
+    print!("{}", policy_table(&repl, &app_refs, &columns));
 
     // The suite's working sets dwarf the 64 KiB L1, so the policies tie
     // above. A cyclic sweep slightly larger than the L1 is the classic
@@ -85,16 +139,21 @@ fn main() {
         blocks: 544, // 68 SMs x 8 resident blocks
         threads_per_block: 128,
         iters: 24,
-        mix: Mix { loads: 4, stores: 0, int_ops: 3, ..Mix::default() },
-        pattern: MemPattern::Tiled { tile_bytes: 16 * 1024 },
+        mix: Mix {
+            loads: 4,
+            stores: 0,
+            int_ops: 3,
+            ..Mix::default()
+        },
+        pattern: MemPattern::Tiled {
+            tile_bytes: 16 * 1024,
+        },
         shared_mem_bytes: 0,
         regs_per_thread: 32,
         barrier: false,
     };
-    let app = swiftsim_trace::ApplicationTrace::new(
-        "l1_resident",
-        vec![resident.generate(Scale::Paper)],
-    );
+    let app =
+        swiftsim_trace::ApplicationTrace::new("l1_resident", vec![resident.generate(Scale::Paper)]);
     let mut fine = Table::new(vec!["Replacement", "Cycles", "L1 miss rate"]);
     for policy in [
         ReplacementPolicy::Lru,
@@ -103,16 +162,21 @@ fn main() {
     ] {
         let mut gpu = presets::rtx2080ti();
         gpu.sm.l1d.replacement = policy;
-        let r = SimulatorBuilder::new(gpu)
+        match SimulatorBuilder::new(gpu)
             .preset(SimulatorPreset::SwiftBasic)
             .build()
             .run(&app)
-            .expect("dse run");
-        fine.row(vec![
-            policy.to_string(),
-            r.cycles.to_string(),
-            format!("{:.3}", r.metrics.ratio("mem.l1.miss_rate").unwrap_or(0.0)),
-        ]);
+        {
+            Ok(r) => fine.row(vec![
+                policy.to_string(),
+                r.cycles.to_string(),
+                format!("{:.3}", r.metrics.ratio("mem.l1.miss_rate").unwrap_or(0.0)),
+            ]),
+            Err(e) => {
+                eprintln!("l1_cyclic_sweep with {policy} failed: {e}");
+                fine.row(vec![policy.to_string(), "error".into(), "-".into()]);
+            }
+        }
     }
     println!();
     println!("Replacement sweep on a cache-pressured cyclic kernel:");

@@ -16,7 +16,11 @@ use swiftsim_metrics::Table;
 fn main() {
     let knobs = Knobs::from_env();
     let gpu = swiftsim_config::presets::rtx2080ti();
-    eprintln!("Fig. 4 (bars): prediction error on {} [{}]", gpu.name, knobs.describe());
+    eprintln!(
+        "Fig. 4 (bars): prediction error on {} [{}]",
+        gpu.name,
+        knobs.describe()
+    );
 
     let mut results = Vec::new();
     let mut t = Table::new(vec![

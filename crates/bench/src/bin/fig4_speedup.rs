@@ -22,12 +22,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    let mut t = Table::new(vec![
-        "App",
-        "Baseline wall s",
-        "Basic x",
-        "Memory x",
-    ]);
+    let mut t = Table::new(vec!["App", "Baseline wall s", "Basic x", "Memory x"]);
     for w in knobs.workloads() {
         eprintln!("  running {} ...", w.name);
         let r = sweep_app_cached(&gpu, &w, &knobs);

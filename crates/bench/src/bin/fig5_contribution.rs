@@ -16,7 +16,10 @@ use swiftsim_metrics::Table;
 fn main() {
     let knobs = Knobs::from_env();
     let gpu = swiftsim_config::presets::rtx2080ti();
-    eprintln!("Fig. 5: speedup contribution analysis [{}]", knobs.describe());
+    eprintln!(
+        "Fig. 5: speedup contribution analysis [{}]",
+        knobs.describe()
+    );
 
     let mut results = Vec::new();
     for w in knobs.workloads() {
@@ -30,7 +33,11 @@ fn main() {
     let memory_mt = geomean_of(&results, |r| r.speedup(r.memory_mt));
 
     let mut t = Table::new(vec!["Configuration", "Speedup (geomean)", "Factor"]);
-    t.row(vec!["baseline (detailed, 1 thread)".into(), "1.0x".into(), "-".into()]);
+    t.row(vec![
+        "baseline (detailed, 1 thread)".into(),
+        "1.0x".into(),
+        "-".into(),
+    ]);
     t.row(vec![
         "+ analytical ALU & simplified frontend (Basic, 1 thread)".into(),
         format!("{basic_1t:.1}x"),

@@ -9,14 +9,9 @@ use swiftsim_metrics::Table;
 
 fn main() {
     let gpus = swiftsim_config::presets::all();
-    let mut t = Table::new(vec![
-        "NVIDIA GPUs",
-        "RTX 2080 Ti",
-        "RTX 3060",
-        "RTX 3090",
-    ]);
+    let mut t = Table::new(vec!["NVIDIA GPUs", "RTX 2080 Ti", "RTX 3060", "RTX 3090"]);
     let col = |f: &dyn Fn(&swiftsim_config::GpuConfig) -> String| -> Vec<String> {
-        gpus.iter().map(|g| f(g)).collect()
+        gpus.iter().map(f).collect()
     };
     let rows: Vec<(&str, Vec<String>)> = vec![
         ("Architecture", col(&|g| g.architecture.clone())),

@@ -121,7 +121,12 @@ impl AppResult {
     }
 }
 
-fn run_one(gpu: &GpuConfig, preset: SimulatorPreset, threads: usize, app: &swiftsim_trace::ApplicationTrace) -> Measurement {
+fn run_one(
+    gpu: &GpuConfig,
+    preset: SimulatorPreset,
+    threads: usize,
+    app: &swiftsim_trace::ApplicationTrace,
+) -> Measurement {
     let sim = SimulatorBuilder::new(gpu.clone())
         .preset(preset)
         .threads(threads)
@@ -193,9 +198,7 @@ fn cache_path(gpu: &GpuConfig, scale: Scale) -> std::path::PathBuf {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
-    std::path::PathBuf::from(format!(
-        "target/swiftsim-sweeps/{gpu_slug}-{scale:?}.tsv"
-    ))
+    std::path::PathBuf::from(format!("target/swiftsim-sweeps/{gpu_slug}-{scale:?}.tsv"))
 }
 
 fn measurement_to_fields(m: Measurement) -> String {
@@ -249,7 +252,11 @@ fn cache_store(gpu: &GpuConfig, scale: Scale, threads: usize, r: &AppResult) {
         r.hardware,
     );
     use std::io::Write as _;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = f.write_all(row.as_bytes());
     }
 }
@@ -277,7 +284,7 @@ pub fn sweep_app_accuracy_cached(gpu: &GpuConfig, workload: &Workload, scale: Sc
         for line in text.lines() {
             let f: Vec<&str> = line.split('\t').collect();
             if f.len() == 14 && f[0] == workload.name {
-                if let Some(threads) = f[1].parse::<usize>().ok() {
+                if let Ok(threads) = f[1].parse::<usize>() {
                     if let Some(hit) = cache_lookup(gpu, scale, workload.name, threads) {
                         return hit;
                     }

@@ -1,0 +1,228 @@
+//! Campaign results: structured rows, JSON-lines emission, summary table.
+
+use crate::executor::{JobOutcome, JobStatus};
+use crate::spec::ResolvedJob;
+use swiftsim_core::SimulationResult;
+use swiftsim_metrics::{Json, Table};
+
+/// How a row ended (the data-less mirror of [`JobStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Simulated in this run.
+    Ok,
+    /// Served from the result cache.
+    Cached,
+    /// All attempts failed.
+    Failed,
+}
+
+impl RowStatus {
+    /// Lower-case name used in JSONL and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Cached => "cached",
+            RowStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone)]
+pub struct JobRow {
+    /// Index in expansion order.
+    pub index: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// Content-addressed cache key (16 hex digits).
+    pub key: String,
+    /// Workload/trace name.
+    pub workload: String,
+    /// GPU name (from the resolved config).
+    pub gpu: String,
+    /// Simulator preset label.
+    pub preset: String,
+    /// Per-simulation threads.
+    pub threads: usize,
+    /// Scheduler override, if any.
+    pub scheduler: Option<String>,
+    /// Replacement-policy override, if any.
+    pub replacement: Option<String>,
+    /// Outcome kind.
+    pub status: RowStatus,
+    /// Attempts consumed (0 for cache hits).
+    pub attempts: u32,
+    /// Wall time spent on the job in this run.
+    pub wall: std::time::Duration,
+    /// Failure message, for [`RowStatus::Failed`] rows.
+    pub error: Option<String>,
+    /// The simulation result, for non-failed rows.
+    pub result: Option<SimulationResult>,
+}
+
+impl JobRow {
+    /// Serialize to the JSONL row schema. The `result` field uses exactly
+    /// [`SimulationResult::to_json`]'s schema — the same one `swiftsim
+    /// --json` prints for single runs.
+    pub fn to_json(&self) -> Json {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => Json::str(s.clone()),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            (
+                "job",
+                Json::obj(vec![
+                    ("index", Json::int(self.index as u64)),
+                    ("label", Json::str(&self.label)),
+                    ("key", Json::str(&self.key)),
+                    ("workload", Json::str(&self.workload)),
+                    ("gpu", Json::str(&self.gpu)),
+                    ("preset", Json::str(&self.preset)),
+                    ("threads", Json::int(self.threads as u64)),
+                    ("scheduler", opt_str(&self.scheduler)),
+                    ("replacement", opt_str(&self.replacement)),
+                ]),
+            ),
+            ("status", Json::str(self.status.name())),
+            ("attempts", Json::int(u64::from(self.attempts))),
+            ("wall_us", Json::int(self.wall.as_micros() as u64)),
+            ("error", opt_str(&self.error)),
+            (
+                "result",
+                match &self.result {
+                    Some(r) => r.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One row per job, in expansion order.
+    pub rows: Vec<JobRow>,
+}
+
+impl CampaignReport {
+    pub(crate) fn new(
+        name: String,
+        jobs: Vec<ResolvedJob>,
+        outcomes: Vec<JobOutcome>,
+    ) -> CampaignReport {
+        let rows = jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(job, outcome)| {
+                let (status, error, result) = match outcome.status {
+                    JobStatus::Completed(r) => (RowStatus::Ok, None, Some(r)),
+                    JobStatus::Cached(r) => (RowStatus::Cached, None, Some(r)),
+                    JobStatus::Failed { error } => (RowStatus::Failed, Some(error), None),
+                };
+                JobRow {
+                    index: job.spec.index,
+                    label: job.spec.label(),
+                    key: job.key_hex(),
+                    workload: match &job.spec.workload {
+                        crate::spec::WorkloadSource::Builtin(n)
+                        | crate::spec::WorkloadSource::TraceFile(n) => n.clone(),
+                    },
+                    gpu: job.cfg.name.clone(),
+                    preset: job.spec.preset.label().to_owned(),
+                    threads: job.spec.threads,
+                    scheduler: job.spec.scheduler.map(|s| s.to_string()),
+                    replacement: job.spec.replacement.map(|r| r.to_string()),
+                    status,
+                    attempts: outcome.attempts,
+                    wall: outcome.wall,
+                    error,
+                    result,
+                }
+            })
+            .collect();
+        CampaignReport { name, rows }
+    }
+
+    /// Rows that simulated in this run.
+    pub fn completed(&self) -> usize {
+        self.count(RowStatus::Ok)
+    }
+
+    /// Rows served from the cache.
+    pub fn cached(&self) -> usize {
+        self.count(RowStatus::Cached)
+    }
+
+    /// Rows that failed every attempt.
+    pub fn failed(&self) -> usize {
+        self.count(RowStatus::Failed)
+    }
+
+    fn count(&self, status: RowStatus) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Find a row by (workload, GPU name, preset label) — the lookup the
+    /// figure binaries use to join campaign rows with the silicon oracle.
+    pub fn find(&self, workload: &str, gpu: &str, preset: &str) -> Option<&JobRow> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.gpu == gpu && r.preset == preset)
+    }
+
+    /// All rows as JSON lines (one compact object per row, trailing
+    /// newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-job summary as a fixed-width table.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "Job",
+            "Status",
+            "Cycles",
+            "IPC",
+            "Wall (ms)",
+            "Attempts",
+        ]);
+        for row in &self.rows {
+            let (cycles, ipc) = match &row.result {
+                Some(r) => (r.cycles.to_string(), format!("{:.3}", r.ipc())),
+                None => ("-".to_owned(), "-".to_owned()),
+            };
+            t.row(vec![
+                row.label.clone(),
+                match &row.error {
+                    Some(e) => format!("{}: {e}", row.status.name()),
+                    None => row.status.name().to_owned(),
+                },
+                cycles,
+                ipc,
+                format!("{:.1}", row.wall.as_secs_f64() * 1e3),
+                row.attempts.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// One-line outcome summary, e.g. `30 jobs: 24 ok, 6 cached, 0 failed`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} jobs: {} ok, {} cached, {} failed",
+            self.rows.len(),
+            self.completed(),
+            self.cached(),
+            self.failed()
+        )
+    }
+}

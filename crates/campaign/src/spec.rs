@@ -1,0 +1,568 @@
+//! Campaign specification, expansion, and resolution.
+//!
+//! A spec is a declarative description of a sweep: for each axis (simulator
+//! preset, GPU, workload, per-simulation threads, scheduler override,
+//! replacement-policy override) it lists the values to cover, and
+//! [`CampaignSpec::expand`] takes the cartesian product in a fixed axis
+//! order, so the job list — and every job's index — is deterministic.
+//! [`CampaignSpec::resolve`] then loads each distinct GPU config and trace
+//! once, applies knob overrides, and computes each job's stable cache key.
+
+use crate::ENGINE_VERSION;
+use std::fmt;
+use std::sync::Arc;
+use swiftsim_config::{fnv1a64, GpuConfig, ReplacementPolicy, SchedulerPolicy};
+use swiftsim_core::{SimulatorPreset, RESULT_SCHEMA_VERSION};
+use swiftsim_trace::ApplicationTrace;
+use swiftsim_workloads::Scale;
+
+/// Error raised while parsing or resolving a campaign spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The spec text or field values are malformed.
+    Spec(String),
+    /// A GPU preset/config file could not be used.
+    Gpu(String),
+    /// A workload name or trace file could not be used.
+    Workload(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(m) => write!(f, "campaign spec: {m}"),
+            CampaignError::Gpu(m) => write!(f, "campaign gpu: {m}"),
+            CampaignError::Workload(m) => write!(f, "campaign workload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Where a job's GPU configuration comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuSource {
+    /// A built-in preset name (`rtx2080ti`, `rtx3060`, `rtx3090`).
+    Preset(String),
+    /// A `-key value` config file on disk.
+    File(String),
+}
+
+impl GpuSource {
+    fn describe(&self) -> &str {
+        match self {
+            GpuSource::Preset(name) | GpuSource::File(name) => name,
+        }
+    }
+}
+
+/// Where a job's application trace comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSource {
+    /// A built-in synthetic workload, generated at the spec's scale.
+    Builtin(String),
+    /// A text or binary trace file on disk.
+    TraceFile(String),
+}
+
+impl WorkloadSource {
+    fn describe(&self) -> &str {
+        match self {
+            WorkloadSource::Builtin(name) | WorkloadSource::TraceFile(name) => name,
+        }
+    }
+}
+
+/// A declarative sweep: the cartesian product of every axis below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (reports and JSONL rows carry it).
+    pub name: String,
+    /// Simulator presets to cover.
+    pub presets: Vec<SimulatorPreset>,
+    /// GPU configurations to cover.
+    pub gpus: Vec<GpuSource>,
+    /// Workloads/traces to cover.
+    pub workloads: Vec<WorkloadSource>,
+    /// Scale for built-in workloads.
+    pub scale: Scale,
+    /// Per-simulation worker threads (the SM-sharded parallelism *inside*
+    /// one job; the campaign's own parallelism is across jobs).
+    pub threads: Vec<usize>,
+    /// Warp-scheduler overrides; `None` keeps the config's own policy.
+    pub schedulers: Vec<Option<SchedulerPolicy>>,
+    /// L1 replacement-policy overrides; `None` keeps the config's own.
+    pub replacements: Vec<Option<ReplacementPolicy>>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_owned(),
+            presets: vec![SimulatorPreset::SwiftBasic],
+            gpus: vec![GpuSource::Preset("rtx2080ti".to_owned())],
+            workloads: Vec::new(),
+            scale: Scale::Small,
+            threads: vec![1],
+            schedulers: vec![None],
+            replacements: vec![None],
+        }
+    }
+}
+
+/// One expanded job: a single simulation the campaign will run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Position in the deterministic expansion order.
+    pub index: usize,
+    /// Simulator preset.
+    pub preset: SimulatorPreset,
+    /// GPU source.
+    pub gpu: GpuSource,
+    /// Workload source.
+    pub workload: WorkloadSource,
+    /// Scale for built-in workloads.
+    pub scale: Scale,
+    /// Per-simulation worker threads.
+    pub threads: usize,
+    /// Warp-scheduler override.
+    pub scheduler: Option<SchedulerPolicy>,
+    /// Replacement-policy override.
+    pub replacement: Option<ReplacementPolicy>,
+}
+
+impl JobSpec {
+    /// Compact human-readable job label, e.g.
+    /// `bfs/rtx2080ti/swift-sim-basic/t1/sched=gto`.
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{}/{}/{}/t{}",
+            self.workload.describe(),
+            self.gpu.describe(),
+            self.preset.label(),
+            self.threads
+        );
+        if let Some(s) = self.scheduler {
+            label.push_str(&format!("/sched={s}"));
+        }
+        if let Some(r) = self.replacement {
+            label.push_str(&format!("/repl={r}"));
+        }
+        label
+    }
+}
+
+/// A job with its inputs loaded and its cache key computed.
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// The expanded job description.
+    pub spec: JobSpec,
+    /// GPU configuration with knob overrides applied.
+    pub cfg: GpuConfig,
+    /// The application trace (shared across jobs that use the same one).
+    pub app: Arc<ApplicationTrace>,
+    /// Content-addressed cache key.
+    pub key: u64,
+}
+
+impl ResolvedJob {
+    /// The cache key as the 16-digit hex string used for file names and
+    /// JSONL rows.
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.key)
+    }
+}
+
+fn parse_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+fn parse_preset(s: &str) -> Result<SimulatorPreset, CampaignError> {
+    match s {
+        "detailed" | "accelsim" | "detailed-baseline" => Ok(SimulatorPreset::Detailed),
+        "swift-basic" | "basic" | "swift-sim-basic" => Ok(SimulatorPreset::SwiftBasic),
+        "swift-memory" | "memory" | "swift-sim-memory" => Ok(SimulatorPreset::SwiftMemory),
+        other => Err(CampaignError::Spec(format!("unknown preset {other:?}"))),
+    }
+}
+
+fn parse_override<T: std::str::FromStr>(s: &str, what: &str) -> Result<Option<T>, CampaignError> {
+    if s == "default" {
+        return Ok(None);
+    }
+    s.parse()
+        .map(Some)
+        .map_err(|_| CampaignError::Spec(format!("unknown {what} {s:?}")))
+}
+
+impl CampaignSpec {
+    /// Parse the `key = value1, value2, ...` spec format.
+    ///
+    /// Recognized keys: `name`, `preset`, `gpu`, `gpu-config` (file paths),
+    /// `workload`, `trace` (file paths), `scale`, `threads`, `scheduler`,
+    /// `replacement`. `#` starts a comment; list-valued keys accumulate
+    /// across repeated lines. `scheduler`/`replacement` lists may include
+    /// `default` to also cover the un-overridden configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] on an unknown key or a malformed
+    /// value.
+    pub fn parse(text: &str) -> Result<CampaignSpec, CampaignError> {
+        let mut spec = CampaignSpec::default();
+        let mut gpus = Vec::new();
+        let mut presets = Vec::new();
+        let mut threads = Vec::new();
+        let mut schedulers = Vec::new();
+        let mut replacements = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                CampaignError::Spec(format!("line {}: expected `key = value`", lineno + 1))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => spec.name = value.to_owned(),
+                "preset" => {
+                    for v in parse_list(value) {
+                        presets.push(parse_preset(&v)?);
+                    }
+                }
+                "gpu" => gpus.extend(parse_list(value).into_iter().map(GpuSource::Preset)),
+                "gpu-config" => gpus.extend(parse_list(value).into_iter().map(GpuSource::File)),
+                "workload" => spec
+                    .workloads
+                    .extend(parse_list(value).into_iter().map(WorkloadSource::Builtin)),
+                "trace" => spec
+                    .workloads
+                    .extend(parse_list(value).into_iter().map(WorkloadSource::TraceFile)),
+                "scale" => {
+                    spec.scale = match value {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        other => {
+                            return Err(CampaignError::Spec(format!("unknown scale {other:?}")))
+                        }
+                    }
+                }
+                "threads" => {
+                    for v in parse_list(value) {
+                        threads.push(v.parse().map_err(|_| {
+                            CampaignError::Spec(format!("invalid thread count {v:?}"))
+                        })?);
+                    }
+                }
+                "scheduler" => {
+                    for v in parse_list(value) {
+                        schedulers.push(parse_override::<SchedulerPolicy>(&v, "scheduler")?);
+                    }
+                }
+                "replacement" => {
+                    for v in parse_list(value) {
+                        replacements.push(parse_override::<ReplacementPolicy>(
+                            &v,
+                            "replacement policy",
+                        )?);
+                    }
+                }
+                other => {
+                    return Err(CampaignError::Spec(format!(
+                        "line {}: unknown key {other:?}",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+
+        if !presets.is_empty() {
+            spec.presets = presets;
+        }
+        if !gpus.is_empty() {
+            spec.gpus = gpus;
+        }
+        if !threads.is_empty() {
+            spec.threads = threads;
+        }
+        if !schedulers.is_empty() {
+            spec.schedulers = schedulers;
+        }
+        if !replacements.is_empty() {
+            spec.replacements = replacements;
+        }
+        Ok(spec)
+    }
+
+    /// Expand the cartesian product into the deterministic job list.
+    ///
+    /// Axis order (outermost to innermost): GPU, workload, preset, threads,
+    /// scheduler, replacement. The order — and therefore each job's
+    /// `index` — depends only on the spec.
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for gpu in &self.gpus {
+            for workload in &self.workloads {
+                for &preset in &self.presets {
+                    for &threads in &self.threads {
+                        for &scheduler in &self.schedulers {
+                            for &replacement in &self.replacements {
+                                jobs.push(JobSpec {
+                                    index: jobs.len(),
+                                    preset,
+                                    gpu: gpu.clone(),
+                                    workload: workload.clone(),
+                                    scale: self.scale,
+                                    threads,
+                                    scheduler,
+                                    replacement,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Expand and resolve: load every distinct GPU config and trace once,
+    /// apply knob overrides, and compute cache keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] when the sweep is empty, a preset name is
+    /// unknown, or a config/trace file cannot be read.
+    pub fn resolve(&self) -> Result<Vec<ResolvedJob>, CampaignError> {
+        let jobs = self.expand();
+        if jobs.is_empty() {
+            return Err(CampaignError::Spec(
+                "empty sweep: need at least one workload (and gpu/preset)".to_owned(),
+            ));
+        }
+
+        // Load each distinct input once; jobs share them.
+        let mut gpu_cache: Vec<(GpuSource, GpuConfig)> = Vec::new();
+        let mut trace_cache: Vec<(WorkloadSource, Arc<ApplicationTrace>)> = Vec::new();
+
+        let mut resolved = Vec::with_capacity(jobs.len());
+        for spec in jobs {
+            let base = match gpu_cache.iter().find(|(s, _)| *s == spec.gpu) {
+                Some((_, cfg)) => cfg.clone(),
+                None => {
+                    let cfg = load_gpu(&spec.gpu)?;
+                    gpu_cache.push((spec.gpu.clone(), cfg.clone()));
+                    cfg
+                }
+            };
+            let app = match trace_cache.iter().find(|(s, _)| *s == spec.workload) {
+                Some((_, app)) => Arc::clone(app),
+                None => {
+                    let app = Arc::new(load_trace(&spec.workload, spec.scale)?);
+                    trace_cache.push((spec.workload.clone(), Arc::clone(&app)));
+                    app
+                }
+            };
+
+            let mut cfg = base;
+            if let Some(s) = spec.scheduler {
+                cfg.sm.scheduler = s;
+            }
+            if let Some(r) = spec.replacement {
+                cfg.sm.l1d.replacement = r;
+            }
+
+            let key = job_key(&cfg, &app, spec.preset, spec.threads);
+            resolved.push(ResolvedJob {
+                spec,
+                cfg,
+                app,
+                key,
+            });
+        }
+        Ok(resolved)
+    }
+}
+
+/// Stable content-addressed key of one job.
+///
+/// Covers everything that determines the simulation's outcome: the resolved
+/// configuration (overrides applied — via [`GpuConfig::stable_hash`]), the
+/// trace content ([`ApplicationTrace::content_hash`]), the preset, the
+/// per-simulation thread count (sharding changes predicted cycles), and the
+/// engine/schema versions so stale caches self-invalidate.
+pub fn job_key(
+    cfg: &GpuConfig,
+    app: &ApplicationTrace,
+    preset: SimulatorPreset,
+    threads: usize,
+) -> u64 {
+    let descriptor = format!(
+        "swiftsim-campaign;engine={ENGINE_VERSION};schema={RESULT_SCHEMA_VERSION};\
+         cfg={:016x};trace={:016x};preset={};threads={threads}",
+        cfg.stable_hash(),
+        app.content_hash(),
+        preset.label(),
+    );
+    fnv1a64(descriptor.as_bytes())
+}
+
+fn load_gpu(source: &GpuSource) -> Result<GpuConfig, CampaignError> {
+    match source {
+        GpuSource::Preset(name) => swiftsim_config::presets::by_name(name)
+            .ok_or_else(|| CampaignError::Gpu(format!("unknown GPU preset {name:?}"))),
+        GpuSource::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CampaignError::Gpu(format!("cannot read {path}: {e}")))?;
+            GpuConfig::parse(&text).map_err(|e| CampaignError::Gpu(format!("{path}: {e}")))
+        }
+    }
+}
+
+fn load_trace(source: &WorkloadSource, scale: Scale) -> Result<ApplicationTrace, CampaignError> {
+    match source {
+        WorkloadSource::Builtin(name) => swiftsim_workloads::by_name(name)
+            .map(|w| w.generate(scale))
+            .ok_or_else(|| CampaignError::Workload(format!("unknown workload {name:?}"))),
+        WorkloadSource::TraceFile(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| CampaignError::Workload(format!("cannot read {path}: {e}")))?;
+            if bytes.starts_with(b"SSTB") {
+                ApplicationTrace::from_binary(&bytes)
+                    .map_err(|e| CampaignError::Workload(format!("{path}: {e}")))
+            } else {
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    CampaignError::Workload(format!("{path} is neither binary nor text"))
+                })?;
+                ApplicationTrace::parse(&text)
+                    .map_err(|e| CampaignError::Workload(format!("{path}: {e}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let spec = CampaignSpec::parse(
+            "# demo\n\
+             name = dse\n\
+             preset = swift-basic, swift-memory\n\
+             gpu = rtx2080ti, rtx3060\n\
+             workload = bfs, gemm   # two apps\n\
+             scale = tiny\n\
+             threads = 1, 2\n\
+             scheduler = default, gto\n\
+             replacement = lru\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "dse");
+        assert_eq!(spec.presets.len(), 2);
+        assert_eq!(spec.gpus.len(), 2);
+        assert_eq!(spec.workloads.len(), 2);
+        assert_eq!(spec.scale, Scale::Tiny);
+        assert_eq!(spec.threads, vec![1, 2]);
+        assert_eq!(spec.schedulers, vec![None, Some(SchedulerPolicy::Gto)]);
+        assert_eq!(spec.replacements, vec![Some(ReplacementPolicy::Lru)]);
+        // 2 gpus x 2 workloads x 2 presets x 2 threads x 2 schedulers x 1.
+        assert_eq!(spec.expand().len(), 32);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CampaignSpec::parse("bogus-key = 1").is_err());
+        assert!(CampaignSpec::parse("no equals sign").is_err());
+        assert!(CampaignSpec::parse("preset = warp9").is_err());
+        assert!(CampaignSpec::parse("scale = huge").is_err());
+        assert!(CampaignSpec::parse("threads = many").is_err());
+        assert!(CampaignSpec::parse("scheduler = chaotic").is_err());
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = CampaignSpec::parse(
+            "workload = bfs, nw\n\
+             preset = swift-basic, swift-memory\n\
+             scheduler = gto, lrr, two_level\n\
+             scale = tiny\n",
+        )
+        .unwrap();
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[0].index, 0);
+        assert!(a.windows(2).all(|w| w[0].index + 1 == w[1].index));
+        // Axis order: workload is outer, preset next, scheduler innermost.
+        assert_eq!(a[0].label(), "bfs/rtx2080ti/swift-sim-basic/t1/sched=gto");
+        assert_eq!(a[1].label(), "bfs/rtx2080ti/swift-sim-basic/t1/sched=lrr");
+        assert_eq!(a[3].label(), "bfs/rtx2080ti/swift-sim-memory/t1/sched=gto");
+        assert_eq!(a[6].label(), "nw/rtx2080ti/swift-sim-basic/t1/sched=gto");
+    }
+
+    #[test]
+    fn resolve_applies_overrides_and_shares_inputs() {
+        let spec = CampaignSpec::parse(
+            "workload = nw\n\
+             scale = tiny\n\
+             replacement = default, fifo\n",
+        )
+        .unwrap();
+        let jobs = spec.resolve().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].cfg.sm.l1d.replacement,
+            swiftsim_config::presets::rtx2080ti().sm.l1d.replacement
+        );
+        assert_eq!(jobs[1].cfg.sm.l1d.replacement, ReplacementPolicy::Fifo);
+        // The trace is loaded once and shared.
+        assert!(Arc::ptr_eq(&jobs[0].app, &jobs[1].app));
+        assert_ne!(jobs[0].key, jobs[1].key);
+    }
+
+    #[test]
+    fn resolve_rejects_unknowns() {
+        let empty = CampaignSpec::default();
+        assert!(matches!(empty.resolve(), Err(CampaignError::Spec(_))));
+
+        let spec = CampaignSpec::parse("workload = doom\nscale = tiny").unwrap();
+        assert!(matches!(spec.resolve(), Err(CampaignError::Workload(_))));
+
+        let spec = CampaignSpec::parse("workload = nw\ngpu = gtx9000").unwrap();
+        assert!(matches!(spec.resolve(), Err(CampaignError::Gpu(_))));
+    }
+
+    #[test]
+    fn job_keys_are_stable_and_sensitive() {
+        let spec = CampaignSpec::parse("workload = nw\nscale = tiny").unwrap();
+        let first = spec.resolve().unwrap();
+        let again = spec.resolve().unwrap();
+        // Same spec, fresh resolution: identical keys.
+        assert_eq!(first[0].key, again[0].key);
+
+        // Any knob change produces a different key.
+        let variants = [
+            "workload = nw\nscale = tiny\nscheduler = lrr",
+            "workload = nw\nscale = tiny\nreplacement = fifo",
+            "workload = nw\nscale = tiny\nthreads = 2",
+            "workload = nw\nscale = tiny\npreset = swift-memory",
+            "workload = nw\nscale = tiny\ngpu = rtx3060",
+            "workload = nw\nscale = small",
+            "workload = bfs\nscale = tiny",
+        ];
+        for text in variants {
+            let other = CampaignSpec::parse(text).unwrap().resolve().unwrap();
+            assert_ne!(first[0].key, other[0].key, "variant {text:?}");
+        }
+    }
+}

@@ -9,10 +9,12 @@
 //! swiftsim --list-workloads
 //! swiftsim --dump-config rtx3090 > rtx3090.cfg
 //! swiftsim --dump-trace nw --scale tiny > nw.sstrace
+//! swiftsim campaign sweep.campaign --jobs 8 --out results.jsonl
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use swiftsim_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use swiftsim_config::{presets, GpuConfig};
 use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
 use swiftsim_trace::ApplicationTrace;
@@ -23,6 +25,7 @@ swiftsim — modular and hybrid GPU architecture simulation
 
 USAGE:
     swiftsim [OPTIONS]
+    swiftsim campaign <SPEC> [CAMPAIGN OPTIONS]
 
 OPTIONS:
     --preset <detailed|swift-basic|swift-memory>   simulator preset [default: swift-basic]
@@ -32,11 +35,20 @@ OPTIONS:
     --trace <FILE>                                 application trace file (overrides --workload)
     --scale <tiny|small|paper>                     workload scale [default: small]
     --threads <N>                                  worker threads [default: 1]
+    --json                                         print the result as JSON instead of a report
     --list-workloads                               list built-in workloads and exit
     --dump-config <GPU>                            print a GPU preset as a config file and exit
     --dump-trace <NAME>                            print a workload's trace and exit
     --dump-trace-bin <NAME> <FILE>                 write a workload's binary trace and exit
     --help                                         show this help
+
+CAMPAIGN OPTIONS (after `swiftsim campaign <SPEC>`):
+    --jobs <N>                                     concurrent simulations [default: one per CPU]
+    --no-cache                                     neither read nor write the result cache
+    --refresh                                      ignore cached results but overwrite them
+    --cache-dir <DIR>                              result cache root [default: target/swiftsim-campaigns/cache]
+    --out <FILE>                                   also write all rows as JSON lines to FILE
+    --json                                         print JSON lines to stdout instead of the table
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +82,49 @@ struct Args {
     trace_file: Option<String>,
     scale: Scale,
     threads: usize,
+    json: bool,
+}
+
+#[derive(Debug)]
+struct CampaignArgs {
+    spec_path: String,
+    options: CampaignOptions,
+    out: Option<String>,
+    json: bool,
+}
+
+fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
+    let mut spec_path = None;
+    let mut options = CampaignOptions::default();
+    let mut out = None;
+    let mut json = false;
+
+    let mut it = argv.drain(..);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--jobs" => {
+                options.workers = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "invalid job count".to_owned())?;
+            }
+            "--no-cache" => options = options.cache_off(),
+            "--refresh" => options = options.refresh(),
+            "--cache-dir" => options.cache_dir = value("--cache-dir")?.into(),
+            "--out" => out = Some(value("--out")?),
+            "--json" => json = true,
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown campaign option {other:?} (try --help)")),
+        }
+    }
+    Ok(CampaignArgs {
+        spec_path: spec_path.ok_or("campaign needs a spec file (try --help)")?,
+        options,
+        out,
+        json,
+    })
 }
 
 fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
@@ -79,12 +134,11 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
     let mut trace_file = None;
     let mut scale = Scale::Small;
     let mut threads = 1usize;
+    let mut json = false;
 
     let mut it = argv.drain(..);
     while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--help" | "-h" => {
                 emit(USAGE);
@@ -154,6 +208,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| "invalid thread count".to_owned())?;
             }
+            "--json" => json = true,
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -164,6 +219,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
         trace_file,
         scale,
         threads,
+        json,
     }))
 }
 
@@ -174,7 +230,38 @@ fn find_workload(name: &str) -> Result<swiftsim_workloads::Workload, String> {
         .ok_or_else(|| format!("unknown workload {name:?} (see --list-workloads)"))
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+fn run_campaign_cmd(argv: Vec<String>) -> Result<(), String> {
+    let args = parse_campaign_args(argv)?;
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.spec_path))?;
+    let spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+
+    let mut options = args.options;
+    options.progress = true;
+    let report = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if args.json {
+        emit(&report.to_jsonl());
+    } else {
+        emit(&format!(
+            "{}\n{}\n",
+            report.summary_table(),
+            report.summary_line()
+        ));
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} job(s) failed", report.failed()));
+    }
+    Ok(())
+}
+
+fn run(mut argv: Vec<String>) -> Result<(), String> {
+    if argv.first().map(String::as_str) == Some("campaign") {
+        return run_campaign_cmd(argv.split_off(1));
+    }
     let Some(args) = parse_args(argv)? else {
         return Ok(());
     };
@@ -210,14 +297,26 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     );
     let result = sim.run(&app).map_err(|e| e.to_string())?;
 
+    if args.json {
+        // The same schema campaign JSONL rows embed under "result".
+        emit(&(result.to_json().dump() + "\n"));
+        return Ok(());
+    }
+
     let mut out = String::new();
     out.push_str(&format!("app        = {}\n", result.app));
     out.push_str(&format!("simulator  = {}\n", result.simulator));
     out.push_str(&format!("cycles     = {}\n", result.cycles));
     out.push_str(&format!("insts      = {}\n", result.instructions()));
     out.push_str(&format!("ipc        = {:.3}\n", result.ipc()));
-    out.push_str(&format!("wall_time  = {:.3}s\n", result.wall_time.as_secs_f64()));
-    out.push_str(&format!("sim_rate   = {:.0} cycles/s\n\n", result.sim_rate()));
+    out.push_str(&format!(
+        "wall_time  = {:.3}s\n",
+        result.wall_time.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "sim_rate   = {:.0} cycles/s\n\n",
+        result.sim_rate()
+    ));
     for k in &result.kernels {
         out.push_str(&format!(
             "kernel {:<24} cycles={:<10} insts={:<10} ipc={:.3}\n",
@@ -294,5 +393,46 @@ mod tests {
     fn find_workload_matches_suite() {
         assert!(find_workload("bfs").is_ok());
         assert!(find_workload("doom").is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let args = parse_args(vec!["--json".into()]).unwrap().unwrap();
+        assert!(args.json);
+        assert!(!parse_args(vec![]).unwrap().unwrap().json);
+    }
+
+    #[test]
+    fn campaign_args_parse() {
+        let argv: Vec<String> = [
+            "sweep.campaign",
+            "--jobs",
+            "8",
+            "--refresh",
+            "--cache-dir",
+            "/tmp/cc",
+            "--out",
+            "rows.jsonl",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse_campaign_args(argv).unwrap();
+        assert_eq!(args.spec_path, "sweep.campaign");
+        assert_eq!(args.options.workers, 8);
+        assert_eq!(args.options.cache, swiftsim_campaign::CacheMode::Refresh);
+        assert_eq!(args.options.cache_dir, std::path::PathBuf::from("/tmp/cc"));
+        assert_eq!(args.out.as_deref(), Some("rows.jsonl"));
+        assert!(args.json);
+    }
+
+    #[test]
+    fn campaign_args_reject_bad_input() {
+        assert!(parse_campaign_args(vec![]).is_err(), "spec is required");
+        assert!(parse_campaign_args(vec!["a".into(), "--frob".into()]).is_err());
+        assert!(parse_campaign_args(vec!["a".into(), "--jobs".into()]).is_err());
+        let no_cache = parse_campaign_args(vec!["a".into(), "--no-cache".into()]).unwrap();
+        assert_eq!(no_cache.options.cache, swiftsim_campaign::CacheMode::Off);
     }
 }

@@ -357,7 +357,7 @@ impl CacheConfig {
                 self.sets
             )));
         }
-        if self.sector_bytes == 0 || self.line_bytes % self.sector_bytes != 0 {
+        if self.sector_bytes == 0 || !self.line_bytes.is_multiple_of(self.sector_bytes) {
             return Err(ConfigError::constraint(format!(
                 "{name}: sector size {} must evenly divide line size {}",
                 self.sector_bytes, self.line_bytes
@@ -417,7 +417,9 @@ impl SmConfig {
     /// inconsistent (e.g. `max_threads < warp_size`).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.sub_cores == 0 {
-            return Err(ConfigError::constraint("SM must have at least one sub-core"));
+            return Err(ConfigError::constraint(
+                "SM must have at least one sub-core",
+            ));
         }
         if self.warp_size == 0 || !self.warp_size.is_power_of_two() || self.warp_size > 32 {
             return Err(ConfigError::constraint(
@@ -680,7 +682,11 @@ mod tests {
 
     #[test]
     fn enum_round_trips() {
-        for p in [SchedulerPolicy::Gto, SchedulerPolicy::Lrr, SchedulerPolicy::TwoLevel] {
+        for p in [
+            SchedulerPolicy::Gto,
+            SchedulerPolicy::Lrr,
+            SchedulerPolicy::TwoLevel,
+        ] {
             assert_eq!(p.to_string().parse::<SchedulerPolicy>().unwrap(), p);
         }
         for p in [

@@ -1,0 +1,77 @@
+//! Stable content hashing for configurations.
+//!
+//! The campaign engine keys its on-disk result cache by the *content* of
+//! everything that determines a simulation's outcome. `DefaultHasher` is
+//! explicitly unstable across releases, so cache keys use FNV-1a over a
+//! canonical serialization instead: the key survives recompilation and
+//! toolchain upgrades, and changes exactly when a parameter changes.
+
+use crate::arch::GpuConfig;
+
+/// 64-bit FNV-1a over a byte string. Stable forever by definition.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl GpuConfig {
+    /// Stable hash of the full configuration.
+    ///
+    /// Defined as FNV-1a over [`GpuConfig::to_config_text`], the canonical
+    /// `-key value` serialization, so two configs hash equal exactly when
+    /// they would round-trip to the same file — including the GPU name and
+    /// every cache, SM, NoC, and memory parameter.
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a64(self.to_config_text().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equal_configs_hash_equal() {
+        assert_eq!(
+            presets::rtx2080ti().stable_hash(),
+            presets::rtx2080ti().stable_hash()
+        );
+    }
+
+    #[test]
+    fn any_knob_change_changes_the_hash() {
+        let base = presets::rtx2080ti();
+        let mut l1 = base.clone();
+        l1.sm.l1d.ways *= 2;
+        let mut sched = base.clone();
+        sched.sm.scheduler = crate::SchedulerPolicy::Lrr;
+        let mut sms = base.clone();
+        sms.num_sms -= 1;
+        let hashes = [
+            base.stable_hash(),
+            l1.stable_hash(),
+            sched.stable_hash(),
+            sms.stable_hash(),
+            presets::rtx3060().stable_hash(),
+            presets::rtx3090().stable_hash(),
+        ];
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

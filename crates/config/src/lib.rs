@@ -42,12 +42,13 @@
 
 mod arch;
 mod error;
+mod hash;
 mod parse;
 pub mod presets;
 
 pub use arch::{
-    AllocPolicy, CacheConfig, CacheWriteAllocate, CacheWritePolicy, ExecUnitConfig,
-    ExecUnitKind, GpuConfig, MemoryConfig, NocConfig, NocTopology, ReplacementPolicy,
-    SchedulerPolicy, SmConfig,
+    AllocPolicy, CacheConfig, CacheWriteAllocate, CacheWritePolicy, ExecUnitConfig, ExecUnitKind,
+    GpuConfig, MemoryConfig, NocConfig, NocTopology, ReplacementPolicy, SchedulerPolicy, SmConfig,
 };
 pub use error::ConfigError;
+pub use hash::fnv1a64;

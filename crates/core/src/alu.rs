@@ -164,7 +164,10 @@ impl AluModel for CycleAccurateAlu {
         // Claim a free operand-collector unit; the instruction reads (on
         // average) two source operands, serialized on a bank conflict.
         let mut operand_delay = 0;
-        if let Some(c) = self.collectors[sub_core].iter_mut().find(|c| c.pending == 0) {
+        if let Some(c) = self.collectors[sub_core]
+            .iter_mut()
+            .find(|c| c.pending == 0)
+        {
             c.pending = 2;
             c.bank = (self.issued % u64::from(REG_BANKS)) as u16;
             if self.bank_busy[sub_core][c.bank as usize] {
@@ -221,7 +224,7 @@ impl AluModel for CycleAccurateAlu {
             }
         }
         // Retire stale writeback bookings.
-        if now % 64 == 0 {
+        if now.is_multiple_of(64) {
             for slots in &mut self.wb_slots {
                 slots.retain(|&cycle, _| cycle >= now);
             }

@@ -41,12 +41,12 @@ impl Occupancy {
             (sm.max_threads / threads, "threads"),
             (sm.max_warps / warps, "warps"),
         ];
-        if kernel.shared_mem_bytes > 0 {
-            limits.push((sm.shared_mem_bytes / kernel.shared_mem_bytes, "shared memory"));
+        if let Some(by_shmem) = sm.shared_mem_bytes.checked_div(kernel.shared_mem_bytes) {
+            limits.push((by_shmem, "shared memory"));
         }
         let regs_per_block = kernel.regs_per_thread.saturating_mul(threads);
-        if regs_per_block > 0 {
-            limits.push((sm.registers / regs_per_block, "registers"));
+        if let Some(by_regs) = sm.registers.checked_div(regs_per_block) {
+            limits.push((by_regs, "registers"));
         }
 
         let (blocks, limiter) = limits
@@ -112,7 +112,10 @@ impl BlockScheduler {
     ///
     /// Panics if the SM has no running blocks — a protocol bug.
     pub fn complete(&mut self, sm: usize) {
-        assert!(self.running[sm] > 0, "SM {sm} completed a block it never ran");
+        assert!(
+            self.running[sm] > 0,
+            "SM {sm} completed a block it never ran"
+        );
         self.running[sm] -= 1;
         self.completed += 1;
     }
@@ -169,7 +172,7 @@ mod tests {
     #[test]
     fn occupancy_limited_by_registers() {
         let sm = presets::rtx2080ti().sm; // 65536 registers
-        // 256 threads * 128 regs = 32768 per block -> 2 blocks.
+                                          // 256 threads * 128 regs = 32768 per block -> 2 blocks.
         let occ = Occupancy::compute(&sm, &kernel(256, 0, 128)).unwrap();
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.limiter, "registers");

@@ -296,10 +296,7 @@ pub(crate) fn report_common(
     core.set("icache.misses", Value::Count(stats.icache_misses));
     core.set("ccache.misses", Value::Count(stats.ccache_misses));
     core.set("active_cycles", Value::Cycles(stats.active_cycles));
-    metrics.set(
-        "sim.threads",
-        Value::Count(sim.threads as u64),
-    );
+    metrics.set("sim.threads", Value::Count(sim.threads as u64));
 }
 
 #[cfg(test)]
@@ -312,7 +309,10 @@ mod tests {
         let detailed = SimulatorBuilder::new(presets::rtx2080ti())
             .preset(SimulatorPreset::Detailed)
             .build();
-        assert_eq!(detailed.description(), "cycle_accurate_alu+cycle_accurate_memory");
+        assert_eq!(
+            detailed.description(),
+            "cycle_accurate_alu+cycle_accurate_memory"
+        );
 
         let basic = SimulatorBuilder::new(presets::rtx2080ti())
             .preset(SimulatorPreset::SwiftBasic)
@@ -327,9 +327,13 @@ mod tests {
 
     #[test]
     fn threads_are_clamped() {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti()).threads(400).build();
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .threads(400)
+            .build();
         assert_eq!(sim.threads, 50);
-        let sim = SimulatorBuilder::new(presets::rtx2080ti()).threads(0).build();
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .threads(0)
+            .build();
         assert_eq!(sim.threads, 1);
     }
 

@@ -26,6 +26,29 @@ pub enum SimError {
         /// Cycle at which progress stopped.
         cycle: u64,
     },
+    /// A worker thread panicked. The panic is captured and surfaced as an
+    /// error so one bad shard (or one bad job in a campaign) cannot abort
+    /// the whole process.
+    WorkerPanic {
+        /// What the worker was doing (e.g. `"shard 3"`).
+        context: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+/// Render a `catch_unwind`/`join` panic payload as text.
+///
+/// Panic payloads are `Box<dyn Any>`; in practice they are almost always
+/// `&str` (from `panic!("...")`) or `String` (from `panic!("{x}")`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +62,9 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock { cycle } => {
                 write!(f, "simulation made no progress at cycle {cycle}")
+            }
+            SimError::WorkerPanic { context, message } => {
+                write!(f, "worker panicked in {context}: {message}")
             }
         }
     }

@@ -112,12 +112,12 @@ pub(crate) fn run_kernel_shard(
         // 1. Dispatch pending blocks to SMs with free slots (Block
         //    Scheduler, cycle-accurate in every preset).
         if bs.remaining() > 0 {
-            for sm in 0..num_local_sms {
-                while sms[sm].has_free_slot() {
-                    match bs.dispatch(sm) {
+            for (sm_idx, sm) in sms.iter_mut().enumerate().take(num_local_sms) {
+                while sm.has_free_slot() {
+                    match bs.dispatch(sm_idx) {
                         Some(local_idx) => {
                             let global = block_indices[local_idx];
-                            sms[sm].install_block(global, &blocks[global], now);
+                            sm.install_block(global, &blocks[global], now);
                         }
                         None => break,
                     }
@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(s[0], vec![0, 3, 6]);
         assert_eq!(s[1], vec![1, 4]);
         assert_eq!(s[2], vec![2, 5]);
-        assert_eq!(split_blocks(0, 3), vec![vec![], vec![], vec![]] as Vec<Vec<usize>>);
+        assert_eq!(
+            split_blocks(0, 3),
+            vec![vec![], vec![], vec![]] as Vec<Vec<usize>>
+        );
     }
 
     #[test]
@@ -256,7 +259,7 @@ mod tests {
         let shard = shard_config(&cfg, 17, 68);
         assert_eq!(shard.num_sms, 17);
         assert_eq!(shard.memory.partitions, 5); // 22*17/68 = 5.5 -> 5
-        // Degenerate shard still has one partition.
+                                                // Degenerate shard still has one partition.
         assert_eq!(shard_config(&cfg, 1, 68).memory.partitions, 1);
     }
 }

@@ -1,0 +1,177 @@
+//! JSON serialization of simulation results.
+//!
+//! One schema is shared by every product surface that emits results: the
+//! `swiftsim --json` flag, the campaign engine's JSON-lines output, and the
+//! campaign result cache (which also reads it back). The schema is
+//! versioned by `RESULT_SCHEMA_VERSION`; bump it when a field changes
+//! meaning so stale cache entries are not misread.
+
+use crate::result::{KernelResult, SimulationResult};
+use swiftsim_metrics::{Json, MetricsCollector};
+
+/// Version tag embedded in every serialized result.
+pub const RESULT_SCHEMA_VERSION: u64 = 1;
+
+impl KernelResult {
+    /// Serialize to the shared JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("cycles", Json::int(self.cycles)),
+            ("instructions", Json::int(self.instructions)),
+            ("blocks", Json::int(self.blocks)),
+            ("ipc", Json::Num(self.ipc())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<KernelResult, String> {
+        Ok(KernelResult {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("kernel: missing name")?
+                .to_owned(),
+            cycles: json
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or("kernel: missing cycles")?,
+            instructions: json
+                .get("instructions")
+                .and_then(Json::as_u64)
+                .ok_or("kernel: missing instructions")?,
+            blocks: json
+                .get("blocks")
+                .and_then(Json::as_u64)
+                .ok_or("kernel: missing blocks")?,
+        })
+    }
+}
+
+impl SimulationResult {
+    /// Serialize to the shared JSON schema (single-line, deterministic
+    /// field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::int(RESULT_SCHEMA_VERSION)),
+            ("app", Json::str(&self.app)),
+            ("simulator", Json::str(&self.simulator)),
+            ("cycles", Json::int(self.cycles)),
+            ("instructions", Json::int(self.instructions())),
+            ("ipc", Json::Num(self.ipc())),
+            ("wall_time_us", Json::int(self.wall_time.as_micros() as u64)),
+            (
+                "kernels",
+                Json::Arr(self.kernels.iter().map(KernelResult::to_json).collect()),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+
+    /// Rebuild a result from [`SimulationResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field, or a schema
+    /// version mismatch.
+    pub fn from_json(json: &Json) -> Result<SimulationResult, String> {
+        let schema = json.get("schema").and_then(Json::as_u64).unwrap_or(0);
+        if schema != RESULT_SCHEMA_VERSION {
+            return Err(format!(
+                "result schema {schema} (this build reads {RESULT_SCHEMA_VERSION})"
+            ));
+        }
+        let kernels = json
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("result: missing kernels")?
+            .iter()
+            .map(KernelResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SimulationResult {
+            app: json
+                .get("app")
+                .and_then(Json::as_str)
+                .ok_or("result: missing app")?
+                .to_owned(),
+            simulator: json
+                .get("simulator")
+                .and_then(Json::as_str)
+                .ok_or("result: missing simulator")?
+                .to_owned(),
+            cycles: json
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or("result: missing cycles")?,
+            kernels,
+            metrics: json
+                .get("metrics")
+                .map(MetricsCollector::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            wall_time: std::time::Duration::from_micros(
+                json.get("wall_time_us").and_then(Json::as_u64).unwrap_or(0),
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_metrics::Value;
+
+    fn sample() -> SimulationResult {
+        let mut metrics = MetricsCollector::new();
+        metrics.set("gpu.cycles", Value::Cycles(1000));
+        metrics.set("mem.l1.miss_rate", Value::Ratio(0.25));
+        metrics.set("core.mem_insts", Value::Count(42));
+        SimulationResult {
+            app: "bfs".into(),
+            simulator: "analytical_alu+cycle_accurate_memory".into(),
+            cycles: 1000,
+            kernels: vec![KernelResult {
+                name: "k\"quoted\"".into(),
+                cycles: 1000,
+                instructions: 2500,
+                blocks: 16,
+            }],
+            metrics,
+            wall_time: std::time::Duration::from_micros(1234),
+        }
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let r = sample();
+        let json = r.to_json().dump();
+        let back = SimulationResult::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::int(RESULT_SCHEMA_VERSION + 1);
+        }
+        let err = SimulationResult::from_json(&json).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn top_level_fields_present() {
+        let json = sample().to_json();
+        assert_eq!(json.get("app").and_then(Json::as_str), Some("bfs"));
+        assert_eq!(json.get("cycles").and_then(Json::as_u64), Some(1000));
+        assert_eq!(json.get("instructions").and_then(Json::as_u64), Some(2500));
+        assert_eq!(json.get("wall_time_us").and_then(Json::as_u64), Some(1234));
+        let metrics = json.get("metrics").unwrap();
+        assert_eq!(
+            metrics
+                .get("mem.l1.miss_rate")
+                .and_then(|e| e.get("value"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+    }
+}

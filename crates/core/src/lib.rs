@@ -62,6 +62,7 @@ mod block_scheduler;
 mod builder;
 mod error;
 mod gpu;
+mod json;
 pub mod mem_system;
 mod parallel;
 mod result;
@@ -72,7 +73,8 @@ mod sm;
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
 pub use builder::{AluModelKind, GpuSimulator, MemoryModelKind, SimulatorBuilder, SimulatorPreset};
-pub use error::SimError;
+pub use error::{panic_message, SimError};
+pub use json::RESULT_SCHEMA_VERSION;
 pub use mem_system::{MemReply, MemorySystem};
 pub use parallel::max_threads;
 pub use result::{KernelResult, SimulationResult};

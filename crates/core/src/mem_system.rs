@@ -21,8 +21,8 @@
 use crate::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use swiftsim_mem::FastMap;
 use swiftsim_config::GpuConfig;
+use swiftsim_mem::FastMap;
 use swiftsim_mem::{
     AccessOutcome, AddressMapping, DramChannel, FunctionalCacheSim, MemTxn, PcHitRates,
     ReuseDistanceAnalyzer, SectorCache,
@@ -104,7 +104,11 @@ pub trait MemorySystem: Send {
 #[derive(Debug, Clone)]
 enum Event {
     /// Request arrives at an L2 slice.
-    L2Access { part: usize, txn: MemTxn, waiter: u64 },
+    L2Access {
+        part: usize,
+        txn: MemTxn,
+        waiter: u64,
+    },
     /// DRAM data returns to the L2 slice.
     DramReturn { part: usize, line_addr: u64 },
     /// Reply data arrives back at the SM; fill the L1 line.
@@ -339,7 +343,14 @@ impl CycleAccurateMemory {
         }
     }
 
-    fn submit_dram(&mut self, part: usize, line_addr: u64, write: bool, wants_return: bool, now: Cycle) {
+    fn submit_dram(
+        &mut self,
+        part: usize,
+        line_addr: u64,
+        write: bool,
+        wants_return: bool,
+        now: Cycle,
+    ) {
         if !self.dram_pending[part].is_empty() {
             self.retry_cycles += 1;
             self.dram_pending[part].push_back((line_addr, write, wants_return));
@@ -409,15 +420,27 @@ impl CycleAccurateMemory {
     }
 
     /// Run one transaction against SM `sm`'s L1.
-    fn process_l1_txn(&mut self, sm: usize, txn: MemTxn, packed: u64, now: Cycle) -> TxnDisposition {
+    fn process_l1_txn(
+        &mut self,
+        sm: usize,
+        txn: MemTxn,
+        packed: u64,
+        now: Cycle,
+    ) -> TxnDisposition {
         match self.l1[sm].access(txn, packed, now) {
-            AccessOutcome::Hit { ready_at, downstream_write } => {
+            AccessOutcome::Hit {
+                ready_at,
+                downstream_write,
+            } => {
                 if let Some(w) = downstream_write {
                     self.forward_to_l2(sm, w, NO_WAITER, now);
                 }
                 TxnDisposition::Sync(ready_at)
             }
-            AccessOutcome::Miss { fetch, downstream_write } => {
+            AccessOutcome::Miss {
+                fetch,
+                downstream_write,
+            } => {
                 self.forward_to_l2(sm, fetch, packed, now);
                 if let Some(w) = downstream_write {
                     self.forward_to_l2(sm, w, NO_WAITER, now);
@@ -469,14 +492,23 @@ impl CycleAccurateMemory {
                     self.next_l2_waiter += 1;
                     // `waiter` here is an (sm, token) pair packed by caller.
                     let (sm, _token) = unpack_sm_token(waiter);
-                    self.l2_waiters.insert(id, L2Waiter { sm, line_addr: txn.line_addr });
+                    self.l2_waiters.insert(
+                        id,
+                        L2Waiter {
+                            sm,
+                            line_addr: txn.line_addr,
+                        },
+                    );
                     // Remember the token for final completion at L1 fill
                     // time; the L1 MSHR already holds it, so nothing more
                     // to store here.
                     id
                 };
                 match self.l2[part].access(txn, pack_l2(l2_waiter_id, waiter), now) {
-                    AccessOutcome::Hit { ready_at, downstream_write } => {
+                    AccessOutcome::Hit {
+                        ready_at,
+                        downstream_write,
+                    } => {
                         if let Some(wb) = downstream_write {
                             self.submit_dram(part, wb.line_addr, true, false, ready_at);
                         }
@@ -710,8 +742,14 @@ impl MemorySystem for CycleAccurateMemory {
         }
         scope.set("dram.reads", Value::Count(dram_reads));
         scope.set("dram.writes", Value::Count(dram_writes));
-        scope.set("noc.fwd_stall_cycles", Value::Cycles(self.fwd_noc.stats().stall_cycles));
-        scope.set("noc.rsp_stall_cycles", Value::Cycles(self.rsp_noc.stats().stall_cycles));
+        scope.set(
+            "noc.fwd_stall_cycles",
+            Value::Cycles(self.fwd_noc.stats().stall_cycles),
+        );
+        scope.set(
+            "noc.rsp_stall_cycles",
+            Value::Cycles(self.rsp_noc.stats().stall_cycles),
+        );
         scope.set("retries", Value::Count(self.retry_cycles));
         scope.set("events", Value::Count(self.events_processed));
         scope.set("accesses", Value::Count(self.accesses));
@@ -807,7 +845,9 @@ impl AnalyticalMemory {
             terms,
             per_pc,
             default_latency: terms.expected_latency(PcHitRates::all_dram()),
-            outstanding: (0..cfg.num_sms as usize).map(|_| BinaryHeap::new()).collect(),
+            outstanding: (0..cfg.num_sms as usize)
+                .map(|_| BinaryHeap::new())
+                .collect(),
             contention_per_txn: (1.0 / service.max(1e-6)).min(16.0),
             bw_next_free: 0.0,
             bw_cycles_per_txn,
@@ -876,7 +916,8 @@ impl MemorySystem for AnalyticalMemory {
             * dram_rate;
         self.bw_next_free = self.bw_next_free.max(now as f64) + dram_txns * self.bw_cycles_per_txn;
 
-        let latency_done = now + l_inst.round() as Cycle + (pressure + serialization).round() as u64;
+        let latency_done =
+            now + l_inst.round() as Cycle + (pressure + serialization).round() as u64;
         let done = latency_done.max(self.bw_next_free as Cycle);
         self.contention_cycles += done - (now + l_inst.round() as Cycle).min(done);
 
@@ -1009,8 +1050,7 @@ pub fn build_analytical_memory_reuse(
                             counts.l1 += 1;
                             continue;
                         }
-                        let l2_hit =
-                            matches!(l2_rd.record(txn.line_addr), Some(d) if d < l2_lines);
+                        let l2_hit = matches!(l2_rd.record(txn.line_addr), Some(d) if d < l2_lines);
                         if l2_hit {
                             counts.l2 += 1;
                         } else {

@@ -39,9 +39,7 @@ fn split_sms(total: usize, shards: usize) -> Vec<usize> {
     let shards = shards.max(1).min(total.max(1));
     let base = total / shards;
     let extra = total % shards;
-    (0..shards)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..shards).map(|i| base + usize::from(i < extra)).collect()
 }
 
 pub(crate) fn run_parallel(
@@ -101,9 +99,19 @@ pub(crate) fn run_parallel(
                         })
                     })
                     .collect();
+                // A panicking shard must not take down the process: capture
+                // the payload and surface it as a SimError for that shard.
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .enumerate()
+                    .map(|(i, h)| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(SimError::WorkerPanic {
+                                context: format!("shard {i} of kernel {:?}", kernel.name),
+                                message: crate::error::panic_message(payload.as_ref()),
+                            })
+                        })
+                    })
                     .collect()
             });
 

@@ -18,7 +18,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use swiftsim_config::{ExecUnitKind, SmConfig};
 use swiftsim_mem::{coalesce_accesses, AddressMapping};
-use swiftsim_trace::{AddressList, BlockTrace, MemSpace, Opcode, OpcodeClass, Reg, TraceInstruction};
+use swiftsim_trace::{
+    AddressList, BlockTrace, MemSpace, Opcode, OpcodeClass, Reg, TraceInstruction,
+};
 
 use crate::mem_system::{MemReply, MemorySystem};
 
@@ -302,8 +304,6 @@ impl<'a> SmCore<'a> {
         }
     }
 
-
-
     /// Simulate one cycle; issues at most one instruction per sub-core.
     pub(crate) fn tick(&mut self, now: Cycle, mem: &mut dyn MemorySystem) -> TickOutcome {
         self.alu.tick(now);
@@ -445,11 +445,7 @@ impl<'a> SmCore<'a> {
                         Err(Stall::Empty) => false,
                     }
                 };
-                views.push(WarpView {
-                    id,
-                    ready,
-                    age,
-                });
+                views.push(WarpView { id, ready, age });
             }
         }
 
@@ -593,8 +589,11 @@ impl<'a> SmCore<'a> {
         let completion = match mem_info.space {
             MemSpace::Shared => {
                 // Banked scratchpad: conflict degree serializes the access.
-                let degree =
-                    shared_conflict_degree_list(&mem_info.addresses, lanes, self.cfg.shared_mem_banks);
+                let degree = shared_conflict_degree_list(
+                    &mem_info.addresses,
+                    lanes,
+                    self.cfg.shared_mem_banks,
+                );
                 if degree > 1 {
                     self.stats.shared_bank_conflicts += u64::from(degree - 1);
                 }
@@ -799,7 +798,10 @@ mod tests {
             let inst = InstBuilder::new(op).build();
             assert_eq!(unit_for(&inst), expect, "{op}");
         }
-        let ldg = InstBuilder::new(Opcode::Ldg).dst(1).global_strided(0, 4, 4).build();
+        let ldg = InstBuilder::new(Opcode::Ldg)
+            .dst(1)
+            .global_strided(0, 4, 4)
+            .build();
         assert_eq!(unit_for(&ldg), Some(ExecUnitKind::LdSt));
     }
 }

@@ -151,7 +151,13 @@ fn dependent_instructions_respect_latency() {
     let mut kernel = KernelTrace::new("dep", (1, 1, 1), (32, 1, 1));
     let b = kernel.push_block();
     let w = b.push_warp();
-    w.push(InstBuilder::new(Opcode::Ldg).pc(0).dst(8).src(1).global_strided(0x100000, 4, 4));
+    w.push(
+        InstBuilder::new(Opcode::Ldg)
+            .pc(0)
+            .dst(8)
+            .src(1)
+            .global_strided(0x100000, 4, 4),
+    );
     w.push(InstBuilder::new(Opcode::Ffma).pc(16).dst(9).src(8).src(8));
     w.push(InstBuilder::new(Opcode::Exit).pc(32));
     let app = ApplicationTrace::new("dep", vec![kernel]);
@@ -204,7 +210,13 @@ fn barrier_synchronizes_block() {
     {
         let w0 = b.push_warp();
         for i in 0..50u32 {
-            w0.push(InstBuilder::new(Opcode::Ffma).pc(i * 16).dst(8).src(8).src(8));
+            w0.push(
+                InstBuilder::new(Opcode::Ffma)
+                    .pc(i * 16)
+                    .dst(8)
+                    .src(8)
+                    .src(8),
+            );
         }
         w0.push(InstBuilder::new(Opcode::Bar).pc(50 * 16));
         w0.push(InstBuilder::new(Opcode::Exit).pc(51 * 16));
@@ -231,7 +243,10 @@ fn inconsistent_trace_is_rejected() {
         .build()
         .run(&app)
         .unwrap_err();
-    assert!(matches!(err, swiftsim_core::SimError::InconsistentTrace { .. }));
+    assert!(matches!(
+        err,
+        swiftsim_core::SimError::InconsistentTrace { .. }
+    ));
 }
 
 #[test]
@@ -269,7 +284,10 @@ fn mesh_topology_is_a_config_swap() {
         .run(&app)
         .expect("mesh run")
         .cycles;
-    assert!(mesh >= crossbar, "mesh {mesh} faster than crossbar {crossbar}?");
+    assert!(
+        mesh >= crossbar,
+        "mesh {mesh} faster than crossbar {crossbar}?"
+    );
 }
 
 #[test]

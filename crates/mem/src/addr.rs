@@ -26,8 +26,14 @@ impl AddressMapping {
     /// is zero; [`CacheConfig::validate`] rejects such configurations before
     /// simulation starts.
     pub fn new(cfg: &CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(cfg.sector_bytes.is_power_of_two(), "sector size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            cfg.sector_bytes.is_power_of_two(),
+            "sector size must be a power of two"
+        );
         assert!(cfg.sets > 0, "cache must have at least one set");
         AddressMapping {
             line_shift: cfg.line_bytes.trailing_zeros(),

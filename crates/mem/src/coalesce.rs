@@ -24,7 +24,7 @@ pub struct MemTxn {
 impl MemTxn {
     /// Number of sectors this transaction moves.
     pub fn num_sectors(&self) -> u32 {
-        u32::from(self.sector_mask.count_ones())
+        self.sector_mask.count_ones()
     }
 }
 

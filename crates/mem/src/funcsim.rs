@@ -118,8 +118,7 @@ impl FunctionalCacheSim {
             return;
         }
 
-        let part =
-            AddressMapping::partition_index(txn.line_addr, self.line_bytes, self.partitions);
+        let part = AddressMapping::partition_index(txn.line_addr, self.line_bytes, self.partitions);
         let l2 = &mut self.l2s[part];
         let l2_serves = match l2.probe(txn.line_addr, txn.sector_mask, now) {
             Probe::Hit { .. } => true,

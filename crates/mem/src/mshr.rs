@@ -132,7 +132,10 @@ mod tests {
         assert_eq!(m.allocate(0x1000, 0b0010, 2), MshrOutcome::Merged);
         assert_eq!(m.allocate(0x1000, 0b0100, 3), MshrOutcome::Merged);
         // Merge limit (3) reached.
-        assert_eq!(m.allocate(0x1000, 0b1000, 4), MshrOutcome::ReservationFailure);
+        assert_eq!(
+            m.allocate(0x1000, 0b1000, 4),
+            MshrOutcome::ReservationFailure
+        );
         assert!(m.contains(0x1000));
         assert_eq!(m.occupancy(), 1);
         assert_eq!(m.merges(), 2);

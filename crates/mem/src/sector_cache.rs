@@ -8,10 +8,10 @@
 //! motivating use cases) only requires editing the configuration file.
 
 use crate::coalesce::MemTxn;
+use crate::fasthash::FastMap;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::tag_array::{LineState, Probe, TagArray};
 use crate::Cycle;
-use crate::fasthash::FastMap;
 use swiftsim_config::{AllocPolicy, CacheConfig, CacheWriteAllocate, CacheWritePolicy};
 
 /// Outcome of one cache access.
@@ -142,7 +142,10 @@ impl SectorCache {
         self.stats.accesses += 1;
 
         // Bank arbitration: the transaction occupies its bank for one cycle.
-        let bank = self.tags.mapping().bank_index(txn.line_addr | lowest_sector_offset(txn));
+        let bank = self
+            .tags
+            .mapping()
+            .bank_index(txn.line_addr | lowest_sector_offset(txn));
         let start = now.max(self.bank_free_at[bank]);
         if start > now {
             self.stats.bank_conflicts += 1;
@@ -242,13 +245,11 @@ impl SectorCache {
         match self.write_policy {
             CacheWritePolicy::WriteThrough => {
                 // Update the line on hit, forward the store regardless.
-                if matches!(probe, Probe::Hit { .. } | Probe::SectorMiss { .. }) {
-                    if self.tags.line_state(txn.line_addr).map(|(s, _)| s)
-                        == Some(LineState::Valid)
-                    {
-                        // Refresh written sectors as valid (write-validate).
-                        self.tags.fill(txn.line_addr, txn.sector_mask, start);
-                    }
+                if matches!(probe, Probe::Hit { .. } | Probe::SectorMiss { .. })
+                    && self.tags.line_state(txn.line_addr).map(|(s, _)| s) == Some(LineState::Valid)
+                {
+                    // Refresh written sectors as valid (write-validate).
+                    self.tags.fill(txn.line_addr, txn.sector_mask, start);
                 }
                 self.bank_free_at[bank] = start + 1;
                 if matches!(probe, Probe::Hit { .. }) {

@@ -2,9 +2,8 @@
 
 use crate::addr::AddressMapping;
 use crate::Cycle;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use swiftsim_config::{CacheConfig, ReplacementPolicy};
+use swiftsim_rng::SmallRng;
 
 /// State of one cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,9 +171,7 @@ impl TagArray {
                     .iter()
                     .min_by_key(|&&off| self.lines[range.start + off].alloc_time)
                     .expect("non-empty"),
-                ReplacementPolicy::Random => {
-                    candidates[self.rng.gen_range(0..candidates.len())]
-                }
+                ReplacementPolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
             });
         }
 
@@ -188,7 +185,11 @@ impl TagArray {
         };
         *line = Line {
             tag: line_addr,
-            state: if reserve { LineState::Reserved } else { LineState::Valid },
+            state: if reserve {
+                LineState::Reserved
+            } else {
+                LineState::Valid
+            },
             valid_mask: 0,
             dirty_mask: 0,
             last_use: now,

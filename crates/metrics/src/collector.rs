@@ -136,6 +136,56 @@ impl MetricsCollector {
             .sum()
     }
 
+    /// Serialize to a JSON object mapping each key to a `{kind, value}`
+    /// pair (the kind distinguishes counts from cycles from ratios, which
+    /// plain numbers cannot).
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| {
+                    let (kind, value) = match v {
+                        Value::Count(n) => ("count", Json::int(n)),
+                        Value::Cycles(n) => ("cycles", Json::int(n)),
+                        Value::Ratio(r) => ("ratio", Json::Num(r)),
+                    };
+                    (
+                        k.to_owned(),
+                        Json::obj(vec![("kind", Json::str(kind)), ("value", value)]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuild a collector from [`MetricsCollector::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed entry.
+    pub fn from_json(json: &crate::Json) -> Result<MetricsCollector, String> {
+        use crate::Json;
+        let Json::Obj(pairs) = json else {
+            return Err("metrics: expected an object".to_owned());
+        };
+        let mut out = MetricsCollector::new();
+        for (key, entry) in pairs {
+            let kind = entry.get("kind").and_then(Json::as_str);
+            let value = entry.get("value");
+            let parsed = match (kind, value) {
+                (Some("count"), Some(v)) => v.as_u64().map(Value::Count),
+                (Some("cycles"), Some(v)) => v.as_u64().map(Value::Cycles),
+                (Some("ratio"), Some(v)) => v.as_f64().map(Value::Ratio),
+                _ => None,
+            };
+            match parsed {
+                Some(v) => out.set(key.clone(), v),
+                None => return Err(format!("metrics: malformed entry {key:?}")),
+            }
+        }
+        Ok(out)
+    }
+
     /// Render all metrics as a `key = value` report, one per line.
     pub fn to_report(&self) -> String {
         let mut out = String::new();

@@ -32,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod collector;
+pub mod json;
 mod stats;
 mod table;
 
 pub use collector::{MetricsCollector, ScopedCollector, Value};
+pub use json::Json;
 pub use stats::{geomean, mean, mean_abs, rel_error};
 pub use table::Table;

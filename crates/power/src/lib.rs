@@ -38,9 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use swiftsim_config::GpuConfig;
 use swiftsim_metrics::MetricsCollector;
-use std::fmt;
 
 /// Energy coefficients in joules per event, plus static power in watts.
 ///
@@ -185,8 +185,7 @@ impl PowerModel {
         } else {
             count("mem.txns") * 6.0
         };
-        let conflicts =
-            count("core.shared.bank_conflicts") + count("mem.l1.bank_conflicts");
+        let conflicts = count("core.shared.bank_conflicts") + count("mem.l1.bank_conflicts");
         let active = metrics.cycles("core.active_cycles").unwrap_or(0) as f64;
 
         PowerReport {
@@ -227,8 +226,7 @@ mod tests {
         assert!(r.total_energy_j() > 0.0);
         assert!(r.average_power_w() > 0.0);
         assert!(r.runtime_s > 0.0);
-        let parts =
-            r.core_j + r.cache_j + r.dram_j + r.noc_j + r.pipeline_j + r.static_j;
+        let parts = r.core_j + r.cache_j + r.dram_j + r.noc_j + r.pipeline_j + r.static_j;
         assert!((parts - r.total_energy_j()).abs() < 1e-12);
         assert!(r.dynamic_fraction() > 0.0 && r.dynamic_fraction() < 1.0);
     }

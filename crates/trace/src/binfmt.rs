@@ -64,7 +64,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
-        let end = self.pos.checked_add(n).ok_or_else(|| self.err("overflow"))?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.err("overflow"))?;
         if end > self.bytes.len() {
             return Err(self.err("unexpected end of data"));
         }
@@ -165,7 +168,9 @@ fn decode_inst(r: &mut Reader<'_>) -> Result<TraceInstruction, TraceError> {
         .ok_or_else(|| r.err("opcode index out of range"))?;
     let flags = r.byte()?;
     let dst = if flags & FLAG_HAS_DST != 0 {
-        Some(Reg(u16::try_from(r.varint()?).map_err(|_| r.err("dst register"))?))
+        Some(Reg(
+            u16::try_from(r.varint()?).map_err(|_| r.err("dst register"))?
+        ))
     } else {
         None
     };
@@ -253,6 +258,24 @@ impl ApplicationTrace {
             }
         }
         out
+    }
+
+    /// Stable identity of the trace's full content: FNV-1a over the binary
+    /// serialization (which is versioned, so a format change also changes
+    /// every hash).
+    ///
+    /// Two traces hash equal exactly when every kernel, block, warp, and
+    /// instruction — including addresses and active masks — is identical.
+    /// The campaign engine uses this as the trace component of its
+    /// content-addressed cache keys; `DefaultHasher` would not survive a
+    /// toolchain upgrade.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.to_binary() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Parse the compact binary format.

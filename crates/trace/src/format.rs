@@ -159,13 +159,22 @@ impl<'a> Parser<'a> {
         self.peeked
     }
 
-    fn expect_keyword(&mut self, keyword: &str, section: &str) -> Result<(usize, &'a str), TraceError> {
-        let (no, line) = self.next_line().ok_or_else(|| TraceError::eof(section.to_owned()))?;
+    fn expect_keyword(
+        &mut self,
+        keyword: &str,
+        section: &str,
+    ) -> Result<(usize, &'a str), TraceError> {
+        let (no, line) = self
+            .next_line()
+            .ok_or_else(|| TraceError::eof(section.to_owned()))?;
         match line.strip_prefix(keyword) {
             Some(rest) if rest.is_empty() || rest.starts_with(char::is_whitespace) => {
                 Ok((no, rest.trim()))
             }
-            _ => Err(TraceError::parse(no, format!("expected {keyword:?}, found {line:?}"))),
+            _ => Err(TraceError::parse(
+                no,
+                format!("expected {keyword:?}, found {line:?}"),
+            )),
         }
     }
 
@@ -178,7 +187,10 @@ impl<'a> Parser<'a> {
                 kernels.push(self.parse_kernel()?);
             } else {
                 let (no, line) = self.next_line().expect("peeked");
-                return Err(TraceError::parse(no, format!("expected \"kernel\", found {line:?}")));
+                return Err(TraceError::parse(
+                    no,
+                    format!("expected \"kernel\", found {line:?}"),
+                ));
             }
         }
         Ok(ApplicationTrace::new(name, kernels))
@@ -295,7 +307,9 @@ fn parse_reg(token: &str) -> Result<Reg, TraceError> {
 
 fn parse_inst(no: usize, line: &str) -> Result<TraceInstruction, TraceError> {
     let mut tokens = line.split_whitespace();
-    let pc_tok = tokens.next().ok_or_else(|| TraceError::parse(no, "empty instruction"))?;
+    let pc_tok = tokens
+        .next()
+        .ok_or_else(|| TraceError::parse(no, "empty instruction"))?;
     let pc = u32::from_str_radix(pc_tok, 16)
         .map_err(|_| TraceError::invalid_value("program counter", pc_tok))?;
     let op_tok = tokens
@@ -324,7 +338,9 @@ fn parse_inst(no: usize, line: &str) -> Result<TraceInstruction, TraceError> {
                 return Err(TraceError::parse(no, "multiple active masks"));
             }
         } else if let Some(w) = tok.strip_prefix("W:") {
-            let w: u8 = w.parse().map_err(|_| TraceError::invalid_value("access width", w))?;
+            let w: u8 = w
+                .parse()
+                .map_err(|_| TraceError::invalid_value("access width", w))?;
             width = Some(w);
         } else if let Some(st) = tok.strip_prefix("ST:") {
             let (base, stride) = st
@@ -339,8 +355,7 @@ fn parse_inst(no: usize, line: &str) -> Result<TraceInstruction, TraceError> {
             let addrs = ad
                 .split(',')
                 .map(|a| {
-                    u64::from_str_radix(a, 16)
-                        .map_err(|_| TraceError::invalid_value("address", a))
+                    u64::from_str_radix(a, 16).map_err(|_| TraceError::invalid_value("address", a))
                 })
                 .collect::<Result<Vec<u64>, TraceError>>()?;
             addresses = Some(AddressList::Explicit(addrs));
@@ -420,7 +435,13 @@ mod tests {
         let mut k1 = KernelTrace::new("k1", (1, 1, 1), (32, 1, 1));
         let b = k1.push_block();
         let warp = b.push_warp();
-        warp.push(InstBuilder::new(Opcode::Lds).pc(0).dst(2).src(1).global_strided(0, 4, 4));
+        warp.push(
+            InstBuilder::new(Opcode::Lds)
+                .pc(0)
+                .dst(2)
+                .src(1)
+                .global_strided(0, 4, 4),
+        );
         warp.push(InstBuilder::new(Opcode::Exit).pc(0x10));
         ApplicationTrace::new("sample", vec![kernel, k1])
     }

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn strided_expansion() {
-        let list = AddressList::Strided { base: 0x100, stride: 4 };
+        let list = AddressList::Strided {
+            base: 0x100,
+            stride: 4,
+        };
         assert_eq!(list.expand(4), vec![0x100, 0x104, 0x108, 0x10c]);
         assert_eq!(list.len(4), 4);
         assert!(!list.is_empty(4));
@@ -271,7 +274,10 @@ mod tests {
 
     #[test]
     fn strided_expansion_wraps_instead_of_panicking() {
-        let list = AddressList::Strided { base: u64::MAX - 4, stride: 4 };
+        let list = AddressList::Strided {
+            base: u64::MAX - 4,
+            stride: 4,
+        };
         let addrs = list.expand(3);
         assert_eq!(addrs[0], u64::MAX - 4);
         assert_eq!(addrs[2], 3); // wrapped
@@ -340,7 +346,9 @@ mod tests {
         assert!(!inst.is_well_formed());
 
         // Missing payload.
-        let mut inst2 = InstBuilder::new(Opcode::Ldg).dst(2).build_unchecked_for_tests();
+        let mut inst2 = InstBuilder::new(Opcode::Ldg)
+            .dst(2)
+            .build_unchecked_for_tests();
         inst2.mem = None;
         assert!(!inst2.is_well_formed());
 

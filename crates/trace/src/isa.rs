@@ -293,7 +293,12 @@ mod tests {
 
     #[test]
     fn mem_space_round_trip() {
-        for space in [MemSpace::Global, MemSpace::Local, MemSpace::Shared, MemSpace::Const] {
+        for space in [
+            MemSpace::Global,
+            MemSpace::Local,
+            MemSpace::Shared,
+            MemSpace::Const,
+        ] {
             assert_eq!(space.to_string().parse::<MemSpace>().unwrap(), space);
         }
     }

@@ -161,7 +161,11 @@ pub struct KernelTrace {
 
 impl KernelTrace {
     /// Create a kernel trace with the given launch geometry and no blocks.
-    pub fn new(name: impl Into<String>, grid_dim: impl Into<Dim3>, block_dim: impl Into<Dim3>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        grid_dim: impl Into<Dim3>,
+        block_dim: impl Into<Dim3>,
+    ) -> Self {
         KernelTrace {
             name: name.into(),
             grid_dim: grid_dim.into(),
@@ -324,7 +328,12 @@ mod tests {
             let b = kernel.push_block();
             for _ in 0..2 {
                 let w = b.push_warp();
-                w.push(InstBuilder::new(Opcode::Ldg).dst(2).src(1).global_strided(0, 4, 4));
+                w.push(
+                    InstBuilder::new(Opcode::Ldg)
+                        .dst(2)
+                        .src(1)
+                        .global_strided(0, 4, 4),
+                );
                 w.push(InstBuilder::new(Opcode::Ffma).dst(3).src(2).src(2));
                 w.push(InstBuilder::new(Opcode::Iadd).dst(1).src(1));
                 w.push(InstBuilder::new(Opcode::Exit));

@@ -99,8 +99,16 @@ pub fn suite() -> Vec<Workload> {
                     192,
                     256,
                     24,
-                    Mix { loads: 3, stores: 1, int_ops: 4, ..Mix::default() },
-                    MemPattern::Irregular { footprint_lines: 200_000, hot_fraction: 0.35 },
+                    Mix {
+                        loads: 3,
+                        stores: 1,
+                        int_ops: 4,
+                        ..Mix::default()
+                    },
+                    MemPattern::Irregular {
+                        footprint_lines: 200_000,
+                        hot_fraction: 0.35,
+                    },
                 )
             })
             .collect(),
@@ -116,7 +124,13 @@ pub fn suite() -> Vec<Workload> {
                 256,
                 128,
                 48,
-                Mix { loads: 4, stores: 2, int_ops: 2, fp: 0, ..Mix::default() },
+                Mix {
+                    loads: 4,
+                    stores: 2,
+                    int_ops: 2,
+                    fp: 0,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             );
             k.shared_mem_bytes = 8_192;
@@ -142,7 +156,10 @@ pub fn suite() -> Vec<Workload> {
                     shared_st: 1,
                     ..Mix::default()
                 },
-                MemPattern::Stencil { row_bytes: 8_192, rows: 3 },
+                MemPattern::Stencil {
+                    row_bytes: 8_192,
+                    rows: 3,
+                },
             );
             k.shared_mem_bytes = 12_288;
             k.barrier = true;
@@ -159,7 +176,14 @@ pub fn suite() -> Vec<Workload> {
                 160,
                 256,
                 28,
-                Mix { loads: 2, stores: 1, int_ops: 6, shared_ld: 1, shared_st: 1, ..Mix::default() },
+                Mix {
+                    loads: 2,
+                    stores: 1,
+                    int_ops: 6,
+                    shared_ld: 1,
+                    shared_st: 1,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             );
             k.shared_mem_bytes = 4_096;
@@ -177,7 +201,14 @@ pub fn suite() -> Vec<Workload> {
                 192,
                 256,
                 16,
-                Mix { loads: 2, stores: 1, fp: 10, int_ops: 2, sfu: 1, ..Mix::default() },
+                Mix {
+                    loads: 2,
+                    stores: 1,
+                    fp: 10,
+                    int_ops: 2,
+                    sfu: 1,
+                    ..Mix::default()
+                },
                 MemPattern::Strided { lane_stride: 64 },
             ),
             kernel(
@@ -185,7 +216,13 @@ pub fn suite() -> Vec<Workload> {
                 192,
                 256,
                 12,
-                Mix { loads: 3, stores: 2, fp: 6, int_ops: 2, ..Mix::default() },
+                Mix {
+                    loads: 3,
+                    stores: 2,
+                    fp: 6,
+                    int_ops: 2,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             ),
         ],
@@ -199,8 +236,18 @@ pub fn suite() -> Vec<Workload> {
             224,
             256,
             18,
-            Mix { loads: 4, stores: 1, fp: 12, int_ops: 3, sfu: 2, ..Mix::default() },
-            MemPattern::Stencil { row_bytes: 16_384, rows: 3 },
+            Mix {
+                loads: 4,
+                stores: 1,
+                fp: 12,
+                int_ops: 3,
+                sfu: 2,
+                ..Mix::default()
+            },
+            MemPattern::Stencil {
+                row_bytes: 16_384,
+                rows: 3,
+            },
         )],
     });
 
@@ -217,7 +264,13 @@ pub fn suite() -> Vec<Workload> {
                     144,
                     128,
                     28,
-                    Mix { loads: 4, stores: 2, fp: 2, int_ops: 1, ..Mix::default() },
+                    Mix {
+                        loads: 4,
+                        stores: 2,
+                        fp: 2,
+                        int_ops: 1,
+                        ..Mix::default()
+                    },
                     if i == 0 {
                         MemPattern::Streaming
                     } else {
@@ -264,7 +317,13 @@ pub fn suite() -> Vec<Workload> {
                 96,
                 128,
                 20,
-                Mix { loads: 3, stores: 1, fp: 6, int_ops: 3, ..Mix::default() },
+                Mix {
+                    loads: 3,
+                    stores: 1,
+                    fp: 6,
+                    int_ops: 3,
+                    ..Mix::default()
+                },
                 MemPattern::Strided { lane_stride: 256 },
             ),
             kernel(
@@ -272,7 +331,13 @@ pub fn suite() -> Vec<Workload> {
                 160,
                 256,
                 16,
-                Mix { loads: 3, stores: 2, fp: 8, int_ops: 2, ..Mix::default() },
+                Mix {
+                    loads: 3,
+                    stores: 2,
+                    fp: 8,
+                    int_ops: 2,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             ),
         ],
@@ -286,7 +351,13 @@ pub fn suite() -> Vec<Workload> {
             112,
             256,
             16,
-            Mix { loads: 3, stores: 1, fp: 3, int_ops: 1, ..Mix::default() },
+            Mix {
+                loads: 3,
+                stores: 1,
+                fp: 3,
+                int_ops: 1,
+                ..Mix::default()
+            },
             MemPattern::Strided { lane_stride: 128 },
         )],
     });
@@ -299,8 +370,17 @@ pub fn suite() -> Vec<Workload> {
             256,
             256,
             24,
-            Mix { loads: 3, stores: 1, fp: 9, int_ops: 2, ..Mix::default() },
-            MemPattern::Stencil { row_bytes: 8_192, rows: 3 },
+            Mix {
+                loads: 3,
+                stores: 1,
+                fp: 9,
+                int_ops: 2,
+                ..Mix::default()
+            },
+            MemPattern::Stencil {
+                row_bytes: 8_192,
+                rows: 3,
+            },
         )],
     });
 
@@ -315,7 +395,12 @@ pub fn suite() -> Vec<Workload> {
             288,
             256,
             40,
-            Mix { loads: 4, stores: 1, int_ops: 6, ..Mix::default() },
+            Mix {
+                loads: 4,
+                stores: 1,
+                int_ops: 6,
+                ..Mix::default()
+            },
             MemPattern::Streaming,
         )],
     });
@@ -329,7 +414,12 @@ pub fn suite() -> Vec<Workload> {
                 224,
                 256,
                 24,
-                Mix { loads: 3, stores: 1, int_ops: 5, ..Mix::default() },
+                Mix {
+                    loads: 3,
+                    stores: 1,
+                    int_ops: 5,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             ),
             kernel(
@@ -337,8 +427,16 @@ pub fn suite() -> Vec<Workload> {
                 96,
                 128,
                 16,
-                Mix { loads: 2, stores: 1, int_ops: 4, ..Mix::default() },
-                MemPattern::Irregular { footprint_lines: 30_000, hot_fraction: 0.5 },
+                Mix {
+                    loads: 2,
+                    stores: 1,
+                    int_ops: 4,
+                    ..Mix::default()
+                },
+                MemPattern::Irregular {
+                    footprint_lines: 30_000,
+                    hot_fraction: 0.5,
+                },
             ),
         ],
     });
@@ -352,8 +450,18 @@ pub fn suite() -> Vec<Workload> {
             224,
             256,
             20,
-            Mix { loads: 3, stores: 1, fp: 10, int_ops: 3, sfu: 1, ..Mix::default() },
-            MemPattern::Irregular { footprint_lines: 50_000, hot_fraction: 0.75 },
+            Mix {
+                loads: 3,
+                stores: 1,
+                fp: 10,
+                int_ops: 3,
+                sfu: 1,
+                ..Mix::default()
+            },
+            MemPattern::Irregular {
+                footprint_lines: 50_000,
+                hot_fraction: 0.75,
+            },
         )],
     });
 
@@ -370,7 +478,14 @@ pub fn suite() -> Vec<Workload> {
                     128,
                     128,
                     36,
-                    Mix { loads: 4, stores: 2, fp: 4, int_ops: 1, sfu: 2, ..Mix::default() },
+                    Mix {
+                        loads: 4,
+                        stores: 2,
+                        fp: 4,
+                        int_ops: 1,
+                        sfu: 2,
+                        ..Mix::default()
+                    },
                     MemPattern::Streaming,
                 )
             })
@@ -387,7 +502,14 @@ pub fn suite() -> Vec<Workload> {
                     144,
                     128,
                     28,
-                    Mix { loads: 4, stores: 2, fp: 8, int_ops: 1, sfu: 3, ..Mix::default() },
+                    Mix {
+                        loads: 4,
+                        stores: 2,
+                        fp: 8,
+                        int_ops: 1,
+                        sfu: 3,
+                        ..Mix::default()
+                    },
                     MemPattern::Streaming,
                 )
             })
@@ -425,7 +547,14 @@ pub fn suite() -> Vec<Workload> {
                 128,
                 256,
                 16,
-                Mix { loads: 3, stores: 1, fp: 12, int_ops: 1, sfu: 1, ..Mix::default() },
+                Mix {
+                    loads: 3,
+                    stores: 1,
+                    fp: 12,
+                    int_ops: 1,
+                    sfu: 1,
+                    ..Mix::default()
+                },
                 MemPattern::Streaming,
             ),
         ],
@@ -443,8 +572,17 @@ pub fn suite() -> Vec<Workload> {
                     192,
                     256,
                     20,
-                    Mix { loads: 4, stores: 1, fp: 2, int_ops: 3, ..Mix::default() },
-                    MemPattern::Irregular { footprint_lines: 300_000, hot_fraction: 0.45 },
+                    Mix {
+                        loads: 4,
+                        stores: 1,
+                        fp: 2,
+                        int_ops: 3,
+                        ..Mix::default()
+                    },
+                    MemPattern::Irregular {
+                        footprint_lines: 300_000,
+                        hot_fraction: 0.45,
+                    },
                 )
             })
             .collect(),
@@ -458,8 +596,16 @@ pub fn suite() -> Vec<Workload> {
             176,
             256,
             22,
-            Mix { loads: 5, stores: 1, int_ops: 5, ..Mix::default() },
-            MemPattern::Irregular { footprint_lines: 250_000, hot_fraction: 0.3 },
+            Mix {
+                loads: 5,
+                stores: 1,
+                int_ops: 5,
+                ..Mix::default()
+            },
+            MemPattern::Irregular {
+                footprint_lines: 250_000,
+                hot_fraction: 0.3,
+            },
         )],
     });
     // SSSP: single-source shortest paths — frontier relaxation.
@@ -471,8 +617,16 @@ pub fn suite() -> Vec<Workload> {
             192,
             256,
             24,
-            Mix { loads: 4, stores: 2, int_ops: 4, ..Mix::default() },
-            MemPattern::Irregular { footprint_lines: 220_000, hot_fraction: 0.4 },
+            Mix {
+                loads: 4,
+                stores: 2,
+                int_ops: 4,
+                ..Mix::default()
+            },
+            MemPattern::Irregular {
+                footprint_lines: 220_000,
+                hot_fraction: 0.4,
+            },
         )],
     });
 

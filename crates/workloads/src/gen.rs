@@ -7,8 +7,7 @@
 //! real SASS, which is what gives the analytical memory model's per-PC hit
 //! rates (Eq. 1) something meaningful to attach to.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use swiftsim_rng::SmallRng;
 use swiftsim_trace::{InstBuilder, KernelTrace, Opcode, WarpTrace};
 
 /// How much of the paper-scale workload to generate.
@@ -243,10 +242,14 @@ impl PatternKernel {
             }
             for i in 0..m.int_ops {
                 out.push(
-                    InstBuilder::new(if i % 3 == 0 { Opcode::Imad } else { Opcode::Iadd })
-                        .pc(next_pc(&mut pc))
-                        .dst(4 + (i % 3) as u16)
-                        .src(4 + (i % 3) as u16),
+                    InstBuilder::new(if i % 3 == 0 {
+                        Opcode::Imad
+                    } else {
+                        Opcode::Iadd
+                    })
+                    .pc(next_pc(&mut pc))
+                    .dst(4 + (i % 3) as u16)
+                    .src(4 + (i % 3) as u16),
                 );
             }
             for _ in 0..m.sfu {
@@ -286,8 +289,18 @@ impl PatternKernel {
             }
 
             // Loop bookkeeping: counter, compare, branch.
-            out.push(InstBuilder::new(Opcode::Iadd).pc(next_pc(&mut pc)).dst(2).src(2));
-            out.push(InstBuilder::new(Opcode::Isetp).pc(next_pc(&mut pc)).dst(7).src(2));
+            out.push(
+                InstBuilder::new(Opcode::Iadd)
+                    .pc(next_pc(&mut pc))
+                    .dst(2)
+                    .src(2),
+            );
+            out.push(
+                InstBuilder::new(Opcode::Isetp)
+                    .pc(next_pc(&mut pc))
+                    .dst(7)
+                    .src(2),
+            );
             out.push(InstBuilder::new(Opcode::Bra).pc(next_pc(&mut pc)).src(7));
             debug_assert_eq!(pc / 16, self.body_len());
         }
@@ -318,7 +331,8 @@ impl PatternKernel {
             }
             MemPattern::Stencil { row_bytes, rows } => {
                 let row = u64::from(slot % rows.max(1));
-                app_base + (global_warp * u64::from(self.iters.max(1)) + u64::from(iter)) * 128
+                app_base
+                    + (global_warp * u64::from(self.iters.max(1)) + u64::from(iter)) * 128
                     + row * row_bytes
             }
             MemPattern::Irregular {
@@ -336,8 +350,7 @@ impl PatternKernel {
             MemPattern::Tiled { tile_bytes } => {
                 // All warps of the block stream the same tile.
                 let block = global_warp / 8; // approximate block id
-                let offset =
-                    (u64::from(iter) * 128 + u64::from(slot) * 32) % tile_bytes.max(128);
+                let offset = (u64::from(iter) * 128 + u64::from(slot) * 32) % tile_bytes.max(128);
                 app_base + block * tile_bytes + offset
             }
         }
@@ -427,8 +440,14 @@ mod tests {
         let patterns = [
             MemPattern::Streaming,
             MemPattern::Strided { lane_stride: 128 },
-            MemPattern::Stencil { row_bytes: 4096, rows: 3 },
-            MemPattern::Irregular { footprint_lines: 1000, hot_fraction: 0.5 },
+            MemPattern::Stencil {
+                row_bytes: 4096,
+                rows: 3,
+            },
+            MemPattern::Irregular {
+                footprint_lines: 1000,
+                hot_fraction: 0.5,
+            },
             MemPattern::Tiled { tile_bytes: 8192 },
         ];
         for pattern in patterns {
@@ -452,7 +471,10 @@ mod tests {
     fn irregular_pattern_stays_in_footprint() {
         let mut s = spec();
         let footprint = 64u64;
-        s.pattern = MemPattern::Irregular { footprint_lines: footprint, hot_fraction: 0.6 };
+        s.pattern = MemPattern::Irregular {
+            footprint_lines: footprint,
+            hot_fraction: 0.6,
+        };
         let k = s.generate(Scale::Small);
         let app_base = (hash64("test_kernel") % 0x1000) << 24;
         for block in k.blocks() {

@@ -13,8 +13,8 @@ use swiftsim_workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "nw".to_owned());
-    let workload = swiftsim_workloads::by_name(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let workload =
+        swiftsim_workloads::by_name(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let app = workload.generate(Scale::Small);
     println!(
         "workload {} ({}, {} instructions)",
@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimulatorPreset::SwiftBasic,
         SimulatorPreset::SwiftMemory,
     ] {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti()).preset(preset).build();
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .preset(preset)
+            .build();
         let started = Instant::now();
         let result = sim.run(&app)?;
         let elapsed = started.elapsed();

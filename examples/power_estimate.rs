@@ -15,8 +15,8 @@ use swiftsim_workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".to_owned());
-    let workload = swiftsim_workloads::by_name(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let workload =
+        swiftsim_workloads::by_name(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let app = workload.generate(Scale::Small);
     let gpu = presets::rtx2080ti();
     let model = PowerModel::turing_class(&gpu);
@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimulatorPreset::SwiftBasic,
         SimulatorPreset::SwiftMemory,
     ] {
-        let result = SimulatorBuilder::new(gpu.clone()).preset(preset).build().run(&app)?;
+        let result = SimulatorBuilder::new(gpu.clone())
+            .preset(preset)
+            .build()
+            .run(&app)?;
         let report = model.estimate(&result.metrics);
         table.row(vec![
             preset.label().to_owned(),

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the hardware: start from the RTX 2080 Ti of the paper's
     //    Table II. Any field can be edited before building the simulator.
     let gpu = presets::rtx2080ti();
-    println!("GPU: {} ({} SMs, {} CUDA cores)", gpu.name, gpu.num_sms, gpu.cuda_cores());
+    println!(
+        "GPU: {} ({} SMs, {} CUDA cores)",
+        gpu.name,
+        gpu.num_sms,
+        gpu.cuda_cores()
+    );
 
     // 2. Build a trace: a little vector-add-like kernel of 32 blocks, one
     //    warp each: load two operands, fuse-multiply-add, store, exit.
@@ -22,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let block = kernel.push_block();
         let warp = block.push_warp();
         let base = 0x10_0000 + b * 128;
-        warp.push(InstBuilder::new(Opcode::Ldg).pc(0x00).dst(4).src(1).global_strided(base, 4, 4));
+        warp.push(
+            InstBuilder::new(Opcode::Ldg)
+                .pc(0x00)
+                .dst(4)
+                .src(1)
+                .global_strided(base, 4, 4),
+        );
         warp.push(
             InstBuilder::new(Opcode::Ldg)
                 .pc(0x10)

@@ -31,7 +31,10 @@ fn config_and_trace_files_round_trip_through_simulation() {
         .build()
         .run(&parsed)
         .expect("file-mediated run");
-    assert_eq!(direct.cycles, via_files.cycles, "serialization must not change timing");
+    assert_eq!(
+        direct.cycles, via_files.cycles,
+        "serialization must not change timing"
+    );
 }
 
 /// The three GPU presets must give different predictions for the same app —
@@ -86,7 +89,9 @@ fn more_sms_do_not_hurt() {
 fn prediction_errors_against_oracle_are_bounded() {
     let gpu = small_gpu();
     for name in ["bfs", "nw", "gemm"] {
-        let app = swiftsim_workloads::by_name(name).expect("workload").generate(Scale::Tiny);
+        let app = swiftsim_workloads::by_name(name)
+            .expect("workload")
+            .generate(Scale::Tiny);
         let detailed = SimulatorBuilder::new(gpu.clone())
             .preset(SimulatorPreset::Detailed)
             .build()
@@ -119,8 +124,22 @@ fn analytical_model_reflects_locality() {
     let gpu = small_gpu();
     let terms = LatencyTerms::from_config(&gpu);
     let mut rates = HashMap::new();
-    rates.insert(1u32, PcHitRates { l1: 0.9, l2: 0.1, dram: 0.0 });
-    rates.insert(2u32, PcHitRates { l1: 0.0, l2: 0.0, dram: 1.0 });
+    rates.insert(
+        1u32,
+        PcHitRates {
+            l1: 0.9,
+            l2: 0.1,
+            dram: 0.0,
+        },
+    );
+    rates.insert(
+        2u32,
+        PcHitRates {
+            l1: 0.0,
+            l2: 0.0,
+            dram: 1.0,
+        },
+    );
     let mem = AnalyticalMemory::new(&gpu, &rates);
     assert!(mem.latency_of(1) < mem.latency_of(2));
     assert!((mem.latency_of(2) - terms.dram).abs() < 1e-9);
