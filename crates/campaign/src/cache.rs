@@ -11,6 +11,14 @@ use std::path::PathBuf;
 use swiftsim_core::SimulationResult;
 use swiftsim_metrics::Json;
 
+/// Cache key derivation schema.
+///
+/// Folded into every job key alongside the crate version (see
+/// [`crate::spec::job_key`]), so cached results are invalidated both on
+/// release bumps and — by bumping this constant — on model changes that
+/// alter simulated outcomes without touching the key's other inputs.
+pub const CACHE_KEY_SCHEMA: u64 = 1;
+
 /// Cache policy for one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheMode {
@@ -111,6 +119,7 @@ mod tests {
             }],
             metrics: swiftsim_metrics::MetricsCollector::new(),
             wall_time: std::time::Duration::from_micros(5),
+            profile: None,
         }
     }
 

@@ -25,6 +25,11 @@ pub struct ExecutorOptions {
     pub max_retries: u32,
     /// Print one line per finished job to stderr.
     pub progress: bool,
+    /// Print a periodic `[heartbeat]` status line to stderr while jobs are
+    /// still running, at this interval.
+    pub heartbeat: Option<Duration>,
+    /// Build each job's simulator with self-profiling enabled.
+    pub profile: bool,
 }
 
 impl Default for ExecutorOptions {
@@ -33,6 +38,8 @@ impl Default for ExecutorOptions {
             workers: 0,
             max_retries: 1,
             progress: false,
+            heartbeat: None,
+            profile: false,
         }
     }
 }
@@ -139,8 +146,8 @@ where
                     wall: started.elapsed(),
                 };
 
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if opts.progress {
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let status = match &outcome.result {
                         Ok(_) => "ok".to_owned(),
                         Err(e) => format!("FAILED: {e}"),
@@ -157,6 +164,26 @@ where
 
                 slots.lock().expect("result slots poisoned")[i] = Some(outcome);
             });
+        }
+
+        // The scope's own thread would otherwise just block at the scope
+        // end; with a heartbeat configured it polls the done counter and
+        // reports liveness for long sweeps.
+        if let Some(period) = opts.heartbeat {
+            let started = Instant::now();
+            let mut last_beat = Instant::now();
+            while done.load(Ordering::Relaxed) < jobs.len() {
+                std::thread::sleep(period.min(Duration::from_millis(50)));
+                if last_beat.elapsed() >= period && done.load(Ordering::Relaxed) < jobs.len() {
+                    last_beat = Instant::now();
+                    eprintln!(
+                        "[heartbeat] {}/{} jobs done, {:.1} s elapsed",
+                        done.load(Ordering::Relaxed),
+                        jobs.len(),
+                        started.elapsed().as_secs_f64(),
+                    );
+                }
+            }
         }
     });
 
@@ -186,6 +213,7 @@ pub(crate) fn run_resolved(
             let sim = SimulatorBuilder::new(job.cfg.clone())
                 .preset(job.spec.preset)
                 .threads(job.spec.threads)
+                .profile(opts.profile)
                 .build();
             let result = sim.run(&job.app).map_err(|e| e.to_string())?;
             cache.store(job.key, &job.spec.label(), &result);
@@ -222,6 +250,8 @@ mod tests {
             workers,
             max_retries,
             progress: false,
+            heartbeat: None,
+            profile: false,
         }
     }
 
@@ -327,6 +357,26 @@ mod tests {
             "jobs must overlap in time with 2 workers: {:?}",
             runs.iter().map(|r| r.result.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn heartbeat_monitor_does_not_wedge_the_pool() {
+        // The monitor runs on the scope's main thread; the pool must still
+        // drain every job and return, even with a sub-job-length interval.
+        let jobs: Vec<u64> = (0..6).collect();
+        let mut o = opts(2, 0);
+        o.heartbeat = Some(Duration::from_millis(1));
+        let runs = run_jobs(
+            &jobs,
+            &o,
+            |_| String::new(),
+            |_, &j| {
+                std::thread::sleep(Duration::from_millis(10));
+                Ok(j)
+            },
+        );
+        let values: Vec<u64> = runs.into_iter().map(|r| r.result.unwrap()).collect();
+        assert_eq!(values, jobs);
     }
 
     #[test]

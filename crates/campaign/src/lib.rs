@@ -76,6 +76,10 @@ pub struct CampaignOptions {
     pub cache_dir: PathBuf,
     /// Print one progress line per finished job to stderr.
     pub progress: bool,
+    /// Self-profile every job, regardless of the spec's `profile` key.
+    /// Profiled rows carry a per-module attribution summary in the JSONL
+    /// emission.
+    pub profile: bool,
 }
 
 impl Default for CampaignOptions {
@@ -86,6 +90,7 @@ impl Default for CampaignOptions {
             cache: CacheMode::Use,
             cache_dir: PathBuf::from("target/swiftsim-campaigns/cache"),
             progress: false,
+            profile: false,
         }
     }
 }
@@ -131,6 +136,10 @@ pub fn run_campaign(
         workers: opts.workers,
         max_retries: opts.max_retries,
         progress: opts.progress,
+        // Interactive runs (progress on) also get a liveness line while
+        // long jobs are still simulating.
+        heartbeat: opts.progress.then(|| std::time::Duration::from_secs(10)),
+        profile: opts.profile || spec.profile,
     };
     let outcomes = executor::run_resolved(&jobs, &cache, &exec_opts);
     Ok(CampaignReport::new(spec.name.clone(), jobs, outcomes))

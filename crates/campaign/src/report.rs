@@ -54,6 +54,9 @@ pub struct JobRow {
     pub attempts: u32,
     /// Wall time spent on the job in this run.
     pub wall: std::time::Duration,
+    /// Freshly simulated row whose wall time exceeded ~3× the median of
+    /// this campaign's fresh rows — worth a look before blaming the sweep.
+    pub slow: bool,
     /// Failure message, for [`RowStatus::Failed`] rows.
     pub error: Option<String>,
     /// The simulation result, for non-failed rows.
@@ -87,6 +90,7 @@ impl JobRow {
             ("status", Json::str(self.status.name())),
             ("attempts", Json::int(u64::from(self.attempts))),
             ("wall_us", Json::int(self.wall.as_micros() as u64)),
+            ("slow", Json::Bool(self.slow)),
             ("error", opt_str(&self.error)),
             (
                 "result",
@@ -95,7 +99,37 @@ impl JobRow {
                     None => Json::Null,
                 },
             ),
+            (
+                "profile",
+                match self.result.as_ref().and_then(|r| r.profile.as_ref()) {
+                    Some(p) => p.summary_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
+    }
+}
+
+/// Flag freshly simulated rows whose wall time exceeds 3× the median wall
+/// time of the campaign's fresh rows. Cached and failed rows are neither
+/// counted in the median (a cache hit's wall is I/O, not simulation; a
+/// failure's includes retries) nor flagged.
+pub(crate) fn mark_slow_rows(rows: &mut [JobRow]) {
+    let mut fresh: Vec<std::time::Duration> = rows
+        .iter()
+        .filter(|r| r.status == RowStatus::Ok)
+        .map(|r| r.wall)
+        .collect();
+    if fresh.len() < 2 {
+        return;
+    }
+    fresh.sort_unstable();
+    let median = fresh[fresh.len() / 2];
+    if median.is_zero() {
+        return;
+    }
+    for row in rows {
+        row.slow = row.status == RowStatus::Ok && row.wall > median * 3;
     }
 }
 
@@ -139,12 +173,15 @@ impl CampaignReport {
                     status,
                     attempts: outcome.attempts,
                     wall: outcome.wall,
+                    slow: false,
                     error,
                     result,
                 }
             })
             .collect();
-        CampaignReport { name, rows }
+        let mut report = CampaignReport { name, rows };
+        mark_slow_rows(&mut report.rows);
+        report
     }
 
     /// Rows that simulated in this run.
@@ -202,9 +239,10 @@ impl CampaignReport {
             };
             t.row(vec![
                 row.label.clone(),
-                match &row.error {
-                    Some(e) => format!("{}: {e}", row.status.name()),
-                    None => row.status.name().to_owned(),
+                match (&row.error, row.slow) {
+                    (Some(e), _) => format!("{}: {e}", row.status.name()),
+                    (None, true) => format!("{} (slow)", row.status.name()),
+                    (None, false) => row.status.name().to_owned(),
                 },
                 cycles,
                 ipc,
@@ -215,14 +253,85 @@ impl CampaignReport {
         t
     }
 
+    /// Rows flagged as outliers (> 3× the median fresh wall time).
+    pub fn slow(&self) -> usize {
+        self.rows.iter().filter(|r| r.slow).count()
+    }
+
     /// One-line outcome summary, e.g. `30 jobs: 24 ok, 6 cached, 0 failed`.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} jobs: {} ok, {} cached, {} failed",
             self.rows.len(),
             self.completed(),
             self.cached(),
             self.failed()
-        )
+        );
+        let slow = self.slow();
+        if slow > 0 {
+            line.push_str(&format!(" ({slow} flagged slow)"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn row(index: usize, status: RowStatus, wall_ms: u64) -> JobRow {
+        JobRow {
+            index,
+            label: format!("job{index}"),
+            key: format!("{index:016x}"),
+            workload: "nw".to_owned(),
+            gpu: "g".to_owned(),
+            preset: "p".to_owned(),
+            threads: 1,
+            scheduler: None,
+            replacement: None,
+            status,
+            attempts: u32::from(status != RowStatus::Cached),
+            wall: Duration::from_millis(wall_ms),
+            slow: false,
+            error: None,
+            result: None,
+        }
+    }
+
+    #[test]
+    fn slow_rows_are_flagged_against_the_fresh_median() {
+        let mut rows = vec![
+            row(0, RowStatus::Ok, 10),
+            row(1, RowStatus::Ok, 12),
+            row(2, RowStatus::Ok, 11),
+            row(3, RowStatus::Ok, 100), // ~9x the 11-12 ms median
+            // A cached row with an extreme wall must be neither flagged nor
+            // allowed to drag the median.
+            row(4, RowStatus::Cached, 0),
+            row(5, RowStatus::Failed, 500),
+        ];
+        mark_slow_rows(&mut rows);
+        let flags: Vec<bool> = rows.iter().map(|r| r.slow).collect();
+        assert_eq!(flags, vec![false, false, false, true, false, false]);
+
+        let report = CampaignReport {
+            name: "t".to_owned(),
+            rows,
+        };
+        assert_eq!(report.slow(), 1);
+        assert!(report.summary_line().contains("1 flagged slow"));
+        assert!(report.summary_table().to_string().contains("ok (slow)"));
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"slow\":true"));
+    }
+
+    #[test]
+    fn slow_flagging_needs_a_meaningful_median() {
+        // One fresh row: no median to compare against, nothing flagged.
+        let mut rows = vec![row(0, RowStatus::Ok, 500), row(1, RowStatus::Cached, 1)];
+        mark_slow_rows(&mut rows);
+        assert!(rows.iter().all(|r| !r.slow));
     }
 }

@@ -8,6 +8,7 @@
 //! [`CampaignSpec::resolve`] then loads each distinct GPU config and trace
 //! once, applies knob overrides, and computes each job's stable cache key.
 
+use crate::cache::CACHE_KEY_SCHEMA;
 use crate::ENGINE_VERSION;
 use std::fmt;
 use std::sync::Arc;
@@ -93,6 +94,10 @@ pub struct CampaignSpec {
     pub schedulers: Vec<Option<SchedulerPolicy>>,
     /// L1 replacement-policy overrides; `None` keeps the config's own.
     pub replacements: Vec<Option<ReplacementPolicy>>,
+    /// Self-profile every job (per-module wall-time attribution carried on
+    /// each row). Deliberately *not* part of the job cache key: profiling
+    /// observes the simulator without changing its predictions.
+    pub profile: bool,
 }
 
 impl Default for CampaignSpec {
@@ -106,6 +111,7 @@ impl Default for CampaignSpec {
             threads: vec![1],
             schedulers: vec![None],
             replacements: vec![None],
+            profile: false,
         }
     }
 }
@@ -204,9 +210,10 @@ impl CampaignSpec {
     ///
     /// Recognized keys: `name`, `preset`, `gpu`, `gpu-config` (file paths),
     /// `workload`, `trace` (file paths), `scale`, `threads`, `scheduler`,
-    /// `replacement`. `#` starts a comment; list-valued keys accumulate
-    /// across repeated lines. `scheduler`/`replacement` lists may include
-    /// `default` to also cover the un-overridden configuration.
+    /// `replacement`, `profile` (`true`/`false`). `#` starts a comment;
+    /// list-valued keys accumulate across repeated lines.
+    /// `scheduler`/`replacement` lists may include `default` to also cover
+    /// the un-overridden configuration.
     ///
     /// # Errors
     ///
@@ -272,6 +279,17 @@ impl CampaignSpec {
                             &v,
                             "replacement policy",
                         )?);
+                    }
+                }
+                "profile" => {
+                    spec.profile = match value {
+                        "true" | "on" | "1" => true,
+                        "false" | "off" | "0" => false,
+                        other => {
+                            return Err(CampaignError::Spec(format!(
+                                "invalid profile value {other:?} (expected true/false)"
+                            )))
+                        }
                     }
                 }
                 other => {
@@ -397,15 +415,31 @@ impl CampaignSpec {
 /// configuration (overrides applied — via [`GpuConfig::stable_hash`]), the
 /// trace content ([`ApplicationTrace::content_hash`]), the preset, the
 /// per-simulation thread count (sharding changes predicted cycles), and the
-/// engine/schema versions so stale caches self-invalidate.
+/// engine/schema versions so stale caches self-invalidate. The simulator
+/// code version (`CARGO_PKG_VERSION`) and [`CACHE_KEY_SCHEMA`] are folded
+/// in too: without them, results cached before a model change would be
+/// silently served after it.
 pub fn job_key(
     cfg: &GpuConfig,
     app: &ApplicationTrace,
     preset: SimulatorPreset,
     threads: usize,
 ) -> u64 {
+    job_key_versioned(cfg, app, preset, threads, env!("CARGO_PKG_VERSION"))
+}
+
+/// [`job_key`] with the simulator version as an explicit input, so tests can
+/// prove that a version bump invalidates cached entries.
+fn job_key_versioned(
+    cfg: &GpuConfig,
+    app: &ApplicationTrace,
+    preset: SimulatorPreset,
+    threads: usize,
+    pkg_version: &str,
+) -> u64 {
     let descriptor = format!(
-        "swiftsim-campaign;engine={ENGINE_VERSION};schema={RESULT_SCHEMA_VERSION};\
+        "swiftsim-campaign;pkg={pkg_version};keyschema={CACHE_KEY_SCHEMA};\
+         engine={ENGINE_VERSION};schema={RESULT_SCHEMA_VERSION};\
          cfg={:016x};trace={:016x};preset={};threads={threads}",
         cfg.stable_hash(),
         app.content_hash(),
@@ -463,10 +497,12 @@ mod tests {
              scale = tiny\n\
              threads = 1, 2\n\
              scheduler = default, gto\n\
-             replacement = lru\n",
+             replacement = lru\n\
+             profile = true\n",
         )
         .unwrap();
         assert_eq!(spec.name, "dse");
+        assert!(spec.profile);
         assert_eq!(spec.presets.len(), 2);
         assert_eq!(spec.gpus.len(), 2);
         assert_eq!(spec.workloads.len(), 2);
@@ -486,6 +522,7 @@ mod tests {
         assert!(CampaignSpec::parse("scale = huge").is_err());
         assert!(CampaignSpec::parse("threads = many").is_err());
         assert!(CampaignSpec::parse("scheduler = chaotic").is_err());
+        assert!(CampaignSpec::parse("profile = maybe").is_err());
     }
 
     #[test]
@@ -564,5 +601,31 @@ mod tests {
             let other = CampaignSpec::parse(text).unwrap().resolve().unwrap();
             assert_ne!(first[0].key, other[0].key, "variant {text:?}");
         }
+    }
+
+    #[test]
+    fn job_key_misses_on_simulator_version_bump() {
+        let spec = CampaignSpec::parse("workload = nw\nscale = tiny").unwrap();
+        let job = spec.resolve().unwrap().into_iter().next().unwrap();
+
+        let current = job_key_versioned(
+            &job.cfg,
+            &job.app,
+            job.spec.preset,
+            job.spec.threads,
+            env!("CARGO_PKG_VERSION"),
+        );
+        assert_eq!(current, job.key, "explicit-version path matches job_key");
+
+        // A different simulator version must produce a different key, so
+        // results cached before a release are never served after it.
+        let bumped = job_key_versioned(
+            &job.cfg,
+            &job.app,
+            job.spec.preset,
+            job.spec.threads,
+            "99.0.0-post-model-change",
+        );
+        assert_ne!(current, bumped);
     }
 }

@@ -143,7 +143,7 @@ fn a_panicking_job_is_isolated_even_under_the_pool() {
         &ExecutorOptions {
             workers: 4,
             max_retries: 0,
-            progress: false,
+            ..ExecutorOptions::default()
         },
         |j| format!("job{j}"),
         |_, &j| {

@@ -35,6 +35,10 @@ OPTIONS:
     --trace <FILE>                                 application trace file (overrides --workload)
     --scale <tiny|small|paper>                     workload scale [default: small]
     --threads <N>                                  worker threads [default: 1]
+    --profile                                      self-profile the simulator and print a
+                                                   per-module wall-time attribution table
+    --trace-out <FILE>                             write the profile as a Chrome trace-event /
+                                                   Perfetto JSON file (implies --profile)
     --json                                         print the result as JSON instead of a report
     --list-workloads                               list built-in workloads and exit
     --dump-config <GPU>                            print a GPU preset as a config file and exit
@@ -49,6 +53,8 @@ CAMPAIGN OPTIONS (after `swiftsim campaign <SPEC>`):
     --cache-dir <DIR>                              result cache root [default: target/swiftsim-campaigns/cache]
     --out <FILE>                                   also write all rows as JSON lines to FILE
     --json                                         print JSON lines to stdout instead of the table
+    --profile                                      self-profile every job (heartbeats + per-job
+                                                   module attribution in the JSONL rows)
 ";
 
 fn main() -> ExitCode {
@@ -83,6 +89,8 @@ struct Args {
     scale: Scale,
     threads: usize,
     json: bool,
+    profile: bool,
+    trace_out: Option<String>,
 }
 
 #[derive(Debug)]
@@ -110,6 +118,7 @@ fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
             }
             "--no-cache" => options = options.cache_off(),
             "--refresh" => options = options.refresh(),
+            "--profile" => options.profile = true,
             "--cache-dir" => options.cache_dir = value("--cache-dir")?.into(),
             "--out" => out = Some(value("--out")?),
             "--json" => json = true,
@@ -135,6 +144,8 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
     let mut scale = Scale::Small;
     let mut threads = 1usize;
     let mut json = false;
+    let mut profile = false;
+    let mut trace_out = None;
 
     let mut it = argv.drain(..);
     while let Some(arg) = it.next() {
@@ -209,6 +220,11 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
                     .map_err(|_| "invalid thread count".to_owned())?;
             }
             "--json" => json = true,
+            "--profile" => profile = true,
+            "--trace-out" => {
+                trace_out = Some(value("--trace-out")?);
+                profile = true;
+            }
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -220,6 +236,8 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
         scale,
         threads,
         json,
+        profile,
+        trace_out,
     }))
 }
 
@@ -285,6 +303,7 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     let sim = SimulatorBuilder::new(args.gpu.clone())
         .preset(args.preset)
         .threads(args.threads)
+        .profile(args.profile)
         .build();
 
     eprintln!(
@@ -297,8 +316,18 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     );
     let result = sim.run(&app).map_err(|e| e.to_string())?;
 
+    if let (Some(path), Some(report)) = (&args.trace_out, &result.profile) {
+        let trace = report.to_chrome_trace().dump();
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("profile trace written to {path} (open in ui.perfetto.dev or chrome://tracing)");
+    }
+
     if args.json {
-        // The same schema campaign JSONL rows embed under "result".
+        // The same schema campaign JSONL rows embed under "result". The
+        // attribution table goes to stderr so stdout stays machine-readable.
+        if let Some(report) = &result.profile {
+            eprintln!("{}", report.attribution_table());
+        }
         emit(&(result.to_json().dump() + "\n"));
         return Ok(());
     }
@@ -328,6 +357,12 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     }
     out.push('\n');
     out.push_str(&result.metrics.to_report());
+    if let Some(report) = &result.profile {
+        out.push_str(&format!(
+            "\nself-profile (wall-time attribution per simulator module)\n{}",
+            report.attribution_table()
+        ));
+    }
     emit(&out);
     Ok(())
 }

@@ -298,6 +298,11 @@ impl ExecUnitConfig {
 /// Sizes follow the sectored organization of Table II: `line_bytes`-sized
 /// lines split into `sector_bytes` sectors, with misses tracked in an MSHR
 /// file that merges up to `mshr_max_merge` requests per entry.
+///
+/// Sector validity is tracked as a `u8` bitmap (one bit per sector)
+/// everywhere downstream — see `AddressMapping::sector_mask` in
+/// `swiftsim-mem` — so [`CacheConfig::validate`] rejects geometries with
+/// more than 8 sectors per line.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Number of sets.
@@ -334,6 +339,11 @@ impl CacheConfig {
     }
 
     /// Sectors per line.
+    ///
+    /// Bounded to at most 8 by [`CacheConfig::validate`]: sector masks are
+    /// carried as `u8` bitmaps throughout the memory hierarchy (one bit per
+    /// sector of a line), so a geometry with more than 8 sectors per line
+    /// cannot be represented.
     pub fn sectors_per_line(&self) -> u32 {
         self.line_bytes / self.sector_bytes
     }
@@ -343,8 +353,9 @@ impl CacheConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if any field is zero where a positive value is
-    /// required, if `sets` is not a power of two, or if the sector size does
-    /// not evenly divide the line size.
+    /// required, if `sets` is not a power of two, if the sector size does
+    /// not evenly divide the line size, or if the line has more than 8
+    /// sectors (the `u8` sector-mask invariant).
     pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
         if self.sets == 0 || self.ways == 0 || self.line_bytes == 0 || self.banks == 0 {
             return Err(ConfigError::constraint(format!(
@@ -361,6 +372,16 @@ impl CacheConfig {
             return Err(ConfigError::constraint(format!(
                 "{name}: sector size {} must evenly divide line size {}",
                 self.sector_bytes, self.line_bytes
+            )));
+        }
+        if self.sectors_per_line() > 8 {
+            return Err(ConfigError::constraint(format!(
+                "{name}: {} sectors per line ({} B line / {} B sector) exceeds \
+                 the 8-sector limit imposed by the u8 sector masks used across \
+                 the memory hierarchy",
+                self.sectors_per_line(),
+                self.line_bytes,
+                self.sector_bytes
             )));
         }
         if self.mshr_entries == 0 || self.mshr_max_merge == 0 {
@@ -671,6 +692,24 @@ mod tests {
         let mut cfg = presets::rtx2080ti();
         cfg.memory.l2.sector_bytes = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_more_than_eight_sectors_per_line() {
+        // 256 B lines with 16 B sectors = 16 sectors per line, which the u8
+        // sector masks cannot represent. This used to pass validation and
+        // then overflow `1u8 << s` in AddressMapping::sector_mask.
+        let mut cfg = presets::rtx2080ti();
+        cfg.sm.l1d.line_bytes = 256;
+        cfg.sm.l1d.sector_bytes = 16;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("8-sector limit"), "{err}");
+
+        // Exactly 8 sectors per line is still fine.
+        let mut cfg = presets::rtx2080ti();
+        cfg.sm.l1d.line_bytes = 128;
+        cfg.sm.l1d.sector_bytes = 16;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::parallel::run_parallel;
 use crate::result::{KernelResult, SimulationResult};
 use crate::Cycle;
 use swiftsim_config::GpuConfig;
-use swiftsim_metrics::{MetricsCollector, Value};
+use swiftsim_metrics::{MetricsCollector, Profiler, Value};
 use swiftsim_trace::ApplicationTrace;
 
 /// Which model simulates the ALU pipeline (§III-D1).
@@ -88,6 +88,7 @@ pub struct SimulatorBuilder {
     detailed_frontend: bool,
     skip_idle: bool,
     threads: usize,
+    profile: bool,
 }
 
 impl SimulatorBuilder {
@@ -101,6 +102,7 @@ impl SimulatorBuilder {
             detailed_frontend: true,
             skip_idle: false,
             threads: 1,
+            profile: false,
         }
     }
 
@@ -162,6 +164,14 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Record per-module wall-time and cycle attribution while simulating
+    /// (the self-profiling layer). Off by default; when off the
+    /// instrumentation reduces to untaken branches on the hot path.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> GpuSimulator {
         GpuSimulator {
@@ -171,6 +181,7 @@ impl SimulatorBuilder {
             detailed_frontend: self.detailed_frontend,
             skip_idle: self.skip_idle,
             threads: self.threads,
+            profile: self.profile,
         }
     }
 }
@@ -184,6 +195,7 @@ pub struct GpuSimulator {
     pub(crate) detailed_frontend: bool,
     pub(crate) skip_idle: bool,
     pub(crate) threads: usize,
+    pub(crate) profile: bool,
 }
 
 impl GpuSimulator {
@@ -235,8 +247,15 @@ impl GpuSimulator {
         let mut start: Cycle = 0;
         let mut kernels = Vec::new();
         let mut total_stats = crate::sm::SmStats::default();
+        let mut prof = if self.profile {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        };
+        mem.set_profiling(self.profile);
 
-        for kernel in app.kernels() {
+        for (idx, kernel) in app.kernels().iter().enumerate() {
+            prof.begin_frame(&format!("k{idx}:{}", kernel.name));
             let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
             let outcome = run_kernel_shard(
                 &self.cfg,
@@ -248,7 +267,12 @@ impl GpuSimulator {
                 self.detailed_frontend,
                 self.skip_idle,
                 start,
+                &mut prof,
             )?;
+            // Flush the memory system's per-level attribution into the
+            // still-open frame before closing it.
+            mem.report_profile(&mut prof);
+            prof.end_frame();
             kernels.push(KernelResult {
                 name: kernel.name.clone(),
                 cycles: outcome.end_cycle - start,
@@ -270,6 +294,7 @@ impl GpuSimulator {
             kernels,
             metrics,
             wall_time: std::time::Duration::ZERO, // filled by run()
+            profile: self.profile.then(|| prof.into_report()),
         })
     }
 }

@@ -22,6 +22,7 @@ use crate::sm::{SmCore, SmStats, WbTarget};
 use crate::Cycle;
 use std::collections::HashMap;
 use swiftsim_config::GpuConfig;
+use swiftsim_metrics::{ProfModule, Profiler};
 use swiftsim_trace::KernelTrace;
 
 /// Outcome of simulating one kernel on one shard.
@@ -71,6 +72,7 @@ pub(crate) fn run_kernel_shard(
     detailed_frontend: bool,
     skip_idle: bool,
     start: Cycle,
+    prof: &mut Profiler,
 ) -> Result<ShardKernelOutcome, SimError> {
     if !kernel.is_consistent(cfg.sm.warp_size) {
         return Err(SimError::InconsistentTrace {
@@ -97,10 +99,6 @@ pub(crate) fn run_kernel_shard(
         })
         .collect();
 
-    let prof = std::env::var_os("SWIFTSIM_PROF").is_some();
-    let mut t_tick = std::time::Duration::ZERO;
-    let mut t_mem = std::time::Duration::ZERO;
-    let mut iters = 0u64;
     let mut bs = BlockScheduler::new(num_local_sms, block_indices.len(), occupancy.blocks_per_sm);
     let mut tokens: HashMap<u64, (usize, WbTarget)> = HashMap::new();
     let mut completions: Vec<MemCompletion> = Vec::new();
@@ -112,6 +110,7 @@ pub(crate) fn run_kernel_shard(
         // 1. Dispatch pending blocks to SMs with free slots (Block
         //    Scheduler, cycle-accurate in every preset).
         if bs.remaining() > 0 {
+            let t0 = prof.start();
             for (sm_idx, sm) in sms.iter_mut().enumerate().take(num_local_sms) {
                 while sm.has_free_slot() {
                     match bs.dispatch(sm_idx) {
@@ -123,11 +122,12 @@ pub(crate) fn run_kernel_shard(
                     }
                 }
             }
+            prof.record(ProfModule::BlockScheduler, t0);
         }
 
-        // 2. Deliver memory completions due by now.
-        iters += 1;
-        let t0 = prof.then(std::time::Instant::now);
+        // 2. Deliver memory completions due by now. The memory system
+        //    attributes its own time per level (L1/NoC/L2/DRAM) internally;
+        //    see MemorySystem::report_profile.
         completions.clear();
         mem.advance(now, &mut completions);
         for c in completions.drain(..) {
@@ -136,15 +136,12 @@ pub(crate) fn run_kernel_shard(
             }
         }
 
-        if let Some(t0) = t0 {
-            t_mem += t0.elapsed();
-        }
-        let t1 = prof.then(std::time::Instant::now);
-        // 3. Tick every SM.
+        // 3. Tick every SM. Warp-scheduler, ALU, and LD/ST time is
+        //    attributed inside SmCore::tick.
         let mut issued = 0u32;
         let mut wakeup: Option<Cycle> = None;
         for (sm_idx, sm) in sms.iter_mut().enumerate() {
-            let outcome = sm.tick(now, mem);
+            let outcome = sm.tick(now, mem, prof);
             issued += outcome.issued;
             for global in outcome.completed_blocks {
                 let _ = global;
@@ -159,18 +156,9 @@ pub(crate) fn run_kernel_shard(
             };
         }
 
-        if let Some(t1) = t1 {
-            t_tick += t1.elapsed();
-        }
         // 4. Termination: every block completed and the memory system is
         //    quiet.
         if bs.all_done() && tokens.is_empty() && mem.next_event().is_none() {
-            if prof {
-                eprintln!(
-                    "[prof] kernel {}: iters={iters} mem={t_mem:?} tick={t_tick:?}",
-                    kernel.name
-                );
-            }
             let mut stats = SmStats::default();
             for sm in &sms {
                 merge_into(&mut stats, sm.stats());

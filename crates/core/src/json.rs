@@ -111,6 +111,9 @@ impl SimulationResult {
             wall_time: std::time::Duration::from_micros(
                 json.get("wall_time_us").and_then(Json::as_u64).unwrap_or(0),
             ),
+            // Self-profiling attribution is a live-run artifact and is not
+            // part of the result document schema.
+            profile: None,
         })
     }
 }
@@ -137,6 +140,7 @@ mod tests {
             }],
             metrics,
             wall_time: std::time::Duration::from_micros(1234),
+            profile: None,
         }
     }
 

@@ -27,7 +27,7 @@ use swiftsim_mem::{
     AccessOutcome, AddressMapping, DramChannel, FunctionalCacheSim, MemTxn, PcHitRates,
     ReuseDistanceAnalyzer, SectorCache,
 };
-use swiftsim_metrics::{MetricsCollector, Value};
+use swiftsim_metrics::{MetricsCollector, ProfModule, Profiler, Value};
 use swiftsim_noc::{Crossbar, Interconnect, Mesh};
 
 /// Sentinel waiter for requests nobody waits on (forwarded stores).
@@ -95,6 +95,20 @@ pub trait MemorySystem: Send {
 
     /// Model name for metrics.
     fn name(&self) -> &'static str;
+
+    /// Enable self-profiling. Models that cannot attribute their own time
+    /// ignore this (the default).
+    fn set_profiling(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Flush wall-time/cycle attribution accumulated since the last call
+    /// into `prof`, under the memory-side modules (L1/NoC/L2/DRAM or the
+    /// analytical model). Called once per kernel while the kernel's
+    /// profiling frame is open. Default: no attribution.
+    fn report_profile(&mut self, prof: &mut Profiler) {
+        let _ = prof;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +206,13 @@ pub struct CycleAccurateMemory {
     accesses: u64,
     store_only: u64,
     events_processed: u64,
+    /// Self-profiling: when on, `advance` times its drain loop and buckets
+    /// the drained events per hierarchy level so `report_profile` can split
+    /// the wall time across L1/NoC/L2/DRAM.
+    profiling: bool,
+    prof_advance_ns: u64,
+    /// Events drained since the last profile flush: `[L1, NoC, L2, DRAM]`.
+    prof_level_events: [u64; 4],
 }
 
 impl std::fmt::Debug for CycleAccurateMemory {
@@ -247,6 +268,9 @@ impl CycleAccurateMemory {
             accesses: 0,
             store_only: 0,
             events_processed: 0,
+            profiling: false,
+            prof_advance_ns: 0,
+            prof_level_events: [0; 4],
         }
     }
 
@@ -696,11 +720,33 @@ impl MemorySystem for CycleAccurateMemory {
     }
 
     fn advance(&mut self, now: Cycle, completions: &mut Vec<MemCompletion>) {
+        if !self.profiling {
+            while self.events.peek().is_some_and(|e| e.at <= now) {
+                let HeapEvent { at, event, .. } = self.events.pop().expect("peeked");
+                self.events_processed += 1;
+                self.handle_event(at, event, completions);
+            }
+            return;
+        }
+        if self.events.peek().is_none_or(|e| e.at > now) {
+            return;
+        }
+        // One Instant pair per drain burst (not per event) keeps the probe
+        // cost negligible; the wall time is split by per-level event counts
+        // in report_profile.
+        let t0 = std::time::Instant::now();
         while self.events.peek().is_some_and(|e| e.at <= now) {
             let HeapEvent { at, event, .. } = self.events.pop().expect("peeked");
             self.events_processed += 1;
+            self.prof_level_events[match event {
+                Event::L1Fill { .. } => 0,
+                Event::FwdDrain { .. } | Event::RspDrain { .. } => 1,
+                Event::L2Access { .. } => 2,
+                Event::DramReturn { .. } | Event::DramDrain { .. } => 3,
+            }] += 1;
             self.handle_event(at, event, completions);
         }
+        self.prof_advance_ns += t0.elapsed().as_nanos() as u64;
     }
 
     fn next_event(&self) -> Option<Cycle> {
@@ -759,6 +805,33 @@ impl MemorySystem for CycleAccurateMemory {
     fn name(&self) -> &'static str {
         "cycle_accurate_memory"
     }
+
+    fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    fn report_profile(&mut self, prof: &mut Profiler) {
+        const MODULES: [ProfModule; 4] = [
+            ProfModule::L1,
+            ProfModule::Noc,
+            ProfModule::L2,
+            ProfModule::Dram,
+        ];
+        let total: u64 = self.prof_level_events.iter().sum();
+        if total > 0 {
+            for (level, &module) in MODULES.iter().enumerate() {
+                let events = self.prof_level_events[level];
+                if events == 0 {
+                    continue;
+                }
+                let wall = (u128::from(self.prof_advance_ns) * u128::from(events)
+                    / u128::from(total)) as u64;
+                prof.record_wall_ns(module, wall, events);
+            }
+        }
+        self.prof_advance_ns = 0;
+        self.prof_level_events = [0; 4];
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -815,6 +888,10 @@ pub struct AnalyticalMemory {
     accesses: u64,
     txns: u64,
     contention_cycles: u64,
+    /// Counter snapshots at the last profile flush, so each kernel frame
+    /// gets per-kernel deltas from report_profile.
+    prof_accesses: u64,
+    prof_contention: u64,
 }
 
 impl AnalyticalMemory {
@@ -854,6 +931,8 @@ impl AnalyticalMemory {
             accesses: 0,
             txns: 0,
             contention_cycles: 0,
+            prof_accesses: 0,
+            prof_contention: 0,
         }
     }
 
@@ -943,6 +1022,23 @@ impl MemorySystem for AnalyticalMemory {
 
     fn name(&self) -> &'static str {
         "analytical_memory"
+    }
+
+    fn report_profile(&mut self, prof: &mut Profiler) {
+        // The analytical model is evaluated synchronously inside the LD/ST
+        // issue path, so its wall time already lands in the ldst-coalescer
+        // span; here it contributes its event volume and the contention
+        // cycles it charged this kernel.
+        let accesses = self.accesses - self.prof_accesses;
+        let contention = self.contention_cycles - self.prof_contention;
+        self.prof_accesses = self.accesses;
+        self.prof_contention = self.contention_cycles;
+        if accesses > 0 {
+            prof.record_wall_ns(ProfModule::MemAnalytical, 0, accesses);
+        }
+        if contention > 0 {
+            prof.add_cycles(ProfModule::MemAnalytical, contention);
+        }
     }
 }
 

@@ -20,7 +20,7 @@ use crate::mem_system::{build_analytical_memory, CycleAccurateMemory, MemorySyst
 use crate::result::{KernelResult, SimulationResult};
 use crate::sm::SmStats;
 use crate::Cycle;
-use swiftsim_metrics::MetricsCollector;
+use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler};
 use swiftsim_trace::ApplicationTrace;
 
 /// The maximum worker threads a simulation will use on this host: the
@@ -69,23 +69,42 @@ pub(crate) fn run_parallel(
         })
         .collect();
 
+    // Per-shard profilers share one epoch so merged frames line up on a
+    // common timeline; each shard renders on its own trace track. They
+    // persist across kernels, like the memory systems.
+    let epoch = std::time::Instant::now();
+    let mut profs: Vec<Profiler> = (0..shards)
+        .map(|i| {
+            if sim.profile {
+                Profiler::enabled_on_track(epoch, i)
+            } else {
+                Profiler::disabled()
+            }
+        })
+        .collect();
+    for mem in &mut mems {
+        mem.set_profiling(sim.profile);
+    }
+
     let mut start: Cycle = 0;
     let mut kernels = Vec::new();
     let mut total_stats = SmStats::default();
 
-    for kernel in app.kernels() {
+    for (kidx, kernel) in app.kernels().iter().enumerate() {
         let block_split = split_blocks(kernel.blocks().len(), shards);
 
         let outcomes: Vec<Result<crate::gpu::ShardKernelOutcome, SimError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = mems
                     .iter_mut()
+                    .zip(&mut profs)
                     .zip(&shard_cfgs)
                     .zip(&group_sizes)
                     .zip(&block_split)
-                    .map(|(((mem, cfg), &local_sms), blocks)| {
+                    .map(|((((mem, prof), cfg), &local_sms), blocks)| {
                         scope.spawn(move || {
-                            run_kernel_shard(
+                            prof.begin_frame(&format!("k{kidx}:{}", kernel.name));
+                            let outcome = run_kernel_shard(
                                 cfg,
                                 kernel,
                                 blocks,
@@ -95,7 +114,11 @@ pub(crate) fn run_parallel(
                                 sim.detailed_frontend,
                                 sim.skip_idle,
                                 start,
-                            )
+                                prof,
+                            );
+                            mem.report_profile(prof);
+                            prof.end_frame();
+                            outcome
                         })
                     })
                     .collect();
@@ -142,6 +165,10 @@ pub(crate) fn run_parallel(
         metrics.absorb(&format!("shard{i}"), &shard_collector);
     }
 
+    let profile = sim
+        .profile
+        .then(|| ProfileReport::merge(profs.into_iter().map(Profiler::into_report).collect()));
+
     Ok(SimulationResult {
         app: app.name.clone(),
         simulator: format!("{}@{}threads", sim.description(), shards),
@@ -149,6 +176,7 @@ pub(crate) fn run_parallel(
         kernels,
         metrics,
         wall_time: std::time::Duration::ZERO, // filled by run()
+        profile,
     })
 }
 

@@ -1,7 +1,7 @@
 //! Simulation results.
 
 use crate::Cycle;
-use swiftsim_metrics::MetricsCollector;
+use swiftsim_metrics::{MetricsCollector, ProfileReport};
 
 /// Outcome of simulating one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,10 @@ pub struct SimulationResult {
     pub metrics: MetricsCollector,
     /// Host wall-clock time spent simulating.
     pub wall_time: std::time::Duration,
+    /// Self-profiling attribution, when the run was built with
+    /// `SimulatorBuilder::profile(true)`. Not serialized to JSON result
+    /// documents, so results loaded from the campaign cache carry `None`.
+    pub profile: Option<ProfileReport>,
 }
 
 impl SimulationResult {
@@ -112,6 +116,7 @@ mod tests {
             ],
             metrics: MetricsCollector::new(),
             wall_time: std::time::Duration::from_millis(500),
+            profile: None,
         };
         assert_eq!(result.instructions(), 2000);
         assert!((result.ipc() - 2.0).abs() < 1e-12);

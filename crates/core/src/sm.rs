@@ -18,6 +18,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use swiftsim_config::{ExecUnitKind, SmConfig};
 use swiftsim_mem::{coalesce_accesses, AddressMapping};
+use swiftsim_metrics::{ProfModule, Profiler};
 use swiftsim_trace::{
     AddressList, BlockTrace, MemSpace, Opcode, OpcodeClass, Reg, TraceInstruction,
 };
@@ -305,17 +306,27 @@ impl<'a> SmCore<'a> {
     }
 
     /// Simulate one cycle; issues at most one instruction per sub-core.
-    pub(crate) fn tick(&mut self, now: Cycle, mem: &mut dyn MemorySystem) -> TickOutcome {
+    pub(crate) fn tick(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        prof: &mut Profiler,
+    ) -> TickOutcome {
+        let t0 = prof.start();
         self.alu.tick(now);
         self.drain_writebacks(now);
+        prof.record(ProfModule::Alu, t0);
 
         let mut outcome = TickOutcome::default();
         if self.is_active() {
             self.stats.active_cycles += 1;
+            prof.add_cycles(ProfModule::WarpScheduler, 1);
         }
 
         if self.frontend.detailed {
+            let t0 = prof.start();
             self.detailed_core_tick();
+            prof.record(ProfModule::WarpScheduler, t0);
         }
         let mem_ok = mem.can_accept(self.id);
         if mem_ok && !self.mem_parked.is_empty() {
@@ -340,7 +351,7 @@ impl<'a> SmCore<'a> {
             return outcome;
         }
         for sc in 0..self.cfg.sub_cores as usize {
-            self.tick_sub_core(sc, now, mem, mem_ok, &mut outcome);
+            self.tick_sub_core(sc, now, mem, mem_ok, &mut outcome, prof);
         }
 
         // Wakeups for the skip-idle optimization: pending writebacks, and
@@ -390,9 +401,11 @@ impl<'a> SmCore<'a> {
         mem: &mut dyn MemorySystem,
         mem_ok: bool,
         outcome: &mut TickOutcome,
+        prof: &mut Profiler,
     ) {
         // Collect warps of this sub-core: warp w of slot s belongs to
         // sub-core (w % sub_cores).
+        let t_sched = prof.start();
         let sub_cores = self.cfg.sub_cores as usize;
         let mut views = std::mem::take(&mut self.scan_views);
         let mut refs = std::mem::take(&mut self.scan_refs);
@@ -467,11 +480,13 @@ impl<'a> SmCore<'a> {
         }
         self.scan_views = views;
         self.scan_refs = refs;
+        prof.record(ProfModule::WarpScheduler, t_sched);
         if let Some((slot, warp_idx)) = target {
-            self.issue(slot, warp_idx, sc, now, mem, outcome);
+            self.issue(slot, warp_idx, sc, now, mem, outcome, prof);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
         slot: usize,
@@ -480,6 +495,7 @@ impl<'a> SmCore<'a> {
         now: Cycle,
         mem: &mut dyn MemorySystem,
         outcome: &mut TickOutcome,
+        prof: &mut Profiler,
     ) {
         // Copy only the small header fields; the payload stays in place
         // (cloning the instruction per issue would allocate on the hot
@@ -543,9 +559,12 @@ impl<'a> SmCore<'a> {
             }
             OpcodeClass::Memory => {
                 self.stats.mem_insts += 1;
-                self.issue_memory(slot, warp_idx, sc, now, fetch_penalty, mem, outcome);
+                let t0 = prof.start();
+                self.issue_memory(slot, warp_idx, sc, now, fetch_penalty, mem, outcome, prof);
+                prof.record(ProfModule::LdSt, t0);
             }
             _ => {
+                let t0 = prof.start();
                 let kind = unit_for_class(opcode.class()).expect("arithmetic class has a unit");
                 let wb_at = self.alu.issue(sc, kind, now) + fetch_penalty;
                 let block = self.blocks[slot].as_mut().expect("picked warp exists");
@@ -555,6 +574,8 @@ impl<'a> SmCore<'a> {
                 if let Some(dst) = dst {
                     self.wb_events.push(Reverse((wb_at, slot, warp_idx, dst.0)));
                 }
+                prof.add_cycles(ProfModule::Alu, wb_at.saturating_sub(now));
+                prof.record(ProfModule::Alu, t0);
             }
         }
     }
@@ -569,6 +590,7 @@ impl<'a> SmCore<'a> {
         fetch_penalty: Cycle,
         mem: &mut dyn MemorySystem,
         outcome: &mut TickOutcome,
+        prof: &mut Profiler,
     ) {
         // Occupy the LD/ST issue port.
         let agu_done = self.alu.issue(sc, ExecUnitKind::LdSt, now) + fetch_penalty;
@@ -642,6 +664,7 @@ impl<'a> SmCore<'a> {
         warp.next += 1;
         match completion {
             Some(at) => {
+                prof.add_cycles(ProfModule::LdSt, at.saturating_sub(now));
                 if let Some(dst) = dst {
                     self.wb_events.push(Reverse((at, slot, warp_idx, dst.0)));
                 }

@@ -61,6 +61,11 @@ impl AddressMapping {
 
     /// One-hot sector mask covering `width` bytes starting at `addr`,
     /// clipped to this line.
+    ///
+    /// The mask is a `u8`, one bit per sector, so it can only represent
+    /// lines with at most 8 sectors; `CacheConfig::validate` rejects larger
+    /// geometries (e.g. 256 B lines with 16 B sectors) before a mapping is
+    /// ever built, keeping the `1 << s` shifts below in range.
     pub fn sector_mask(&self, addr: u64, width: u32) -> u8 {
         let first = self.sector_index(addr);
         let last_byte = addr + u64::from(width.max(1)) - 1;
@@ -144,6 +149,58 @@ mod tests {
     fn sector_mask_zero_width_is_one_sector() {
         let m = l1_mapping();
         assert_eq!(m.sector_mask(0x40, 0), 0b0100);
+    }
+
+    fn mapping_with(line_bytes: u32, sector_bytes: u32) -> AddressMapping {
+        let mut cfg = presets::rtx2080ti().sm.l1d;
+        cfg.line_bytes = line_bytes;
+        cfg.sector_bytes = sector_bytes;
+        cfg.validate("test-l1").expect("geometry must validate");
+        AddressMapping::new(&cfg)
+    }
+
+    #[test]
+    fn sector_mask_64b_lines_32b_sectors() {
+        // 2 sectors per line.
+        let m = mapping_with(64, 32);
+        assert_eq!(m.sectors_per_line(), 2);
+        assert_eq!(m.sector_mask(0x00, 4), 0b01);
+        assert_eq!(m.sector_mask(0x20, 4), 0b10);
+        // Crossing the sector boundary inside the line.
+        assert_eq!(m.sector_mask(0x1e, 8), 0b11);
+        // Running past the line end clips to the last sector.
+        assert_eq!(m.sector_mask(0x3c, 16), 0b10);
+        // Whole line.
+        assert_eq!(m.sector_mask(0x00, 64), 0b11);
+    }
+
+    #[test]
+    fn sector_mask_128b_lines_16b_sectors() {
+        // 8 sectors per line: the u8 mask's upper limit. The top sector
+        // exercises `1 << 7`, the widest shift a u8 mask allows.
+        let m = mapping_with(128, 16);
+        assert_eq!(m.sectors_per_line(), 8);
+        assert_eq!(m.sector_mask(0x00, 1), 0b0000_0001);
+        assert_eq!(m.sector_mask(0x70, 4), 0b1000_0000);
+        // Width spanning several sectors.
+        assert_eq!(m.sector_mask(0x10, 48), 0b0000_1110);
+        // Crossing into the next line clips to the end of this one.
+        assert_eq!(m.sector_mask(0x78, 32), 0b1000_0000);
+        // Whole line lights every bit.
+        assert_eq!(m.sector_mask(0x00, 128), 0xff);
+    }
+
+    #[test]
+    fn sector_mask_64b_lines_16b_sectors() {
+        // 4 sectors per line with a smaller line: boundary positions shift.
+        let m = mapping_with(64, 16);
+        assert_eq!(m.sectors_per_line(), 4);
+        // Access crossing a sector boundary.
+        assert_eq!(m.sector_mask(0x0c, 8), 0b0011);
+        // Access starting mid-line and running past the line end.
+        assert_eq!(m.sector_mask(0x34, 32), 0b1000);
+        // Full line coverage from an unaligned start is clipped, not wrapped.
+        assert_eq!(m.sector_mask(0x04, 64), 0b1111);
     }
 
     #[test]

@@ -53,35 +53,39 @@ pub fn coalesce_accesses(
     width: u8,
     write: bool,
 ) -> Vec<MemTxn> {
-    let mut txns: Vec<MemTxn> = Vec::new();
+    // The transaction list is kept sorted by line address so each lane
+    // costs one binary search instead of a linear scan over every
+    // transaction accumulated so far; a fully divergent warp is
+    // O(lanes log lanes) rather than O(lanes^2), and the ascending output
+    // order falls out for free.
+    let mut txns: Vec<MemTxn> = Vec::with_capacity(4);
+    let upsert = |txns: &mut Vec<MemTxn>, line_addr: u64, mask: u8| {
+        let pos = txns.partition_point(|t| t.line_addr < line_addr);
+        match txns.get_mut(pos) {
+            Some(txn) if txn.line_addr == line_addr => txn.sector_mask |= mask,
+            _ => txns.insert(
+                pos,
+                MemTxn {
+                    line_addr,
+                    sector_mask: mask,
+                    write,
+                },
+            ),
+        }
+    };
     for &addr in addresses {
         let line_addr = mapping.line_addr(addr);
         let mask = mapping.sector_mask(addr, u32::from(width));
-        match txns.iter_mut().find(|t| t.line_addr == line_addr) {
-            Some(txn) => txn.sector_mask |= mask,
-            None => txns.push(MemTxn {
-                line_addr,
-                sector_mask: mask,
-                write,
-            }),
-        }
+        upsert(&mut txns, line_addr, mask);
         // Accesses wider than the distance to the line end spill into the
         // next line's first sector(s).
         let end = addr + u64::from(width.max(1)) - 1;
         let end_line = mapping.line_addr(end);
         if end_line != line_addr {
             let spill_mask = mapping.sector_mask(end_line, (end - end_line + 1) as u32);
-            match txns.iter_mut().find(|t| t.line_addr == end_line) {
-                Some(txn) => txn.sector_mask |= spill_mask,
-                None => txns.push(MemTxn {
-                    line_addr: end_line,
-                    sector_mask: spill_mask,
-                    write,
-                }),
-            }
+            upsert(&mut txns, end_line, spill_mask);
         }
     }
-    txns.sort_by_key(|t| t.line_addr);
     txns
 }
 
@@ -156,5 +160,114 @@ mod tests {
         let txns = coalesce_accesses(&mapping(), &addrs, 4, false);
         assert!(txns.len() <= 32);
         assert!(!txns.is_empty());
+    }
+
+    fn mapping_with(line_bytes: u32, sector_bytes: u32) -> AddressMapping {
+        let mut cfg = presets::rtx2080ti().sm.l1d;
+        cfg.line_bytes = line_bytes;
+        cfg.sector_bytes = sector_bytes;
+        cfg.validate("test-l1").expect("geometry must validate");
+        AddressMapping::new(&cfg)
+    }
+
+    /// The straightforward linear-scan coalescer the optimized version must
+    /// match exactly (modulo its final sort).
+    fn naive_coalesce(
+        mapping: &AddressMapping,
+        addresses: &[u64],
+        width: u8,
+        write: bool,
+    ) -> Vec<MemTxn> {
+        let mut txns: Vec<MemTxn> = Vec::new();
+        let merge = |txns: &mut Vec<MemTxn>, line_addr: u64, sector_mask: u8| match txns
+            .iter_mut()
+            .find(|t| t.line_addr == line_addr)
+        {
+            Some(t) => t.sector_mask |= sector_mask,
+            None => txns.push(MemTxn {
+                line_addr,
+                sector_mask,
+                write,
+            }),
+        };
+        for &addr in addresses {
+            let line_addr = mapping.line_addr(addr);
+            merge(
+                &mut txns,
+                line_addr,
+                mapping.sector_mask(addr, u32::from(width)),
+            );
+            let end = addr + u64::from(width.max(1)) - 1;
+            let end_line = mapping.line_addr(end);
+            if end_line != line_addr {
+                let spill = mapping.sector_mask(end_line, (end - end_line + 1) as u32);
+                merge(&mut txns, end_line, spill);
+            }
+        }
+        txns.sort_by_key(|t| t.line_addr);
+        txns
+    }
+
+    #[test]
+    fn coalesce_64b_lines_32b_sectors() {
+        let m = mapping_with(64, 32);
+        // 32 consecutive 4-byte words span two 64 B lines.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x2000 + i * 4).collect();
+        let txns = coalesce_accesses(&m, &addrs, 4, false);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].line_addr, 0x2000);
+        assert_eq!(txns[0].sector_mask, 0b11);
+        assert_eq!(txns[1].line_addr, 0x2040);
+        assert_eq!(txns[1].sector_mask, 0b11);
+    }
+
+    #[test]
+    fn coalesce_128b_lines_16b_sectors_width_crosses_sector() {
+        let m = mapping_with(128, 16);
+        // An 8-byte access straddling the sector boundary at 0x10.
+        let txns = coalesce_accesses(&m, &[0x100c], 8, false);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].sector_mask, 0b0000_0011);
+        // And one straddling the top sector boundary, lighting bit 7.
+        let txns = coalesce_accesses(&m, &[0x106c], 8, false);
+        assert_eq!(txns[0].sector_mask, 0b1100_0000);
+    }
+
+    #[test]
+    fn coalesce_64b_lines_16b_sectors_width_crosses_line() {
+        let m = mapping_with(64, 16);
+        // A 16-byte access starting 8 bytes before the line end spills into
+        // the next line's first sector.
+        let txns = coalesce_accesses(&m, &[0x1038], 16, false);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].line_addr, 0x1000);
+        assert_eq!(txns[0].sector_mask, 0b1000);
+        assert_eq!(txns[1].line_addr, 0x1040);
+        assert_eq!(txns[1].sector_mask, 0b0001);
+        // A second lane in the spill line merges with the spilled sector.
+        let txns = coalesce_accesses(&m, &[0x1038, 0x1048], 16, true);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].sector_mask, 0b1000);
+        assert_eq!(txns[1].sector_mask, 0b0011);
+        assert!(txns.iter().all(|t| t.write));
+    }
+
+    #[test]
+    fn coalesce_matches_naive_reference_across_geometries() {
+        for (line, sector) in [(128, 32), (64, 32), (64, 16), (128, 16)] {
+            let m = mapping_with(line, sector);
+            for width in [1u8, 4, 8, 16, 32] {
+                // Deterministic pseudo-random lane addresses, including
+                // duplicates and descending runs.
+                let addrs: Vec<u64> = (0..32u64)
+                    .map(|i| (i.wrapping_mul(2654435761) % 4096) ^ ((i % 3) * 8))
+                    .collect();
+                let fast = coalesce_accesses(&m, &addrs, width, false);
+                let slow = naive_coalesce(&m, &addrs, width, false);
+                assert_eq!(fast, slow, "line={line} sector={sector} width={width}");
+                // Output must be strictly ascending by line address.
+                assert!(fast.windows(2).all(|w| w[0].line_addr < w[1].line_addr));
+            }
+        }
     }
 }

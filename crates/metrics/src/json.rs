@@ -97,7 +97,13 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => {
-                if v.fract() == 0.0 && v.abs() < 9e15 {
+                // JSON has no NaN/Infinity literals; emitting `{v}` for a
+                // non-finite value would produce an unparseable document
+                // (and silently corrupt --json output, campaign JSONL rows,
+                // and the result cache). Serialize them as `null`.
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 9e15 {
                     let _ = write!(out, "{}", *v as i64);
                 } else {
                     let _ = write!(out, "{v}");
@@ -351,6 +357,25 @@ mod tests {
         let back = Json::parse(&text).unwrap();
         assert_eq!(back, v);
         assert_eq!(back.dump(), text);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        // Regression: these used to be written as bare `NaN`/`inf`/`-inf`
+        // literals, which no JSON parser (including ours) accepts.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(v).dump(), "null");
+        }
+        let doc = Json::obj(vec![
+            ("ok", Json::Num(1.5)),
+            ("bad", Json::Num(f64::NAN)),
+            ("arr", Json::Arr(vec![Json::Num(f64::INFINITY)])),
+        ]);
+        let text = doc.dump();
+        assert_eq!(text, r#"{"ok":1.5,"bad":null,"arr":[null]}"#);
+        // The emitted document must round-trip through our own parser.
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("bad"), Some(&Json::Null));
     }
 
     #[test]

@@ -33,10 +33,12 @@
 
 mod collector;
 pub mod json;
+mod profile;
 mod stats;
 mod table;
 
 pub use collector::{MetricsCollector, ScopedCollector, Value};
 pub use json::Json;
+pub use profile::{ProfFrame, ProfModule, ProfileReport, Profiler};
 pub use stats::{geomean, mean, mean_abs, rel_error};
 pub use table::Table;
