@@ -1,0 +1,169 @@
+//! Trace-ingestion benchmark: eager whole-file loading vs streaming
+//! per-kernel decode over the same chunked binary trace.
+//!
+//! Generates a multi-kernel synthetic application of ≥ 1M instructions,
+//! writes it as a chunked `.sstraceb` file, then measures each ingestion
+//! mode **in its own child process** (peak RSS — `VmHWM` in
+//! `/proc/self/status` — is a per-process high-water mark, so the two
+//! modes cannot share one). The driver checks that both modes predict
+//! bit-identical cycles and writes the comparison to
+//! `BENCH_trace_ingest.json`.
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin trace_ingest
+//! SWIFTSIM_INGEST_INSTS=4000000 cargo run --release -p swiftsim-bench --bin trace_ingest
+//! ```
+
+use std::time::Instant;
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_trace::{ApplicationTrace, ChunkedTraceSource};
+
+const MODE_ENV: &str = "SWIFTSIM_INGEST_MODE";
+const TRACE_ENV: &str = "SWIFTSIM_INGEST_TRACE";
+
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = swiftsim_config::presets::rtx2080ti();
+    cfg.num_sms = 8;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+/// Peak resident set of this process in KiB (`VmHWM`), or 0 when
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Child process: run one ingestion mode and report measurements on stdout
+/// as `key=value` lines.
+fn run_child(mode: &str, path: &str) {
+    let sim = SimulatorBuilder::new(small_gpu())
+        .preset(SimulatorPreset::SwiftBasic)
+        .try_build()
+        .expect("valid config");
+
+    let t0 = Instant::now();
+    let result = match mode {
+        "eager" => {
+            let app = ApplicationTrace::read_binary_file(path).expect("read trace");
+            sim.run(&app).expect("eager run")
+        }
+        "streaming" => {
+            let source = ChunkedTraceSource::open(path).expect("open trace");
+            sim.run_source(&source).expect("streaming run")
+        }
+        other => panic!("unknown ingest mode {other:?}"),
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!("cycles={}", result.cycles);
+    println!("insts={}", result.instructions());
+    println!("wall_ms={wall_ms:.1}");
+    println!("peak_rss_kb={}", peak_rss_kb());
+}
+
+#[derive(Debug)]
+struct Measurement {
+    cycles: u64,
+    insts: u64,
+    wall_ms: f64,
+    peak_rss_kb: u64,
+}
+
+/// Spawn this binary again in one ingestion mode and parse its report.
+fn measure(mode: &str, path: &std::path::Path) -> Measurement {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .env(MODE_ENV, mode)
+        .env(TRACE_ENV, path)
+        .output()
+        .expect("spawn ingest child");
+    assert!(
+        out.status.success(),
+        "{mode} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> f64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("{mode} child did not report {key}: {stdout}"))
+            .parse()
+            .expect("numeric field")
+    };
+    Measurement {
+        cycles: field("cycles") as u64,
+        insts: field("insts") as u64,
+        wall_ms: field("wall_ms"),
+        peak_rss_kb: field("peak_rss_kb") as u64,
+    }
+}
+
+fn main() {
+    // Child mode: one measured run, then exit.
+    if let Ok(mode) = std::env::var(MODE_ENV) {
+        let path = std::env::var(TRACE_ENV).expect("trace path env");
+        run_child(&mode, &path);
+        return;
+    }
+
+    let target: u64 = std::env::var("SWIFTSIM_INGEST_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_200_000);
+
+    eprintln!("generating ingest-stress app (>= {target} instructions) ...");
+    let app = swiftsim_workloads::ingest_stress_app(target);
+    let insts = app.num_insts();
+    let dir = std::env::temp_dir().join(format!("swiftsim-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("ingest.sstraceb");
+    app.write_binary_file(&path).expect("write trace");
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    drop(app); // the children load it themselves
+
+    eprintln!(
+        "trace: {insts} instructions, {file_bytes} bytes on disk at {}",
+        path.display()
+    );
+    eprintln!("measuring eager ingestion ...");
+    let eager = measure("eager", &path);
+    eprintln!("measuring streaming ingestion ...");
+    let streaming = measure("streaming", &path);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        eager.cycles, streaming.cycles,
+        "eager and streaming ingestion must predict identical cycles"
+    );
+    assert_eq!(eager.insts, streaming.insts);
+
+    let rss_ratio = streaming.peak_rss_kb as f64 / eager.peak_rss_kb.max(1) as f64;
+    let wall_ratio = streaming.wall_ms / eager.wall_ms.max(0.001);
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_ingest\",\n  \"instructions\": {insts},\n  \"trace_bytes\": {file_bytes},\n  \"cycles\": {},\n  \"eager\": {{ \"wall_ms\": {:.1}, \"peak_rss_kb\": {} }},\n  \"streaming\": {{ \"wall_ms\": {:.1}, \"peak_rss_kb\": {} }},\n  \"streaming_rss_ratio\": {rss_ratio:.3},\n  \"streaming_wall_ratio\": {wall_ratio:.3}\n}}\n",
+        eager.cycles, eager.wall_ms, eager.peak_rss_kb, streaming.wall_ms, streaming.peak_rss_kb,
+    );
+    let out_path =
+        std::env::var("SWIFTSIM_INGEST_OUT").unwrap_or_else(|_| "BENCH_trace_ingest.json".into());
+    std::fs::write(&out_path, &json).expect("write bench json");
+
+    println!("{json}");
+    println!(
+        "streaming peak RSS is {:.0}% of eager; wall time is {:.0}% of eager ({out_path})",
+        rss_ratio * 100.0,
+        wall_ratio * 100.0
+    );
+    if eager.peak_rss_kb > 0 && rss_ratio > 0.6 {
+        eprintln!("WARNING: streaming RSS above the 60% target");
+    }
+}

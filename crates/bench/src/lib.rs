@@ -12,7 +12,8 @@
 //!   the committed EXPERIMENTS.md numbers use `paper`).
 //! * `SWIFTSIM_APPS` — comma-separated subset of workload names.
 //! * `SWIFTSIM_THREADS` — worker threads for the parallel runs
-//!   (default: all cores, capped at the paper's 50).
+//!   (default `0` = auto: all cores, capped at the GPU's SM count by the
+//!   simulator builder).
 
 use std::time::Duration;
 use swiftsim_config::GpuConfig;
@@ -42,7 +43,7 @@ impl Knobs {
         let threads = std::env::var("SWIFTSIM_THREADS")
             .ok()
             .and_then(|t| t.parse().ok())
-            .unwrap_or_else(swiftsim_core::max_threads);
+            .unwrap_or(0);
         let apps = std::env::var("SWIFTSIM_APPS").ok().map(|s| {
             s.split(',')
                 .map(|a| a.trim().to_owned())
@@ -144,7 +145,7 @@ pub fn sweep_app(gpu: &GpuConfig, workload: &Workload, knobs: &Knobs) -> AppResu
     let detailed = run_one(gpu, SimulatorPreset::Detailed, 1, &app);
     let basic_1t = run_one(gpu, SimulatorPreset::SwiftBasic, 1, &app);
     let memory_1t = run_one(gpu, SimulatorPreset::SwiftMemory, 1, &app);
-    let (basic_mt, memory_mt) = if knobs.threads > 1 {
+    let (basic_mt, memory_mt) = if knobs.threads != 1 {
         (
             run_one(gpu, SimulatorPreset::SwiftBasic, knobs.threads, &app),
             run_one(gpu, SimulatorPreset::SwiftMemory, knobs.threads, &app),

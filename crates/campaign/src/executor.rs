@@ -214,8 +214,11 @@ pub(crate) fn run_resolved(
                 .preset(job.spec.preset)
                 .threads(job.spec.threads)
                 .profile(opts.profile)
-                .build();
-            let result = sim.run(&job.app).map_err(|e| e.to_string())?;
+                .try_build()
+                .map_err(|e| e.to_string())?;
+            let result = sim
+                .run_source(job.app.as_ref())
+                .map_err(|e| e.to_string())?;
             cache.store(job.key, &job.spec.label(), &result);
             Ok((result, false))
         },

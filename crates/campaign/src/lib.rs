@@ -60,7 +60,10 @@ use std::path::PathBuf;
 
 /// Bumped whenever the engine changes in a way that invalidates cached
 /// results (job-key composition, result schema, simulator semantics).
-pub const ENGINE_VERSION: u64 = 1;
+/// Version 2: trace content hashes moved to the chunked-binary header
+/// scheme (representation-independent across text/binary/streaming
+/// sources), so every pre-streaming cache entry is stale.
+pub const ENGINE_VERSION: u64 = 2;
 
 /// How a campaign run executes: worker count, retry bound, cache policy.
 #[derive(Debug, Clone)]

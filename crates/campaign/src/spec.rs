@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 use swiftsim_config::{fnv1a64, GpuConfig, ReplacementPolicy, SchedulerPolicy};
 use swiftsim_core::{SimulatorPreset, RESULT_SCHEMA_VERSION};
-use swiftsim_trace::ApplicationTrace;
+use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
 
 /// Error raised while parsing or resolving a campaign spec.
@@ -88,7 +88,9 @@ pub struct CampaignSpec {
     /// Scale for built-in workloads.
     pub scale: Scale,
     /// Per-simulation worker threads (the SM-sharded parallelism *inside*
-    /// one job; the campaign's own parallelism is across jobs).
+    /// one job; the campaign's own parallelism is across jobs). `0` means
+    /// auto: resolved against this host's cores and each job's SM count
+    /// during [`CampaignSpec::resolve`].
     pub threads: Vec<usize>,
     /// Warp-scheduler overrides; `None` keeps the config's own policy.
     pub schedulers: Vec<Option<SchedulerPolicy>>,
@@ -159,16 +161,33 @@ impl JobSpec {
 }
 
 /// A job with its inputs loaded and its cache key computed.
-#[derive(Debug, Clone)]
+///
+/// `spec.threads` is concrete here: a spec-level `threads = 0` (auto) is
+/// resolved against this host and the job's GPU during
+/// [`CampaignSpec::resolve`], so the cache key and label carry the count
+/// that actually shards the simulation.
+#[derive(Clone)]
 pub struct ResolvedJob {
-    /// The expanded job description.
+    /// The expanded job description (threads resolved to a concrete count).
     pub spec: JobSpec,
     /// GPU configuration with knob overrides applied.
     pub cfg: GpuConfig,
-    /// The application trace (shared across jobs that use the same one).
-    pub app: Arc<ApplicationTrace>,
+    /// The trace source (shared across jobs that use the same one).
+    /// Built-in workloads are in-memory; trace files stream lazily.
+    pub app: Arc<dyn TraceSource>,
     /// Content-addressed cache key.
     pub key: u64,
+}
+
+impl fmt::Debug for ResolvedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResolvedJob")
+            .field("spec", &self.spec)
+            .field("cfg", &self.cfg.name)
+            .field("app", &self.app.name())
+            .field("key", &self.key_hex())
+            .finish()
+    }
 }
 
 impl ResolvedJob {
@@ -366,12 +385,14 @@ impl CampaignSpec {
             ));
         }
 
-        // Load each distinct input once; jobs share them.
+        // Load each distinct input once; jobs share them. The trace's
+        // content hash rides along so it is computed once per trace, not
+        // once per job (for file-backed sources it may touch the disk).
         let mut gpu_cache: Vec<(GpuSource, GpuConfig)> = Vec::new();
-        let mut trace_cache: Vec<(WorkloadSource, Arc<ApplicationTrace>)> = Vec::new();
+        let mut trace_cache: Vec<(WorkloadSource, Arc<dyn TraceSource>, u64)> = Vec::new();
 
         let mut resolved = Vec::with_capacity(jobs.len());
-        for spec in jobs {
+        for mut spec in jobs {
             let base = match gpu_cache.iter().find(|(s, _)| *s == spec.gpu) {
                 Some((_, cfg)) => cfg.clone(),
                 None => {
@@ -380,12 +401,15 @@ impl CampaignSpec {
                     cfg
                 }
             };
-            let app = match trace_cache.iter().find(|(s, _)| *s == spec.workload) {
-                Some((_, app)) => Arc::clone(app),
+            let (app, trace_hash) = match trace_cache.iter().find(|(s, _, _)| *s == spec.workload) {
+                Some((_, app, hash)) => (Arc::clone(app), *hash),
                 None => {
-                    let app = Arc::new(load_trace(&spec.workload, spec.scale)?);
-                    trace_cache.push((spec.workload.clone(), Arc::clone(&app)));
-                    app
+                    let app = load_trace(&spec.workload, spec.scale)?;
+                    let hash = app.content_hash().map_err(|e| {
+                        CampaignError::Workload(format!("{}: {e}", spec.workload.describe()))
+                    })?;
+                    trace_cache.push((spec.workload.clone(), Arc::clone(&app), hash));
+                    (app, hash)
                 }
             };
 
@@ -397,7 +421,23 @@ impl CampaignSpec {
                 cfg.sm.l1d.replacement = r;
             }
 
-            let key = job_key(&cfg, &app, spec.preset, spec.threads);
+            // `threads = 0` means auto: resolve it here, against this host
+            // and this job's GPU, so the concrete count lands in the cache
+            // key (sharding changes predicted cycles). Explicit counts are
+            // validated now rather than failing the job mid-campaign.
+            let num_sms = cfg.num_sms as usize;
+            if spec.threads == 0 {
+                spec.threads = swiftsim_core::max_threads().min(num_sms).max(1);
+            } else if spec.threads > num_sms {
+                return Err(CampaignError::Spec(format!(
+                    "threads = {} exceeds the {} SMs of gpu {:?} (use threads = 0 for auto)",
+                    spec.threads,
+                    num_sms,
+                    spec.gpu.describe(),
+                )));
+            }
+
+            let key = job_key(&cfg, trace_hash, spec.preset, spec.threads);
             resolved.push(ResolvedJob {
                 spec,
                 cfg,
@@ -413,26 +453,23 @@ impl CampaignSpec {
 ///
 /// Covers everything that determines the simulation's outcome: the resolved
 /// configuration (overrides applied — via [`GpuConfig::stable_hash`]), the
-/// trace content ([`ApplicationTrace::content_hash`]), the preset, the
-/// per-simulation thread count (sharding changes predicted cycles), and the
-/// engine/schema versions so stale caches self-invalidate. The simulator
-/// code version (`CARGO_PKG_VERSION`) and [`CACHE_KEY_SCHEMA`] are folded
-/// in too: without them, results cached before a model change would be
-/// silently served after it.
-pub fn job_key(
-    cfg: &GpuConfig,
-    app: &ApplicationTrace,
-    preset: SimulatorPreset,
-    threads: usize,
-) -> u64 {
-    job_key_versioned(cfg, app, preset, threads, env!("CARGO_PKG_VERSION"))
+/// trace content (`trace_hash` is [`TraceSource::content_hash`], which is
+/// identical for the in-memory, text, and chunked-binary representation of
+/// the same application), the preset, the per-simulation thread count
+/// (sharding changes predicted cycles), and the engine/schema versions so
+/// stale caches self-invalidate. The simulator code version
+/// (`CARGO_PKG_VERSION`) and [`CACHE_KEY_SCHEMA`] are folded in too:
+/// without them, results cached before a model change would be silently
+/// served after it.
+pub fn job_key(cfg: &GpuConfig, trace_hash: u64, preset: SimulatorPreset, threads: usize) -> u64 {
+    job_key_versioned(cfg, trace_hash, preset, threads, env!("CARGO_PKG_VERSION"))
 }
 
 /// [`job_key`] with the simulator version as an explicit input, so tests can
 /// prove that a version bump invalidates cached entries.
 fn job_key_versioned(
     cfg: &GpuConfig,
-    app: &ApplicationTrace,
+    trace_hash: u64,
     preset: SimulatorPreset,
     threads: usize,
     pkg_version: &str,
@@ -440,9 +477,8 @@ fn job_key_versioned(
     let descriptor = format!(
         "swiftsim-campaign;pkg={pkg_version};keyschema={CACHE_KEY_SCHEMA};\
          engine={ENGINE_VERSION};schema={RESULT_SCHEMA_VERSION};\
-         cfg={:016x};trace={:016x};preset={};threads={threads}",
+         cfg={:016x};trace={trace_hash:016x};preset={};threads={threads}",
         cfg.stable_hash(),
-        app.content_hash(),
         preset.label(),
     );
     fnv1a64(descriptor.as_bytes())
@@ -460,25 +496,17 @@ fn load_gpu(source: &GpuSource) -> Result<GpuConfig, CampaignError> {
     }
 }
 
-fn load_trace(source: &WorkloadSource, scale: Scale) -> Result<ApplicationTrace, CampaignError> {
+fn load_trace(
+    source: &WorkloadSource,
+    scale: Scale,
+) -> Result<Arc<dyn TraceSource>, CampaignError> {
     match source {
         WorkloadSource::Builtin(name) => swiftsim_workloads::by_name(name)
-            .map(|w| w.generate(scale))
+            .map(|w| Arc::new(w.generate(scale)) as Arc<dyn TraceSource>)
             .ok_or_else(|| CampaignError::Workload(format!("unknown workload {name:?}"))),
-        WorkloadSource::TraceFile(path) => {
-            let bytes = std::fs::read(path)
-                .map_err(|e| CampaignError::Workload(format!("cannot read {path}: {e}")))?;
-            if bytes.starts_with(b"SSTB") {
-                ApplicationTrace::from_binary(&bytes)
-                    .map_err(|e| CampaignError::Workload(format!("{path}: {e}")))
-            } else {
-                let text = String::from_utf8(bytes).map_err(|_| {
-                    CampaignError::Workload(format!("{path} is neither binary nor text"))
-                })?;
-                ApplicationTrace::parse(&text)
-                    .map_err(|e| CampaignError::Workload(format!("{path}: {e}")))
-            }
-        }
+        WorkloadSource::TraceFile(path) => open_trace(path)
+            .map(Arc::from)
+            .map_err(|e| CampaignError::Workload(e.to_string())),
     }
 }
 
@@ -580,6 +608,23 @@ mod tests {
     }
 
     #[test]
+    fn threads_zero_resolves_to_concrete_count() {
+        let spec = CampaignSpec::parse("workload = nw\nscale = tiny\nthreads = 0").unwrap();
+        let jobs = spec.resolve().unwrap();
+        assert!(jobs[0].spec.threads >= 1, "auto resolves to a real count");
+        assert!(jobs[0].spec.threads <= jobs[0].cfg.num_sms as usize);
+        // The resolved count is in the label (and therefore the key input).
+        assert!(jobs[0]
+            .spec
+            .label()
+            .contains(&format!("/t{}", jobs[0].spec.threads)));
+
+        // Oversubscribing the GPU is rejected at resolve time.
+        let spec = CampaignSpec::parse("workload = nw\nscale = tiny\nthreads = 4096").unwrap();
+        assert!(matches!(spec.resolve(), Err(CampaignError::Spec(_))));
+    }
+
+    #[test]
     fn job_keys_are_stable_and_sensitive() {
         let spec = CampaignSpec::parse("workload = nw\nscale = tiny").unwrap();
         let first = spec.resolve().unwrap();
@@ -608,9 +653,10 @@ mod tests {
         let spec = CampaignSpec::parse("workload = nw\nscale = tiny").unwrap();
         let job = spec.resolve().unwrap().into_iter().next().unwrap();
 
+        let trace_hash = job.app.content_hash().unwrap();
         let current = job_key_versioned(
             &job.cfg,
-            &job.app,
+            trace_hash,
             job.spec.preset,
             job.spec.threads,
             env!("CARGO_PKG_VERSION"),
@@ -621,7 +667,7 @@ mod tests {
         // results cached before a release are never served after it.
         let bumped = job_key_versioned(
             &job.cfg,
-            &job.app,
+            trace_hash,
             job.spec.preset,
             job.spec.threads,
             "99.0.0-post-model-change",

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use swiftsim_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use swiftsim_config::{presets, GpuConfig};
 use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
-use swiftsim_trace::ApplicationTrace;
+use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
 
 const USAGE: &str = "\
@@ -34,7 +34,8 @@ OPTIONS:
     --workload <NAME>                              built-in synthetic workload
     --trace <FILE>                                 application trace file (overrides --workload)
     --scale <tiny|small|paper>                     workload scale [default: small]
-    --threads <N>                                  worker threads [default: 1]
+    --threads <N>                                  worker threads; 0 = auto (one per core,
+                                                   capped at the GPU's SM count) [default: 1]
     --profile                                      self-profile the simulator and print a
                                                    per-module wall-time attribution table
     --trace-out <FILE>                             write the profile as a Chrome trace-event /
@@ -284,19 +285,12 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
         return Ok(());
     };
 
-    let app: ApplicationTrace = match (&args.trace_file, &args.workload) {
-        (Some(path), _) => {
-            // Binary traces are detected by their magic, not the extension.
-            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            if bytes.starts_with(b"SSTB") {
-                ApplicationTrace::from_binary(&bytes).map_err(|e| e.to_string())?
-            } else {
-                let text = String::from_utf8(bytes)
-                    .map_err(|_| format!("{path} is neither a binary nor a text trace"))?;
-                ApplicationTrace::parse(&text).map_err(|e| e.to_string())?
-            }
-        }
-        (None, Some(name)) => find_workload(name)?.generate(args.scale),
+    // Trace files stream: the kernel index/metadata is read now, kernel
+    // payloads decode lazily (and one kernel ahead) during the run. Binary
+    // traces are detected by their magic, not the extension.
+    let source: Box<dyn TraceSource> = match (&args.trace_file, &args.workload) {
+        (Some(path), _) => open_trace(path).map_err(|e| e.to_string())?,
+        (None, Some(name)) => Box::new(find_workload(name)?.generate(args.scale)),
         (None, None) => return Err("need --workload or --trace (try --help)".to_owned()),
     };
 
@@ -304,17 +298,18 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
         .preset(args.preset)
         .threads(args.threads)
         .profile(args.profile)
-        .build();
+        .try_build()
+        .map_err(|e| e.to_string())?;
 
     eprintln!(
         "simulating {:?} ({} instructions) on {} with {} ({})...",
-        app.name,
-        app.num_insts(),
+        source.name(),
+        source.total_insts(),
         args.gpu.name,
         args.preset.label(),
         sim.description(),
     );
-    let result = sim.run(&app).map_err(|e| e.to_string())?;
+    let result = sim.run_source(source.as_ref()).map_err(|e| e.to_string())?;
 
     if let (Some(path), Some(report)) = (&args.trace_out, &result.profile) {
         let trace = report.to_chrome_trace().dump();

@@ -11,11 +11,12 @@ use crate::mem_system::{
     build_analytical_memory, build_analytical_memory_reuse, CycleAccurateMemory, MemorySystem,
 };
 use crate::parallel::run_parallel;
+use crate::prefetch::Prefetcher;
 use crate::result::{KernelResult, SimulationResult};
 use crate::Cycle;
 use swiftsim_config::GpuConfig;
-use swiftsim_metrics::{MetricsCollector, Profiler, Value};
-use swiftsim_trace::ApplicationTrace;
+use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler, Value};
+use swiftsim_trace::{ApplicationTrace, TraceSource};
 
 /// Which model simulates the ALU pipeline (§III-D1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,10 +158,14 @@ impl SimulatorBuilder {
         self
     }
 
-    /// Simulate with `threads` worker threads (SM-sharded; capped at the
-    /// paper's 50-thread experimental maximum and at the SM count).
+    /// Simulate with `threads` worker threads (SM-sharded). `0` means
+    /// *auto*: use [`crate::max_threads`] (the host's available
+    /// parallelism), capped at the SM count. An explicit count larger than
+    /// the configuration's SM count is rejected by
+    /// [`try_build`](SimulatorBuilder::try_build) — a shard needs at least
+    /// one SM.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.clamp(1, 50);
+        self.threads = threads;
         self
     }
 
@@ -172,16 +177,60 @@ impl SimulatorBuilder {
         self
     }
 
-    /// Finish building.
-    pub fn build(self) -> GpuSimulator {
-        GpuSimulator {
+    /// Finish building, validating the configuration up front: the
+    /// hardware description must pass [`GpuConfig::validate`], and an
+    /// explicit thread count must not exceed the SM count (each worker
+    /// shards at least one SM). A thread count of `0` resolves here to
+    /// `min(`[`crate::max_threads`]`(), num_sms)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violation.
+    pub fn try_build(self) -> Result<GpuSimulator, SimError> {
+        self.cfg.validate().map_err(|e| SimError::InvalidConfig {
+            message: e.to_string(),
+        })?;
+        let num_sms = self.cfg.num_sms.max(1) as usize;
+        let threads = if self.threads == 0 {
+            crate::parallel::max_threads().min(num_sms)
+        } else {
+            if self.threads > num_sms {
+                return Err(SimError::InvalidConfig {
+                    message: format!(
+                        "thread count {} exceeds the {} SMs of {:?}; each worker thread \
+                         shards at least one SM (use threads(0) for auto)",
+                        self.threads, num_sms, self.cfg.name
+                    ),
+                });
+            }
+            self.threads
+        };
+        Ok(GpuSimulator {
             cfg: self.cfg,
             alu: self.alu,
             mem: self.mem,
             detailed_frontend: self.detailed_frontend,
             skip_idle: self.skip_idle,
-            threads: self.threads,
+            threads,
             profile: self.profile,
+        })
+    }
+
+    /// Finish building, panicking on an invalid configuration.
+    ///
+    /// Thin wrapper over [`try_build`](SimulatorBuilder::try_build), kept
+    /// for the common case of hard-coded known-good configurations.
+    /// Callers handling user-supplied configurations (CLI flags, campaign
+    /// specs) should migrate to `try_build` and surface the
+    /// [`SimError::InvalidConfig`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `try_build` would return an error.
+    pub fn build(self) -> GpuSimulator {
+        match self.try_build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -221,80 +270,118 @@ impl GpuSimulator {
 
     /// Simulate `app` and return the predicted cycles and metrics.
     ///
+    /// Equivalent to [`run_source`](GpuSimulator::run_source) —
+    /// `ApplicationTrace` is the in-memory [`TraceSource`], whose kernel
+    /// "decode" is a zero-copy borrow.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] when the trace is inconsistent with its launch
     /// geometry, a block exceeds SM resources, or the model deadlocks.
     pub fn run(&self, app: &ApplicationTrace) -> Result<SimulationResult, SimError> {
+        self.run_source(app)
+    }
+
+    /// Simulate the application provided by `source`, decoding kernels
+    /// lazily: while kernel *k* simulates, kernel *k+1* is decoded on a
+    /// background thread (for file-backed sources), so peak memory stays
+    /// at ~2 decoded kernels regardless of application size. Decode time
+    /// is attributed to the profiler's `trace-decode` module on its own
+    /// track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] as [`run`](GpuSimulator::run) does, plus
+    /// [`SimError::Trace`] when a kernel fails to decode.
+    pub fn run_source(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
         let started = std::time::Instant::now();
         let mut result = if self.threads > 1 {
-            run_parallel(self, app)?
+            run_parallel(self, source)?
         } else {
-            self.run_single(app)?
+            self.run_single(source)?
         };
         result.wall_time = started.elapsed();
         Ok(result)
     }
 
-    fn run_single(&self, app: &ApplicationTrace) -> Result<SimulationResult, SimError> {
+    fn run_single(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
         let mut mem: Box<dyn MemorySystem> = match self.mem {
             MemoryModelKind::CycleAccurate => Box::new(CycleAccurateMemory::new(&self.cfg)),
-            MemoryModelKind::Analytical => build_analytical_memory(&self.cfg, app),
-            MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&self.cfg, app),
+            MemoryModelKind::Analytical => build_analytical_memory(&self.cfg, source)?,
+            MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&self.cfg, source)?,
         };
 
         let num_sms = self.cfg.num_sms as usize;
-        let mut start: Cycle = 0;
-        let mut kernels = Vec::new();
-        let mut total_stats = crate::sm::SmStats::default();
+        // The simulation profiler renders on track 0, the decode profiler
+        // on track 1; a shared epoch lines their frames up on one
+        // timeline, making decode/simulate overlap visible.
+        let epoch = std::time::Instant::now();
         let mut prof = if self.profile {
-            Profiler::enabled()
+            Profiler::enabled_on_track(epoch, 0)
+        } else {
+            Profiler::disabled()
+        };
+        let decode_prof = if self.profile {
+            Profiler::enabled_on_track(epoch, 1)
         } else {
             Profiler::disabled()
         };
         mem.set_profiling(self.profile);
 
-        for (idx, kernel) in app.kernels().iter().enumerate() {
-            prof.begin_frame(&format!("k{idx}:{}", kernel.name));
-            let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
-            let outcome = run_kernel_shard(
-                &self.cfg,
-                kernel,
-                &blocks,
-                num_sms,
-                mem.as_mut(),
-                self.alu,
-                self.detailed_frontend,
-                self.skip_idle,
-                start,
-                &mut prof,
-            )?;
-            // Flush the memory system's per-level attribution into the
-            // still-open frame before closing it.
-            mem.report_profile(&mut prof);
-            prof.end_frame();
-            kernels.push(KernelResult {
-                name: kernel.name.clone(),
-                cycles: outcome.end_cycle - start,
-                instructions: outcome.stats.issued,
-                blocks: outcome.blocks,
-            });
-            merge_into(&mut total_stats, outcome.stats);
-            start = outcome.end_cycle;
-        }
+        std::thread::scope(|scope| {
+            let mut pf = Prefetcher::new(scope, source, decode_prof, source.prefers_prefetch());
+            let mut start: Cycle = 0;
+            let mut kernels = Vec::new();
+            let mut total_stats = crate::sm::SmStats::default();
 
-        let mut metrics = MetricsCollector::new();
-        report_common(&mut metrics, start, &total_stats, self);
-        mem.report(&mut metrics);
+            for idx in 0..source.num_kernels() {
+                let kernel = pf.get(idx)?;
+                let kernel = &*kernel;
+                prof.begin_frame(&format!("k{idx}:{}", kernel.name));
+                let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
+                let outcome = run_kernel_shard(
+                    &self.cfg,
+                    kernel,
+                    &blocks,
+                    num_sms,
+                    mem.as_mut(),
+                    self.alu,
+                    self.detailed_frontend,
+                    self.skip_idle,
+                    start,
+                    &mut prof,
+                )?;
+                // Flush the memory system's per-level attribution into the
+                // still-open frame before closing it.
+                mem.report_profile(&mut prof);
+                prof.end_frame();
+                kernels.push(KernelResult {
+                    name: kernel.name.clone(),
+                    cycles: outcome.end_cycle - start,
+                    instructions: outcome.stats.issued,
+                    blocks: outcome.blocks,
+                });
+                merge_into(&mut total_stats, outcome.stats);
+                start = outcome.end_cycle;
+            }
 
-        Ok(SimulationResult {
-            app: app.name.clone(),
-            simulator: self.description(),
-            cycles: start,
-            kernels,
-            metrics,
-            wall_time: std::time::Duration::ZERO, // filled by run()
-            profile: self.profile.then(|| prof.into_report()),
+            let mut metrics = MetricsCollector::new();
+            report_common(&mut metrics, start, &total_stats, self);
+            mem.report(&mut metrics);
+
+            let profile = self
+                .profile
+                .then(|| ProfileReport::merge(vec![prof.into_report(), pf.finish().into_report()]));
+
+            Ok(SimulationResult {
+                app: source.name().to_owned(),
+                simulator: self.description(),
+                cycles: start,
+                kernels,
+                metrics,
+                wall_time: std::time::Duration::ZERO, // filled by run()
+                profile,
+            })
         })
     }
 }
@@ -351,15 +438,47 @@ mod tests {
     }
 
     #[test]
-    fn threads_are_clamped() {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .threads(400)
-            .build();
-        assert_eq!(sim.threads, 50);
+    fn threads_zero_resolves_to_auto() {
         let sim = SimulatorBuilder::new(presets::rtx2080ti())
             .threads(0)
-            .build();
-        assert_eq!(sim.threads, 1);
+            .try_build()
+            .expect("auto threads is always valid");
+        assert!(sim.threads >= 1);
+        assert!(sim.threads <= presets::rtx2080ti().num_sms as usize);
+        assert!(sim.threads <= crate::parallel::max_threads());
+    }
+
+    #[test]
+    fn try_build_rejects_more_threads_than_sms() {
+        let cfg = presets::rtx2080ti();
+        let too_many = cfg.num_sms as usize + 1;
+        let err = SimulatorBuilder::new(cfg.clone())
+            .threads(too_many)
+            .try_build()
+            .expect_err("one shard needs at least one SM");
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+        // The exact SM count is accepted.
+        let sim = SimulatorBuilder::new(cfg.clone())
+            .threads(cfg.num_sms as usize)
+            .try_build()
+            .expect("threads == SMs is valid");
+        assert_eq!(sim.threads, cfg.num_sms as usize);
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_config() {
+        let mut cfg = presets::rtx2080ti();
+        cfg.num_sms = 0;
+        let err = SimulatorBuilder::new(cfg).try_build().expect_err("0 SMs");
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator configuration")]
+    fn build_panics_on_invalid_config() {
+        let mut cfg = presets::rtx2080ti();
+        cfg.num_sms = 0;
+        let _ = SimulatorBuilder::new(cfg).build();
     }
 
     #[test]

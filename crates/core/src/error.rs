@@ -5,6 +5,19 @@ use std::fmt;
 /// Error produced while running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The simulator configuration is invalid (rejected by
+    /// `SimulatorBuilder::try_build` before any simulation starts).
+    InvalidConfig {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A kernel could not be decoded from its trace source while the
+    /// simulation was consuming it (I/O failure, corrupt section, parse
+    /// error in a lazily-decoded kernel).
+    Trace {
+        /// The rendered [`swiftsim_trace::TraceError`].
+        message: String,
+    },
     /// The trace is inconsistent with its declared launch geometry.
     InconsistentTrace {
         /// The offending kernel's name.
@@ -54,6 +67,12 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::InvalidConfig { message } => {
+                write!(f, "invalid simulator configuration: {message}")
+            }
+            SimError::Trace { message } => {
+                write!(f, "trace ingestion failed: {message}")
+            }
             SimError::InconsistentTrace { kernel, message } => {
                 write!(f, "kernel {kernel}: inconsistent trace: {message}")
             }
@@ -71,6 +90,14 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<swiftsim_trace::TraceError> for SimError {
+    fn from(e: swiftsim_trace::TraceError) -> Self {
+        SimError::Trace {
+            message: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

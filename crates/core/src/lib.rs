@@ -65,6 +65,7 @@ mod gpu;
 mod json;
 pub mod mem_system;
 mod parallel;
+mod prefetch;
 mod result;
 mod scheduler;
 mod scoreboard;

@@ -1042,24 +1042,37 @@ impl MemorySystem for AnalyticalMemory {
     }
 }
 
-/// Build an [`AnalyticalMemory`] for `app`: the functional cache-simulation
-/// pre-pass (§III-D2's "cache simulator") replays every global/local memory
-/// instruction of the trace to obtain per-PC hit rates, then instantiates
-/// the Eq. 1 model from them. The pre-pass cost is part of
-/// Swift-Sim-Memory's runtime and is orders of magnitude cheaper than
-/// cycle-accurate simulation.
-pub fn build_analytical_memory(
-    cfg: &GpuConfig,
-    app: &swiftsim_trace::ApplicationTrace,
-) -> Box<dyn MemorySystem> {
-    let mut funcsim = FunctionalCacheSim::new(cfg);
-    let mapping = AddressMapping::new(&cfg.sm.l1d);
-    let mut pcs: std::collections::HashSet<u32> = std::collections::HashSet::new();
-    let num_sms = cfg.num_sms.max(1) as usize;
-    for kernel in app.kernels() {
+/// Streaming accumulator behind [`build_analytical_memory`]: the
+/// functional cache-simulation pre-pass (§III-D2's "cache simulator")
+/// consumed kernel-by-kernel, so a lazily-decoded application never has to
+/// be materialized whole. Feed kernels in launch order, then
+/// [`finish`](AnalyticalMemoryBuilder::finish).
+pub struct AnalyticalMemoryBuilder {
+    cfg: GpuConfig,
+    funcsim: FunctionalCacheSim,
+    mapping: AddressMapping,
+    pcs: std::collections::HashSet<u32>,
+    num_sms: usize,
+}
+
+impl AnalyticalMemoryBuilder {
+    /// Start a pre-pass for the given hardware configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        AnalyticalMemoryBuilder {
+            cfg: cfg.clone(),
+            funcsim: FunctionalCacheSim::new(cfg),
+            mapping: AddressMapping::new(&cfg.sm.l1d),
+            pcs: std::collections::HashSet::new(),
+            num_sms: cfg.num_sms.max(1) as usize,
+        }
+    }
+
+    /// Replay one kernel's global/local memory instructions through the
+    /// functional cache simulator. The kernel can be dropped afterwards.
+    pub fn feed_kernel(&mut self, kernel: &swiftsim_trace::KernelTrace) {
         for (b, block) in kernel.blocks().iter().enumerate() {
             // Approximate the block scheduler's round-robin placement.
-            let sm = b % num_sms;
+            let sm = b % self.num_sms;
             for warp in block.warps() {
                 for inst in warp {
                     let Some(mem) = &inst.mem else { continue };
@@ -1071,20 +1084,51 @@ pub fn build_analytical_memory(
                     }
                     let addrs = mem.addresses.expand(inst.active_lanes());
                     for txn in swiftsim_mem::coalesce_accesses(
-                        &mapping,
+                        &self.mapping,
                         &addrs,
                         mem.width,
                         inst.opcode.is_store(),
                     ) {
-                        funcsim.access(sm, inst.pc, txn);
+                        self.funcsim.access(sm, inst.pc, txn);
                     }
-                    pcs.insert(inst.pc);
+                    self.pcs.insert(inst.pc);
                 }
             }
         }
     }
-    let pcs: Vec<u32> = pcs.into_iter().collect();
-    Box::new(AnalyticalMemory::from_funcsim(cfg, &funcsim, &pcs))
+
+    /// Instantiate the Eq. 1 model from the accumulated per-PC hit rates.
+    pub fn finish(self) -> Box<dyn MemorySystem> {
+        let pcs: Vec<u32> = self.pcs.into_iter().collect();
+        Box::new(AnalyticalMemory::from_funcsim(
+            &self.cfg,
+            &self.funcsim,
+            &pcs,
+        ))
+    }
+}
+
+/// Build an [`AnalyticalMemory`] for `source`: the functional
+/// cache-simulation pre-pass replays every global/local memory instruction
+/// of the trace to obtain per-PC hit rates, then instantiates the Eq. 1
+/// model from them. Kernels are decoded one at a time and dropped, so peak
+/// memory is one kernel. The pre-pass cost is part of Swift-Sim-Memory's
+/// runtime and is orders of magnitude cheaper than cycle-accurate
+/// simulation.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::Trace`] when a kernel fails to decode.
+pub fn build_analytical_memory(
+    cfg: &GpuConfig,
+    source: &dyn swiftsim_trace::TraceSource,
+) -> Result<Box<dyn MemorySystem>, crate::SimError> {
+    let mut builder = AnalyticalMemoryBuilder::new(cfg);
+    for k in 0..source.num_kernels() {
+        let kernel = source.decode_kernel(k)?;
+        builder.feed_kernel(&kernel);
+    }
+    Ok(builder.finish())
 }
 
 /// Build an [`AnalyticalMemory`] using the *reuse-distance tool* instead of
@@ -1097,29 +1141,60 @@ pub fn build_analytical_memory(
 /// the cycle-accurate cache module instead).
 pub fn build_analytical_memory_reuse(
     cfg: &GpuConfig,
-    app: &swiftsim_trace::ApplicationTrace,
-) -> Box<dyn MemorySystem> {
-    let num_sms = cfg.num_sms.max(1) as usize;
-    let l1_lines = u64::from(cfg.sm.l1d.sets) * u64::from(cfg.sm.l1d.ways);
-    let l2_lines = u64::from(cfg.memory.l2.sets)
-        * u64::from(cfg.memory.l2.ways)
-        * u64::from(cfg.memory.partitions);
-
-    let mut l1_rd: Vec<ReuseDistanceAnalyzer> =
-        (0..num_sms).map(|_| ReuseDistanceAnalyzer::new()).collect();
-    let mut l2_rd = ReuseDistanceAnalyzer::new();
-    #[derive(Default, Clone, Copy)]
-    struct Counts {
-        l1: u64,
-        l2: u64,
-        dram: u64,
+    source: &dyn swiftsim_trace::TraceSource,
+) -> Result<Box<dyn MemorySystem>, crate::SimError> {
+    let mut builder = ReuseAnalyticalMemoryBuilder::new(cfg);
+    for k in 0..source.num_kernels() {
+        let kernel = source.decode_kernel(k)?;
+        builder.feed_kernel(&kernel);
     }
-    let mut per_pc: HashMap<u32, Counts> = HashMap::new();
-    let mapping = AddressMapping::new(&cfg.sm.l1d);
+    Ok(builder.finish())
+}
 
-    for kernel in app.kernels() {
+#[derive(Default, Clone, Copy)]
+struct ReuseCounts {
+    l1: u64,
+    l2: u64,
+    dram: u64,
+}
+
+/// Streaming accumulator behind [`build_analytical_memory_reuse`]: the
+/// reuse-distance pre-pass consumed kernel-by-kernel. Feed kernels in
+/// launch order, then [`finish`](ReuseAnalyticalMemoryBuilder::finish).
+pub struct ReuseAnalyticalMemoryBuilder {
+    cfg: GpuConfig,
+    mapping: AddressMapping,
+    num_sms: usize,
+    l1_lines: u64,
+    l2_lines: u64,
+    l1_rd: Vec<ReuseDistanceAnalyzer>,
+    l2_rd: ReuseDistanceAnalyzer,
+    per_pc: HashMap<u32, ReuseCounts>,
+}
+
+impl ReuseAnalyticalMemoryBuilder {
+    /// Start a pre-pass for the given hardware configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let num_sms = cfg.num_sms.max(1) as usize;
+        ReuseAnalyticalMemoryBuilder {
+            cfg: cfg.clone(),
+            mapping: AddressMapping::new(&cfg.sm.l1d),
+            num_sms,
+            l1_lines: u64::from(cfg.sm.l1d.sets) * u64::from(cfg.sm.l1d.ways),
+            l2_lines: u64::from(cfg.memory.l2.sets)
+                * u64::from(cfg.memory.l2.ways)
+                * u64::from(cfg.memory.partitions),
+            l1_rd: (0..num_sms).map(|_| ReuseDistanceAnalyzer::new()).collect(),
+            l2_rd: ReuseDistanceAnalyzer::new(),
+            per_pc: HashMap::new(),
+        }
+    }
+
+    /// Replay one kernel's global/local memory instructions through the
+    /// reuse-distance analyzers. The kernel can be dropped afterwards.
+    pub fn feed_kernel(&mut self, kernel: &swiftsim_trace::KernelTrace) {
         for (b, block) in kernel.blocks().iter().enumerate() {
-            let sm = b % num_sms;
+            let sm = b % self.num_sms;
             for warp in block.warps() {
                 for inst in warp {
                     let Some(mem) = &inst.mem else { continue };
@@ -1130,9 +1205,9 @@ pub fn build_analytical_memory_reuse(
                         continue;
                     }
                     let addrs = mem.addresses.expand(inst.active_lanes());
-                    let counts = per_pc.entry(inst.pc).or_default();
+                    let counts = self.per_pc.entry(inst.pc).or_default();
                     for txn in swiftsim_mem::coalesce_accesses(
-                        &mapping,
+                        &self.mapping,
                         &addrs,
                         mem.width,
                         inst.opcode.is_store(),
@@ -1140,13 +1215,15 @@ pub fn build_analytical_memory_reuse(
                         let l1_hit = if txn.write {
                             false // write-through, no-write-allocate L1
                         } else {
-                            matches!(l1_rd[sm].record(txn.line_addr), Some(d) if d < l1_lines)
+                            matches!(self.l1_rd[sm].record(txn.line_addr),
+                                     Some(d) if d < self.l1_lines)
                         };
                         if l1_hit {
                             counts.l1 += 1;
                             continue;
                         }
-                        let l2_hit = matches!(l2_rd.record(txn.line_addr), Some(d) if d < l2_lines);
+                        let l2_hit = matches!(self.l2_rd.record(txn.line_addr),
+                                              Some(d) if d < self.l2_lines);
                         if l2_hit {
                             counts.l2 += 1;
                         } else {
@@ -1158,21 +1235,25 @@ pub fn build_analytical_memory_reuse(
         }
     }
 
-    let rates: HashMap<u32, PcHitRates> = per_pc
-        .into_iter()
-        .map(|(pc, c)| {
-            let total = (c.l1 + c.l2 + c.dram).max(1) as f64;
-            (
-                pc,
-                PcHitRates {
-                    l1: c.l1 as f64 / total,
-                    l2: c.l2 as f64 / total,
-                    dram: c.dram as f64 / total,
-                },
-            )
-        })
-        .collect();
-    Box::new(AnalyticalMemory::new(cfg, &rates))
+    /// Instantiate the Eq. 1 model from the accumulated hit counts.
+    pub fn finish(self) -> Box<dyn MemorySystem> {
+        let rates: HashMap<u32, PcHitRates> = self
+            .per_pc
+            .into_iter()
+            .map(|(pc, c)| {
+                let total = (c.l1 + c.l2 + c.dram).max(1) as f64;
+                (
+                    pc,
+                    PcHitRates {
+                        l1: c.l1 as f64 / total,
+                        l2: c.l2 as f64 / total,
+                        dram: c.dram as f64 / total,
+                    },
+                )
+            })
+            .collect();
+        Box::new(AnalyticalMemory::new(&self.cfg, &rates))
+    }
 }
 
 #[cfg(test)]

@@ -16,21 +16,27 @@
 use crate::builder::{GpuSimulator, MemoryModelKind};
 use crate::error::SimError;
 use crate::gpu::{merge_into, run_kernel_shard, shard_config, split_blocks};
-use crate::mem_system::{build_analytical_memory, CycleAccurateMemory, MemorySystem};
+use crate::mem_system::{
+    AnalyticalMemoryBuilder, CycleAccurateMemory, MemorySystem, ReuseAnalyticalMemoryBuilder,
+};
+use crate::prefetch::Prefetcher;
 use crate::result::{KernelResult, SimulationResult};
 use crate::sm::SmStats;
 use crate::Cycle;
 use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler};
-use swiftsim_trace::ApplicationTrace;
+use swiftsim_trace::TraceSource;
 
-/// The maximum worker threads a simulation will use on this host: the
-/// machine's available parallelism, capped at the paper's experimental
-/// maximum of 50 threads.
+/// The worker threads a simulation will use on this host when the builder
+/// is asked for automatic threading (`threads(0)`): the machine's
+/// available parallelism. The final count is additionally capped at the
+/// simulated GPU's SM count by `SimulatorBuilder::try_build` — a shard
+/// needs at least one SM. (An earlier revision hard-capped this at the
+/// paper's 50-thread experimental maximum; the cap is gone, the builder
+/// knob decides.)
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(50)
 }
 
 /// Split `total` SMs into `shards` contiguous groups (sizes differ by at
@@ -44,34 +50,57 @@ fn split_sms(total: usize, shards: usize) -> Vec<usize> {
 
 pub(crate) fn run_parallel(
     sim: &GpuSimulator,
-    app: &ApplicationTrace,
+    source: &dyn TraceSource,
 ) -> Result<SimulationResult, SimError> {
     let total_sms = sim.cfg.num_sms as usize;
     let group_sizes = split_sms(total_sms, sim.threads);
     let shards = group_sizes.len();
 
     // Shard configurations and memory systems (persisting across kernels so
-    // caches stay warm, as in the single-threaded path).
+    // caches stay warm, as in the single-threaded path). The analytical
+    // pre-passes stream: each kernel is decoded once and fed to every
+    // shard's accumulator, then dropped.
     let shard_cfgs: Vec<_> = group_sizes
         .iter()
         .map(|&n| shard_config(&sim.cfg, n as u32, sim.cfg.num_sms))
         .collect();
-    let mut mems: Vec<Box<dyn MemorySystem>> = shard_cfgs
-        .iter()
-        .map(|cfg| match sim.mem {
-            MemoryModelKind::CycleAccurate => {
-                Box::new(CycleAccurateMemory::new(cfg)) as Box<dyn MemorySystem>
+    let mut mems: Vec<Box<dyn MemorySystem>> = match sim.mem {
+        MemoryModelKind::CycleAccurate => shard_cfgs
+            .iter()
+            .map(|cfg| Box::new(CycleAccurateMemory::new(cfg)) as Box<dyn MemorySystem>)
+            .collect(),
+        MemoryModelKind::Analytical => {
+            let mut builders: Vec<_> = shard_cfgs
+                .iter()
+                .map(AnalyticalMemoryBuilder::new)
+                .collect();
+            for k in 0..source.num_kernels() {
+                let kernel = source.decode_kernel(k)?;
+                for b in &mut builders {
+                    b.feed_kernel(&kernel);
+                }
             }
-            MemoryModelKind::Analytical => build_analytical_memory(cfg, app),
-            MemoryModelKind::AnalyticalReuse => {
-                crate::mem_system::build_analytical_memory_reuse(cfg, app)
+            builders.into_iter().map(|b| b.finish()).collect()
+        }
+        MemoryModelKind::AnalyticalReuse => {
+            let mut builders: Vec<_> = shard_cfgs
+                .iter()
+                .map(ReuseAnalyticalMemoryBuilder::new)
+                .collect();
+            for k in 0..source.num_kernels() {
+                let kernel = source.decode_kernel(k)?;
+                for b in &mut builders {
+                    b.feed_kernel(&kernel);
+                }
             }
-        })
-        .collect();
+            builders.into_iter().map(|b| b.finish()).collect()
+        }
+    };
 
     // Per-shard profilers share one epoch so merged frames line up on a
-    // common timeline; each shard renders on its own trace track. They
-    // persist across kernels, like the memory systems.
+    // common timeline; each shard renders on its own trace track, with the
+    // decode profiler on the track after the last shard. They persist
+    // across kernels, like the memory systems.
     let epoch = std::time::Instant::now();
     let mut profs: Vec<Profiler> = (0..shards)
         .map(|i| {
@@ -82,101 +111,118 @@ pub(crate) fn run_parallel(
             }
         })
         .collect();
+    let decode_prof = if sim.profile {
+        Profiler::enabled_on_track(epoch, shards)
+    } else {
+        Profiler::disabled()
+    };
     for mem in &mut mems {
         mem.set_profiling(sim.profile);
     }
 
-    let mut start: Cycle = 0;
-    let mut kernels = Vec::new();
-    let mut total_stats = SmStats::default();
+    std::thread::scope(|dscope| {
+        let mut pf = Prefetcher::new(dscope, source, decode_prof, source.prefers_prefetch());
+        let mut start: Cycle = 0;
+        let mut kernels = Vec::new();
+        let mut total_stats = SmStats::default();
 
-    for (kidx, kernel) in app.kernels().iter().enumerate() {
-        let block_split = split_blocks(kernel.blocks().len(), shards);
+        for kidx in 0..source.num_kernels() {
+            let kernel = pf.get(kidx)?;
+            let kernel = &*kernel;
+            let block_split = split_blocks(kernel.blocks().len(), shards);
 
-        let outcomes: Vec<Result<crate::gpu::ShardKernelOutcome, SimError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = mems
-                    .iter_mut()
-                    .zip(&mut profs)
-                    .zip(&shard_cfgs)
-                    .zip(&group_sizes)
-                    .zip(&block_split)
-                    .map(|((((mem, prof), cfg), &local_sms), blocks)| {
-                        scope.spawn(move || {
-                            prof.begin_frame(&format!("k{kidx}:{}", kernel.name));
-                            let outcome = run_kernel_shard(
-                                cfg,
-                                kernel,
-                                blocks,
-                                local_sms,
-                                mem.as_mut(),
-                                sim.alu,
-                                sim.detailed_frontend,
-                                sim.skip_idle,
-                                start,
-                                prof,
-                            );
-                            mem.report_profile(prof);
-                            prof.end_frame();
-                            outcome
-                        })
-                    })
-                    .collect();
-                // A panicking shard must not take down the process: capture
-                // the payload and surface it as a SimError for that shard.
-                handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, h)| {
-                        h.join().unwrap_or_else(|payload| {
-                            Err(SimError::WorkerPanic {
-                                context: format!("shard {i} of kernel {:?}", kernel.name),
-                                message: crate::error::panic_message(payload.as_ref()),
+            let outcomes: Vec<Result<crate::gpu::ShardKernelOutcome, SimError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = mems
+                        .iter_mut()
+                        .zip(&mut profs)
+                        .zip(&shard_cfgs)
+                        .zip(&group_sizes)
+                        .zip(&block_split)
+                        .map(|((((mem, prof), cfg), &local_sms), blocks)| {
+                            scope.spawn(move || {
+                                prof.begin_frame(&format!("k{kidx}:{}", kernel.name));
+                                let outcome = run_kernel_shard(
+                                    cfg,
+                                    kernel,
+                                    blocks,
+                                    local_sms,
+                                    mem.as_mut(),
+                                    sim.alu,
+                                    sim.detailed_frontend,
+                                    sim.skip_idle,
+                                    start,
+                                    prof,
+                                );
+                                mem.report_profile(prof);
+                                prof.end_frame();
+                                outcome
                             })
                         })
-                    })
-                    .collect()
+                        .collect();
+                    // A panicking shard must not take down the process:
+                    // capture the payload and surface it as a SimError for
+                    // that shard.
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, h)| {
+                            h.join().unwrap_or_else(|payload| {
+                                Err(SimError::WorkerPanic {
+                                    context: format!("shard {i} of kernel {:?}", kernel.name),
+                                    message: crate::error::panic_message(payload.as_ref()),
+                                })
+                            })
+                        })
+                        .collect()
+                });
+
+            let mut end = start;
+            let mut kernel_stats = SmStats::default();
+            let mut blocks = 0;
+            for outcome in outcomes {
+                let o = outcome?;
+                end = end.max(o.end_cycle);
+                merge_into(&mut kernel_stats, o.stats);
+                blocks += o.blocks;
+            }
+            kernels.push(KernelResult {
+                name: kernel.name.clone(),
+                cycles: end - start,
+                instructions: kernel_stats.issued,
+                blocks,
             });
-
-        let mut end = start;
-        let mut kernel_stats = SmStats::default();
-        let mut blocks = 0;
-        for outcome in outcomes {
-            let o = outcome?;
-            end = end.max(o.end_cycle);
-            merge_into(&mut kernel_stats, o.stats);
-            blocks += o.blocks;
+            merge_into(&mut total_stats, kernel_stats);
+            start = end;
         }
-        kernels.push(KernelResult {
-            name: kernel.name.clone(),
-            cycles: end - start,
-            instructions: kernel_stats.issued,
-            blocks,
+
+        let mut metrics = MetricsCollector::new();
+        crate::builder::report_common(&mut metrics, start, &total_stats, sim);
+        for (i, mem) in mems.iter().enumerate() {
+            let mut shard_collector = MetricsCollector::new();
+            mem.report(&mut shard_collector);
+            metrics.absorb(&format!("shard{i}"), &shard_collector);
+        }
+
+        let profile = sim.profile.then(|| {
+            ProfileReport::merge(
+                profs
+                    .into_iter()
+                    .chain(std::iter::once(pf.finish()))
+                    .map(Profiler::into_report)
+                    .collect(),
+            )
         });
-        merge_into(&mut total_stats, kernel_stats);
-        start = end;
-    }
 
-    let mut metrics = MetricsCollector::new();
-    crate::builder::report_common(&mut metrics, start, &total_stats, sim);
-    for (i, mem) in mems.iter().enumerate() {
-        let mut shard_collector = MetricsCollector::new();
-        mem.report(&mut shard_collector);
-        metrics.absorb(&format!("shard{i}"), &shard_collector);
-    }
-
-    let profile = sim
-        .profile
-        .then(|| ProfileReport::merge(profs.into_iter().map(Profiler::into_report).collect()));
-
-    Ok(SimulationResult {
-        app: app.name.clone(),
-        simulator: format!("{}@{}threads", sim.description(), shards),
-        cycles: start,
-        kernels,
-        metrics,
-        wall_time: std::time::Duration::ZERO, // filled by run()
-        profile,
+        Ok(SimulationResult {
+            app: source.name().to_owned(),
+            simulator: format!("{}@{}threads", sim.description(), shards),
+            cycles: start,
+            kernels,
+            metrics,
+            wall_time: std::time::Duration::ZERO, // filled by run()
+            profile,
+        })
     })
 }
 
@@ -193,9 +239,7 @@ mod tests {
     }
 
     #[test]
-    fn max_threads_bounded() {
-        let t = max_threads();
-        assert!(t >= 1);
-        assert!(t <= 50);
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
     }
 }

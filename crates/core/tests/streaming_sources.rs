@@ -1,0 +1,172 @@
+//! Cross-representation equivalence of the trace ingestion pipeline.
+//!
+//! The same application reaches the simulator three ways — in memory, as a
+//! text trace file, and as a chunked binary trace file — and every path
+//! must be indistinguishable downstream: identical content hashes (campaign
+//! cache keys) and bit-identical simulation results, single-threaded and
+//! sharded. Plus the error paths: truncated and corrupted chunked files
+//! must fail loudly, never silently mis-simulate.
+
+use swiftsim_config::presets;
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_trace::{
+    open_trace, ApplicationTrace, ChunkedTraceSource, TextTraceSource, TraceSource,
+};
+use swiftsim_workloads::Scale;
+
+/// A small config so the detailed-ish presets stay fast in tests.
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = presets::rtx2080ti();
+    cfg.num_sms = 4;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+/// A fresh scratch directory per call; unique across concurrently running
+/// test binaries.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swiftsim-stream-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A multi-kernel app with real memory traffic.
+fn app() -> ApplicationTrace {
+    swiftsim_workloads::by_name("backprop")
+        .expect("workload exists")
+        .generate(Scale::Tiny)
+}
+
+/// The three file-backed and in-memory views of the same application.
+fn sources(dir: &std::path::Path) -> (ApplicationTrace, TextTraceSource, ChunkedTraceSource) {
+    let app = app();
+    let text_path = dir.join("app.sstrace");
+    let bin_path = dir.join("app.sstraceb");
+    app.write_to_file(&text_path).expect("write text trace");
+    app.write_binary_file(&bin_path)
+        .expect("write binary trace");
+    let text = TextTraceSource::open(&text_path).expect("open text trace");
+    let chunked = ChunkedTraceSource::open(&bin_path).expect("open chunked trace");
+    (app, text, chunked)
+}
+
+#[test]
+fn content_hash_is_representation_independent() {
+    let dir = scratch("hash");
+    let (app, text, chunked) = sources(&dir);
+    let mem_hash = TraceSource::content_hash(&app).unwrap();
+    assert_eq!(mem_hash, text.content_hash().unwrap(), "text vs memory");
+    assert_eq!(
+        mem_hash,
+        chunked.content_hash().unwrap(),
+        "binary vs memory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_sources_simulate_bit_identically() {
+    let dir = scratch("equal");
+    let (app, text, chunked) = sources(&dir);
+
+    for preset in [SimulatorPreset::SwiftBasic, SimulatorPreset::SwiftMemory] {
+        for threads in [1usize, 2] {
+            let sim = SimulatorBuilder::new(small_gpu())
+                .preset(preset)
+                .threads(threads)
+                .try_build()
+                .expect("valid config");
+            let eager = sim.run(&app).expect("eager run");
+            let sources: [&dyn TraceSource; 2] = [&text, &chunked];
+            for (label, source) in ["text", "chunked"].iter().zip(sources) {
+                let streamed = sim.run_source(source).expect("streamed run");
+                assert_eq!(
+                    eager.cycles, streamed.cycles,
+                    "{label} cycles at {preset:?} t{threads}"
+                );
+                assert_eq!(
+                    eager.kernels, streamed.kernels,
+                    "{label} per-kernel stats at {preset:?} t{threads}"
+                );
+                assert_eq!(
+                    eager.metrics, streamed.metrics,
+                    "{label} metrics at {preset:?} t{threads}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_trace_dispatches_on_magic() {
+    let dir = scratch("sniff");
+    let (app, _, _) = sources(&dir);
+    let text = open_trace(dir.join("app.sstrace")).expect("text via open_trace");
+    let bin = open_trace(dir.join("app.sstraceb")).expect("binary via open_trace");
+    assert_eq!(text.num_kernels(), app.kernels().len());
+    assert_eq!(bin.num_kernels(), app.kernels().len());
+    assert_eq!(
+        text.content_hash().unwrap(),
+        bin.content_hash().unwrap(),
+        "open_trace preserves hash parity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_chunked_file_is_rejected_at_open() {
+    let dir = scratch("trunc");
+    let bin_path = dir.join("app.sstraceb");
+    app().write_binary_file(&bin_path).expect("write binary");
+    let bytes = std::fs::read(&bin_path).unwrap();
+
+    // Cut the file mid-payload and mid-header: both must fail to open (the
+    // section table promises more bytes than the file holds).
+    for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+        let path = dir.join(format!("cut{cut}.sstraceb"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            ChunkedTraceSource::open(&path).is_err(),
+            "truncation at {cut}/{} must be rejected",
+            bytes.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_payload_fails_the_run_not_the_process() {
+    let dir = scratch("corrupt");
+    let bin_path = dir.join("app.sstraceb");
+    let app = app();
+    app.write_binary_file(&bin_path).expect("write binary");
+
+    // Flip one byte in the last kernel's payload. The header still parses,
+    // so the file opens — the per-section hash catches it at decode time,
+    // and the simulator surfaces it as an error.
+    let mut bytes = std::fs::read(&bin_path).unwrap();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xff;
+    std::fs::write(&bin_path, &bytes).unwrap();
+
+    let source = ChunkedTraceSource::open(&bin_path).expect("header is intact");
+    let last = source.num_kernels() - 1;
+    assert!(
+        source.decode_kernel(last).is_err(),
+        "hash mismatch on decode"
+    );
+
+    let sim = SimulatorBuilder::new(small_gpu())
+        .preset(SimulatorPreset::SwiftBasic)
+        .try_build()
+        .expect("valid config");
+    let err = sim
+        .run_source(&source)
+        .expect_err("corrupt trace fails the run");
+    assert!(
+        matches!(err, swiftsim_core::SimError::Trace { .. }),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,6 +48,9 @@ pub enum ProfModule {
     Dram,
     /// The analytical memory model (Eq. 1) used by `swift-sim-memory`.
     MemAnalytical,
+    /// Trace ingestion: decoding a kernel from its `TraceSource` (runs on
+    /// the prefetch thread, overlapping simulation of the prior kernel).
+    TraceDecode,
     /// Everything not covered by a finer-grained module (event-loop glue,
     /// time advance, termination checks).
     Other,
@@ -55,7 +58,7 @@ pub enum ProfModule {
 
 impl ProfModule {
     /// Every module, in fixed report order.
-    pub const ALL: [ProfModule; 10] = [
+    pub const ALL: [ProfModule; 11] = [
         ProfModule::BlockScheduler,
         ProfModule::WarpScheduler,
         ProfModule::Alu,
@@ -65,6 +68,7 @@ impl ProfModule {
         ProfModule::L2,
         ProfModule::Dram,
         ProfModule::MemAnalytical,
+        ProfModule::TraceDecode,
         ProfModule::Other,
     ];
 
@@ -80,7 +84,8 @@ impl ProfModule {
             ProfModule::L2 => 6,
             ProfModule::Dram => 7,
             ProfModule::MemAnalytical => 8,
-            ProfModule::Other => 9,
+            ProfModule::TraceDecode => 9,
+            ProfModule::Other => 10,
         }
     }
 
@@ -96,6 +101,7 @@ impl ProfModule {
             ProfModule::L2 => "l2-cache",
             ProfModule::Dram => "dram",
             ProfModule::MemAnalytical => "mem-analytical",
+            ProfModule::TraceDecode => "trace-decode",
             ProfModule::Other => "other",
         }
     }
@@ -112,7 +118,7 @@ impl ProfModule {
             | ProfModule::L2
             | ProfModule::Dram
             | ProfModule::MemAnalytical => "mem",
-            ProfModule::Other => "sim",
+            ProfModule::TraceDecode | ProfModule::Other => "sim",
         }
     }
 }

@@ -1,36 +1,61 @@
-//! Compact binary trace format (`.sstraceb`).
+//! Compact chunked binary trace format (`.sstraceb`, version 2).
 //!
 //! Text traces are convenient to inspect but large: real NVBit captures run
 //! to gigabytes. This module provides a varint-packed binary encoding that
 //! is typically 3–6x smaller than the text format and parses without any
-//! string processing. The encoding is self-describing (magic + version) and
-//! deliberately simple:
+//! string processing. Version 2 is *chunked*: a per-kernel section table
+//! sits between the header and the kernel payloads, so a single kernel can
+//! be located and decoded without touching the rest of the file — the
+//! foundation of the streaming [`crate::ChunkedTraceSource`].
 //!
 //! ```text
-//! "SSTB" u8-version
+//! "SSTB" u8-version(2)
 //! app-name
-//! kernel-count { name grid(3) block(3) shmem regs
-//!                block-count { warp-count { inst-count { instruction } } } }
+//! kernel-count
+//! section table, one entry per kernel:
+//!     name grid(3) block(3) shmem regs num-insts payload-len payload-hash(8B LE)
+//! payloads, concatenated in kernel order:
+//!     block-count { warp-count { inst-count { instruction } } }
 //! ```
 //!
-//! All integers are LEB128 varints; strings are length-prefixed UTF-8. An
-//! instruction is `pc opcode flags [dst] srcs... mask [space width addrs]`
-//! where `flags` packs the destination presence, source count, and
-//! address-list kind.
+//! All integers are LEB128 varints; strings are length-prefixed UTF-8;
+//! `payload-hash` is the FNV-1a of the payload bytes, fixed 8-byte
+//! little-endian. An instruction is `pc opcode flags [dst] srcs... mask
+//! [space width addrs]` where `flags` packs the destination presence,
+//! source count, and address-list kind.
+//!
+//! Because every section entry commits to its payload (length + content
+//! hash), the [`ApplicationTrace::content_hash`] of a trace is defined as
+//! the FNV-1a of the header + section table alone: an indexed file yields
+//! it without decoding any payload, and an in-memory trace yields the same
+//! value by encoding payloads one kernel at a time and discarding them.
 
 use crate::error::TraceError;
 use crate::inst::{AddressList, MemInfo, Reg, TraceInstruction};
 use crate::isa::Opcode;
-use crate::kernel::{ApplicationTrace, KernelTrace, WarpTrace};
+use crate::kernel::{ApplicationTrace, Dim3, KernelTrace, WarpTrace};
+use crate::source::KernelMeta;
 
-const MAGIC: &[u8; 4] = b"SSTB";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"SSTB";
+const VERSION: u8 = 2;
 
 // Flag bits of the per-instruction header byte.
 const FLAG_HAS_DST: u8 = 0b0000_0001;
 const FLAG_HAS_MEM: u8 = 0b0000_0010;
 const FLAG_EXPLICIT_ADDRS: u8 = 0b0000_0100;
 const SRC_COUNT_SHIFT: u8 = 4;
+
+/// FNV-1a over a byte slice — the stable hash used for section hashes and
+/// the whole-trace content hash (`DefaultHasher` would not survive a
+/// toolchain upgrade).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -49,17 +74,21 @@ fn push_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
     }
 
-    fn err(&self, what: &str) -> TraceError {
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn err(&self, what: &str) -> TraceError {
         TraceError::invalid_value("binary trace", format!("{what} at byte {}", self.pos))
     }
 
@@ -228,121 +257,300 @@ fn decode_inst(r: &mut Reader<'_>) -> Result<TraceInstruction, TraceError> {
     Ok(inst)
 }
 
-impl ApplicationTrace {
-    /// Serialize to the compact binary format.
-    pub fn to_binary(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        push_string(&mut out, &self.name);
-        push_varint(&mut out, self.kernels().len() as u64);
-        for kernel in self.kernels() {
-            push_string(&mut out, &kernel.name);
-            for d in [kernel.grid_dim.x, kernel.grid_dim.y, kernel.grid_dim.z] {
-                push_varint(&mut out, u64::from(d));
+/// One entry of the version-2 section table: a kernel's launch metadata
+/// plus the length and content hash of its (not yet decoded) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Section {
+    pub(crate) meta: KernelMeta,
+    pub(crate) payload_len: u64,
+    pub(crate) payload_hash: u64,
+}
+
+/// Encode a kernel's body (blocks/warps/instructions) as a standalone
+/// payload.
+pub(crate) fn encode_kernel_payload(kernel: &KernelTrace) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_varint(&mut out, kernel.blocks().len() as u64);
+    for block in kernel.blocks() {
+        push_varint(&mut out, block.num_warps() as u64);
+        for warp in block.warps() {
+            push_varint(&mut out, warp.len() as u64);
+            for inst in warp {
+                encode_inst(&mut out, inst);
             }
-            for d in [kernel.block_dim.x, kernel.block_dim.y, kernel.block_dim.z] {
-                push_varint(&mut out, u64::from(d));
+        }
+    }
+    out
+}
+
+/// Decode one kernel payload against its section metadata.
+pub(crate) fn decode_kernel_payload(
+    bytes: &[u8],
+    meta: &KernelMeta,
+) -> Result<KernelTrace, TraceError> {
+    let mut r = Reader::new(bytes);
+    let mut kernel = KernelTrace::new(meta.name.clone(), meta.grid_dim, meta.block_dim);
+    kernel.shared_mem_bytes = meta.shared_mem_bytes;
+    kernel.regs_per_thread = meta.regs_per_thread;
+    let num_blocks = r.varint()? as usize;
+    if num_blocks > 1 << 24 {
+        return Err(r.err("block count"));
+    }
+    for _ in 0..num_blocks {
+        let block = kernel.push_block();
+        let num_warps = r.varint()? as usize;
+        if num_warps > 1 << 16 {
+            return Err(r.err("warp count"));
+        }
+        for _ in 0..num_warps {
+            let num_insts = r.varint()? as usize;
+            if num_insts > 1 << 28 {
+                return Err(r.err("instruction count"));
             }
-            push_varint(&mut out, u64::from(kernel.shared_mem_bytes));
-            push_varint(&mut out, u64::from(kernel.regs_per_thread));
-            push_varint(&mut out, kernel.blocks().len() as u64);
-            for block in kernel.blocks() {
-                push_varint(&mut out, block.num_warps() as u64);
-                for warp in block.warps() {
-                    push_varint(&mut out, warp.len() as u64);
-                    for inst in warp {
-                        encode_inst(&mut out, inst);
-                    }
-                }
+            let mut warp = WarpTrace::new();
+            for _ in 0..num_insts {
+                warp.push(decode_inst(&mut r)?);
             }
+            *block.push_warp() = warp;
+        }
+    }
+    if r.pos() != bytes.len() {
+        return Err(r.err("trailing payload bytes"));
+    }
+    if kernel.num_insts() != meta.num_insts {
+        return Err(TraceError::invalid_value(
+            "binary trace",
+            format!(
+                "kernel {:?} payload has {} instructions, section table says {}",
+                meta.name,
+                kernel.num_insts(),
+                meta.num_insts
+            ),
+        ));
+    }
+    Ok(kernel)
+}
+
+fn encode_section_entry(out: &mut Vec<u8>, s: &Section) {
+    push_string(out, &s.meta.name);
+    for d in [s.meta.grid_dim.x, s.meta.grid_dim.y, s.meta.grid_dim.z] {
+        push_varint(out, u64::from(d));
+    }
+    for d in [s.meta.block_dim.x, s.meta.block_dim.y, s.meta.block_dim.z] {
+        push_varint(out, u64::from(d));
+    }
+    push_varint(out, u64::from(s.meta.shared_mem_bytes));
+    push_varint(out, u64::from(s.meta.regs_per_thread));
+    push_varint(out, s.meta.num_insts);
+    push_varint(out, s.payload_len);
+    out.extend_from_slice(&s.payload_hash.to_le_bytes());
+}
+
+fn decode_section_entry(r: &mut Reader<'_>) -> Result<Section, TraceError> {
+    let name = r.string()?;
+    let g = [
+        r.varint_u32("grid dim")?,
+        r.varint_u32("grid dim")?,
+        r.varint_u32("grid dim")?,
+    ];
+    let b = [
+        r.varint_u32("block dim")?,
+        r.varint_u32("block dim")?,
+        r.varint_u32("block dim")?,
+    ];
+    let shared_mem_bytes = r.varint_u32("shared memory")?;
+    let regs_per_thread = r.varint_u32("registers")?;
+    let num_insts = r.varint()?;
+    let payload_len = r.varint()?;
+    let hash_bytes: [u8; 8] = r.take(8)?.try_into().expect("take(8) returns 8 bytes");
+    Ok(Section {
+        meta: KernelMeta {
+            name,
+            grid_dim: Dim3::new(g[0], g[1], g[2]),
+            block_dim: Dim3::new(b[0], b[1], b[2]),
+            shared_mem_bytes,
+            regs_per_thread,
+            num_insts,
+        },
+        payload_len,
+        payload_hash: u64::from_le_bytes(hash_bytes),
+    })
+}
+
+/// Serialize the `"SSTB"` header + section table for the given sections.
+pub(crate) fn encode_header(name: &str, sections: &[Section]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    push_string(&mut out, name);
+    push_varint(&mut out, sections.len() as u64);
+    for s in sections {
+        encode_section_entry(&mut out, s);
+    }
+    out
+}
+
+/// Parse the header + section table from the front of `bytes`, returning
+/// the app name, the sections, and the number of header bytes consumed.
+pub(crate) fn decode_header(bytes: &[u8]) -> Result<(String, Vec<Section>, usize), TraceError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(TraceError::invalid_value("binary trace", "bad magic"));
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(TraceError::invalid_value(
+            "binary trace version",
+            version.to_string(),
+        ));
+    }
+    let name = r.string()?;
+    let num_kernels = r.varint()? as usize;
+    if num_kernels > 1 << 20 {
+        return Err(r.err("kernel count"));
+    }
+    let mut sections = Vec::with_capacity(num_kernels);
+    for _ in 0..num_kernels {
+        sections.push(decode_section_entry(&mut r)?);
+    }
+    Ok((name, sections, r.pos()))
+}
+
+fn section_of(kernel: &KernelTrace) -> (Section, Vec<u8>) {
+    let payload = encode_kernel_payload(kernel);
+    let section = Section {
+        meta: KernelMeta::of(kernel),
+        payload_len: payload.len() as u64,
+        payload_hash: fnv1a(&payload),
+    };
+    (section, payload)
+}
+
+/// Streaming writer for the chunked binary format: feed kernels one at a
+/// time, then [`finish`](ChunkedTraceWriter::finish) or
+/// [`finish_to_file`](ChunkedTraceWriter::finish_to_file). Only the
+/// *encoded* payload bytes are buffered (compact varints, typically far
+/// smaller than the decoded `KernelTrace`), so a generator can emit a
+/// multi-gigabyte-when-decoded application without ever materializing it.
+#[derive(Debug, Default)]
+pub struct ChunkedTraceWriter {
+    name: String,
+    sections: Vec<Section>,
+    payloads: Vec<Vec<u8>>,
+}
+
+impl ChunkedTraceWriter {
+    /// Start a trace for the application `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChunkedTraceWriter {
+            name: name.into(),
+            sections: Vec::new(),
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Append one kernel. The kernel is encoded immediately and can be
+    /// dropped by the caller afterwards.
+    pub fn add_kernel(&mut self, kernel: &KernelTrace) {
+        let (section, payload) = section_of(kernel);
+        self.sections.push(section);
+        self.payloads.push(payload);
+    }
+
+    /// Kernels added so far.
+    pub fn num_kernels(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Finish into the complete on-disk byte image.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = encode_header(&self.name, &self.sections);
+        for payload in &self.payloads {
+            out.extend_from_slice(payload);
         }
         out
     }
 
+    /// Finish and write to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] carrying `path` on any I/O failure.
+    pub fn finish_to_file(self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.finish()).map_err(|e| TraceError::io(path, &e))
+    }
+}
+
+impl ApplicationTrace {
+    /// Serialize to the chunked binary format (version 2).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut w = ChunkedTraceWriter::new(&self.name);
+        for kernel in self.kernels() {
+            w.add_kernel(kernel);
+        }
+        w.finish()
+    }
+
     /// Stable identity of the trace's full content: FNV-1a over the binary
-    /// serialization (which is versioned, so a format change also changes
-    /// every hash).
+    /// header + section table (which is versioned, so a format change also
+    /// changes every hash; and every section entry commits to its payload's
+    /// length and FNV-1a, so any instruction change changes the hash).
     ///
     /// Two traces hash equal exactly when every kernel, block, warp, and
     /// instruction — including addresses and active masks — is identical.
     /// The campaign engine uses this as the trace component of its
     /// content-addressed cache keys; `DefaultHasher` would not survive a
-    /// toolchain upgrade.
+    /// toolchain upgrade. A [`crate::ChunkedTraceSource`] yields the *same*
+    /// value from an indexed file without decoding any kernel (see
+    /// [`crate::TraceSource::content_hash`]).
     pub fn content_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in &self.to_binary() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        // Encode payloads one kernel at a time, keeping only their section
+        // entries: peak extra memory is one encoded kernel.
+        let sections: Vec<Section> = self
+            .kernels()
+            .iter()
+            .map(|k| {
+                let (section, _payload) = section_of(k);
+                section
+            })
+            .collect();
+        fnv1a(&encode_header(&self.name, &sections))
     }
 
-    /// Parse the compact binary format.
+    /// Parse the chunked binary format.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidValue`] on a bad magic/version, a
-    /// truncated stream, or any field outside its domain.
+    /// truncated stream, a section-hash mismatch, or any field outside its
+    /// domain.
     pub fn from_binary(bytes: &[u8]) -> Result<ApplicationTrace, TraceError> {
-        let mut r = Reader::new(bytes);
-        if r.take(4)? != MAGIC {
-            return Err(TraceError::invalid_value("binary trace", "bad magic"));
-        }
-        let version = r.byte()?;
-        if version != VERSION {
-            return Err(TraceError::invalid_value(
-                "binary trace version",
-                version.to_string(),
-            ));
-        }
-        let name = r.string()?;
-        let num_kernels = r.varint()? as usize;
-        if num_kernels > 1 << 20 {
-            return Err(r.err("kernel count"));
-        }
-        let mut kernels = Vec::with_capacity(num_kernels);
-        for _ in 0..num_kernels {
-            let kname = r.string()?;
-            let g = [
-                r.varint_u32("grid dim")?,
-                r.varint_u32("grid dim")?,
-                r.varint_u32("grid dim")?,
-            ];
-            let b = [
-                r.varint_u32("block dim")?,
-                r.varint_u32("block dim")?,
-                r.varint_u32("block dim")?,
-            ];
-            let mut kernel = KernelTrace::new(kname, (g[0], g[1], g[2]), (b[0], b[1], b[2]));
-            kernel.shared_mem_bytes = r.varint_u32("shared memory")?;
-            kernel.regs_per_thread = r.varint_u32("registers")?;
-            let num_blocks = r.varint()? as usize;
-            if num_blocks > 1 << 24 {
-                return Err(r.err("block count"));
+        let (name, sections, header_len) = decode_header(bytes)?;
+        let mut kernels = Vec::with_capacity(sections.len());
+        let mut offset = header_len;
+        for section in &sections {
+            let len = usize::try_from(section.payload_len).map_err(|_| {
+                TraceError::invalid_value("binary trace", "payload length overflow")
+            })?;
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| {
+                    TraceError::invalid_value("binary trace", "truncated kernel payload")
+                })?;
+            let payload = &bytes[offset..end];
+            if fnv1a(payload) != section.payload_hash {
+                return Err(TraceError::invalid_value(
+                    "binary trace",
+                    format!("section hash mismatch for kernel {:?}", section.meta.name),
+                ));
             }
-            for _ in 0..num_blocks {
-                let block = kernel.push_block();
-                let num_warps = r.varint()? as usize;
-                if num_warps > 1 << 16 {
-                    return Err(r.err("warp count"));
-                }
-                for _ in 0..num_warps {
-                    let num_insts = r.varint()? as usize;
-                    if num_insts > 1 << 28 {
-                        return Err(r.err("instruction count"));
-                    }
-                    let mut warp = WarpTrace::new();
-                    for _ in 0..num_insts {
-                        warp.push(decode_inst(&mut r)?);
-                    }
-                    *block.push_warp() = warp;
-                }
-            }
-            kernels.push(kernel);
+            kernels.push(decode_kernel_payload(payload, &section.meta)?);
+            offset = end;
         }
-        if r.pos != bytes.len() {
-            return Err(r.err("trailing bytes"));
+        if offset != bytes.len() {
+            return Err(TraceError::invalid_value("binary trace", "trailing bytes"));
         }
         Ok(ApplicationTrace::new(name, kernels))
     }
@@ -351,23 +559,26 @@ impl ApplicationTrace {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating or writing the file.
-    pub fn write_binary_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_binary())
+    /// Returns [`TraceError::Io`] carrying `path` on any I/O failure.
+    pub fn write_binary_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_binary()).map_err(|e| TraceError::io(path, &e))
     }
 
-    /// Read the binary format from `path`.
+    /// Read the binary format from `path`, eagerly decoding every kernel.
+    /// For streaming per-kernel decode, use [`crate::ChunkedTraceSource`]
+    /// instead.
     ///
     /// # Errors
     ///
-    /// Returns an [`std::io::Error`] (parse failures wrapped as
-    /// `InvalidData`).
+    /// Returns [`TraceError::Io`] carrying `path` when the file cannot be
+    /// read, or the parse error otherwise.
     pub fn read_binary_file(
         path: impl AsRef<std::path::Path>,
-    ) -> std::io::Result<ApplicationTrace> {
-        let bytes = std::fs::read(path)?;
+    ) -> Result<ApplicationTrace, TraceError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| TraceError::io(path, &e))?;
         ApplicationTrace::from_binary(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -455,12 +666,54 @@ mod tests {
     #[test]
     fn corrupt_bytes_never_panic() {
         // Flip every byte (one at a time): decoding must return, not panic.
+        // Payload flips are guaranteed to be *detected* by the section
+        // hash; header flips either fail to parse or change the layout.
         let bytes = sample_app().to_binary();
         for i in 0..bytes.len() {
             let mut corrupted = bytes.clone();
             corrupted[i] ^= 0xff;
             let _ = ApplicationTrace::from_binary(&corrupted);
         }
+    }
+
+    #[test]
+    fn payload_corruption_is_detected_by_section_hash() {
+        let app = sample_app();
+        let bytes = app.to_binary();
+        let (_, _, header_len) = decode_header(&bytes).unwrap();
+        // Flip each payload byte: every flip must be rejected.
+        for i in header_len..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x01;
+            assert!(
+                ApplicationTrace::from_binary(&corrupted).is_err(),
+                "payload flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn content_hash_matches_header_hash_and_is_sensitive() {
+        let app = sample_app();
+        let bytes = app.to_binary();
+        let (_, _, header_len) = decode_header(&bytes).unwrap();
+        assert_eq!(app.content_hash(), fnv1a(&bytes[..header_len]));
+
+        // Any change to any instruction changes the hash.
+        let mut other = sample_app();
+        other.name = "renamed".to_owned();
+        assert_ne!(app.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn writer_matches_to_binary() {
+        let app = sample_app();
+        let mut w = ChunkedTraceWriter::new(&app.name);
+        for k in app.kernels() {
+            w.add_kernel(k);
+        }
+        assert_eq!(w.num_kernels(), 1);
+        assert_eq!(w.finish(), app.to_binary());
     }
 
     #[test]
@@ -472,6 +725,18 @@ mod tests {
         app.write_binary_file(&path).unwrap();
         assert_eq!(ApplicationTrace::read_binary_file(&path).unwrap(), app);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_with_path() {
+        let err = ApplicationTrace::read_binary_file("/definitely/not/here.sstraceb").unwrap_err();
+        match &err {
+            TraceError::Io { path, kind, .. } => {
+                assert!(path.contains("here.sstraceb"), "{err}");
+                assert_eq!(*kind, std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

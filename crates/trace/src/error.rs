@@ -24,6 +24,20 @@ pub enum TraceError {
         /// The section that was left open.
         String,
     ),
+    /// A file could not be read or written.
+    ///
+    /// All trace file I/O (`write_to_file`, `read_from_file`,
+    /// `write_binary_file`, `read_binary_file`, [`crate::open_trace`])
+    /// routes through this variant, so callers always learn *which* path
+    /// failed.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error category.
+        kind: std::io::ErrorKind,
+        /// The rendered OS error.
+        message: String,
+    },
 }
 
 impl TraceError {
@@ -44,6 +58,24 @@ impl TraceError {
     pub(crate) fn eof(section: impl Into<String>) -> Self {
         TraceError::UnexpectedEof(section.into())
     }
+
+    /// Wrap an I/O failure on `path`.
+    pub fn io(path: impl AsRef<std::path::Path>, err: &std::io::Error) -> Self {
+        TraceError::Io {
+            path: path.as_ref().display().to_string(),
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+
+    /// The [`std::io::ErrorKind`] of an [`TraceError::Io`], if that is what
+    /// this error is.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            TraceError::Io { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -54,11 +86,21 @@ impl fmt::Display for TraceError {
             TraceError::UnexpectedEof(section) => {
                 write!(f, "unexpected end of trace inside {section}")
             }
+            TraceError::Io { path, message, .. } => {
+                write!(f, "trace file {path}: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for TraceError {}
+
+impl From<TraceError> for std::io::Error {
+    fn from(e: TraceError) -> Self {
+        let kind = e.io_kind().unwrap_or(std::io::ErrorKind::InvalidData);
+        std::io::Error::new(kind, e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -74,22 +74,42 @@ impl ApplicationTrace {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating or writing the file.
-    pub fn write_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_trace_text())
+    /// Returns [`TraceError::Io`] carrying `path` on any I/O failure.
+    pub fn write_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_trace_text()).map_err(|e| TraceError::io(path, &e))
     }
 
-    /// Read a trace from `path`.
+    /// Read a trace from `path`, eagerly parsing every kernel. For lazy
+    /// per-kernel parsing, use [`crate::TextTraceSource`] instead.
     ///
     /// # Errors
     ///
-    /// Returns an [`std::io::Error`] (with the parse failure wrapped as
-    /// `InvalidData`) when the file cannot be read or does not parse.
-    pub fn read_from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<ApplicationTrace> {
-        let text = std::fs::read_to_string(path)?;
+    /// Returns [`TraceError::Io`] carrying `path` when the file cannot be
+    /// read, or the parse error otherwise.
+    pub fn read_from_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ApplicationTrace, TraceError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError::io(path, &e))?;
         ApplicationTrace::parse(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Parse one kernel from a text slice beginning at its `kernel` line.
+/// `line_offset` is the 0-based line number of the slice's first line in
+/// the enclosing file, so parse errors report whole-file line numbers.
+/// Used by [`crate::TextTraceSource`] for lazy per-kernel decode.
+pub(crate) fn parse_kernel_text(text: &str, line_offset: usize) -> Result<KernelTrace, TraceError> {
+    let mut parser = Parser::with_offset(text, line_offset);
+    let kernel = parser.parse_kernel()?;
+    if let Some((no, line)) = parser.next_line() {
+        return Err(TraceError::parse(
+            no,
+            format!("unexpected content after kernel_end: {line:?}"),
+        ));
+    }
+    Ok(kernel)
 }
 
 fn write_inst(out: &mut String, inst: &TraceInstruction) {
@@ -123,13 +143,19 @@ fn write_inst(out: &mut String, inst: &TraceInstruction) {
 
 struct Parser<'a> {
     lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    line_offset: usize,
     peeked: Option<(usize, &'a str)>,
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
+        Parser::with_offset(text, 0)
+    }
+
+    fn with_offset(text: &'a str, line_offset: usize) -> Self {
         Parser {
             lines: text.lines().enumerate(),
+            line_offset,
             peeked: None,
         }
     }
@@ -146,7 +172,7 @@ impl<'a> Parser<'a> {
             }
             .trim();
             if !line.is_empty() {
-                return Some((idx + 1, line));
+                return Some((self.line_offset + idx + 1, line));
             }
         }
         None
@@ -275,7 +301,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_dim3(no: usize, s: &str) -> Result<Dim3, TraceError> {
+pub(crate) fn parse_dim3(no: usize, s: &str) -> Result<Dim3, TraceError> {
     let mut it = s.split_whitespace();
     let mut next = |what: &str| -> Result<u32, TraceError> {
         let tok = it
@@ -291,7 +317,7 @@ fn parse_dim3(no: usize, s: &str) -> Result<Dim3, TraceError> {
     Ok(dim)
 }
 
-fn parse_u32(no: usize, s: &str, what: &str) -> Result<u32, TraceError> {
+pub(crate) fn parse_u32(no: usize, s: &str, what: &str) -> Result<u32, TraceError> {
     s.parse()
         .map_err(|_| TraceError::parse(no, format!("invalid {what}: {s:?}")))
 }
@@ -545,19 +571,42 @@ mod tests {
     }
 
     #[test]
-    fn read_from_file_wraps_parse_errors() {
+    fn read_from_file_surfaces_parse_errors() {
         let dir = std::env::temp_dir().join("swiftsim_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.sstrace");
         std::fs::write(&path, "not a trace").unwrap();
         let err = ApplicationTrace::read_from_file(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::Parse { .. }), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn read_missing_file_is_not_found() {
+    fn read_missing_file_is_io_with_path() {
         let err = ApplicationTrace::read_from_file("/definitely/not/here.sstrace").unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        match &err {
+            TraceError::Io { path, kind, .. } => {
+                assert!(path.contains("here.sstrace"), "{err}");
+                assert_eq!(*kind, std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_kernel_text_offsets_line_numbers() {
+        let app = sample_app();
+        let text = app.to_trace_text();
+        // Slice out the first kernel (from its "kernel" line to "kernel_end").
+        let start = text.find("kernel ").unwrap();
+        let end = text.find("kernel_end\n").unwrap() + "kernel_end\n".len();
+        let offset = text[..start].lines().count();
+        let kernel = parse_kernel_text(&text[start..end], offset).unwrap();
+        assert_eq!(&kernel, &app.kernels()[0]);
+
+        // A parse error inside the slice reports the whole-file line number.
+        let broken = "kernel k\ngrid 1 1 1\nblock 32 1 1\nshmem 0\nregs 8\nwidget\nkernel_end\n";
+        let err = parse_kernel_text(broken, 100).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 106, .. }), "{err}");
     }
 }

@@ -63,8 +63,11 @@ mod format;
 mod inst;
 mod isa;
 mod kernel;
+mod source;
 
+pub use binfmt::ChunkedTraceWriter;
 pub use error::TraceError;
 pub use inst::{AddressList, InstBuilder, MemInfo, Reg, TraceInstruction};
 pub use isa::{MemSpace, Opcode, OpcodeClass};
 pub use kernel::{ApplicationTrace, BlockTrace, Dim3, KernelTrace, TraceStats, WarpTrace};
+pub use source::{open_trace, ChunkedTraceSource, KernelMeta, TextTraceSource, TraceSource};

@@ -366,6 +366,64 @@ impl PatternKernel {
     }
 }
 
+/// Generate a multi-kernel application with at least `target_insts`
+/// traced instructions, for stressing the trace-ingestion pipeline.
+///
+/// The app cycles through the five memory patterns across eight kernels of
+/// roughly equal size, so streaming ingestion (which holds ~2 decoded
+/// kernels) has a meaningful memory advantage over eager loading (which
+/// holds all eight). Deterministic: the same target always produces the
+/// same trace.
+pub fn ingest_stress_app(target_insts: u64) -> swiftsim_trace::ApplicationTrace {
+    const KERNELS: u64 = 8;
+    let mix = Mix {
+        loads: 2,
+        stores: 1,
+        fp: 6,
+        int_ops: 4,
+        ..Mix::default()
+    };
+    let patterns = [
+        MemPattern::Streaming,
+        MemPattern::Strided { lane_stride: 128 },
+        MemPattern::Stencil {
+            row_bytes: 4096,
+            rows: 3,
+        },
+        MemPattern::Tiled { tile_bytes: 8192 },
+        MemPattern::Irregular {
+            footprint_lines: 4096,
+            hot_fraction: 0.5,
+        },
+    ];
+
+    let threads_per_block = 128u32; // 4 warps
+    let iters = 8u32;
+    // Per warp: body * iters + EXIT; body = mix ops + 3 loop instructions.
+    let body = u64::from(mix.loads + mix.stores + mix.fp + mix.int_ops + 3);
+    let per_block = u64::from(threads_per_block / 32) * (body * u64::from(iters) + 1);
+    let per_kernel = target_insts.div_ceil(KERNELS);
+    let blocks = per_kernel.div_ceil(per_block).max(2) as u32;
+
+    let kernels = (0..KERNELS)
+        .map(|i| {
+            PatternKernel {
+                name: format!("ingest_k{i}"),
+                blocks,
+                threads_per_block,
+                iters,
+                mix,
+                pattern: patterns[i as usize % patterns.len()],
+                shared_mem_bytes: 0,
+                regs_per_thread: 32,
+                barrier: false,
+            }
+            .generate(Scale::Paper)
+        })
+        .collect();
+    swiftsim_trace::ApplicationTrace::new("ingest_stress", kernels)
+}
+
 /// FNV-1a hash for deterministic per-name seeds.
 pub(crate) fn hash64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -490,6 +548,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ingest_stress_app_meets_target_and_is_deterministic() {
+        let app = ingest_stress_app(100_000);
+        assert!(app.num_insts() >= 100_000, "got {}", app.num_insts());
+        assert_eq!(app.kernels().len(), 8);
+        for k in app.kernels() {
+            assert!(k.is_consistent(32));
+        }
+        assert_eq!(app, ingest_stress_app(100_000));
     }
 
     #[test]

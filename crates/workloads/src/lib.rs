@@ -36,4 +36,4 @@ mod gen;
 pub mod silicon;
 
 pub use apps::{by_name, suite, Suite, Workload};
-pub use gen::{MemPattern, Mix, PatternKernel, Scale};
+pub use gen::{ingest_stress_app, MemPattern, Mix, PatternKernel, Scale};
