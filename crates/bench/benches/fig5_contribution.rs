@@ -3,7 +3,7 @@
 //! simulation — on one memory-bound workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
+use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder, SkipPolicy};
 use swiftsim_workloads::Scale;
 
 fn small_gpu() -> swiftsim_config::GpuConfig {
@@ -31,7 +31,7 @@ fn bench_contributions(c: &mut Criterion) {
                 .alu_model(AluModelKind::CycleAccurate)
                 .memory_model(MemoryModelKind::CycleAccurate)
                 .frontend_detailed(true)
-                .skip_idle(false),
+                .skip_policy(SkipPolicy::Dense),
         ),
         (
             "analytical_alu",
@@ -39,7 +39,7 @@ fn bench_contributions(c: &mut Criterion) {
                 .alu_model(AluModelKind::Analytical)
                 .memory_model(MemoryModelKind::CycleAccurate)
                 .frontend_detailed(false)
-                .skip_idle(true),
+                .skip_policy(SkipPolicy::EventDriven),
         ),
         (
             "analytical_alu_and_memory",
@@ -47,7 +47,7 @@ fn bench_contributions(c: &mut Criterion) {
                 .alu_model(AluModelKind::Analytical)
                 .memory_model(MemoryModelKind::Analytical)
                 .frontend_detailed(false)
-                .skip_idle(true),
+                .skip_policy(SkipPolicy::EventDriven),
         ),
         (
             "analytical_all_parallel4",
@@ -55,7 +55,7 @@ fn bench_contributions(c: &mut Criterion) {
                 .alu_model(AluModelKind::Analytical)
                 .memory_model(MemoryModelKind::Analytical)
                 .frontend_detailed(false)
-                .skip_idle(true)
+                .skip_policy(SkipPolicy::EventDriven)
                 .threads(4),
         ),
     ];

@@ -3,7 +3,8 @@
 //! what does it cost in fidelity?
 //!
 //! Dimensions:
-//! * idle-cycle skipping on/off (hybrid engine optimization),
+//! * clock advance: dense per-cycle ticking vs the event-driven
+//!   cycle-skipping engine (bit-identical results, wall-clock only),
 //! * frontend-cache modeling on/off,
 //! * analytical ALU vs cycle-accurate ALU (holding memory constant),
 //! * hit-rate source: functional cache sim vs reuse-distance tool,
@@ -15,7 +16,7 @@
 
 use std::time::Instant;
 use swiftsim_bench::Knobs;
-use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
+use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder, SkipPolicy};
 use swiftsim_metrics::Table;
 
 fn main() {
@@ -31,39 +32,37 @@ fn main() {
     eprintln!("ablation on {} [{}]", workload.name, knobs.describe());
 
     let cases: Vec<(&str, SimulatorBuilder)> = vec![
-        ("detailed baseline", SimulatorBuilder::new(gpu.clone())),
+        (
+            "detailed baseline, dense clock",
+            SimulatorBuilder::new(gpu.clone()).skip_policy(SkipPolicy::Dense),
+        ),
+        (
+            "detailed baseline (event-driven clock)",
+            SimulatorBuilder::new(gpu.clone()),
+        ),
         (
             "- per-cycle frontend caches",
             SimulatorBuilder::new(gpu.clone()).frontend_detailed(false),
         ),
         (
-            "- cycle-accurate ALU (analytical ALU)",
+            "- cycle-accurate ALU (analytical ALU, = Swift-Sim-Basic)",
             SimulatorBuilder::new(gpu.clone())
                 .frontend_detailed(false)
                 .alu_model(AluModelKind::Analytical),
-        ),
-        (
-            "+ idle-cycle skipping (= Swift-Sim-Basic)",
-            SimulatorBuilder::new(gpu.clone())
-                .frontend_detailed(false)
-                .alu_model(AluModelKind::Analytical)
-                .skip_idle(true),
         ),
         (
             "+ analytical memory, funcsim rates (= Swift-Sim-Memory)",
             SimulatorBuilder::new(gpu.clone())
                 .frontend_detailed(false)
                 .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::Analytical)
-                .skip_idle(true),
+                .memory_model(MemoryModelKind::Analytical),
         ),
         (
             "+ analytical memory, reuse-distance rates",
             SimulatorBuilder::new(gpu.clone())
                 .frontend_detailed(false)
                 .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::AnalyticalReuse)
-                .skip_idle(true),
+                .memory_model(MemoryModelKind::AnalyticalReuse),
         ),
         ("detailed baseline over a 2D-mesh NoC", {
             let mut mesh_gpu = gpu.clone();

@@ -57,7 +57,7 @@ fn run_child(mode: &str, path: &str) {
         }
         "streaming" => {
             let source = ChunkedTraceSource::open(path).expect("open trace");
-            sim.run_source(&source).expect("streaming run")
+            sim.run(&source).expect("streaming run")
         }
         other => panic!("unknown ingest mode {other:?}"),
     };

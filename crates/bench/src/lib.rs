@@ -192,6 +192,11 @@ pub fn sweep_app_accuracy(gpu: &GpuConfig, workload: &Workload, scale: Scale) ->
 // the same numbers, so finished sweeps are cached as tab-separated rows
 // under `target/swiftsim-sweeps/`. Delete that directory after changing
 // simulator code.
+//
+// Rows are tagged with a version; lookups ignore rows from other versions.
+// v2: the event-driven cycle-skipping engine replaced the stat-free idle
+// jump — predictions are unchanged, wall-clock columns are not.
+const CACHE_TAG: &str = "v2";
 
 fn cache_path(gpu: &GpuConfig, scale: Scale) -> std::path::PathBuf {
     let gpu_slug: String = gpu
@@ -221,7 +226,7 @@ fn cache_lookup(gpu: &GpuConfig, scale: Scale, app: &str, threads: usize) -> Opt
         .name;
     for line in text.lines() {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() == 14 && f[0] == app && f[1] == threads.to_string() {
+        if f.len() == 14 && f[13] == CACHE_TAG && f[0] == app && f[1] == threads.to_string() {
             return Some(AppResult {
                 app: app_static,
                 detailed: fields_to_measurement(f[2], f[3])?,
@@ -242,7 +247,7 @@ fn cache_store(gpu: &GpuConfig, scale: Scale, threads: usize, r: &AppResult) {
         let _ = std::fs::create_dir_all(dir);
     }
     let row = format!(
-        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\tv1\n",
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{CACHE_TAG}\n",
         r.app,
         threads,
         measurement_to_fields(r.detailed),
@@ -284,7 +289,7 @@ pub fn sweep_app_accuracy_cached(gpu: &GpuConfig, workload: &Workload, scale: Sc
     if let Ok(text) = std::fs::read_to_string(cache_path(gpu, scale)) {
         for line in text.lines() {
             let f: Vec<&str> = line.split('\t').collect();
-            if f.len() == 14 && f[0] == workload.name {
+            if f.len() == 14 && f[13] == CACHE_TAG && f[0] == workload.name {
                 if let Ok(threads) = f[1].parse::<usize>() {
                     if let Some(hit) = cache_lookup(gpu, scale, workload.name, threads) {
                         return hit;

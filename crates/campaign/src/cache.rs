@@ -110,6 +110,7 @@ mod tests {
         SimulationResult {
             app: "nw".into(),
             simulator: "s".into(),
+            fidelity: swiftsim_core::FidelityConfig::default(),
             cycles,
             kernels: vec![KernelResult {
                 name: "k".into(),

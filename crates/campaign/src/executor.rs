@@ -211,14 +211,12 @@ pub(crate) fn run_resolved(
                 return Ok((hit, true));
             }
             let sim = SimulatorBuilder::new(job.cfg.clone())
-                .preset(job.spec.preset)
+                .fidelity(job.fidelity)
                 .threads(job.spec.threads)
                 .profile(opts.profile)
                 .try_build()
                 .map_err(|e| e.to_string())?;
-            let result = sim
-                .run_source(job.app.as_ref())
-                .map_err(|e| e.to_string())?;
+            let result = sim.run(job.app.as_ref()).map_err(|e| e.to_string())?;
             cache.store(job.key, &job.spec.label(), &result);
             Ok((result, false))
         },

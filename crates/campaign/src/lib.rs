@@ -60,10 +60,12 @@ use std::path::PathBuf;
 
 /// Bumped whenever the engine changes in a way that invalidates cached
 /// results (job-key composition, result schema, simulator semantics).
-/// Version 2: trace content hashes moved to the chunked-binary header
-/// scheme (representation-independent across text/binary/streaming
-/// sources), so every pre-streaming cache entry is stale.
-pub const ENGINE_VERSION: u64 = 2;
+/// Version 3: the event-driven cycle-skipping core replaced the swift
+/// presets' stat-free idle jump — skipped cycles now accrue stall/active
+/// counters exactly as dense ticking would, so pre-event-engine rows are
+/// stale. (Version 2: trace content hashes moved to the chunked-binary
+/// header scheme.)
+pub const ENGINE_VERSION: u64 = 3;
 
 /// How a campaign run executes: worker count, retry bound, cache policy.
 #[derive(Debug, Clone)]

@@ -13,7 +13,10 @@ use crate::ENGINE_VERSION;
 use std::fmt;
 use std::sync::Arc;
 use swiftsim_config::{fnv1a64, GpuConfig, ReplacementPolicy, SchedulerPolicy};
-use swiftsim_core::{SimulatorPreset, RESULT_SCHEMA_VERSION};
+use swiftsim_core::{
+    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SimulatorPreset, SkipPolicy,
+    RESULT_SCHEMA_VERSION,
+};
 use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
 
@@ -96,6 +99,17 @@ pub struct CampaignSpec {
     pub schedulers: Vec<Option<SchedulerPolicy>>,
     /// L1 replacement-policy overrides; `None` keeps the config's own.
     pub replacements: Vec<Option<ReplacementPolicy>>,
+    /// ALU-model overrides on top of the preset; `None` keeps the preset's.
+    pub alu_models: Vec<Option<AluModelKind>>,
+    /// Memory-model overrides on top of the preset; `None` keeps the
+    /// preset's.
+    pub mem_models: Vec<Option<MemoryModelKind>>,
+    /// Frontend-model overrides on top of the preset; `None` keeps the
+    /// preset's.
+    pub frontends: Vec<Option<FrontendModelKind>>,
+    /// Clock-advance (skip-policy) overrides; `None` keeps the preset's
+    /// (event-driven everywhere).
+    pub skips: Vec<Option<SkipPolicy>>,
     /// Self-profile every job (per-module wall-time attribution carried on
     /// each row). Deliberately *not* part of the job cache key: profiling
     /// observes the simulator without changing its predictions.
@@ -113,6 +127,10 @@ impl Default for CampaignSpec {
             threads: vec![1],
             schedulers: vec![None],
             replacements: vec![None],
+            alu_models: vec![None],
+            mem_models: vec![None],
+            frontends: vec![None],
+            skips: vec![None],
             profile: false,
         }
     }
@@ -137,6 +155,14 @@ pub struct JobSpec {
     pub scheduler: Option<SchedulerPolicy>,
     /// Replacement-policy override.
     pub replacement: Option<ReplacementPolicy>,
+    /// ALU-model override on top of the preset.
+    pub alu: Option<AluModelKind>,
+    /// Memory-model override on top of the preset.
+    pub memory: Option<MemoryModelKind>,
+    /// Frontend-model override on top of the preset.
+    pub frontend: Option<FrontendModelKind>,
+    /// Skip-policy override on top of the preset.
+    pub skip: Option<SkipPolicy>,
 }
 
 impl JobSpec {
@@ -156,7 +182,38 @@ impl JobSpec {
         if let Some(r) = self.replacement {
             label.push_str(&format!("/repl={r}"));
         }
+        if let Some(a) = self.alu {
+            label.push_str(&format!("/alu={}", a.token()));
+        }
+        if let Some(m) = self.memory {
+            label.push_str(&format!("/mem={}", m.token()));
+        }
+        if let Some(f) = self.frontend {
+            label.push_str(&format!("/fe={}", f.token()));
+        }
+        if let Some(s) = self.skip {
+            label.push_str(&format!("/skip={}", s.token()));
+        }
         label
+    }
+
+    /// The job's resolved per-module fidelity: the preset's alias expanded,
+    /// then any per-axis overrides applied on top.
+    pub fn fidelity(&self) -> FidelityConfig {
+        let mut fidelity = FidelityConfig::for_preset(self.preset);
+        if let Some(a) = self.alu {
+            fidelity.alu = a;
+        }
+        if let Some(m) = self.memory {
+            fidelity.memory = m;
+        }
+        if let Some(f) = self.frontend {
+            fidelity.frontend = f;
+        }
+        if let Some(s) = self.skip {
+            fidelity.skip_policy = s;
+        }
+        fidelity
     }
 }
 
@@ -172,6 +229,10 @@ pub struct ResolvedJob {
     pub spec: JobSpec,
     /// GPU configuration with knob overrides applied.
     pub cfg: GpuConfig,
+    /// Resolved per-module fidelity (preset alias + per-axis overrides);
+    /// the executor builds the simulator from this, and it is folded into
+    /// [`ResolvedJob::key`].
+    pub fidelity: FidelityConfig,
     /// The trace source (shared across jobs that use the same one).
     /// Built-in workloads are in-memory; trace files stream lazily.
     pub app: Arc<dyn TraceSource>,
@@ -183,6 +244,7 @@ impl fmt::Debug for ResolvedJob {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ResolvedJob")
             .field("spec", &self.spec)
+            .field("fidelity", &self.fidelity.describe())
             .field("cfg", &self.cfg.name)
             .field("app", &self.app.name())
             .field("key", &self.key_hex())
@@ -229,10 +291,14 @@ impl CampaignSpec {
     ///
     /// Recognized keys: `name`, `preset`, `gpu`, `gpu-config` (file paths),
     /// `workload`, `trace` (file paths), `scale`, `threads`, `scheduler`,
-    /// `replacement`, `profile` (`true`/`false`). `#` starts a comment;
-    /// list-valued keys accumulate across repeated lines.
-    /// `scheduler`/`replacement` lists may include `default` to also cover
-    /// the un-overridden configuration.
+    /// `replacement`, `alu-model`, `mem-model`, `frontend`, `skip`,
+    /// `profile` (`true`/`false`). `#` starts a comment; list-valued keys
+    /// accumulate across repeated lines. Override lists
+    /// (`scheduler`/`replacement`/`alu-model`/`mem-model`/`frontend`/`skip`)
+    /// may include `default` to also cover the un-overridden configuration;
+    /// the fidelity keys take the same tokens as the core parser
+    /// (`analytical`, `cycle_accurate`, `analytical_reuse`, `detailed`,
+    /// `simplified`, `dense`, `event_driven`).
     ///
     /// # Errors
     ///
@@ -245,6 +311,10 @@ impl CampaignSpec {
         let mut threads = Vec::new();
         let mut schedulers = Vec::new();
         let mut replacements = Vec::new();
+        let mut alu_models = Vec::new();
+        let mut mem_models = Vec::new();
+        let mut frontends = Vec::new();
+        let mut skips = Vec::new();
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -300,6 +370,26 @@ impl CampaignSpec {
                         )?);
                     }
                 }
+                "alu-model" => {
+                    for v in parse_list(value) {
+                        alu_models.push(parse_override::<AluModelKind>(&v, "ALU model")?);
+                    }
+                }
+                "mem-model" => {
+                    for v in parse_list(value) {
+                        mem_models.push(parse_override::<MemoryModelKind>(&v, "memory model")?);
+                    }
+                }
+                "frontend" => {
+                    for v in parse_list(value) {
+                        frontends.push(parse_override::<FrontendModelKind>(&v, "frontend model")?);
+                    }
+                }
+                "skip" => {
+                    for v in parse_list(value) {
+                        skips.push(parse_override::<SkipPolicy>(&v, "skip policy")?);
+                    }
+                }
                 "profile" => {
                     spec.profile = match value {
                         "true" | "on" | "1" => true,
@@ -335,14 +425,27 @@ impl CampaignSpec {
         if !replacements.is_empty() {
             spec.replacements = replacements;
         }
+        if !alu_models.is_empty() {
+            spec.alu_models = alu_models;
+        }
+        if !mem_models.is_empty() {
+            spec.mem_models = mem_models;
+        }
+        if !frontends.is_empty() {
+            spec.frontends = frontends;
+        }
+        if !skips.is_empty() {
+            spec.skips = skips;
+        }
         Ok(spec)
     }
 
     /// Expand the cartesian product into the deterministic job list.
     ///
     /// Axis order (outermost to innermost): GPU, workload, preset, threads,
-    /// scheduler, replacement. The order — and therefore each job's
-    /// `index` — depends only on the spec.
+    /// scheduler, replacement, ALU model, memory model, frontend, skip
+    /// policy. The order — and therefore each job's `index` — depends only
+    /// on the spec.
     pub fn expand(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::new();
         for gpu in &self.gpus {
@@ -351,16 +454,28 @@ impl CampaignSpec {
                     for &threads in &self.threads {
                         for &scheduler in &self.schedulers {
                             for &replacement in &self.replacements {
-                                jobs.push(JobSpec {
-                                    index: jobs.len(),
-                                    preset,
-                                    gpu: gpu.clone(),
-                                    workload: workload.clone(),
-                                    scale: self.scale,
-                                    threads,
-                                    scheduler,
-                                    replacement,
-                                });
+                                for &alu in &self.alu_models {
+                                    for &memory in &self.mem_models {
+                                        for &frontend in &self.frontends {
+                                            for &skip in &self.skips {
+                                                jobs.push(JobSpec {
+                                                    index: jobs.len(),
+                                                    preset,
+                                                    gpu: gpu.clone(),
+                                                    workload: workload.clone(),
+                                                    scale: self.scale,
+                                                    threads,
+                                                    scheduler,
+                                                    replacement,
+                                                    alu,
+                                                    memory,
+                                                    frontend,
+                                                    skip,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -437,10 +552,12 @@ impl CampaignSpec {
                 )));
             }
 
-            let key = job_key(&cfg, trace_hash, spec.preset, spec.threads);
+            let fidelity = spec.fidelity();
+            let key = job_key(&cfg, trace_hash, spec.preset, fidelity, spec.threads);
             resolved.push(ResolvedJob {
                 spec,
                 cfg,
+                fidelity,
                 app,
                 key,
             });
@@ -455,14 +572,28 @@ impl CampaignSpec {
 /// configuration (overrides applied — via [`GpuConfig::stable_hash`]), the
 /// trace content (`trace_hash` is [`TraceSource::content_hash`], which is
 /// identical for the in-memory, text, and chunked-binary representation of
-/// the same application), the preset, the per-simulation thread count
+/// the same application), the preset, the resolved per-module fidelity
+/// (overrides change predicted cycles), the per-simulation thread count
 /// (sharding changes predicted cycles), and the engine/schema versions so
 /// stale caches self-invalidate. The simulator code version
 /// (`CARGO_PKG_VERSION`) and [`CACHE_KEY_SCHEMA`] are folded in too:
 /// without them, results cached before a model change would be silently
 /// served after it.
-pub fn job_key(cfg: &GpuConfig, trace_hash: u64, preset: SimulatorPreset, threads: usize) -> u64 {
-    job_key_versioned(cfg, trace_hash, preset, threads, env!("CARGO_PKG_VERSION"))
+pub fn job_key(
+    cfg: &GpuConfig,
+    trace_hash: u64,
+    preset: SimulatorPreset,
+    fidelity: FidelityConfig,
+    threads: usize,
+) -> u64 {
+    job_key_versioned(
+        cfg,
+        trace_hash,
+        preset,
+        fidelity,
+        threads,
+        env!("CARGO_PKG_VERSION"),
+    )
 }
 
 /// [`job_key`] with the simulator version as an explicit input, so tests can
@@ -471,15 +602,17 @@ fn job_key_versioned(
     cfg: &GpuConfig,
     trace_hash: u64,
     preset: SimulatorPreset,
+    fidelity: FidelityConfig,
     threads: usize,
     pkg_version: &str,
 ) -> u64 {
     let descriptor = format!(
         "swiftsim-campaign;pkg={pkg_version};keyschema={CACHE_KEY_SCHEMA};\
          engine={ENGINE_VERSION};schema={RESULT_SCHEMA_VERSION};\
-         cfg={:016x};trace={trace_hash:016x};preset={};threads={threads}",
+         cfg={:016x};trace={trace_hash:016x};preset={};fid={};threads={threads}",
         cfg.stable_hash(),
         preset.label(),
+        fidelity.describe(),
     );
     fnv1a64(descriptor.as_bytes())
 }
@@ -596,6 +729,53 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_axes_expand_and_resolve() {
+        let spec = CampaignSpec::parse(
+            "workload = nw\n\
+             scale = tiny\n\
+             preset = swift-basic\n\
+             alu-model = default, cycle_accurate\n\
+             skip = dense, event_driven\n",
+        )
+        .unwrap();
+        let jobs = spec.resolve().unwrap();
+        assert_eq!(jobs.len(), 4);
+
+        // Innermost axis is the skip policy; ALU model varies outside it.
+        assert_eq!(jobs[0].spec.alu, None);
+        assert_eq!(jobs[0].spec.skip, Some(SkipPolicy::Dense));
+        assert_eq!(jobs[1].spec.skip, Some(SkipPolicy::EventDriven));
+        assert_eq!(jobs[2].spec.alu, Some(AluModelKind::CycleAccurate));
+
+        // `default` keeps the preset's module choice; an override replaces
+        // exactly one axis of the preset alias.
+        assert_eq!(
+            jobs[0].fidelity.alu,
+            AluModelKind::Analytical,
+            "swift-basic preset choice survives a `default` override"
+        );
+        assert_eq!(jobs[0].fidelity.skip_policy, SkipPolicy::Dense);
+        assert_eq!(jobs[2].fidelity.alu, AluModelKind::CycleAccurate);
+        assert_eq!(
+            jobs[2].fidelity.memory,
+            MemoryModelKind::CycleAccurate,
+            "untouched axes keep the preset's choice"
+        );
+
+        // Overrides land in labels and distinguish cache keys.
+        assert!(jobs[2].spec.label().contains("/alu=cycle_accurate"));
+        assert!(jobs[0].spec.label().contains("/skip=dense"));
+        let keys: std::collections::HashSet<u64> = jobs.iter().map(|j| j.key).collect();
+        assert_eq!(keys.len(), 4, "every fidelity mix gets its own key");
+
+        // Garbage fidelity tokens are rejected at parse time.
+        assert!(CampaignSpec::parse("alu-model = quantum").is_err());
+        assert!(CampaignSpec::parse("mem-model = psychic").is_err());
+        assert!(CampaignSpec::parse("frontend = vibes").is_err());
+        assert!(CampaignSpec::parse("skip = sometimes").is_err());
+    }
+
+    #[test]
     fn resolve_rejects_unknowns() {
         let empty = CampaignSpec::default();
         assert!(matches!(empty.resolve(), Err(CampaignError::Spec(_))));
@@ -641,6 +821,10 @@ mod tests {
             "workload = nw\nscale = tiny\ngpu = rtx3060",
             "workload = nw\nscale = small",
             "workload = bfs\nscale = tiny",
+            "workload = nw\nscale = tiny\nalu-model = cycle_accurate",
+            "workload = nw\nscale = tiny\nmem-model = analytical_reuse",
+            "workload = nw\nscale = tiny\nfrontend = detailed",
+            "workload = nw\nscale = tiny\nskip = dense",
         ];
         for text in variants {
             let other = CampaignSpec::parse(text).unwrap().resolve().unwrap();
@@ -658,6 +842,7 @@ mod tests {
             &job.cfg,
             trace_hash,
             job.spec.preset,
+            job.fidelity,
             job.spec.threads,
             env!("CARGO_PKG_VERSION"),
         );
@@ -669,6 +854,7 @@ mod tests {
             &job.cfg,
             trace_hash,
             job.spec.preset,
+            job.fidelity,
             job.spec.threads,
             "99.0.0-post-model-change",
         );

@@ -16,7 +16,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use swiftsim_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use swiftsim_config::{presets, GpuConfig};
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset};
 use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
 
@@ -29,6 +29,11 @@ USAGE:
 
 OPTIONS:
     --preset <detailed|swift-basic|swift-memory>   simulator preset [default: swift-basic]
+    --fidelity \"<OPTS>\"                            per-module fidelity overrides on top of the
+                                                   preset, GPGPU-Sim option style, e.g.
+                                                   \"-sim_alu_model analytical -sim_skip_policy dense\"
+                                                   (keys: -sim_alu_model, -sim_mem_model,
+                                                   -sim_frontend_model, -sim_skip_policy)
     --gpu <rtx2080ti|rtx3060|rtx3090>              built-in hardware preset [default: rtx2080ti]
     --config <FILE>                                hardware config file (overrides --gpu)
     --workload <NAME>                              built-in synthetic workload
@@ -84,6 +89,7 @@ fn emit(text: &str) {
 #[derive(Debug)]
 struct Args {
     preset: SimulatorPreset,
+    fidelity: Option<String>,
     gpu: GpuConfig,
     workload: Option<String>,
     trace_file: Option<String>,
@@ -139,6 +145,7 @@ fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
 
 fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
     let mut preset = SimulatorPreset::SwiftBasic;
+    let mut fidelity = None;
     let mut gpu = presets::rtx2080ti();
     let mut workload = None;
     let mut trace_file = None;
@@ -194,6 +201,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown preset {other:?}")),
                 };
             }
+            "--fidelity" => fidelity = Some(value("--fidelity")?),
             "--gpu" => {
                 let name = value("--gpu")?;
                 gpu = presets::by_name(&name)
@@ -231,6 +239,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
     }
     Ok(Some(Args {
         preset,
+        fidelity,
         gpu,
         workload,
         trace_file,
@@ -240,6 +249,30 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
         profile,
         trace_out,
     }))
+}
+
+/// Apply GPGPU-Sim-style `-sim_*` fidelity overrides on top of a preset's
+/// module choices. Unlike `FidelityConfig::parse_args` (which starts from
+/// the default config and tolerates foreign options inside a config file),
+/// the `--fidelity` flag carries *only* fidelity keys, so every token must
+/// be one.
+fn apply_fidelity_text(fidelity: &mut FidelityConfig, text: &str) -> Result<(), String> {
+    let mut tokens = text.split_whitespace();
+    while let Some(token) = tokens.next() {
+        let value = tokens
+            .next()
+            .ok_or_else(|| format!("fidelity option {token:?} is missing its value"))?;
+        if !fidelity
+            .apply_option(token, value)
+            .map_err(|e| e.to_string())?
+        {
+            return Err(format!(
+                "unknown fidelity option {token:?} (expected -sim_alu_model, -sim_mem_model, \
+                 -sim_frontend_model, or -sim_skip_policy)"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn find_workload(name: &str) -> Result<swiftsim_workloads::Workload, String> {
@@ -294,8 +327,12 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
         (None, None) => return Err("need --workload or --trace (try --help)".to_owned()),
     };
 
+    let mut fidelity = FidelityConfig::for_preset(args.preset);
+    if let Some(text) = &args.fidelity {
+        apply_fidelity_text(&mut fidelity, text)?;
+    }
     let sim = SimulatorBuilder::new(args.gpu.clone())
-        .preset(args.preset)
+        .fidelity(fidelity)
         .threads(args.threads)
         .profile(args.profile)
         .try_build()
@@ -309,7 +346,7 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
         args.preset.label(),
         sim.description(),
     );
-    let result = sim.run_source(source.as_ref()).map_err(|e| e.to_string())?;
+    let result = sim.run(source.as_ref()).map_err(|e| e.to_string())?;
 
     if let (Some(path), Some(report)) = (&args.trace_out, &result.profile) {
         let trace = report.to_chrome_trace().dump();
@@ -430,6 +467,31 @@ mod tests {
         let args = parse_args(vec!["--json".into()]).unwrap().unwrap();
         assert!(args.json);
         assert!(!parse_args(vec![]).unwrap().unwrap().json);
+    }
+
+    #[test]
+    fn fidelity_flag_parses_and_overrides_the_preset() {
+        let args = parse_args(vec![
+            "--preset".into(),
+            "detailed".into(),
+            "--fidelity".into(),
+            "-sim_alu_model analytical -sim_skip_policy dense".into(),
+        ])
+        .unwrap()
+        .unwrap();
+        let mut fidelity = FidelityConfig::for_preset(args.preset);
+        apply_fidelity_text(&mut fidelity, args.fidelity.as_deref().unwrap()).unwrap();
+        assert_eq!(
+            fidelity.describe(),
+            "analytical_alu+cycle_accurate_memory+detailed_frontend+dense"
+        );
+
+        // Bad keys, bad values, and missing values are all surfaced.
+        let mut f = FidelityConfig::default();
+        assert!(apply_fidelity_text(&mut f, "-sim_warp_model fancy").is_err());
+        assert!(apply_fidelity_text(&mut f, "-sim_alu_model quantum").is_err());
+        assert!(apply_fidelity_text(&mut f, "-sim_alu_model").is_err());
+        assert!(apply_fidelity_text(&mut f, "--threads 4").is_err());
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //! three presets.
 //!
 //! "Based on the modular modeling approach, we can adopt various modeling
-//! methods for a single module" (§III-B3). The builder chooses a model per
-//! module; [`SimulatorPreset`] bundles the choices evaluated in §IV.
+//! methods for a single module" (§III-B3). The builder consumes one
+//! data-driven [`FidelityConfig`]; [`SimulatorPreset`] is a pure alias
+//! table over it (see [`FidelityConfig::for_preset`]).
 
 use crate::error::SimError;
+use crate::fidelity::{
+    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy,
+};
 use crate::gpu::{merge_into, run_kernel_shard};
+use crate::input::TraceInput;
 use crate::mem_system::{
     build_analytical_memory, build_analytical_memory_reuse, CycleAccurateMemory, MemorySystem,
 };
@@ -16,35 +21,17 @@ use crate::result::{KernelResult, SimulationResult};
 use crate::Cycle;
 use swiftsim_config::GpuConfig;
 use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler, Value};
-use swiftsim_trace::{ApplicationTrace, TraceSource};
-
-/// Which model simulates the ALU pipeline (§III-D1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AluModelKind {
-    /// Explicit pipeline-stage registers, ticked every cycle.
-    CycleAccurate,
-    /// Fixed latency + cycle-accurately observed contention (Fig. 3).
-    Analytical,
-}
-
-/// Which model simulates memory accesses (§III-D2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MemoryModelKind {
-    /// Full L1/NoC/L2/DRAM event simulation.
-    CycleAccurate,
-    /// Eq. 1 expected latency + contention adder, with hit rates from a
-    /// functional cache-simulation pre-pass.
-    Analytical,
-    /// Eq. 1 with hit rates from the reuse-distance tool instead
-    /// (fully-associative LRU approximation).
-    AnalyticalReuse,
-}
+use swiftsim_trace::TraceSource;
 
 /// The three simulator configurations of the paper's evaluation.
+///
+/// A preset is nothing but a name for a [`FidelityConfig`]:
+/// `builder.preset(p)` is exactly
+/// `builder.fidelity(FidelityConfig::for_preset(p))`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimulatorPreset {
-    /// Everything cycle-accurate, every structure ticked per cycle,
-    /// single-threaded: the stand-in for Accel-Sim.
+    /// Everything cycle-accurate, single-threaded: the stand-in for
+    /// Accel-Sim.
     Detailed,
     /// Swift-Sim-Basic: analytical ALU pipeline, simplified instruction and
     /// constant caches, cycle-accurate memory.
@@ -84,78 +71,79 @@ impl SimulatorPreset {
 #[derive(Debug, Clone)]
 pub struct SimulatorBuilder {
     cfg: GpuConfig,
-    alu: AluModelKind,
-    mem: MemoryModelKind,
-    detailed_frontend: bool,
-    skip_idle: bool,
+    fidelity: FidelityConfig,
     threads: usize,
     profile: bool,
 }
 
 impl SimulatorBuilder {
-    /// Start from a hardware configuration with the detailed-baseline
-    /// module choices.
+    /// Start from a hardware configuration with the default fidelity:
+    /// the detailed-baseline module choices under the event-driven engine
+    /// ([`FidelityConfig::default`]).
     pub fn new(cfg: GpuConfig) -> Self {
         SimulatorBuilder {
             cfg,
-            alu: AluModelKind::CycleAccurate,
-            mem: MemoryModelKind::CycleAccurate,
-            detailed_frontend: true,
-            skip_idle: false,
+            fidelity: FidelityConfig::default(),
             threads: 1,
             profile: false,
         }
     }
 
-    /// Apply one of the paper's presets.
-    pub fn preset(mut self, preset: SimulatorPreset) -> Self {
-        match preset {
-            SimulatorPreset::Detailed => {
-                self.alu = AluModelKind::CycleAccurate;
-                self.mem = MemoryModelKind::CycleAccurate;
-                self.detailed_frontend = true;
-                self.skip_idle = false;
-            }
-            SimulatorPreset::SwiftBasic => {
-                self.alu = AluModelKind::Analytical;
-                self.mem = MemoryModelKind::CycleAccurate;
-                self.detailed_frontend = false;
-                self.skip_idle = true;
-            }
-            SimulatorPreset::SwiftMemory => {
-                self.alu = AluModelKind::Analytical;
-                self.mem = MemoryModelKind::Analytical;
-                self.detailed_frontend = false;
-                self.skip_idle = true;
-            }
-        }
+    /// Apply one of the paper's presets — an alias for
+    /// `fidelity(FidelityConfig::for_preset(preset))`.
+    pub fn preset(self, preset: SimulatorPreset) -> Self {
+        self.fidelity(FidelityConfig::for_preset(preset))
+    }
+
+    /// Set the full per-module fidelity in one call.
+    pub fn fidelity(mut self, fidelity: FidelityConfig) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
     /// Choose the ALU-pipeline model.
     pub fn alu_model(mut self, kind: AluModelKind) -> Self {
-        self.alu = kind;
+        self.fidelity.alu = kind;
         self
     }
 
     /// Choose the memory-access model.
     pub fn memory_model(mut self, kind: MemoryModelKind) -> Self {
-        self.mem = kind;
+        self.fidelity.memory = kind;
         self
     }
 
     /// Model (or simplify away) the instruction/constant caches.
     pub fn frontend_detailed(mut self, detailed: bool) -> Self {
-        self.detailed_frontend = detailed;
+        self.fidelity.frontend = if detailed {
+            FrontendModelKind::Detailed
+        } else {
+            FrontendModelKind::Simplified
+        };
         self
     }
 
-    /// Allow the engine to skip cycles in which nothing can happen
-    /// (hybrid-simulator optimization; the detailed baseline ticks every
-    /// cycle).
-    pub fn skip_idle(mut self, skip: bool) -> Self {
-        self.skip_idle = skip;
+    /// Choose how the engine advances simulated time. Both policies are
+    /// bit-identical in results; [`SkipPolicy::EventDriven`] (the default)
+    /// fast-forwards over quiescent spans, [`SkipPolicy::Dense`] ticks
+    /// every cycle (useful as the differential-testing reference).
+    pub fn skip_policy(mut self, policy: SkipPolicy) -> Self {
+        self.fidelity.skip_policy = policy;
         self
+    }
+
+    /// Allow (or forbid) skipping cycles in which nothing can happen.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `skip_policy(SkipPolicy::EventDriven)` / `skip_policy(SkipPolicy::Dense)`; \
+                the event-driven engine is now bit-identical to dense ticking"
+    )]
+    pub fn skip_idle(self, skip: bool) -> Self {
+        self.skip_policy(if skip {
+            SkipPolicy::EventDriven
+        } else {
+            SkipPolicy::Dense
+        })
     }
 
     /// Simulate with `threads` worker threads (SM-sharded). `0` means
@@ -207,10 +195,7 @@ impl SimulatorBuilder {
         };
         Ok(GpuSimulator {
             cfg: self.cfg,
-            alu: self.alu,
-            mem: self.mem,
-            detailed_frontend: self.detailed_frontend,
-            skip_idle: self.skip_idle,
+            fidelity: self.fidelity,
             threads,
             profile: self.profile,
         })
@@ -239,10 +224,7 @@ impl SimulatorBuilder {
 #[derive(Debug, Clone)]
 pub struct GpuSimulator {
     pub(crate) cfg: GpuConfig,
-    pub(crate) alu: AluModelKind,
-    pub(crate) mem: MemoryModelKind,
-    pub(crate) detailed_frontend: bool,
-    pub(crate) skip_idle: bool,
+    pub(crate) fidelity: FidelityConfig,
     pub(crate) threads: usize,
     pub(crate) profile: bool,
 }
@@ -253,47 +235,35 @@ impl GpuSimulator {
         &self.cfg
     }
 
-    /// Human-readable model description, e.g.
-    /// `"analytical_alu+cycle_accurate_memory"`.
-    pub fn description(&self) -> String {
-        let alu = match self.alu {
-            AluModelKind::CycleAccurate => "cycle_accurate_alu",
-            AluModelKind::Analytical => "analytical_alu",
-        };
-        let mem = match self.mem {
-            MemoryModelKind::CycleAccurate => "cycle_accurate_memory",
-            MemoryModelKind::Analytical => "analytical_memory",
-            MemoryModelKind::AnalyticalReuse => "analytical_memory_rd",
-        };
-        format!("{alu}+{mem}")
+    /// The resolved per-module fidelity.
+    pub fn fidelity(&self) -> FidelityConfig {
+        self.fidelity
     }
 
-    /// Simulate `app` and return the predicted cycles and metrics.
+    /// Human-readable model description —
+    /// [`FidelityConfig::describe`] verbatim, e.g.
+    /// `"analytical_alu+cycle_accurate_memory+simplified_frontend+event_driven"`.
+    pub fn description(&self) -> String {
+        self.fidelity.describe()
+    }
+
+    /// Simulate an application and return the predicted cycles and metrics.
     ///
-    /// Equivalent to [`run_source`](GpuSimulator::run_source) —
-    /// `ApplicationTrace` is the in-memory [`TraceSource`], whose kernel
-    /// "decode" is a zero-copy borrow.
+    /// Accepts anything convertible to [`TraceInput`] — `&ApplicationTrace`
+    /// for in-memory traces, or any `&`[`TraceSource`] (including trait
+    /// objects) for streaming ones. Kernels are decoded lazily: while
+    /// kernel *k* simulates, kernel *k+1* is decoded on a background thread
+    /// (for file-backed sources), so peak memory stays at ~2 decoded
+    /// kernels regardless of application size. Decode time is attributed to
+    /// the profiler's `trace-decode` module on its own track.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] when the trace is inconsistent with its launch
-    /// geometry, a block exceeds SM resources, or the model deadlocks.
-    pub fn run(&self, app: &ApplicationTrace) -> Result<SimulationResult, SimError> {
-        self.run_source(app)
-    }
-
-    /// Simulate the application provided by `source`, decoding kernels
-    /// lazily: while kernel *k* simulates, kernel *k+1* is decoded on a
-    /// background thread (for file-backed sources), so peak memory stays
-    /// at ~2 decoded kernels regardless of application size. Decode time
-    /// is attributed to the profiler's `trace-decode` module on its own
-    /// track.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] as [`run`](GpuSimulator::run) does, plus
-    /// [`SimError::Trace`] when a kernel fails to decode.
-    pub fn run_source(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
+    /// geometry, a block exceeds SM resources, a kernel fails to decode, or
+    /// the model deadlocks.
+    pub fn run<'a>(&self, input: impl Into<TraceInput<'a>>) -> Result<SimulationResult, SimError> {
+        let source = input.into().source();
         let started = std::time::Instant::now();
         let mut result = if self.threads > 1 {
             run_parallel(self, source)?
@@ -304,8 +274,17 @@ impl GpuSimulator {
         Ok(result)
     }
 
+    /// Simulate the application provided by `source`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `run(&source)` — `run` now accepts any trace source"
+    )]
+    pub fn run_source(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
+        self.run(source)
+    }
+
     fn run_single(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
-        let mut mem: Box<dyn MemorySystem> = match self.mem {
+        let mut mem: Box<dyn MemorySystem> = match self.fidelity.memory {
             MemoryModelKind::CycleAccurate => Box::new(CycleAccurateMemory::new(&self.cfg)),
             MemoryModelKind::Analytical => build_analytical_memory(&self.cfg, source)?,
             MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&self.cfg, source)?,
@@ -345,9 +324,8 @@ impl GpuSimulator {
                     &blocks,
                     num_sms,
                     mem.as_mut(),
-                    self.alu,
-                    self.detailed_frontend,
-                    self.skip_idle,
+                    self.fidelity,
+                    0,
                     start,
                     &mut prof,
                 )?;
@@ -376,6 +354,7 @@ impl GpuSimulator {
             Ok(SimulationResult {
                 app: source.name().to_owned(),
                 simulator: self.description(),
+                fidelity: self.fidelity,
                 cycles: start,
                 kernels,
                 metrics,
@@ -423,18 +402,52 @@ mod tests {
             .build();
         assert_eq!(
             detailed.description(),
-            "cycle_accurate_alu+cycle_accurate_memory"
+            "cycle_accurate_alu+cycle_accurate_memory+detailed_frontend+event_driven"
         );
 
         let basic = SimulatorBuilder::new(presets::rtx2080ti())
             .preset(SimulatorPreset::SwiftBasic)
             .build();
-        assert_eq!(basic.description(), "analytical_alu+cycle_accurate_memory");
+        assert_eq!(
+            basic.description(),
+            "analytical_alu+cycle_accurate_memory+simplified_frontend+event_driven"
+        );
 
         let memory = SimulatorBuilder::new(presets::rtx2080ti())
             .preset(SimulatorPreset::SwiftMemory)
             .build();
-        assert_eq!(memory.description(), "analytical_alu+analytical_memory");
+        assert_eq!(
+            memory.description(),
+            "analytical_alu+analytical_memory+simplified_frontend+event_driven"
+        );
+    }
+
+    #[test]
+    fn fidelity_lands_in_simulator_verbatim() {
+        let fidelity = FidelityConfig {
+            alu: AluModelKind::CycleAccurate,
+            memory: MemoryModelKind::AnalyticalReuse,
+            frontend: FrontendModelKind::Simplified,
+            skip_policy: SkipPolicy::Dense,
+        };
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .fidelity(fidelity)
+            .build();
+        assert_eq!(sim.fidelity(), fidelity);
+        assert_eq!(sim.description(), fidelity.describe());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_skip_idle_maps_to_skip_policy() {
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .skip_idle(false)
+            .build();
+        assert_eq!(sim.fidelity().skip_policy, SkipPolicy::Dense);
+        let sim = SimulatorBuilder::new(presets::rtx2080ti())
+            .skip_idle(true)
+            .build();
+        assert_eq!(sim.fidelity().skip_policy, SkipPolicy::EventDriven);
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum SimError {
     Deadlock {
         /// Cycle at which progress stopped.
         cycle: u64,
+        /// The stalled SM shard (shard 0 is the whole GPU when
+        /// single-threaded).
+        shard: usize,
+        /// The oldest waiting warp and/or in-flight memory request, so the
+        /// hang is debuggable from the error alone.
+        detail: String,
     },
     /// A worker thread panicked. The panic is captured and surfaced as an
     /// error so one bad shard (or one bad job in a campaign) cannot abort
@@ -79,8 +85,15 @@ impl fmt::Display for SimError {
             SimError::BlockTooLarge { kernel, resource } => {
                 write!(f, "kernel {kernel}: block exceeds SM {resource}")
             }
-            SimError::Deadlock { cycle } => {
-                write!(f, "simulation made no progress at cycle {cycle}")
+            SimError::Deadlock {
+                cycle,
+                shard,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "simulation made no progress at cycle {cycle} (shard {shard}): {detail}"
+                )
             }
             SimError::WorkerPanic { context, message } => {
                 write!(f, "worker panicked in {context}: {message}")
@@ -110,6 +123,19 @@ mod tests {
             resource: "shared memory".to_owned(),
         };
         assert_eq!(e.to_string(), "kernel k: block exceeds SM shared memory");
+    }
+
+    #[test]
+    fn deadlock_display_names_shard_and_detail() {
+        let e = SimError::Deadlock {
+            cycle: 42,
+            shard: 3,
+            detail: "SM 1 block 7 warp 0 at barrier".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 42"), "{s}");
+        assert!(s.contains("shard 3"), "{s}");
+        assert!(s.contains("warp 0 at barrier"), "{s}");
     }
 
     #[test]

@@ -11,11 +11,29 @@
 //! The engine runs a *shard*: a subset of SMs with its own memory system.
 //! Single-threaded simulation is one shard covering the whole GPU; parallel
 //! simulation runs several shards concurrently (see [`crate::parallel`]).
+//!
+//! # The event-driven cycle-skipping engine
+//!
+//! Under [`SkipPolicy::EventDriven`] the shard loop fast-forwards over
+//! provably quiescent spans instead of ticking them one by one. Every
+//! component reports its next-actionable cycle — SMs via
+//! [`TickOutcome::next_wakeup`] (writeback heap head, port wakeups), the
+//! memory system via [`MemorySystem::next_event`] — and after a fully quiet
+//! iteration the loop *arms a jump* to the minimum `t` of those hints. The
+//! next iteration runs one more cycle at full fidelity; if it is quiet too
+//! (which the loop verifies rather than assumes), its per-SM stat delta is
+//! the canonical quiescent-cycle delta, and the loop replays that delta
+//! once per skipped cycle and sets the clock to `t`. Stats therefore come
+//! out **bit-identical** to the dense loop — the skipped cycles are
+//! accounted exactly as if they had been ticked — which the differential
+//! suite (`tests/event_engine_equiv.rs`) enforces. Skipped cycles are also
+//! attributed to [`ProfModule::CycleSkip`] so profiles show what the
+//! engine jumped over.
 
 use crate::alu::{AluModel, AnalyticalAlu, CycleAccurateAlu};
 use crate::block_scheduler::{BlockScheduler, Occupancy};
-use crate::builder::AluModelKind;
 use crate::error::SimError;
+use crate::fidelity::{AluModelKind, FidelityConfig, FrontendModelKind, SkipPolicy};
 use crate::mem_system::{MemCompletion, MemorySystem};
 use crate::scheduler::make_policy;
 use crate::sm::{SmCore, SmStats, WbTarget};
@@ -24,6 +42,9 @@ use std::collections::HashMap;
 use swiftsim_config::GpuConfig;
 use swiftsim_metrics::{ProfModule, Profiler};
 use swiftsim_trace::KernelTrace;
+
+#[cfg(doc)]
+use crate::sm::TickOutcome;
 
 /// Outcome of simulating one kernel on one shard.
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,16 +58,7 @@ pub(crate) struct ShardKernelOutcome {
 }
 
 pub(crate) fn merge_into(total: &mut SmStats, s: SmStats) {
-    total.issued += s.issued;
-    total.mem_insts += s.mem_insts;
-    total.stall_scoreboard += s.stall_scoreboard;
-    total.stall_unit_busy += s.stall_unit_busy;
-    total.stall_barrier += s.stall_barrier;
-    total.stall_empty += s.stall_empty;
-    total.shared_bank_conflicts += s.shared_bank_conflicts;
-    total.icache_misses += s.icache_misses;
-    total.ccache_misses += s.ccache_misses;
-    total.active_cycles += s.active_cycles;
+    total.add(&s);
 }
 
 fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
@@ -60,7 +72,8 @@ fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
 ///
 /// `block_indices` are the kernel's block ids this shard executes; `sm_ids`
 /// are the *global* SM ids the shard owns (their count sets the local SM
-/// array size; memory-system calls use local indices).
+/// array size; memory-system calls use local indices). `shard` is the
+/// shard's index, used only for error reporting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_kernel_shard(
     cfg: &GpuConfig,
@@ -68,9 +81,8 @@ pub(crate) fn run_kernel_shard(
     block_indices: &[usize],
     num_local_sms: usize,
     mem: &mut dyn MemorySystem,
-    alu_kind: AluModelKind,
-    detailed_frontend: bool,
-    skip_idle: bool,
+    fidelity: FidelityConfig,
+    shard: usize,
     start: Cycle,
     prof: &mut Profiler,
 ) -> Result<ShardKernelOutcome, SimError> {
@@ -85,6 +97,12 @@ pub(crate) fn run_kernel_shard(
         });
     }
     let occupancy = Occupancy::compute(&cfg.sm, kernel)?;
+    let blocks = kernel.blocks();
+    // Uniform per kernel: `is_consistent` checked every block against the
+    // launch geometry above.
+    let warps_per_block = blocks.first().map_or(0, |b| b.warps().len());
+    let detailed_frontend = fidelity.frontend == FrontendModelKind::Detailed;
+    let event_driven = fidelity.skip_policy == SkipPolicy::EventDriven;
 
     let mut sms: Vec<SmCore<'_>> = (0..num_local_sms)
         .map(|i| {
@@ -92,8 +110,10 @@ pub(crate) fn run_kernel_shard(
                 i,
                 &cfg.sm,
                 occupancy.blocks_per_sm as usize,
-                make_alu(alu_kind, cfg),
+                warps_per_block,
+                make_alu(fidelity.alu, cfg),
                 detailed_frontend,
+                event_driven,
                 &|| make_policy(cfg.sm.scheduler),
             )
         })
@@ -104,11 +124,14 @@ pub(crate) fn run_kernel_shard(
     let mut completions: Vec<MemCompletion> = Vec::new();
     let mut now = start;
     let mut idle_streak = 0u32;
-    let blocks = kernel.blocks();
+    // An armed clock jump: `(target, per-SM stat snapshots)` captured at
+    // the end of a quiet iteration. See the module docs.
+    let mut plan: Option<(Cycle, Vec<SmStats>)> = None;
 
     loop {
         // 1. Dispatch pending blocks to SMs with free slots (Block
         //    Scheduler, cycle-accurate in every preset).
+        let mut installed = false;
         if bs.remaining() > 0 {
             let t0 = prof.start();
             for (sm_idx, sm) in sms.iter_mut().enumerate().take(num_local_sms) {
@@ -117,6 +140,7 @@ pub(crate) fn run_kernel_shard(
                         Some(local_idx) => {
                             let global = block_indices[local_idx];
                             sm.install_block(global, &blocks[global], now);
+                            installed = true;
                         }
                         None => break,
                     }
@@ -130,6 +154,7 @@ pub(crate) fn run_kernel_shard(
         //    see MemorySystem::report_profile.
         completions.clear();
         mem.advance(now, &mut completions);
+        let delivered = !completions.is_empty();
         for c in completions.drain(..) {
             if let Some((sm, target)) = tokens.remove(&c.token) {
                 sms[sm].writeback_now(target);
@@ -140,14 +165,20 @@ pub(crate) fn run_kernel_shard(
         //    attributed inside SmCore::tick.
         let mut issued = 0u32;
         let mut wakeup: Option<Cycle> = None;
+        let mut any_unit_busy = false;
+        let mut any_completed = false;
+        let mut any_tokens = false;
         for (sm_idx, sm) in sms.iter_mut().enumerate() {
             let outcome = sm.tick(now, mem, prof);
             issued += outcome.issued;
+            any_unit_busy |= outcome.unit_busy_stall;
             for global in outcome.completed_blocks {
                 let _ = global;
+                any_completed = true;
                 bs.complete(sm_idx);
             }
             for (token, target) in outcome.new_tokens {
+                any_tokens = true;
                 tokens.insert(token, (sm_idx, target));
             }
             wakeup = match (wakeup, outcome.next_wakeup) {
@@ -170,36 +201,75 @@ pub(crate) fn run_kernel_shard(
             });
         }
 
-        // 5. Advance time. The detailed baseline ticks every cycle; hybrid
-        //    simulators skip cycles in which provably nothing can happen.
-        let next_mem = mem.next_event();
-        if issued > 0 || !skip_idle {
-            now += 1;
-            idle_streak = if issued > 0 { 0 } else { idle_streak + 1 };
-        } else {
+        // 5. Advance time. A *quiet* iteration is one in which provably
+        //    nothing observable happened: no instruction issued, no
+        //    port-busy stall about to resolve, no memory completion or new
+        //    request, no block installed or retired.
+        let quiet = issued == 0
+            && !any_unit_busy
+            && !delivered
+            && !any_completed
+            && !any_tokens
+            && !installed;
+
+        if let Some((target, snaps)) = plan.take() {
+            if quiet {
+                // The tick above is the measured canonical quiescent tick;
+                // every cycle in (now, target) would repeat it exactly
+                // (no writeback, memory event, or unpark can occur before
+                // `target` by construction). Replay its delta and jump.
+                let extra = target - now - 1;
+                for (sm, snap) in sms.iter_mut().zip(&snaps) {
+                    sm.scale_quiescent_delta(snap, extra, prof);
+                }
+                if extra > 0 {
+                    prof.add_cycles(ProfModule::CycleSkip, extra);
+                }
+                now = target;
+                idle_streak = 0;
+                continue;
+            }
+            // Something observable happened after all — the iteration
+            // above already ran at full fidelity, so just fall through to
+            // a normal advance. No state needs undoing.
+        }
+
+        if event_driven && quiet {
+            let next_mem = mem.next_event();
             let candidate = match (wakeup, next_mem) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
-            match candidate {
-                Some(t) if t > now => {
-                    now = t;
-                    idle_streak = 0;
-                }
-                Some(_) => {
-                    now += 1;
-                    idle_streak = 0;
-                }
-                None => {
-                    now += 1;
-                    idle_streak += 1;
+            if let Some(t) = candidate {
+                if t > now + 1 {
+                    // Arm the jump; the next iteration measures the
+                    // quiescent delta (by then operand collectors and
+                    // frontend tag arrays have reached steady state).
+                    plan = Some((t, sms.iter().map(|s| s.stats()).collect()));
                 }
             }
+            now += 1;
+            idle_streak += 1;
+        } else {
+            now += 1;
+            idle_streak = if issued > 0 { 0 } else { idle_streak + 1 };
         }
         // A memory event or token always reappears within the DRAM latency;
         // a much longer silent streak means the model deadlocked.
         if idle_streak > 1_000_000 {
-            return Err(SimError::Deadlock { cycle: now });
+            let warp = sms.iter().find_map(|sm| sm.oldest_stalled());
+            let pending = mem.oldest_pending();
+            let detail = match (warp, pending) {
+                (Some(w), Some(m)) => format!("{w}; {m}"),
+                (Some(w), None) => w,
+                (None, Some(m)) => m,
+                (None, None) => "no resident warp or pending memory request".to_owned(),
+            };
+            return Err(SimError::Deadlock {
+                cycle: now,
+                shard,
+                detail,
+            });
         }
     }
 }

@@ -1,0 +1,80 @@
+//! The unified input type for [`GpuSimulator::run`].
+//!
+//! Historically the simulator had two entry points — `run(&ApplicationTrace)`
+//! for in-memory traces and `run_source(&dyn TraceSource)` for streaming
+//! ones — and every caller special-cased the split. [`TraceInput`] collapses
+//! them: anything that implements [`TraceSource`] (including
+//! `ApplicationTrace` itself and `&dyn TraceSource` trait objects) converts
+//! into a `TraceInput` by reference, so `sim.run(&app)` and
+//! `sim.run(source.as_ref())` both go through one generic
+//! [`GpuSimulator::run`].
+//!
+//! [`GpuSimulator::run`]: crate::GpuSimulator::run
+
+use swiftsim_trace::TraceSource;
+
+/// A borrowed simulation input: any [`TraceSource`], by reference.
+///
+/// Constructed via `From`/`Into` — callers pass `&app` or `&source`
+/// directly to [`GpuSimulator::run`](crate::GpuSimulator::run) and the
+/// blanket conversion below does the rest.
+#[derive(Clone, Copy)]
+pub struct TraceInput<'a> {
+    source: &'a dyn TraceSource,
+}
+
+impl<'a> TraceInput<'a> {
+    /// The underlying trace source.
+    pub fn source(&self) -> &'a dyn TraceSource {
+        self.source
+    }
+}
+
+impl<'a, S: TraceSource> From<&'a S> for TraceInput<'a> {
+    fn from(source: &'a S) -> Self {
+        TraceInput { source }
+    }
+}
+
+impl<'a> From<&'a dyn TraceSource> for TraceInput<'a> {
+    fn from(source: &'a dyn TraceSource) -> Self {
+        TraceInput { source }
+    }
+}
+
+impl std::fmt::Debug for TraceInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceInput")
+            .field("app", &self.source.name())
+            .field("kernels", &self.source.num_kernels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
+
+    fn tiny_app() -> ApplicationTrace {
+        let mut kernel = KernelTrace::new("k", (1, 1, 1), (32, 1, 1));
+        let blk = kernel.push_block();
+        let w = blk.push_warp();
+        w.push(InstBuilder::new(Opcode::Exit).pc(0));
+        ApplicationTrace::new("tiny", vec![kernel])
+    }
+
+    #[test]
+    fn converts_from_concrete_and_dyn_sources() {
+        let app = tiny_app();
+        let from_concrete: TraceInput = (&app).into();
+        assert_eq!(from_concrete.source().name(), "tiny");
+
+        let dyn_source: &dyn TraceSource = &app;
+        let from_dyn: TraceInput = dyn_source.into();
+        assert_eq!(from_dyn.source().num_kernels(), 1);
+
+        let debug = format!("{from_dyn:?}");
+        assert!(debug.contains("tiny"), "{debug}");
+    }
+}

@@ -6,11 +6,17 @@
 //! versioned by `RESULT_SCHEMA_VERSION`; bump it when a field changes
 //! meaning so stale cache entries are not misread.
 
+use crate::fidelity::FidelityConfig;
 use crate::result::{KernelResult, SimulationResult};
 use swiftsim_metrics::{Json, MetricsCollector};
 
 /// Version tag embedded in every serialized result.
-pub const RESULT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the resolved `fidelity` object; swift presets now accrue
+/// stall/active-cycle statistics during formerly skipped idle cycles (the
+/// event-driven engine accounts them exactly), so v1 counters are not
+/// comparable.
+pub const RESULT_SCHEMA_VERSION: u64 = 2;
 
 impl KernelResult {
     /// Serialize to the shared JSON schema.
@@ -47,6 +53,38 @@ impl KernelResult {
     }
 }
 
+impl FidelityConfig {
+    /// Serialize the resolved fidelity (stable tokens, see the `token`
+    /// methods of each kind).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("alu", Json::str(self.alu.token())),
+            ("memory", Json::str(self.memory.token())),
+            ("frontend", Json::str(self.frontend.token())),
+            ("skip_policy", Json::str(self.skip_policy.token())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<FidelityConfig, String> {
+        fn field<T: std::str::FromStr<Err = crate::error::SimError>>(
+            json: &Json,
+            key: &str,
+        ) -> Result<T, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("fidelity: missing {key}"))?
+                .parse()
+                .map_err(|e: crate::error::SimError| e.to_string())
+        }
+        Ok(FidelityConfig {
+            alu: field(json, "alu")?,
+            memory: field(json, "memory")?,
+            frontend: field(json, "frontend")?,
+            skip_policy: field(json, "skip_policy")?,
+        })
+    }
+}
+
 impl SimulationResult {
     /// Serialize to the shared JSON schema (single-line, deterministic
     /// field order).
@@ -55,6 +93,7 @@ impl SimulationResult {
             ("schema", Json::int(RESULT_SCHEMA_VERSION)),
             ("app", Json::str(&self.app)),
             ("simulator", Json::str(&self.simulator)),
+            ("fidelity", self.fidelity.to_json()),
             ("cycles", Json::int(self.cycles)),
             ("instructions", Json::int(self.instructions())),
             ("ipc", Json::Num(self.ipc())),
@@ -98,6 +137,9 @@ impl SimulationResult {
                 .and_then(Json::as_str)
                 .ok_or("result: missing simulator")?
                 .to_owned(),
+            fidelity: FidelityConfig::from_json(
+                json.get("fidelity").ok_or("result: missing fidelity")?,
+            )?,
             cycles: json
                 .get("cycles")
                 .and_then(Json::as_u64)
@@ -121,6 +163,7 @@ impl SimulationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fidelity::{AluModelKind, FrontendModelKind, MemoryModelKind, SkipPolicy};
     use swiftsim_metrics::Value;
 
     fn sample() -> SimulationResult {
@@ -128,9 +171,16 @@ mod tests {
         metrics.set("gpu.cycles", Value::Cycles(1000));
         metrics.set("mem.l1.miss_rate", Value::Ratio(0.25));
         metrics.set("core.mem_insts", Value::Count(42));
+        let fidelity = FidelityConfig {
+            alu: AluModelKind::Analytical,
+            memory: MemoryModelKind::CycleAccurate,
+            frontend: FrontendModelKind::Simplified,
+            skip_policy: SkipPolicy::EventDriven,
+        };
         SimulationResult {
             app: "bfs".into(),
-            simulator: "analytical_alu+cycle_accurate_memory".into(),
+            simulator: fidelity.describe(),
+            fidelity,
             cycles: 1000,
             kernels: vec![KernelResult {
                 name: "k\"quoted\"".into(),
@@ -177,5 +227,30 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(0.25)
         );
+    }
+
+    #[test]
+    fn fidelity_lands_verbatim_in_json() {
+        let json = sample().to_json();
+        let fid = json.get("fidelity").expect("fidelity object present");
+        assert_eq!(fid.get("alu").and_then(Json::as_str), Some("analytical"));
+        assert_eq!(
+            fid.get("memory").and_then(Json::as_str),
+            Some("cycle_accurate")
+        );
+        assert_eq!(
+            fid.get("frontend").and_then(Json::as_str),
+            Some("simplified")
+        );
+        assert_eq!(
+            fid.get("skip_policy").and_then(Json::as_str),
+            Some("event_driven")
+        );
+        // A malformed fidelity is rejected, not defaulted.
+        let mut bad = sample().to_json();
+        if let Json::Obj(pairs) = &mut bad {
+            pairs[3].1 = Json::obj(vec![("alu", Json::str("quantum"))]);
+        }
+        assert!(SimulationResult::from_json(&bad).is_err());
     }
 }

@@ -61,7 +61,9 @@ pub mod alu;
 mod block_scheduler;
 mod builder;
 mod error;
+mod fidelity;
 mod gpu;
+mod input;
 mod json;
 pub mod mem_system;
 mod parallel;
@@ -73,8 +75,10 @@ mod sm;
 
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
-pub use builder::{AluModelKind, GpuSimulator, MemoryModelKind, SimulatorBuilder, SimulatorPreset};
+pub use builder::{GpuSimulator, SimulatorBuilder, SimulatorPreset};
 pub use error::{panic_message, SimError};
+pub use fidelity::{AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy};
+pub use input::TraceInput;
 pub use json::RESULT_SCHEMA_VERSION;
 pub use mem_system::{MemReply, MemorySystem};
 pub use parallel::max_threads;

@@ -86,9 +86,16 @@ pub trait MemorySystem: Send {
     /// to `completions`.
     fn advance(&mut self, now: Cycle, completions: &mut Vec<MemCompletion>);
 
-    /// Earliest cycle at which internal state changes, if any (lets hybrid
-    /// simulators skip idle cycles).
+    /// Earliest cycle at which internal state changes, if any (lets the
+    /// event-driven engine fast-forward over idle spans).
     fn next_event(&self) -> Option<Cycle>;
+
+    /// Describe the oldest in-flight request (and, when known, the MSHR
+    /// entry or DRAM transaction it waits on), for deadlock diagnostics.
+    /// Default: nothing to report.
+    fn oldest_pending(&self) -> Option<String> {
+        None
+    }
 
     /// Report counters to the Metrics Gatherer.
     fn report(&self, collector: &mut MetricsCollector);
@@ -171,6 +178,9 @@ struct L2Waiter {
 struct PendingReq {
     outstanding: u32,
     last_ready: Cycle,
+    /// Issuing SM and issue cycle, for deadlock diagnostics.
+    sm: usize,
+    issued_at: Cycle,
 }
 
 /// Fully simulated L1 → NoC → L2 → DRAM memory system.
@@ -692,6 +702,8 @@ impl MemorySystem for CycleAccurateMemory {
             PendingReq {
                 outstanding: txns.len() as u32,
                 last_ready: now + 1,
+                sm,
+                issued_at: now,
             },
         );
 
@@ -751,6 +763,27 @@ impl MemorySystem for CycleAccurateMemory {
 
     fn next_event(&self) -> Option<Cycle> {
         self.events.peek().map(|e| e.at)
+    }
+
+    fn oldest_pending(&self) -> Option<String> {
+        let (token, req) = self
+            .reqs
+            .iter()
+            .min_by_key(|(&token, req)| (req.issued_at, token))?;
+        let mut msg = format!(
+            "oldest memory request: token {token} from SM {} issued at cycle {} \
+             ({} transactions outstanding)",
+            req.sm, req.issued_at, req.outstanding
+        );
+        if let Some((line, waiters)) = self.l1[req.sm].oldest_mshr_line() {
+            msg.push_str(&format!(
+                ", oldest L1 MSHR line {line:#x} with {waiters} waiter(s)"
+            ));
+        }
+        if let Some(at) = self.dram.iter().filter_map(|d| d.next_completion()).min() {
+            msg.push_str(&format!(", next DRAM completion at cycle {at}"));
+        }
+        Some(msg)
     }
 
     fn report(&self, collector: &mut MetricsCollector) {

@@ -13,8 +13,9 @@
 //! interaction this approximates away; it is part of the "minor and
 //! acceptable degradation in overall accuracy" the paper trades for speed.
 
-use crate::builder::{GpuSimulator, MemoryModelKind};
+use crate::builder::GpuSimulator;
 use crate::error::SimError;
+use crate::fidelity::MemoryModelKind;
 use crate::gpu::{merge_into, run_kernel_shard, shard_config, split_blocks};
 use crate::mem_system::{
     AnalyticalMemoryBuilder, CycleAccurateMemory, MemorySystem, ReuseAnalyticalMemoryBuilder,
@@ -64,7 +65,7 @@ pub(crate) fn run_parallel(
         .iter()
         .map(|&n| shard_config(&sim.cfg, n as u32, sim.cfg.num_sms))
         .collect();
-    let mut mems: Vec<Box<dyn MemorySystem>> = match sim.mem {
+    let mut mems: Vec<Box<dyn MemorySystem>> = match sim.fidelity.memory {
         MemoryModelKind::CycleAccurate => shard_cfgs
             .iter()
             .map(|cfg| Box::new(CycleAccurateMemory::new(cfg)) as Box<dyn MemorySystem>)
@@ -139,7 +140,8 @@ pub(crate) fn run_parallel(
                         .zip(&shard_cfgs)
                         .zip(&group_sizes)
                         .zip(&block_split)
-                        .map(|((((mem, prof), cfg), &local_sms), blocks)| {
+                        .enumerate()
+                        .map(|(shard, ((((mem, prof), cfg), &local_sms), blocks))| {
                             scope.spawn(move || {
                                 prof.begin_frame(&format!("k{kidx}:{}", kernel.name));
                                 let outcome = run_kernel_shard(
@@ -148,9 +150,8 @@ pub(crate) fn run_parallel(
                                     blocks,
                                     local_sms,
                                     mem.as_mut(),
-                                    sim.alu,
-                                    sim.detailed_frontend,
-                                    sim.skip_idle,
+                                    sim.fidelity,
+                                    shard,
                                     start,
                                     prof,
                                 );
@@ -217,6 +218,7 @@ pub(crate) fn run_parallel(
         Ok(SimulationResult {
             app: source.name().to_owned(),
             simulator: format!("{}@{}threads", sim.description(), shards),
+            fidelity: sim.fidelity,
             cycles: start,
             kernels,
             metrics,

@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use crate::fidelity::FidelityConfig;
 use crate::Cycle;
 use swiftsim_metrics::{MetricsCollector, ProfileReport};
 
@@ -33,6 +34,8 @@ pub struct SimulationResult {
     pub app: String,
     /// Simulator preset/model description (for reports).
     pub simulator: String,
+    /// The resolved per-module fidelity the run used.
+    pub fidelity: FidelityConfig,
     /// Total predicted execution cycles (kernels serialize).
     pub cycles: Cycle,
     /// Per-kernel breakdown, in launch order.
@@ -99,6 +102,7 @@ mod tests {
         let result = SimulationResult {
             app: "a".into(),
             simulator: "s".into(),
+            fidelity: FidelityConfig::default(),
             cycles: 1000,
             kernels: vec![
                 KernelResult {

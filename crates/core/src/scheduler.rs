@@ -34,6 +34,20 @@ pub struct WarpView {
 pub trait WarpSchedulerPolicy: Send {
     /// Choose among `warps` the one to issue from this cycle, or `None`
     /// when no warp is ready. `now` is the current cycle.
+    ///
+    /// # No-pick idempotence (event-engine contract)
+    ///
+    /// When every view is unready, repeated `pick` calls with the same
+    /// input must reach a fixed point by the second call: after one
+    /// all-unready pick, further identical picks must return `None`
+    /// without observable state change. The event-driven engine relies on
+    /// this to memoize quiescent cycles — it may *omit* `pick` calls for
+    /// cycles it proves identical, so any internal bookkeeping (round-robin
+    /// cursors, greedy last-issued state, fetch groups) must not advance on
+    /// an all-unready cycle in a way that alters a later successful pick.
+    /// All built-in policies satisfy this: GTO and LRR mutate state only on
+    /// a successful pick, and the two-level scheduler's active-set rotation
+    /// reaches its fixed point on the first all-unready call.
     fn pick(&mut self, warps: &[WarpView], now: u64) -> Option<usize>;
 
     /// Human-readable policy name for metrics and reports.

@@ -9,6 +9,27 @@
 //! LD/ST units to the memory system (through the [`MemorySystem`]
 //! interface); instruction-completion acknowledgments release scoreboard
 //! entries and wake dependent warps.
+//!
+//! # Storage layout
+//!
+//! Warp instruction windows live in flat structure-of-arrays storage: warp
+//! `w` of block slot `s` is index `s * stride + w` into parallel vectors
+//! (instruction slice, program counter, state, scoreboard). The per-cycle
+//! scan walks contiguous arrays instead of chasing
+//! `Vec<Option<Block>> -> Vec<Warp>` pointers, keeping the hot loop
+//! cache-friendly.
+//!
+//! # Quiescence cache (event-driven engine)
+//!
+//! Under [`SkipPolicy::EventDriven`] the SM memoizes its own per-cycle stat
+//! delta: after two consecutive *quiescent* ticks (nothing issued, drained,
+//! parked, or unparked) the next tick's observable effect is provably the
+//! same delta again, so [`SmCore::tick`] replays it without re-scanning
+//! warps — until a writeback, memory completion, or block install
+//! invalidates the cache. The dense engine never uses the cache, so the
+//! differential suite (`event_engine_equiv.rs`) genuinely exercises it.
+//!
+//! [`SkipPolicy::EventDriven`]: crate::fidelity::SkipPolicy::EventDriven
 
 use crate::alu::AluModel;
 use crate::scheduler::{WarpSchedulerPolicy, WarpView};
@@ -41,38 +62,48 @@ pub struct SmStats {
     pub active_cycles: u64,
 }
 
+/// Apply `op` to every counter pair of two [`SmStats`].
+macro_rules! for_each_stat {
+    ($a:expr, $b:expr, $op:expr) => {{
+        let (a, b, op) = ($a, $b, $op);
+        op(&mut a.issued, b.issued);
+        op(&mut a.mem_insts, b.mem_insts);
+        op(&mut a.stall_scoreboard, b.stall_scoreboard);
+        op(&mut a.stall_unit_busy, b.stall_unit_busy);
+        op(&mut a.stall_barrier, b.stall_barrier);
+        op(&mut a.stall_empty, b.stall_empty);
+        op(&mut a.shared_bank_conflicts, b.shared_bank_conflicts);
+        op(&mut a.icache_misses, b.icache_misses);
+        op(&mut a.ccache_misses, b.ccache_misses);
+        op(&mut a.active_cycles, b.active_cycles);
+    }};
+}
+
+impl SmStats {
+    /// Accumulate `other` into `self`.
+    pub(crate) fn add(&mut self, other: &SmStats) {
+        for_each_stat!(self, other, |a: &mut u64, b: u64| *a += b);
+    }
+
+    /// The per-field difference `self - earlier` (counters only grow).
+    pub(crate) fn delta_since(&self, earlier: &SmStats) -> SmStats {
+        let mut d = *self;
+        for_each_stat!(&mut d, earlier, |a: &mut u64, b: u64| *a -= b);
+        d
+    }
+
+    /// Accumulate `delta` scaled by `n` — replaying `n` identical quiescent
+    /// cycles at once.
+    pub(crate) fn add_scaled(&mut self, delta: &SmStats, n: u64) {
+        for_each_stat!(self, delta, |a: &mut u64, b: u64| *a += b * n);
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WarpState {
     Running,
     AtBarrier,
     Done,
-}
-
-#[derive(Debug)]
-struct WarpContext<'a> {
-    insts: &'a [TraceInstruction],
-    next: usize,
-    scoreboard: Scoreboard,
-    state: WarpState,
-    /// Parked on a scoreboard hazard: skip re-evaluation until one of this
-    /// warp's pending writebacks lands (hot-path optimization — readiness
-    /// cannot change before then).
-    parked: bool,
-}
-
-impl WarpContext<'_> {
-    fn current(&self) -> Option<&TraceInstruction> {
-        self.insts.get(self.next)
-    }
-}
-
-#[derive(Debug)]
-struct BlockCtx<'a> {
-    global_block: usize,
-    warps: Vec<WarpContext<'a>>,
-    barrier_waiting: u32,
-    live_warps: u32,
-    age: Cycle,
 }
 
 /// Simplified instruction + constant caches.
@@ -166,7 +197,28 @@ pub(crate) struct SmCore<'a> {
     id: usize,
     cfg: SmConfig,
     schedulers: Vec<Box<dyn WarpSchedulerPolicy>>,
-    blocks: Vec<Option<BlockCtx<'a>>>,
+    /// Warps per block slot: warp `w` of slot `s` is SoA index
+    /// `s * stride + w`. Uniform per kernel (`is_consistent` is checked
+    /// before cores are built).
+    stride: usize,
+    /// Per-warp SoA arrays, length `slots * stride`.
+    w_insts: Vec<&'a [TraceInstruction]>,
+    w_next: Vec<u32>,
+    w_state: Vec<WarpState>,
+    /// Parked on a scoreboard hazard or a full LD/ST queue: skip
+    /// re-evaluation until one of this warp's pending writebacks lands or
+    /// the memory system accepts again (hot-path optimization — readiness
+    /// cannot change before then).
+    w_parked: Vec<bool>,
+    w_scoreboard: Vec<Scoreboard>,
+    /// Per-slot SoA arrays, length `slots`.
+    s_occupied: Vec<bool>,
+    s_global_block: Vec<usize>,
+    s_barrier_waiting: Vec<u32>,
+    s_live_warps: Vec<u32>,
+    s_age: Vec<Cycle>,
+    /// Occupied slots (cached `s_occupied.iter().filter(..).count()`).
+    resident: u32,
     wb_events: BinaryHeap<Reverse<(Cycle, usize, usize, u16)>>,
     alu: Box<dyn AluModel>,
     frontend: FrontendCaches,
@@ -182,31 +234,55 @@ pub(crate) struct SmCore<'a> {
     /// Reused scan buffers (hot path, avoids per-cycle allocation).
     scan_views: Vec<WarpView>,
     scan_refs: Vec<(usize, usize)>,
+    /// Quiescence cache (event-driven engine only; see module docs).
+    event_driven: bool,
+    /// Consecutive quiescent ticks observed, capped at 2 (the point at
+    /// which the per-tick delta is provably constant: operand collectors
+    /// have settled and scheduler no-pick state has reached its fixed
+    /// point).
+    q_streak: u8,
+    /// The memoized per-tick stat delta, valid while `q_streak >= 2`.
+    q_delta: SmStats,
 }
 
 impl std::fmt::Debug for SmCore<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmCore")
             .field("id", &self.id)
-            .field("resident_blocks", &self.blocks.iter().flatten().count())
+            .field("resident_blocks", &self.resident)
             .finish()
     }
 }
 
 impl<'a> SmCore<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         cfg: &SmConfig,
         slots: usize,
+        warps_per_block: usize,
         alu: Box<dyn AluModel>,
         detailed_frontend: bool,
+        event_driven: bool,
         make_scheduler: &dyn Fn() -> Box<dyn WarpSchedulerPolicy>,
     ) -> Self {
+        let n = slots * warps_per_block;
         SmCore {
             id,
             cfg: cfg.clone(),
             schedulers: (0..cfg.sub_cores).map(|_| make_scheduler()).collect(),
-            blocks: (0..slots).map(|_| None).collect(),
+            stride: warps_per_block,
+            w_insts: vec![&[]; n],
+            w_next: vec![0; n],
+            w_state: vec![WarpState::Done; n],
+            w_parked: vec![false; n],
+            w_scoreboard: (0..n).map(|_| Scoreboard::new()).collect(),
+            s_occupied: vec![false; slots],
+            s_global_block: vec![0; slots],
+            s_barrier_waiting: vec![0; slots],
+            s_live_warps: vec![0; slots],
+            s_age: vec![0; slots],
+            resident: 0,
             wb_events: BinaryHeap::new(),
             alu,
             frontend: FrontendCaches::new(detailed_frontend),
@@ -216,68 +292,77 @@ impl<'a> SmCore<'a> {
             mem_parked: Vec::new(),
             scan_views: Vec::new(),
             scan_refs: Vec::new(),
+            event_driven,
+            q_streak: 0,
+            q_delta: SmStats::default(),
         }
     }
 
     /// Whether a block slot is free.
     pub(crate) fn has_free_slot(&self) -> bool {
-        self.blocks.iter().any(Option::is_none)
+        (self.resident as usize) < self.s_occupied.len()
     }
 
     /// Install a traced block into a free slot.
     ///
     /// # Panics
     ///
-    /// Panics if no slot is free (callers check [`SmCore::has_free_slot`]).
+    /// Panics if no slot is free (callers check [`SmCore::has_free_slot`])
+    /// or if the block's warp count differs from the kernel-uniform stride.
     pub(crate) fn install_block(&mut self, global_block: usize, block: &'a BlockTrace, now: Cycle) {
         let slot = self
-            .blocks
+            .s_occupied
             .iter()
-            .position(Option::is_none)
+            .position(|occ| !occ)
             .expect("install_block requires a free slot");
-        let warps: Vec<WarpContext<'a>> = block
-            .warps()
-            .iter()
-            .map(|w| WarpContext {
-                insts: w.instructions(),
-                next: 0,
-                scoreboard: Scoreboard::new(),
-                state: if w.is_empty() {
-                    WarpState::Done
-                } else {
-                    WarpState::Running
-                },
-                parked: false,
-            })
-            .collect();
-        let live = warps.iter().filter(|w| w.state != WarpState::Done).count() as u32;
+        let warps = block.warps();
+        assert_eq!(
+            warps.len(),
+            self.stride,
+            "block warp count must match the kernel-uniform stride"
+        );
+        let mut live = 0u32;
+        for (w, warp) in warps.iter().enumerate() {
+            let i = slot * self.stride + w;
+            self.w_insts[i] = warp.instructions();
+            self.w_next[i] = 0;
+            self.w_scoreboard[i] = Scoreboard::new();
+            self.w_parked[i] = false;
+            self.w_state[i] = if warp.is_empty() {
+                WarpState::Done
+            } else {
+                live += 1;
+                WarpState::Running
+            };
+        }
         self.schedulable += live;
-        self.blocks[slot] = Some(BlockCtx {
-            global_block,
-            warps,
-            barrier_waiting: 0,
-            live_warps: live,
-            age: now,
-        });
+        self.s_occupied[slot] = true;
+        self.s_global_block[slot] = global_block;
+        self.s_barrier_waiting[slot] = 0;
+        self.s_live_warps[slot] = live;
+        self.s_age[slot] = now;
+        self.resident += 1;
+        self.q_streak = 0;
     }
 
     /// Whether any block is resident.
     pub(crate) fn is_active(&self) -> bool {
-        self.blocks.iter().any(Option::is_some)
+        self.resident > 0
     }
 
     /// Apply a writeback immediately (memory completion path). A register
     /// of `u16::MAX` marks a completion nobody waits on (a rare dst-less
     /// pending access) and is ignored.
     pub(crate) fn writeback_now(&mut self, target: WbTarget) {
+        self.q_streak = 0;
         if target.reg.0 == u16::MAX {
             return;
         }
-        if let Some(block) = self.blocks[target.slot].as_mut() {
-            let warp = &mut block.warps[target.warp];
-            warp.scoreboard.writeback(target.reg);
-            if warp.parked {
-                warp.parked = false;
+        if self.s_occupied[target.slot] {
+            let i = target.slot * self.stride + target.warp;
+            self.w_scoreboard[i].writeback(target.reg);
+            if self.w_parked[i] {
+                self.w_parked[i] = false;
                 self.schedulable += 1;
             }
         }
@@ -288,21 +373,85 @@ impl<'a> SmCore<'a> {
         self.stats
     }
 
-    fn drain_writebacks(&mut self, now: Cycle) {
+    /// After a measured quiescent tick whose pre-tick stats were
+    /// `before`, replay its delta `extra` more times — the event-driven
+    /// engine's clock jump, accounting the skipped cycles exactly as the
+    /// dense loop would have ticked them.
+    pub(crate) fn scale_quiescent_delta(
+        &mut self,
+        before: &SmStats,
+        extra: u64,
+        prof: &mut Profiler,
+    ) {
+        if extra == 0 {
+            return;
+        }
+        let delta = self.stats.delta_since(before);
+        self.stats.add_scaled(&delta, extra);
+        if delta.active_cycles > 0 {
+            prof.add_cycles(ProfModule::WarpScheduler, delta.active_cycles * extra);
+        }
+    }
+
+    /// Describe the oldest still-live warp on this SM, for deadlock
+    /// diagnostics. `None` when no block is resident.
+    pub(crate) fn oldest_stalled(&self) -> Option<String> {
+        let mut oldest: Option<(Cycle, usize, usize)> = None;
+        for slot in 0..self.s_occupied.len() {
+            if !self.s_occupied[slot] {
+                continue;
+            }
+            for w in 0..self.stride {
+                let i = slot * self.stride + w;
+                if self.w_state[i] == WarpState::Done {
+                    continue;
+                }
+                let key = (self.s_age[slot], slot, w);
+                if oldest.is_none_or(|o| key < o) {
+                    oldest = Some(key);
+                }
+            }
+        }
+        let (_, slot, w) = oldest?;
+        let i = slot * self.stride + w;
+        let why = match self.w_state[i] {
+            WarpState::AtBarrier => "at barrier".to_owned(),
+            WarpState::Done => unreachable!("Done warps are skipped"),
+            WarpState::Running => {
+                let pos = format!("at inst {}/{}", self.w_next[i], self.w_insts[i].len());
+                if self.w_parked[i] {
+                    format!("{pos}, parked on a pending writeback or full LD/ST queue")
+                } else {
+                    pos
+                }
+            }
+        };
+        Some(format!(
+            "SM {} block {} warp {w} {why}",
+            self.id, self.s_global_block[slot]
+        ))
+    }
+
+    /// Drain due writebacks; returns whether any event fired (even for a
+    /// since-freed slot — conservative for the quiescence cache).
+    fn drain_writebacks(&mut self, now: Cycle) -> bool {
+        let mut drained = false;
         while let Some(&Reverse((at, slot, warp, reg))) = self.wb_events.peek() {
             if at > now {
                 break;
             }
             self.wb_events.pop();
-            if let Some(block) = self.blocks[slot].as_mut() {
-                let w = &mut block.warps[warp];
-                w.scoreboard.writeback(Reg(reg));
-                if w.parked {
-                    w.parked = false;
+            drained = true;
+            if self.s_occupied[slot] {
+                let i = slot * self.stride + warp;
+                self.w_scoreboard[i].writeback(Reg(reg));
+                if self.w_parked[i] {
+                    self.w_parked[i] = false;
                     self.schedulable += 1;
                 }
             }
         }
+        drained
     }
 
     /// Simulate one cycle; issues at most one instruction per sub-core.
@@ -312,9 +461,29 @@ impl<'a> SmCore<'a> {
         mem: &mut dyn MemorySystem,
         prof: &mut Profiler,
     ) -> TickOutcome {
+        // Quiescence cache: with two consecutive quiescent ticks behind us,
+        // no writeback due, and no chance of a memory-queue unpark, this
+        // tick is provably identical to the last — replay its stat delta
+        // and skip the pipeline walk and warp scan entirely.
+        if self.q_streak >= 2
+            && self
+                .wb_events
+                .peek()
+                .is_none_or(|Reverse((at, ..))| *at > now)
+            && (self.mem_parked.is_empty() || !mem.can_accept(self.id))
+        {
+            self.stats.add(&self.q_delta);
+            prof.add_cycles(ProfModule::WarpScheduler, self.q_delta.active_cycles);
+            return TickOutcome {
+                next_wakeup: self.wb_events.peek().map(|Reverse((at, ..))| *at),
+                ..TickOutcome::default()
+            };
+        }
+
+        let stats_before = self.stats;
         let t0 = prof.start();
         self.alu.tick(now);
-        self.drain_writebacks(now);
+        let drained = self.drain_writebacks(now);
         prof.record(ProfModule::Alu, t0);
 
         let mut outcome = TickOutcome::default();
@@ -329,14 +498,16 @@ impl<'a> SmCore<'a> {
             prof.record(ProfModule::WarpScheduler, t0);
         }
         let mem_ok = mem.can_accept(self.id);
+        let mut unparked = false;
         if mem_ok && !self.mem_parked.is_empty() {
             let parked = std::mem::take(&mut self.mem_parked);
             for (slot, w) in parked {
-                if let Some(block) = self.blocks[slot].as_mut() {
-                    let warp = &mut block.warps[w];
-                    if warp.parked {
-                        warp.parked = false;
+                if self.s_occupied[slot] {
+                    let i = slot * self.stride + w;
+                    if self.w_parked[i] {
+                        self.w_parked[i] = false;
                         self.schedulable += 1;
+                        unparked = true;
                     }
                 }
             }
@@ -348,20 +519,50 @@ impl<'a> SmCore<'a> {
                 self.stats.stall_scoreboard += u64::from(self.cfg.sub_cores);
             }
             outcome.next_wakeup = self.wb_events.peek().map(|Reverse((at, ..))| *at);
+            self.note_quiescence(&stats_before, &outcome, drained, unparked);
             return outcome;
         }
         for sc in 0..self.cfg.sub_cores as usize {
             self.tick_sub_core(sc, now, mem, mem_ok, &mut outcome, prof);
         }
 
-        // Wakeups for the skip-idle optimization: pending writebacks, and
+        // Wakeups for the event-driven engine: pending writebacks, and
         // next cycle if a port-busy stall can resolve soon.
         let mut wakeup = self.wb_events.peek().map(|Reverse((at, ..))| *at);
         if outcome.unit_busy_stall {
             wakeup = Some(wakeup.map_or(now + 1, |w| w.min(now + 1)));
         }
         outcome.next_wakeup = wakeup;
+        self.note_quiescence(&stats_before, &outcome, drained, unparked);
         outcome
+    }
+
+    /// Track consecutive quiescent ticks and memoize the second one's stat
+    /// delta (see module docs for why two ticks suffice).
+    fn note_quiescence(
+        &mut self,
+        stats_before: &SmStats,
+        outcome: &TickOutcome,
+        drained: bool,
+        unparked: bool,
+    ) {
+        if !self.event_driven {
+            return;
+        }
+        let quiescent = outcome.issued == 0
+            && !outcome.unit_busy_stall
+            && outcome.completed_blocks.is_empty()
+            && outcome.new_tokens.is_empty()
+            && !drained
+            && !unparked;
+        if !quiescent {
+            self.q_streak = 0;
+        } else if self.q_streak == 0 {
+            self.q_streak = 1;
+        } else if self.q_streak == 1 {
+            self.q_delta = self.stats.delta_since(stats_before);
+            self.q_streak = 2;
+        }
     }
 
     /// The per-cycle fetch/decode work of the detailed baseline: every
@@ -372,12 +573,16 @@ impl<'a> SmCore<'a> {
     fn detailed_core_tick(&mut self) {
         let frontend = &mut self.frontend;
         let stats = &mut self.stats;
-        for block in self.blocks.iter().flatten() {
-            for warp in &block.warps {
-                if warp.state == WarpState::Done {
+        for slot in 0..self.s_occupied.len() {
+            if !self.s_occupied[slot] {
+                continue;
+            }
+            for w in 0..self.stride {
+                let i = slot * self.stride + w;
+                if self.w_state[i] == WarpState::Done {
                     continue;
                 }
-                if let Some(inst) = warp.current() {
+                if let Some(inst) = self.w_insts[i].get(self.w_next[i] as usize) {
                     // Fetch: the fetch group is re-probed each cycle the
                     // warp occupies an ibuffer slot.
                     let line = u64::from(inst.pc) >> 7;
@@ -387,7 +592,7 @@ impl<'a> SmCore<'a> {
                         stats.icache_misses += 1;
                     }
                     // Decode: dependence pre-check against the scoreboard.
-                    std::hint::black_box(warp.scoreboard.outstanding());
+                    std::hint::black_box(self.w_scoreboard[i].outstanding());
                     std::hint::black_box(inst.srcs.len());
                 }
             }
@@ -403,43 +608,66 @@ impl<'a> SmCore<'a> {
         outcome: &mut TickOutcome,
         prof: &mut Profiler,
     ) {
-        // Collect warps of this sub-core: warp w of slot s belongs to
-        // sub-core (w % sub_cores).
+        // Scan this sub-core's warps: warp w of slot s belongs to sub-core
+        // (w % sub_cores). Disjoint-field destructuring keeps the SoA scan
+        // borrow-checker-clean without cloning.
         let t_sched = prof.start();
         let sub_cores = self.cfg.sub_cores as usize;
-        let mut views = std::mem::take(&mut self.scan_views);
-        let mut refs = std::mem::take(&mut self.scan_refs);
+        let stride = self.stride;
+        let SmCore {
+            alu,
+            schedulers,
+            w_insts,
+            w_next,
+            w_state,
+            w_parked,
+            w_scoreboard,
+            s_occupied,
+            s_age,
+            schedulable,
+            mem_parked,
+            stats,
+            scan_views,
+            scan_refs,
+            ..
+        } = self;
+        let views = scan_views;
+        let refs = scan_refs;
         views.clear();
         refs.clear();
         let mut any_unit_busy = false;
         let mut any_scoreboard = false;
         let mut any_barrier = false;
 
-        let alu = self.alu.as_ref();
-        let schedulable = &mut self.schedulable;
-        let mem_parked = &mut self.mem_parked;
-        for (slot, block) in self.blocks.iter_mut().enumerate() {
-            let Some(block) = block else { continue };
-            let age = block.age;
-            for (w, warp) in block.warps.iter_mut().enumerate() {
-                if w % sub_cores != sc || warp.state == WarpState::Done {
+        let alu = alu.as_ref();
+        for (slot, &occupied) in s_occupied.iter().enumerate() {
+            if !occupied {
+                continue;
+            }
+            let age = s_age[slot];
+            let mut w = sc;
+            while w < stride {
+                let i = slot * stride + w;
+                if w_state[i] == WarpState::Done {
+                    w += sub_cores;
                     continue;
                 }
                 let id = refs.len();
                 refs.push((slot, w));
-                let ready = if warp.state == WarpState::AtBarrier {
+                let ready = if w_state[i] == WarpState::AtBarrier {
                     any_barrier = true;
                     false
-                } else if warp.parked {
+                } else if w_parked[i] {
                     // Still waiting on a pending writeback: readiness
                     // cannot have changed, skip the full check.
                     any_scoreboard = true;
                     false
                 } else {
-                    match issue_check(alu, sc, warp, now, mem_ok) {
+                    let inst = w_insts[i].get(w_next[i] as usize);
+                    match issue_check(alu, sc, inst, &w_scoreboard[i], now, mem_ok) {
                         Ok(_) => true,
                         Err(Stall::Scoreboard) => {
-                            warp.parked = true;
+                            w_parked[i] = true;
                             *schedulable -= 1;
                             any_scoreboard = true;
                             false
@@ -449,7 +677,7 @@ impl<'a> SmCore<'a> {
                             false
                         }
                         Err(Stall::MemQueue) => {
-                            warp.parked = true;
+                            w_parked[i] = true;
                             *schedulable -= 1;
                             mem_parked.push((slot, w));
                             any_unit_busy = true;
@@ -459,30 +687,41 @@ impl<'a> SmCore<'a> {
                     }
                 };
                 views.push(WarpView { id, ready, age });
+                w += sub_cores;
             }
         }
 
         if any_unit_busy {
             outcome.unit_busy_stall = true;
         }
-        let picked = self.schedulers[sc].pick(&views, now);
+        let picked = schedulers[sc].pick(views, now);
         let target = picked.map(|view_id| refs[view_id]);
         if target.is_none() {
             if any_scoreboard {
-                self.stats.stall_scoreboard += 1;
+                stats.stall_scoreboard += 1;
             } else if any_unit_busy {
-                self.stats.stall_unit_busy += 1;
+                stats.stall_unit_busy += 1;
             } else if any_barrier {
-                self.stats.stall_barrier += 1;
+                stats.stall_barrier += 1;
             } else if !views.is_empty() {
-                self.stats.stall_empty += 1;
+                stats.stall_empty += 1;
             }
         }
-        self.scan_views = views;
-        self.scan_refs = refs;
         prof.record(ProfModule::WarpScheduler, t_sched);
         if let Some((slot, warp_idx)) = target {
             self.issue(slot, warp_idx, sc, now, mem, outcome, prof);
+        }
+    }
+
+    /// Wake every warp waiting at `slot`'s barrier.
+    fn release_barrier(&mut self, slot: usize) {
+        self.s_barrier_waiting[slot] = 0;
+        for w in 0..self.stride {
+            let i = slot * self.stride + w;
+            if self.w_state[i] == WarpState::AtBarrier {
+                self.w_state[i] = WarpState::Running;
+                self.schedulable += 1;
+            }
         }
     }
 
@@ -500,12 +739,10 @@ impl<'a> SmCore<'a> {
         // Copy only the small header fields; the payload stays in place
         // (cloning the instruction per issue would allocate on the hot
         // path).
+        let i = slot * self.stride + warp_idx;
         let (pc, opcode, dst) = {
-            let inst = self.blocks[slot]
-                .as_ref()
-                .expect("picked warp exists")
-                .warps[warp_idx]
-                .current()
+            let inst = self.w_insts[i]
+                .get(self.w_next[i] as usize)
                 .expect("ready warp has inst");
             (inst.pc, inst.opcode, inst.dst)
         };
@@ -516,45 +753,29 @@ impl<'a> SmCore<'a> {
 
         match opcode.class() {
             OpcodeClass::Barrier => {
-                let block = self.blocks[slot].as_mut().expect("picked warp exists");
-                let warp = &mut block.warps[warp_idx];
-                warp.next += 1;
-                warp.state = WarpState::AtBarrier;
+                self.w_next[i] += 1;
+                self.w_state[i] = WarpState::AtBarrier;
                 self.schedulable -= 1;
-                block.barrier_waiting += 1;
-                if block.barrier_waiting == block.live_warps {
-                    block.barrier_waiting = 0;
-                    for w in &mut block.warps {
-                        if w.state == WarpState::AtBarrier {
-                            w.state = WarpState::Running;
-                            self.schedulable += 1;
-                        }
-                    }
+                self.s_barrier_waiting[slot] += 1;
+                if self.s_barrier_waiting[slot] == self.s_live_warps[slot] {
+                    self.release_barrier(slot);
                 }
             }
             OpcodeClass::Exit => {
-                let completed = {
-                    let block = self.blocks[slot].as_mut().expect("picked warp exists");
-                    let warp = &mut block.warps[warp_idx];
-                    warp.next += 1;
-                    warp.state = WarpState::Done;
-                    self.schedulable -= 1;
-                    block.live_warps -= 1;
-                    // A warp at the barrier may now satisfy it.
-                    if block.live_warps > 0 && block.barrier_waiting == block.live_warps {
-                        block.barrier_waiting = 0;
-                        for w in &mut block.warps {
-                            if w.state == WarpState::AtBarrier {
-                                w.state = WarpState::Running;
-                                self.schedulable += 1;
-                            }
-                        }
-                    }
-                    (block.live_warps == 0).then_some(block.global_block)
-                };
-                if let Some(global_block) = completed {
-                    outcome.completed_blocks.push(global_block);
-                    self.blocks[slot] = None;
+                self.w_next[i] += 1;
+                self.w_state[i] = WarpState::Done;
+                self.schedulable -= 1;
+                self.s_live_warps[slot] -= 1;
+                // A warp at the barrier may now satisfy it.
+                if self.s_live_warps[slot] > 0
+                    && self.s_barrier_waiting[slot] == self.s_live_warps[slot]
+                {
+                    self.release_barrier(slot);
+                }
+                if self.s_live_warps[slot] == 0 {
+                    outcome.completed_blocks.push(self.s_global_block[slot]);
+                    self.s_occupied[slot] = false;
+                    self.resident -= 1;
                 }
             }
             OpcodeClass::Memory => {
@@ -567,10 +788,8 @@ impl<'a> SmCore<'a> {
                 let t0 = prof.start();
                 let kind = unit_for_class(opcode.class()).expect("arithmetic class has a unit");
                 let wb_at = self.alu.issue(sc, kind, now) + fetch_penalty;
-                let block = self.blocks[slot].as_mut().expect("picked warp exists");
-                let warp = &mut block.warps[warp_idx];
-                warp.scoreboard.issue_dst(dst);
-                warp.next += 1;
+                self.w_scoreboard[i].issue_dst(dst);
+                self.w_next[i] += 1;
                 if let Some(dst) = dst {
                     self.wb_events.push(Reverse((wb_at, slot, warp_idx, dst.0)));
                 }
@@ -595,14 +814,11 @@ impl<'a> SmCore<'a> {
         // Occupy the LD/ST issue port.
         let agu_done = self.alu.issue(sc, ExecUnitKind::LdSt, now) + fetch_penalty;
 
-        // Disjoint field borrows: the instruction stays borrowed from
-        // `self.blocks` while `self.stats`/`self.frontend`/`self.mapping`
-        // are used — no clone needed.
-        let inst = self.blocks[slot]
-            .as_ref()
-            .expect("picked warp exists")
-            .warps[warp_idx]
-            .current()
+        // The instruction slice borrow is disjoint from the
+        // `stats`/`frontend`/`mapping` borrows — no clone needed.
+        let i = slot * self.stride + warp_idx;
+        let inst = self.w_insts[i]
+            .get(self.w_next[i] as usize)
             .expect("ready warp has inst");
         let dst = inst.dst;
         let mem_info = inst.mem.as_ref().expect("memory opcode carries payload");
@@ -658,10 +874,8 @@ impl<'a> SmCore<'a> {
             }
         };
 
-        let block = self.blocks[slot].as_mut().expect("picked warp exists");
-        let warp = &mut block.warps[warp_idx];
-        warp.scoreboard.issue_dst(dst);
-        warp.next += 1;
+        self.w_scoreboard[i].issue_dst(dst);
+        self.w_next[i] += 1;
         match completion {
             Some(at) => {
                 prof.add_cycles(ProfModule::LdSt, at.saturating_sub(now));
@@ -685,23 +899,24 @@ enum Stall {
     Empty,
 }
 
-/// Whether `warp`'s next instruction could issue right now on sub-core
-/// `sc`, and if not, why.
+/// Whether a warp's next instruction (`inst`, with scoreboard `sb`) could
+/// issue right now on sub-core `sc`, and if not, why.
 fn issue_check(
     alu: &dyn AluModel,
     sc: usize,
-    warp: &WarpContext<'_>,
+    inst: Option<&TraceInstruction>,
+    sb: &Scoreboard,
     now: Cycle,
     mem_ok: bool,
 ) -> Result<ExecUnitKind, Stall> {
-    let Some(inst) = warp.current() else {
+    let Some(inst) = inst else {
         return Err(Stall::Empty);
     };
     let kind = unit_for(inst);
-    if !warp.scoreboard.can_issue(inst) {
+    if !sb.can_issue(inst) {
         return Err(Stall::Scoreboard);
     }
-    if inst.opcode == Opcode::Exit && !warp.scoreboard.is_clear() {
+    if inst.opcode == Opcode::Exit && !sb.is_clear() {
         return Err(Stall::Scoreboard);
     }
     if inst.opcode.class() == OpcodeClass::Memory && !mem_ok {
@@ -826,5 +1041,28 @@ mod tests {
             .global_strided(0, 4, 4)
             .build();
         assert_eq!(unit_for(&ldg), Some(ExecUnitKind::LdSt));
+    }
+
+    #[test]
+    fn stat_deltas_scale_exactly() {
+        let mut a = SmStats {
+            issued: 10,
+            stall_scoreboard: 4,
+            active_cycles: 7,
+            ..SmStats::default()
+        };
+        let before = SmStats {
+            issued: 10,
+            stall_scoreboard: 2,
+            active_cycles: 6,
+            ..SmStats::default()
+        };
+        let delta = a.delta_since(&before);
+        assert_eq!(delta.stall_scoreboard, 2);
+        assert_eq!(delta.active_cycles, 1);
+        a.add_scaled(&delta, 3);
+        assert_eq!(a.stall_scoreboard, 4 + 6);
+        assert_eq!(a.active_cycles, 7 + 3);
+        assert_eq!(a.issued, 10, "zero deltas stay zero under scaling");
     }
 }

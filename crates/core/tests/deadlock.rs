@@ -1,0 +1,62 @@
+//! Deadlock diagnostics: a simulation that stops making progress must fail
+//! with an error that names the stalled shard and describes the oldest
+//! waiting warp, not just a cycle number.
+
+use swiftsim_config::presets;
+use swiftsim_core::{SimError, SimulatorBuilder, SimulatorPreset};
+use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
+
+/// Two warps in one block: warp 0 waits at a barrier forever, because warp
+/// 1's trace runs out of instructions without exiting — it can neither
+/// reach the barrier nor retire. No component ever has a next event, so
+/// the engine's idle-streak watchdog must trip.
+fn deadlocked_app() -> ApplicationTrace {
+    let mut kernel = KernelTrace::new("wedge", (1, 1, 1), (64, 1, 1));
+    let block = kernel.push_block();
+    {
+        let w0 = block.push_warp();
+        w0.push(InstBuilder::new(Opcode::Bar).pc(0));
+        w0.push(InstBuilder::new(Opcode::Exit).pc(16));
+    }
+    {
+        let w1 = block.push_warp();
+        w1.push(InstBuilder::new(Opcode::Iadd).pc(0).dst(4).src(4));
+        // No Bar, no Exit: the warp wedges with its trace exhausted.
+    }
+    ApplicationTrace::new("wedge", vec![kernel])
+}
+
+#[test]
+fn forced_deadlock_names_the_shard_and_the_stuck_warp() {
+    let mut cfg = presets::rtx2080ti();
+    cfg.num_sms = 2;
+    cfg.memory.partitions = 2;
+    let err = SimulatorBuilder::new(cfg)
+        .preset(SimulatorPreset::SwiftBasic)
+        .build()
+        .run(&deadlocked_app())
+        .expect_err("a wedged trace must be detected, not spin forever");
+
+    let SimError::Deadlock {
+        cycle,
+        shard,
+        detail,
+    } = &err
+    else {
+        panic!("expected a deadlock, got: {err}");
+    };
+    assert!(
+        *cycle > 0,
+        "the watchdog trips after some progress attempts"
+    );
+    assert_eq!(*shard, 0, "single-threaded runs report shard 0");
+    assert!(
+        detail.contains("barrier"),
+        "the oldest stalled warp is the one at the barrier: {detail}"
+    );
+
+    // The rendered message carries all of it for CLI users.
+    let msg = err.to_string();
+    assert!(msg.contains("shard 0"), "{msg}");
+    assert!(msg.contains("barrier"), "{msg}");
+}

@@ -321,15 +321,18 @@ fn reuse_distance_model_tracks_funcsim_model() {
 fn custom_hybrid_cycle_accurate_alu_over_analytical_memory() {
     // The builder supports mixes beyond the paper's presets (§III-B3: "the
     // architect can choose the modeling method per module").
-    use swiftsim_core::{AluModelKind, MemoryModelKind};
+    use swiftsim_core::{AluModelKind, MemoryModelKind, SkipPolicy};
     let app = tiny_app("srad");
     let r = SimulatorBuilder::new(small_gpu())
         .alu_model(AluModelKind::CycleAccurate)
         .memory_model(MemoryModelKind::Analytical)
-        .skip_idle(true)
+        .skip_policy(SkipPolicy::EventDriven)
         .build()
         .run(&app)
         .expect("custom hybrid run");
-    assert_eq!(r.simulator, "cycle_accurate_alu+analytical_memory");
+    assert_eq!(
+        r.simulator,
+        "cycle_accurate_alu+analytical_memory+detailed_frontend+event_driven"
+    );
     assert_eq!(r.instructions(), app.num_insts());
 }

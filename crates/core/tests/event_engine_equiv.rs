@@ -1,0 +1,306 @@
+//! Differential gate for the event-driven cycle-skipping engine.
+//!
+//! The engine's contract (see `SkipPolicy`) is that cycle skipping is a
+//! pure wall-clock optimization: for any workload, preset, trace
+//! representation, and thread count, the event-driven run must produce the
+//! same `SimulationResult` statistics — cycles, per-kernel breakdowns, and
+//! every Metrics Gatherer counter — as dense per-cycle ticking. This suite
+//! is the gate on that claim; `core_speed` (swiftsim-bench) measures the
+//! speedup the equivalence buys.
+
+use swiftsim_config::presets;
+use swiftsim_core::{
+    AluModelKind, FidelityConfig, MemoryModelKind, SimulationResult, SimulatorBuilder,
+    SimulatorPreset, SkipPolicy,
+};
+use swiftsim_trace::{ChunkedTraceSource, TextTraceSource, TraceSource};
+use swiftsim_workloads::Scale;
+
+/// A small config so the detailed preset stays fast in tests.
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = presets::rtx2080ti();
+    cfg.num_sms = 4;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+fn run_with(
+    cfg: &swiftsim_config::GpuConfig,
+    fidelity: FidelityConfig,
+    threads: usize,
+    source: &dyn TraceSource,
+) -> SimulationResult {
+    SimulatorBuilder::new(cfg.clone())
+        .fidelity(fidelity)
+        .threads(threads)
+        .build()
+        .run(source)
+        .expect("differential run completes")
+}
+
+/// Assert the two results are statistically indistinguishable. The
+/// `simulator`/`fidelity` fields legitimately differ (they name the skip
+/// policy); wall time and profiling are measurement artifacts.
+fn assert_stats_equal(dense: &SimulationResult, event: &SimulationResult, ctx: &str) {
+    assert_eq!(dense.cycles, event.cycles, "{ctx}: total cycles");
+    assert_eq!(dense.kernels, event.kernels, "{ctx}: per-kernel stats");
+    assert_eq!(dense.metrics, event.metrics, "{ctx}: metrics");
+    assert_eq!(
+        dense.instructions(),
+        event.instructions(),
+        "{ctx}: instructions"
+    );
+}
+
+fn preset_pair(preset: SimulatorPreset) -> (FidelityConfig, FidelityConfig) {
+    let mut dense = FidelityConfig::for_preset(preset);
+    dense.skip_policy = SkipPolicy::Dense;
+    let mut event = dense;
+    event.skip_policy = SkipPolicy::EventDriven;
+    (dense, event)
+}
+
+#[test]
+fn event_engine_matches_dense_on_all_presets_and_workloads() {
+    let cfg = small_gpu();
+    for w in swiftsim_workloads::suite() {
+        let app = w.generate(Scale::Tiny);
+        for preset in [
+            SimulatorPreset::Detailed,
+            SimulatorPreset::SwiftBasic,
+            SimulatorPreset::SwiftMemory,
+        ] {
+            let (dense, event) = preset_pair(preset);
+            assert_stats_equal(
+                &run_with(&cfg, dense, 1, &app),
+                &run_with(&cfg, event, 1, &app),
+                &format!("{} under {preset:?}", w.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_dense_across_trace_representations() {
+    let dir = std::env::temp_dir().join(format!("swiftsim-equiv-sources-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let app = swiftsim_workloads::by_name("backprop")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    let text_path = dir.join("app.sstrace");
+    let bin_path = dir.join("app.sstraceb");
+    app.write_to_file(&text_path).expect("write text trace");
+    app.write_binary_file(&bin_path)
+        .expect("write binary trace");
+    let text = TextTraceSource::open(&text_path).expect("open text trace");
+    let chunked = ChunkedTraceSource::open(&bin_path).expect("open chunked trace");
+
+    let cfg = small_gpu();
+    let sources: [(&str, &dyn TraceSource); 3] =
+        [("memory", &app), ("text", &text), ("chunked", &chunked)];
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        let (dense, event) = preset_pair(preset);
+        let reference = run_with(&cfg, dense, 1, &app);
+        for (label, source) in sources {
+            assert_stats_equal(
+                &reference,
+                &run_with(&cfg, event, 1, source),
+                &format!("{label} source under {preset:?}"),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn event_engine_matches_dense_when_sharded() {
+    let cfg = small_gpu();
+    let app = swiftsim_workloads::by_name("hotspot")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        let (dense, event) = preset_pair(preset);
+        for threads in [2usize, 4] {
+            assert_stats_equal(
+                &run_with(&cfg, dense, threads, &app),
+                &run_with(&cfg, event, threads, &app),
+                &format!("{preset:?} at {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_dense_on_custom_hybrids() {
+    // Mixes outside the preset table, including the reuse-distance memory
+    // model and a cycle-accurate ALU over an analytical memory.
+    let cfg = small_gpu();
+    let app = swiftsim_workloads::by_name("srad")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    let mixes = [
+        (AluModelKind::CycleAccurate, MemoryModelKind::Analytical),
+        (
+            AluModelKind::CycleAccurate,
+            MemoryModelKind::AnalyticalReuse,
+        ),
+        (AluModelKind::Analytical, MemoryModelKind::AnalyticalReuse),
+    ];
+    for (alu, memory) in mixes {
+        let mut dense = FidelityConfig::for_preset(SimulatorPreset::Detailed);
+        dense.alu = alu;
+        dense.memory = memory;
+        dense.skip_policy = SkipPolicy::Dense;
+        let mut event = dense;
+        event.skip_policy = SkipPolicy::EventDriven;
+        assert_stats_equal(
+            &run_with(&cfg, dense, 1, &app),
+            &run_with(&cfg, event, 1, &app),
+            &format!("hybrid {alu:?}+{memory:?}"),
+        );
+    }
+}
+
+/// A deterministic hand-rolled config sweep: the proptest-based version
+/// below explores further, but this one always runs, even offline.
+#[test]
+fn event_engine_matches_dense_under_config_perturbations() {
+    let app = swiftsim_workloads::by_name("bfs")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    // A tiny xorshift so the perturbations are varied but reproducible.
+    let mut state = 0x5eed_cafe_u64;
+    let mut next = move |bound: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % bound
+    };
+    for round in 0..6 {
+        let mut cfg = small_gpu();
+        cfg.num_sms = 2 + next(3) as u32; // 2..=4
+        cfg.sm.max_blocks = 4 + next(12) as u32;
+        cfg.sm.scheduler = match next(3) {
+            0 => swiftsim_config::SchedulerPolicy::Gto,
+            1 => swiftsim_config::SchedulerPolicy::Lrr,
+            _ => swiftsim_config::SchedulerPolicy::TwoLevel,
+        };
+        let preset = match next(3) {
+            0 => SimulatorPreset::Detailed,
+            1 => SimulatorPreset::SwiftBasic,
+            _ => SimulatorPreset::SwiftMemory,
+        };
+        let (dense, event) = preset_pair(preset);
+        assert_stats_equal(
+            &run_with(&cfg, dense, 1, &app),
+            &run_with(&cfg, event, 1, &app),
+            &format!(
+                "round {round}: {preset:?} sms={} blocks={} sched={:?}",
+                cfg.num_sms, cfg.sm.max_blocks, cfg.sm.scheduler
+            ),
+        );
+    }
+}
+
+#[test]
+fn event_engine_is_the_default_everywhere() {
+    // The speedup is on by default; Dense survives only as the
+    // differential reference.
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        assert_eq!(
+            FidelityConfig::for_preset(preset).skip_policy,
+            SkipPolicy::EventDriven,
+            "{preset:?}"
+        );
+    }
+    assert_eq!(
+        FidelityConfig::default().skip_policy,
+        SkipPolicy::EventDriven
+    );
+}
+
+/// Randomized traces *and* configs, property-test style. Needs the external
+/// `proptest` crate (not vendored in offline builds): enable the crate's
+/// `proptest` feature after restoring the dev-dependency.
+#[cfg(feature = "proptest")]
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+    use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
+
+    fn build_app(blocks: u32, warps: u32, bodies: &[Vec<(u8, u64)>]) -> ApplicationTrace {
+        let mut kernel = KernelTrace::new("equiv", (blocks, 1, 1), (warps * 32, 1, 1));
+        for b in 0..blocks {
+            let block = kernel.push_block();
+            for w in 0..warps {
+                let body = &bodies[((b * warps + w) as usize) % bodies.len()];
+                let warp = block.push_warp();
+                for (i, &(op, seed)) in body.iter().enumerate() {
+                    let pc = (i as u32) * 16;
+                    let addr = (seed % (1 << 24)) & !0x7f;
+                    let inst = match op {
+                        0 => InstBuilder::new(Opcode::Ldg)
+                            .pc(pc)
+                            .dst(8 + (i % 6) as u16)
+                            .src(2)
+                            .global_strided(addr, 4, 4),
+                        1 => InstBuilder::new(Opcode::Stg)
+                            .pc(pc)
+                            .src(8 + (i % 6) as u16)
+                            .global_strided(addr | 0x4000_0000, 4, 4),
+                        2 => InstBuilder::new(Opcode::Bar).pc(pc),
+                        3 => InstBuilder::new(Opcode::Dfma).pc(pc).dst(22).src(22),
+                        _ => InstBuilder::new(Opcode::Ffma).pc(pc).dst(26).src(26),
+                    };
+                    warp.push(inst);
+                }
+                warp.push(InstBuilder::new(Opcode::Exit).pc(body.len() as u32 * 16));
+            }
+        }
+        ApplicationTrace::new("equiv", vec![kernel])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_configs_and_traces_are_skip_policy_invariant(
+            blocks in 1u32..5,
+            warps in 1u32..4,
+            num_sms in 1u32..4,
+            preset_sel in 0u8..3,
+            bodies in prop::collection::vec(
+                prop::collection::vec((0u8..5, any::<u64>()), 1..16),
+                1..4,
+            ),
+        ) {
+            let mut cfg = super::small_gpu();
+            cfg.num_sms = num_sms;
+            cfg.memory.partitions = num_sms;
+            let preset = match preset_sel {
+                0 => SimulatorPreset::Detailed,
+                1 => SimulatorPreset::SwiftBasic,
+                _ => SimulatorPreset::SwiftMemory,
+            };
+            let app = build_app(blocks, warps, &bodies);
+            let (dense, event) = super::preset_pair(preset);
+            let a = super::run_with(&cfg, dense, 1, &app);
+            let b = super::run_with(&cfg, event, 1, &app);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(&a.kernels, &b.kernels);
+            prop_assert_eq!(&a.metrics, &b.metrics);
+        }
+    }
+}

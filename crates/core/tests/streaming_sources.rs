@@ -79,7 +79,7 @@ fn all_sources_simulate_bit_identically() {
             let eager = sim.run(&app).expect("eager run");
             let sources: [&dyn TraceSource; 2] = [&text, &chunked];
             for (label, source) in ["text", "chunked"].iter().zip(sources) {
-                let streamed = sim.run_source(source).expect("streamed run");
+                let streamed = sim.run(source).expect("streamed run");
                 assert_eq!(
                     eager.cycles, streamed.cycles,
                     "{label} cycles at {preset:?} t{threads}"
@@ -161,9 +161,7 @@ fn corrupt_payload_fails_the_run_not_the_process() {
         .preset(SimulatorPreset::SwiftBasic)
         .try_build()
         .expect("valid config");
-    let err = sim
-        .run_source(&source)
-        .expect_err("corrupt trace fails the run");
+    let err = sim.run(&source).expect_err("corrupt trace fails the run");
     assert!(
         matches!(err, swiftsim_core::SimError::Trace { .. }),
         "unexpected error: {err}"

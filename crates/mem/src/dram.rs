@@ -112,6 +112,13 @@ impl DramChannel {
         }
     }
 
+    /// Completion time of the oldest in-flight transaction, if any — the
+    /// channel's next-event hint for event-driven engines (completions
+    /// retire in submission order).
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.in_flight.front().copied()
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> DramStats {
         self.stats

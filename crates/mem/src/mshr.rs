@@ -28,6 +28,9 @@ struct Entry {
     waiters: Vec<u64>,
     /// Union of sectors requested by all merged misses.
     sector_mask: u8,
+    /// Allocation order (monotonic), so the oldest in-flight fill can be
+    /// named in deadlock diagnostics.
+    allocated_seq: u64,
 }
 
 /// The MSHR file of one cache.
@@ -40,6 +43,8 @@ pub struct MshrFile {
     peak: usize,
     merges: u64,
     reservation_failures: u64,
+    /// Monotonic allocation counter feeding [`Entry::allocated_seq`].
+    seq: u64,
 }
 
 impl MshrFile {
@@ -53,6 +58,7 @@ impl MshrFile {
             peak: 0,
             merges: 0,
             reservation_failures: 0,
+            seq: 0,
         }
     }
 
@@ -78,8 +84,10 @@ impl MshrFile {
             Entry {
                 waiters: vec![waiter],
                 sector_mask,
+                allocated_seq: self.seq,
             },
         );
+        self.seq += 1;
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Allocated
     }
@@ -118,6 +126,16 @@ impl MshrFile {
     /// Lifetime reservation failures.
     pub fn reservation_failures(&self) -> u64 {
         self.reservation_failures
+    }
+
+    /// The longest-outstanding in-flight line, with its waiter count —
+    /// the entry a stuck simulation is most likely blocked on (deadlock
+    /// diagnostics and event-engine introspection).
+    pub fn oldest_line(&self) -> Option<(u64, usize)> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.allocated_seq)
+            .map(|(&line, e)| (line, e.waiters.len()))
     }
 }
 
@@ -164,6 +182,18 @@ mod tests {
     fn fill_without_entry_is_none() {
         let mut m = MshrFile::new(2, 2);
         assert!(m.fill(0xdead).is_none());
+    }
+
+    #[test]
+    fn oldest_line_tracks_allocation_order() {
+        let mut m = MshrFile::new(4, 8);
+        assert_eq!(m.oldest_line(), None);
+        m.allocate(0x2000, 1, 1);
+        m.allocate(0x1000, 1, 2);
+        m.allocate(0x1000, 2, 3); // merge does not change age
+        assert_eq!(m.oldest_line(), Some((0x2000, 1)));
+        m.fill(0x2000);
+        assert_eq!(m.oldest_line(), Some((0x1000, 2)));
     }
 
     #[test]

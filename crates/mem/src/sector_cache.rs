@@ -388,6 +388,12 @@ impl SectorCache {
         self.mshr.occupancy()
     }
 
+    /// The longest-outstanding in-flight MSHR line and its waiter count,
+    /// for deadlock diagnostics.
+    pub fn oldest_mshr_line(&self) -> Option<(u64, usize)> {
+        self.mshr.oldest_line()
+    }
+
     /// The cache's address mapping.
     pub fn mapping(&self) -> &crate::AddressMapping {
         self.tags.mapping()

@@ -54,11 +54,14 @@ pub enum ProfModule {
     /// Everything not covered by a finer-grained module (event-loop glue,
     /// time advance, termination checks).
     Other,
+    /// Quiescent cycles the event-driven engine fast-forwarded over instead
+    /// of ticking (cycle attribution only; skipping costs no wall time).
+    CycleSkip,
 }
 
 impl ProfModule {
     /// Every module, in fixed report order.
-    pub const ALL: [ProfModule; 11] = [
+    pub const ALL: [ProfModule; 12] = [
         ProfModule::BlockScheduler,
         ProfModule::WarpScheduler,
         ProfModule::Alu,
@@ -70,6 +73,7 @@ impl ProfModule {
         ProfModule::MemAnalytical,
         ProfModule::TraceDecode,
         ProfModule::Other,
+        ProfModule::CycleSkip,
     ];
 
     /// Dense index of this module in [`ProfModule::ALL`].
@@ -86,6 +90,7 @@ impl ProfModule {
             ProfModule::MemAnalytical => 8,
             ProfModule::TraceDecode => 9,
             ProfModule::Other => 10,
+            ProfModule::CycleSkip => 11,
         }
     }
 
@@ -103,6 +108,7 @@ impl ProfModule {
             ProfModule::MemAnalytical => "mem-analytical",
             ProfModule::TraceDecode => "trace-decode",
             ProfModule::Other => "other",
+            ProfModule::CycleSkip => "cycle-skip",
         }
     }
 
@@ -118,7 +124,7 @@ impl ProfModule {
             | ProfModule::L2
             | ProfModule::Dram
             | ProfModule::MemAnalytical => "mem",
-            ProfModule::TraceDecode | ProfModule::Other => "sim",
+            ProfModule::TraceDecode | ProfModule::Other | ProfModule::CycleSkip => "sim",
         }
     }
 }

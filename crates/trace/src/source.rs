@@ -70,18 +70,18 @@ impl KernelMeta {
 /// An application trace that can be consumed kernel-by-kernel.
 ///
 /// Implementations are `Send + Sync` so a background thread can decode
-/// kernel *k+1* while kernel *k* simulates (see `GpuSimulator::run_source`
+/// kernel *k+1* while kernel *k* simulates (see `GpuSimulator::run`
 /// in `swiftsim-core`). Decoding the same index twice is allowed and
 /// returns equal kernels; the simulator decodes each index exactly once.
 ///
 /// # Migration
 ///
 /// `GpuSimulator::run(&ApplicationTrace)` is now a thin wrapper over
-/// `run_source(&dyn TraceSource)` — `ApplicationTrace` implements this
+/// `run(impl Into<TraceInput>)` — `ApplicationTrace` implements this
 /// trait with borrowing (zero-copy) decode, so existing callers are
 /// unchanged. File-based callers should move from
 /// `ApplicationTrace::read_from_file`/`read_binary_file` + `run` to
-/// [`open_trace`] + `run_source` to get lazy decode and bounded memory.
+/// [`open_trace`] + `run(source.as_ref())` to get lazy decode and bounded memory.
 pub trait TraceSource: Send + Sync {
     /// Application name.
     fn name(&self) -> &str;
