@@ -1,0 +1,184 @@
+//! Serve-daemon throughput benchmark: jobs/sec and queue latency under
+//! concurrent clients, cold vs warm.
+//!
+//! For each client count (1, 4, 16) a **fresh** in-process daemon is
+//! started (warm caches are per-daemon, so cold really is cold), and the
+//! clients submit distinct single-job tiny sweeps over real TCP
+//! connections, each waiting for its result. The same submissions are
+//! then replayed against the same daemon: every one should land in the
+//! warm result cache, which is the daemon's whole value proposition —
+//! the report asserts the warm p50 latency actually dropped.
+//!
+//! Writes `BENCH_serve_throughput.json`:
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin serve_throughput
+//! SWIFTSIM_SERVE_BENCH_TASKS=64 cargo run --release -p swiftsim-bench --bin serve_throughput
+//! ```
+
+use std::time::{Duration, Instant};
+use swiftsim_serve::client::ServeClient;
+use swiftsim_serve::server::{self, ServeOptions};
+
+const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
+
+/// Distinct single-job specs: every (workload, preset, scheduler) combo
+/// is a different content-addressed job key, so a cold round never
+/// accidentally warms itself.
+fn job_specs(n: usize) -> Vec<String> {
+    let workloads = [
+        "nw",
+        "bfs",
+        "hotspot",
+        "pathfinder",
+        "backprop",
+        "srad",
+        "adi",
+        "gemm",
+        "lu",
+        "mvt",
+        "2dconv",
+        "sm",
+    ];
+    let presets = ["swift-sim-basic", "swift-sim-memory"];
+    let schedulers = ["gto", "lrr"];
+    let mut specs = Vec::with_capacity(n);
+    'outer: for scheduler in schedulers {
+        for preset in presets {
+            for workload in workloads {
+                specs.push(format!(
+                    "name = bench\nworkload = {workload}\nscale = tiny\n\
+                     preset = {preset}\nscheduler = {scheduler}\n"
+                ));
+                if specs.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(specs.len(), n, "not enough distinct combos for {n} tasks");
+    specs
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    jobs_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    wall_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One phase: `clients` threads submit their share of `specs` and block
+/// for each result. Returns throughput and submit→terminal latencies.
+fn run_phase(addr: &str, clients: usize, specs: &[String]) -> Phase {
+    let started = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, chunk) in specs.chunks(specs.len() / clients).enumerate() {
+            let addr = addr.to_owned();
+            handles.push(scope.spawn(move || {
+                let mut client = ServeClient::connect(&addr).expect("connect");
+                let name = format!("bench-client-{c}");
+                let mut lats = Vec::with_capacity(chunk.len());
+                for spec in chunk {
+                    let t0 = Instant::now();
+                    let (job, tasks) = client.submit(spec, &name, 0).expect("submit");
+                    assert_eq!(tasks, 1);
+                    let report = client
+                        .wait_result(job, Duration::from_secs(600))
+                        .expect("result");
+                    assert!(report.get("rows").is_some());
+                    lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                lats
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    Phase {
+        jobs_per_sec: specs.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn phase_json(p: &Phase) -> String {
+    format!(
+        "{{ \"jobs_per_sec\": {:.1}, \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \"wall_ms\": {:.1} }}",
+        p.jobs_per_sec, p.p50_ms, p.p95_ms, p.wall_ms
+    )
+}
+
+fn main() {
+    let tasks: usize = std::env::var("SWIFTSIM_SERVE_BENCH_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let scratch = std::env::temp_dir().join(format!("swiftsim-serve-bench-{}", std::process::id()));
+
+    let mut rounds = Vec::new();
+    for &clients in CLIENT_COUNTS {
+        // Round tasks to a multiple of the client count so chunks are even.
+        let n = tasks.max(clients) / clients * clients;
+        let specs = job_specs(n);
+
+        let handle = server::start(ServeOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            cache_dir: scratch.join(format!("cache-{clients}")),
+            cache: swiftsim_campaign::CacheMode::Off, // isolate the warm layer
+            ..ServeOptions::default()
+        })
+        .expect("daemon starts");
+        let addr = handle.addr().to_string();
+
+        eprintln!("[{clients} client(s)] cold: {n} distinct jobs ...");
+        let cold = run_phase(&addr, clients, &specs);
+        eprintln!("[{clients} client(s)] warm: resubmitting the same {n} ...");
+        let warm = run_phase(&addr, clients, &specs);
+        handle.shutdown();
+
+        let speedup = cold.p50_ms / warm.p50_ms.max(1e-6);
+        eprintln!(
+            "[{clients} client(s)] cold {:.1} jobs/s p50 {:.2} ms | warm {:.1} jobs/s p50 {:.2} ms ({speedup:.0}x)",
+            cold.jobs_per_sec, cold.p50_ms, warm.jobs_per_sec, warm.p50_ms
+        );
+        assert!(
+            warm.p50_ms < cold.p50_ms,
+            "warm resubmission must be faster than cold ({} vs {} ms)",
+            warm.p50_ms,
+            cold.p50_ms
+        );
+        rounds.push(format!(
+            "    {{ \"clients\": {clients}, \"tasks\": {n}, \"cold\": {}, \"warm\": {}, \"warm_p50_speedup\": {speedup:.1} }}",
+            phase_json(&cold),
+            phase_json(&warm)
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"rounds\": [\n{}\n  ]\n}}\n",
+        rounds.join(",\n")
+    );
+    let out_path = std::env::var("SWIFTSIM_SERVE_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_serve_throughput.json".into());
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("written to {out_path}");
+}

@@ -7,13 +7,40 @@
 //! *fine-grained* SM-sharded parallelism inside `swiftsim-core` — a
 //! campaign of N jobs each using M shard threads runs N×M workers at peak.
 
-use crate::cache::ResultCache;
-use crate::spec::ResolvedJob;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use swiftsim_core::{panic_message, SimulationResult, SimulatorBuilder};
+use swiftsim_core::{panic_message, SimulationResult};
+
+/// A shared cancellation flag: cancel once, observed by every holder.
+///
+/// Cancellation is cooperative and job-granular: a job that has not started
+/// when the token trips is never started (its [`JobRun`] comes back with
+/// [`JobRun::cancelled`] set); a job already simulating runs to completion
+/// — the simulator has no mid-run interruption point — and its result is
+/// still returned.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trip the token. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// Worker-pool configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +97,8 @@ pub enum JobStatus {
         /// Last error or panic message.
         error: String,
     },
+    /// Never started: its [`CancelToken`] tripped first.
+    Cancelled,
 }
 
 /// Outcome and accounting of one job.
@@ -93,10 +122,14 @@ pub struct JobRun<R> {
     /// `Ok` from the first successful attempt, or the last failure — an
     /// error string, with panics rendered as `panic: <message>`.
     pub result: Result<R, String>,
-    /// Attempts consumed (≥ 1).
+    /// Attempts consumed (≥ 1; 0 when the job was cancelled before it
+    /// started).
     pub attempts: u32,
     /// Wall time across all attempts.
     pub wall: Duration,
+    /// The job never started because the pool's [`CancelToken`] tripped;
+    /// `result` holds `Err("cancelled")`.
+    pub cancelled: bool,
 }
 
 /// Run `run` over every job on a worker pool, isolating panics and
@@ -108,6 +141,22 @@ pub struct JobRun<R> {
 pub fn run_jobs<J, R>(
     jobs: &[J],
     opts: &ExecutorOptions,
+    label: impl Fn(&J) -> String + Sync,
+    run: impl Fn(usize, &J) -> Result<R, String> + Sync,
+) -> Vec<JobRun<R>>
+where
+    J: Sync,
+    R: Send,
+{
+    run_jobs_cancellable(jobs, opts, &CancelToken::new(), label, run)
+}
+
+/// [`run_jobs`] with a [`CancelToken`]: jobs not yet started when the token
+/// trips are skipped and come back with [`JobRun::cancelled`] set.
+pub fn run_jobs_cancellable<J, R>(
+    jobs: &[J],
+    opts: &ExecutorOptions,
+    cancel: &CancelToken,
     label: impl Fn(&J) -> String + Sync,
     run: impl Fn(usize, &J) -> Result<R, String> + Sync,
 ) -> Vec<JobRun<R>>
@@ -128,7 +177,12 @@ where
 
                 let started = Instant::now();
                 let mut attempts = 0;
+                let mut was_cancelled = false;
                 let result = loop {
+                    if cancel.is_cancelled() {
+                        was_cancelled = attempts == 0;
+                        break Err("cancelled".to_owned());
+                    }
                     attempts += 1;
                     let attempt =
                         catch_unwind(AssertUnwindSafe(|| run(i, job))).unwrap_or_else(|payload| {
@@ -144,6 +198,7 @@ where
                     result,
                     attempts,
                     wall: started.elapsed(),
+                    cancelled: was_cancelled,
                 };
 
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -192,52 +247,6 @@ where
         .expect("result slots poisoned")
         .into_iter()
         .map(|slot| slot.expect("every job index was claimed exactly once"))
-        .collect()
-}
-
-/// Execute resolved campaign jobs: consult the cache, simulate misses,
-/// store fresh results.
-pub(crate) fn run_resolved(
-    jobs: &[ResolvedJob],
-    cache: &ResultCache,
-    opts: &ExecutorOptions,
-) -> Vec<JobOutcome> {
-    let runs = run_jobs(
-        jobs,
-        opts,
-        |job| job.spec.label(),
-        |_, job| {
-            if let Some(hit) = cache.lookup(job.key) {
-                return Ok((hit, true));
-            }
-            let sim = SimulatorBuilder::new(job.cfg.clone())
-                .fidelity(job.fidelity)
-                .threads(job.spec.threads)
-                .profile(opts.profile)
-                .try_build()
-                .map_err(|e| e.to_string())?;
-            let result = sim.run(job.app.as_ref()).map_err(|e| e.to_string())?;
-            cache.store(job.key, &job.spec.label(), &result);
-            Ok((result, false))
-        },
-    );
-
-    jobs.iter()
-        .zip(runs)
-        .map(|(job, run)| {
-            let (status, attempts) = match run.result {
-                Ok((result, true)) => (JobStatus::Cached(result), 0),
-                Ok((result, false)) => (JobStatus::Completed(result), run.attempts),
-                Err(error) => (JobStatus::Failed { error }, run.attempts),
-            };
-            JobOutcome {
-                index: job.spec.index,
-                label: job.spec.label(),
-                status,
-                attempts,
-                wall: run.wall,
-            }
-        })
         .collect()
 }
 

@@ -49,11 +49,15 @@
 mod cache;
 mod executor;
 mod report;
+mod runner;
 mod spec;
 
 pub use cache::{CacheMode, ResultCache};
-pub use executor::{run_jobs, ExecutorOptions, JobOutcome, JobStatus};
+pub use executor::{
+    run_jobs, run_jobs_cancellable, CancelToken, ExecutorOptions, JobOutcome, JobStatus,
+};
 pub use report::{CampaignReport, JobRow, RowStatus};
+pub use runner::JobRunner;
 pub use spec::{CampaignError, CampaignSpec, GpuSource, JobSpec, ResolvedJob, WorkloadSource};
 
 use std::path::PathBuf;
@@ -146,6 +150,11 @@ pub fn run_campaign(
         heartbeat: opts.progress.then(|| std::time::Duration::from_secs(10)),
         profile: opts.profile || spec.profile,
     };
-    let outcomes = executor::run_resolved(&jobs, &cache, &exec_opts);
-    Ok(CampaignReport::new(spec.name.clone(), jobs, outcomes))
+    let runner = JobRunner::new(exec_opts, cache);
+    let outcomes = runner.run(&jobs, &CancelToken::new());
+    Ok(CampaignReport::from_outcomes(
+        spec.name.clone(),
+        jobs,
+        outcomes,
+    ))
 }

@@ -14,6 +14,8 @@ pub enum RowStatus {
     Cached,
     /// All attempts failed.
     Failed,
+    /// Never started: the run's [`crate::CancelToken`] tripped first.
+    Cancelled,
 }
 
 impl RowStatus {
@@ -23,6 +25,7 @@ impl RowStatus {
             RowStatus::Ok => "ok",
             RowStatus::Cached => "cached",
             RowStatus::Failed => "failed",
+            RowStatus::Cancelled => "cancelled",
         }
     }
 }
@@ -143,19 +146,33 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    pub(crate) fn new(
+    /// Assemble a report from resolved jobs and their outcomes.
+    ///
+    /// `outcomes` need not be in job order (a service scheduler finishes
+    /// jobs as workers free up): each outcome is matched to its job by
+    /// [`JobOutcome::index`], so the same set of outcomes always yields the
+    /// same report. Every job must have exactly one outcome.
+    pub fn from_outcomes(
         name: String,
         jobs: Vec<ResolvedJob>,
-        outcomes: Vec<JobOutcome>,
+        mut outcomes: Vec<JobOutcome>,
     ) -> CampaignReport {
+        outcomes.sort_by_key(|o| o.index);
+        assert_eq!(
+            jobs.len(),
+            outcomes.len(),
+            "one outcome per job required to build a report"
+        );
         let rows = jobs
             .into_iter()
             .zip(outcomes)
             .map(|(job, outcome)| {
+                assert_eq!(job.spec.index, outcome.index, "outcome/job mismatch");
                 let (status, error, result) = match outcome.status {
                     JobStatus::Completed(r) => (RowStatus::Ok, None, Some(r)),
                     JobStatus::Cached(r) => (RowStatus::Cached, None, Some(r)),
                     JobStatus::Failed { error } => (RowStatus::Failed, Some(error), None),
+                    JobStatus::Cancelled => (RowStatus::Cancelled, None, None),
                 };
                 JobRow {
                     index: job.spec.index,
@@ -197,6 +214,11 @@ impl CampaignReport {
     /// Rows that failed every attempt.
     pub fn failed(&self) -> usize {
         self.count(RowStatus::Failed)
+    }
+
+    /// Rows cancelled before they started.
+    pub fn cancelled(&self) -> usize {
+        self.count(RowStatus::Cancelled)
     }
 
     fn count(&self, status: RowStatus) -> usize {
@@ -267,6 +289,10 @@ impl CampaignReport {
             self.cached(),
             self.failed()
         );
+        let cancelled = self.cancelled();
+        if cancelled > 0 {
+            line.push_str(&format!(", {cancelled} cancelled"));
+        }
         let slow = self.slow();
         if slow > 0 {
             line.push_str(&format!(" ({slow} flagged slow)"));

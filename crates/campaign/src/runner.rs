@@ -1,0 +1,201 @@
+//! [`JobRunner`]: the reusable execution core behind both one-shot
+//! campaigns ([`crate::run_campaign`]) and the long-running `swiftsim
+//! serve` daemon.
+//!
+//! A runner owns the execution *policy* — worker count, retry bound,
+//! profiling, the on-disk [`ResultCache`] — and exposes two entry points:
+//! [`JobRunner::run`] drives a whole resolved job list on the internal
+//! worker pool (the classic campaign path), while [`JobRunner::run_one`]
+//! executes a single job on the calling thread (the shape a service's own
+//! scheduler wants: it owns the threads, the runner owns one job's
+//! cache-check → simulate → store → retry lifecycle). Both honor a
+//! [`CancelToken`].
+
+use crate::cache::ResultCache;
+use crate::executor::{run_jobs_cancellable, CancelToken, ExecutorOptions, JobOutcome, JobStatus};
+use crate::spec::ResolvedJob;
+use swiftsim_core::SimulatorBuilder;
+
+/// Reusable executor for resolved campaign jobs: cache consultation,
+/// simulation, retries, panic isolation, and cancellation.
+#[derive(Debug, Clone)]
+pub struct JobRunner {
+    opts: ExecutorOptions,
+    cache: ResultCache,
+}
+
+impl JobRunner {
+    /// A runner with the given pool options and result cache.
+    pub fn new(opts: ExecutorOptions, cache: ResultCache) -> Self {
+        JobRunner { opts, cache }
+    }
+
+    /// The runner's pool options.
+    pub fn options(&self) -> &ExecutorOptions {
+        &self.opts
+    }
+
+    /// The runner's on-disk result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Execute `jobs` on the internal worker pool: consult the cache,
+    /// simulate misses, store fresh results, retry failures. Jobs not yet
+    /// started when `cancel` trips come back as [`JobStatus::Cancelled`].
+    /// Outcomes are in job order.
+    pub fn run(&self, jobs: &[ResolvedJob], cancel: &CancelToken) -> Vec<JobOutcome> {
+        let runs = run_jobs_cancellable(
+            jobs,
+            &self.opts,
+            cancel,
+            |job| job.spec.label(),
+            |_, job| self.attempt(job),
+        );
+
+        jobs.iter()
+            .zip(runs)
+            .map(|(job, run)| {
+                let (status, attempts) = match (run.result, run.cancelled) {
+                    (_, true) => (JobStatus::Cancelled, 0),
+                    (Ok((result, true)), _) => (JobStatus::Cached(result), 0),
+                    (Ok((result, false)), _) => (JobStatus::Completed(result), run.attempts),
+                    (Err(error), _) => (JobStatus::Failed { error }, run.attempts),
+                };
+                JobOutcome {
+                    index: job.spec.index,
+                    label: job.spec.label(),
+                    status,
+                    attempts,
+                    wall: run.wall,
+                }
+            })
+            .collect()
+    }
+
+    /// Execute exactly one job on the *calling* thread, with the same
+    /// cache/retry/panic-isolation lifecycle as [`JobRunner::run`].
+    ///
+    /// This is the building block for external schedulers (the serve
+    /// daemon's worker slots): they decide *when and where* a job runs,
+    /// the runner decides *how*.
+    pub fn run_one(&self, job: &ResolvedJob, cancel: &CancelToken) -> JobOutcome {
+        let single = std::slice::from_ref(job);
+        let mut opts = self.opts.clone();
+        opts.workers = 1;
+        opts.heartbeat = None;
+        let runner = JobRunner {
+            opts,
+            cache: self.cache.clone(),
+        };
+        runner
+            .run(single, cancel)
+            .pop()
+            .expect("one job in, one outcome out")
+    }
+
+    /// One cache-check → simulate → store attempt. `Ok((result, true))`
+    /// means a cache hit.
+    fn attempt(
+        &self,
+        job: &ResolvedJob,
+    ) -> Result<(swiftsim_core::SimulationResult, bool), String> {
+        if let Some(hit) = self.cache.lookup(job.key) {
+            return Ok((hit, true));
+        }
+        let sim = SimulatorBuilder::new(job.cfg.clone())
+            .fidelity(job.fidelity)
+            .threads(job.spec.threads)
+            .profile(self.opts.profile)
+            .try_build()
+            .map_err(|e| e.to_string())?;
+        let result = sim.run(job.app.as_ref()).map_err(|e| e.to_string())?;
+        self.cache.store(job.key, &job.spec.label(), &result);
+        Ok((result, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheMode;
+    use crate::spec::CampaignSpec;
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swiftsim-runner-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_jobs(n_schedulers: usize) -> Vec<ResolvedJob> {
+        let scheds = ["gto", "lrr", "two_level"][..n_schedulers].join(", ");
+        CampaignSpec::parse(&format!(
+            "workload = nw\nscale = tiny\npreset = swift-memory\nscheduler = {scheds}\n"
+        ))
+        .unwrap()
+        .resolve()
+        .unwrap()
+    }
+
+    #[test]
+    fn run_one_matches_pool_run() {
+        let jobs = tiny_jobs(2);
+        let runner = JobRunner::new(
+            ExecutorOptions::default(),
+            ResultCache::new(scratch_dir("one"), CacheMode::Off),
+        );
+        let pooled = runner.run(&jobs, &CancelToken::new());
+        let single = runner.run_one(&jobs[0], &CancelToken::new());
+        let (JobStatus::Completed(a), JobStatus::Completed(b)) =
+            (&pooled[0].status, &single.status)
+        else {
+            panic!("both must complete: {pooled:?} / {single:?}");
+        };
+        assert_eq!(a.cycles, b.cycles, "same job, same prediction");
+        assert_eq!(single.index, jobs[0].spec.index);
+    }
+
+    #[test]
+    fn cancelled_token_skips_unstarted_jobs() {
+        let jobs = tiny_jobs(3);
+        let runner = JobRunner::new(
+            ExecutorOptions::default(),
+            ResultCache::new(scratch_dir("cancel"), CacheMode::Off),
+        );
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcomes = runner.run(&jobs, &cancel);
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert_eq!(o.status, JobStatus::Cancelled, "{o:?}");
+            assert_eq!(o.attempts, 0);
+        }
+        // A single-job run honors the token the same way.
+        let one = runner.run_one(&jobs[0], &cancel);
+        assert_eq!(one.status, JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn run_one_hits_the_shared_disk_cache() {
+        let dir = scratch_dir("disk");
+        let jobs = tiny_jobs(1);
+        let runner = JobRunner::new(
+            ExecutorOptions::default(),
+            ResultCache::new(dir.clone(), CacheMode::Use),
+        );
+        let first = runner.run_one(&jobs[0], &CancelToken::new());
+        assert!(matches!(first.status, JobStatus::Completed(_)), "{first:?}");
+        let second = runner.run_one(&jobs[0], &CancelToken::new());
+        let JobStatus::Cached(cached) = &second.status else {
+            panic!("second run must hit the cache: {second:?}");
+        };
+        let JobStatus::Completed(fresh) = &first.status else {
+            unreachable!();
+        };
+        assert_eq!(cached.cycles, fresh.cycles);
+        assert_eq!(second.attempts, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -197,6 +197,71 @@ impl JobSpec {
         label
     }
 
+    /// Serialize this job as a *single-job campaign spec* in the same
+    /// `key = value` format [`CampaignSpec::parse`] reads.
+    ///
+    /// This is how a distributed scheduler ships one job to a remote
+    /// worker: the worker parses and resolves the text with the exact
+    /// machinery a local campaign uses, so it loads the same inputs,
+    /// applies the same overrides, and — crucially — computes the same
+    /// content-addressed cache key. Key agreement between shipper and
+    /// worker is therefore a end-to-end determinism check.
+    ///
+    /// Every token round-trips: preset labels, policy names, and fidelity
+    /// tokens are all accepted back by the parser. File-backed GPU configs
+    /// and traces are shipped *by path* (a shared filesystem is assumed);
+    /// paths containing `,` or `#` cannot be represented in the spec
+    /// format and are rejected with `None`.
+    pub fn to_single_spec_text(&self, name: &str) -> Option<String> {
+        let mut text = format!("name = {name}\n");
+        let path_ok = |p: &str| !p.contains(',') && !p.contains('#');
+        match &self.gpu {
+            GpuSource::Preset(n) => text.push_str(&format!("gpu = {n}\n")),
+            GpuSource::File(p) => {
+                if !path_ok(p) {
+                    return None;
+                }
+                text.push_str(&format!("gpu-config = {p}\n"));
+            }
+        }
+        match &self.workload {
+            WorkloadSource::Builtin(n) => text.push_str(&format!("workload = {n}\n")),
+            WorkloadSource::TraceFile(p) => {
+                if !path_ok(p) {
+                    return None;
+                }
+                text.push_str(&format!("trace = {p}\n"));
+            }
+        }
+        let scale = match self.scale {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        };
+        text.push_str(&format!("scale = {scale}\n"));
+        text.push_str(&format!("preset = {}\n", self.preset.label()));
+        text.push_str(&format!("threads = {}\n", self.threads));
+        if let Some(s) = self.scheduler {
+            text.push_str(&format!("scheduler = {s}\n"));
+        }
+        if let Some(r) = self.replacement {
+            text.push_str(&format!("replacement = {r}\n"));
+        }
+        if let Some(a) = self.alu {
+            text.push_str(&format!("alu-model = {}\n", a.token()));
+        }
+        if let Some(m) = self.memory {
+            text.push_str(&format!("mem-model = {}\n", m.token()));
+        }
+        if let Some(f) = self.frontend {
+            text.push_str(&format!("frontend = {}\n", f.token()));
+        }
+        if let Some(s) = self.skip {
+            text.push_str(&format!("skip = {}\n", s.token()));
+        }
+        Some(text)
+    }
+
     /// The job's resolved per-module fidelity: the preset's alias expanded,
     /// then any per-axis overrides applied on top.
     pub fn fidelity(&self) -> FidelityConfig {
@@ -830,6 +895,41 @@ mod tests {
             let other = CampaignSpec::parse(text).unwrap().resolve().unwrap();
             assert_ne!(first[0].key, other[0].key, "variant {text:?}");
         }
+    }
+
+    #[test]
+    fn single_spec_text_round_trips_with_identical_keys() {
+        // Every axis overridden at once: the serialized single-job spec
+        // must resolve — on a "remote worker" with no shared state — to
+        // the same label and the same content-addressed key.
+        let spec = CampaignSpec::parse(
+            "workload = nw, bfs\n\
+             scale = tiny\n\
+             gpu = rtx3060\n\
+             preset = detailed-baseline, swift-sim-memory\n\
+             threads = 2\n\
+             scheduler = lrr\n\
+             replacement = fifo\n\
+             alu-model = cycle_accurate\n\
+             mem-model = analytical_reuse\n\
+             frontend = simplified\n\
+             skip = dense\n",
+        )
+        .unwrap();
+        let jobs = spec.resolve().unwrap();
+        assert!(jobs.len() >= 2);
+        for job in &jobs {
+            let text = job.spec.to_single_spec_text("shipped").unwrap();
+            let round = CampaignSpec::parse(&text).unwrap().resolve().unwrap();
+            assert_eq!(round.len(), 1, "single-job spec expands to one job");
+            assert_eq!(round[0].spec.label(), job.spec.label());
+            assert_eq!(round[0].key, job.key, "worker computes the same key");
+        }
+
+        // Paths the spec format cannot carry are refused, not mangled.
+        let mut bad = jobs[0].spec.clone();
+        bad.workload = WorkloadSource::TraceFile("a,b.trace".to_owned());
+        assert_eq!(bad.to_single_spec_text("x"), None);
     }
 
     #[test]

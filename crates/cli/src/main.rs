@@ -10,13 +10,21 @@
 //! swiftsim --dump-config rtx3090 > rtx3090.cfg
 //! swiftsim --dump-trace nw --scale tiny > nw.sstrace
 //! swiftsim campaign sweep.campaign --jobs 8 --out results.jsonl
+//! swiftsim serve --listen 127.0.0.1:7733
+//! swiftsim serve --worker 127.0.0.1:7733
+//! swiftsim submit sweep.campaign --to 127.0.0.1:7733
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 use swiftsim_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use swiftsim_config::{presets, GpuConfig};
 use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::Json;
+use swiftsim_serve::client::ServeClient;
+use swiftsim_serve::server::{self, ServeOptions};
+use swiftsim_serve::worker::{run_worker_with_retry, WorkerOptions};
 use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
 
@@ -26,6 +34,8 @@ swiftsim — modular and hybrid GPU architecture simulation
 USAGE:
     swiftsim [OPTIONS]
     swiftsim campaign <SPEC> [CAMPAIGN OPTIONS]
+    swiftsim serve [SERVE OPTIONS]
+    swiftsim submit <SPEC> [SUBMIT OPTIONS]
 
 OPTIONS:
     --preset <detailed|swift-basic|swift-memory>   simulator preset [default: swift-basic]
@@ -61,6 +71,31 @@ CAMPAIGN OPTIONS (after `swiftsim campaign <SPEC>`):
     --json                                         print JSON lines to stdout instead of the table
     --profile                                      self-profile every job (heartbeats + per-job
                                                    module attribution in the JSONL rows)
+
+SERVE OPTIONS (after `swiftsim serve`):
+    --listen <ADDR>                                coordinator listen address [default: 127.0.0.1:7733]
+                                                   (port 0 picks a free port; the bound address is
+                                                   printed to stdout as a JSON \"serving\" line)
+    --worker <ADDR>                                run as a remote worker for the coordinator at
+                                                   ADDR instead of serving
+    --name <NAME>                                  worker name for diagnostics [default: worker]
+    --local-slots <N>                              local executor threads; 0 = remote workers only
+                                                   [default: one per CPU]
+    --cache-dir <DIR>                              on-disk result cache root
+    --no-cache / --refresh                         on-disk cache policy, as in campaigns
+    --retries <N>                                  per-task simulation retries [default: 1]
+    --lease-secs <N>                               take tasks back from silent workers after N
+                                                   seconds [default: 300]
+
+SUBMIT OPTIONS (after `swiftsim submit <SPEC>`):
+    --to <ADDR>                                    daemon address [default: 127.0.0.1:7733]
+    --client <NAME>                                client name for fair scheduling [default: $USER]
+    --priority <N>                                 higher runs earlier within this client [default: 0]
+    --timeout-secs <N>                             give up waiting after N seconds [default: 3600]
+    --no-wait                                      print the job id and exit without waiting
+    --out <FILE>                                   also write result rows as JSON lines to FILE
+    --stats                                        print daemon statistics as JSON and exit
+    --drain                                        ask the daemon to drain and exit
 ";
 
 fn main() -> ExitCode {
@@ -310,9 +345,235 @@ fn run_campaign_cmd(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(Debug)]
+struct ServeArgs {
+    options: ServeOptions,
+    /// `Some(coordinator)` runs as a remote worker instead of a daemon.
+    worker: Option<String>,
+    name: String,
+}
+
+fn parse_serve_args(mut argv: Vec<String>) -> Result<ServeArgs, String> {
+    let mut options = ServeOptions::default();
+    let mut worker = None;
+    let mut name = "worker".to_owned();
+
+    let mut it = argv.drain(..);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--listen" => options.listen = value("--listen")?,
+            "--worker" => worker = Some(value("--worker")?),
+            "--name" => name = value("--name")?,
+            "--local-slots" => {
+                options.local_slots = Some(
+                    value("--local-slots")?
+                        .parse()
+                        .map_err(|_| "invalid slot count".to_owned())?,
+                );
+            }
+            "--cache-dir" => options.cache_dir = value("--cache-dir")?.into(),
+            "--no-cache" => options.cache = swiftsim_campaign::CacheMode::Off,
+            "--refresh" => options.cache = swiftsim_campaign::CacheMode::Refresh,
+            "--retries" => {
+                options.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "invalid retry count".to_owned())?;
+            }
+            "--lease-secs" => {
+                options.worker_lease = Duration::from_secs(
+                    value("--lease-secs")?
+                        .parse()
+                        .map_err(|_| "invalid lease".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown serve option {other:?} (try --help)")),
+        }
+    }
+    Ok(ServeArgs {
+        options,
+        worker,
+        name,
+    })
+}
+
+fn run_serve_cmd(argv: Vec<String>) -> Result<(), String> {
+    let args = parse_serve_args(argv)?;
+    if let Some(coordinator) = args.worker {
+        let wopts = WorkerOptions {
+            coordinator: coordinator.clone(),
+            name: args.name.clone(),
+            cache_dir: args.options.cache_dir.join("worker"),
+            cache: args.options.cache,
+            max_retries: args.options.max_retries,
+        };
+        eprintln!("worker {:?}: connecting to {coordinator}...", args.name);
+        let summary = run_worker_with_retry(&wopts, 30, Duration::from_secs(1))
+            .map_err(|e| format!("worker: {e}"))?;
+        eprintln!(
+            "worker {:?}: drained after {} completed, {} cached, {} failed",
+            args.name, summary.completed, summary.cached, summary.failed
+        );
+        return Ok(());
+    }
+
+    swiftsim_serve::signal::install_handlers();
+    let handle = server::start(args.options).map_err(|e| format!("serve: {e}"))?;
+    // A machine-readable line so scripts (and the CI smoke test) can learn
+    // the bound address when listening on port 0.
+    emit(&format!(
+        "{}\n",
+        Json::obj(vec![
+            ("serving", Json::str(handle.addr().to_string())),
+            (
+                "version",
+                Json::int(swiftsim_serve::protocol::PROTOCOL_VERSION)
+            ),
+        ])
+        .dump()
+    ));
+    eprintln!(
+        "serve: listening on {} (SIGTERM or a shutdown request drains gracefully)",
+        handle.addr()
+    );
+    handle.join();
+    Ok(())
+}
+
+#[derive(Debug)]
+struct SubmitArgs {
+    spec_path: Option<String>,
+    to: String,
+    client: String,
+    priority: u64,
+    timeout: Duration,
+    wait: bool,
+    out: Option<String>,
+    stats: bool,
+    drain: bool,
+}
+
+fn parse_submit_args(mut argv: Vec<String>) -> Result<SubmitArgs, String> {
+    let mut args = SubmitArgs {
+        spec_path: None,
+        to: "127.0.0.1:7733".to_owned(),
+        client: std::env::var("USER").unwrap_or_else(|_| "anonymous".to_owned()),
+        priority: 0,
+        timeout: Duration::from_secs(3600),
+        wait: true,
+        out: None,
+        stats: false,
+        drain: false,
+    };
+
+    let mut it = argv.drain(..);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--to" => args.to = value("--to")?,
+            "--client" => args.client = value("--client")?,
+            "--priority" => {
+                args.priority = value("--priority")?
+                    .parse()
+                    .map_err(|_| "invalid priority".to_owned())?;
+            }
+            "--timeout-secs" => {
+                args.timeout = Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|_| "invalid timeout".to_owned())?,
+                );
+            }
+            "--no-wait" => args.wait = false,
+            "--out" => args.out = Some(value("--out")?),
+            "--stats" => args.stats = true,
+            "--drain" => args.drain = true,
+            other if !other.starts_with('-') && args.spec_path.is_none() => {
+                args.spec_path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown submit option {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_submit_cmd(argv: Vec<String>) -> Result<(), String> {
+    let args = parse_submit_args(argv)?;
+    let mut client = ServeClient::connect(&args.to)
+        .map_err(|e| format!("cannot reach daemon at {}: {e}", args.to))?;
+
+    if args.stats {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        emit(&(stats.dump() + "\n"));
+        return Ok(());
+    }
+    if args.drain {
+        client.shutdown().map_err(|e| e.to_string())?;
+        eprintln!("daemon at {} is draining", args.to);
+        return Ok(());
+    }
+
+    let spec_path = args
+        .spec_path
+        .ok_or("submit needs a spec file (try --help)")?;
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let (job, tasks) = client
+        .submit(&text, &args.client, args.priority)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "submitted job {job} ({tasks} task(s)) to {} as client {:?}",
+        args.to, args.client
+    );
+    if !args.wait {
+        emit(&format!(
+            "{}\n",
+            Json::obj(vec![("job", Json::int(job)), ("tasks", Json::int(tasks))]).dump()
+        ));
+        return Ok(());
+    }
+
+    let report = client
+        .wait_result(job, args.timeout)
+        .map_err(|e| e.to_string())?;
+    let rows = report
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("daemon result carried no rows")?;
+    let mut jsonl = String::new();
+    let mut bad = 0usize;
+    for row in rows {
+        jsonl.push_str(&row.dump());
+        jsonl.push('\n');
+        if !matches!(
+            row.get("status").and_then(Json::as_str),
+            Some("ok" | "cached")
+        ) {
+            bad += 1;
+        }
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    emit(&jsonl);
+    if let Some(summary) = report.get("summary").and_then(Json::as_str) {
+        eprintln!("{summary}");
+    }
+    if bad > 0 {
+        return Err(format!("{bad} job(s) did not finish ok"));
+    }
+    Ok(())
+}
+
 fn run(mut argv: Vec<String>) -> Result<(), String> {
     if argv.first().map(String::as_str) == Some("campaign") {
         return run_campaign_cmd(argv.split_off(1));
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve_cmd(argv.split_off(1));
+    }
+    if argv.first().map(String::as_str) == Some("submit") {
+        return run_submit_cmd(argv.split_off(1));
     }
     let Some(args) = parse_args(argv)? else {
         return Ok(());
@@ -517,6 +778,74 @@ mod tests {
         assert_eq!(args.options.cache_dir, std::path::PathBuf::from("/tmp/cc"));
         assert_eq!(args.out.as_deref(), Some("rows.jsonl"));
         assert!(args.json);
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let argv: Vec<String> = [
+            "--listen",
+            "127.0.0.1:0",
+            "--local-slots",
+            "2",
+            "--no-cache",
+            "--lease-secs",
+            "60",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse_serve_args(argv).unwrap();
+        assert_eq!(args.options.listen, "127.0.0.1:0");
+        assert_eq!(args.options.local_slots, Some(2));
+        assert_eq!(args.options.cache, swiftsim_campaign::CacheMode::Off);
+        assert_eq!(args.options.worker_lease, Duration::from_secs(60));
+        assert!(args.worker.is_none());
+
+        let worker = parse_serve_args(vec![
+            "--worker".into(),
+            "127.0.0.1:7733".into(),
+            "--name".into(),
+            "w1".into(),
+        ])
+        .unwrap();
+        assert_eq!(worker.worker.as_deref(), Some("127.0.0.1:7733"));
+        assert_eq!(worker.name, "w1");
+
+        assert!(parse_serve_args(vec!["--frob".into()]).is_err());
+        assert!(parse_serve_args(vec!["--local-slots".into(), "many".into()]).is_err());
+    }
+
+    #[test]
+    fn submit_args_parse() {
+        let argv: Vec<String> = [
+            "sweep.campaign",
+            "--to",
+            "127.0.0.1:9",
+            "--client",
+            "ci",
+            "--priority",
+            "5",
+            "--timeout-secs",
+            "10",
+            "--no-wait",
+            "--out",
+            "rows.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse_submit_args(argv).unwrap();
+        assert_eq!(args.spec_path.as_deref(), Some("sweep.campaign"));
+        assert_eq!(args.to, "127.0.0.1:9");
+        assert_eq!(args.client, "ci");
+        assert_eq!(args.priority, 5);
+        assert_eq!(args.timeout, Duration::from_secs(10));
+        assert!(!args.wait);
+        assert_eq!(args.out.as_deref(), Some("rows.jsonl"));
+
+        let stats = parse_submit_args(vec!["--stats".into()]).unwrap();
+        assert!(stats.stats && stats.spec_path.is_none());
+        assert!(parse_submit_args(vec!["--priority".into()]).is_err());
     }
 
     #[test]

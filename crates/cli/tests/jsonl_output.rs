@@ -1,0 +1,110 @@
+//! Machine-readable stdout stays machine-readable.
+//!
+//! `swiftsim campaign --json` and `swiftsim --json` promise strict JSON
+//! lines on stdout; all human chatter (progress, heartbeats, simulation
+//! banners) belongs on stderr. These tests run the real binary and parse
+//! *every* stdout line, so any stray `println!` sneaking into the
+//! campaign executor or CLI breaks the build, not a user's pipeline.
+
+use std::io::Write as _;
+use std::process::Command;
+use swiftsim_metrics::Json;
+
+fn swiftsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swiftsim"))
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swiftsim-jsonl-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every stdout line must parse as a JSON object; blank lines are not
+/// tolerated either (strict JSONL).
+fn assert_strict_jsonl(stdout: &[u8]) -> Vec<Json> {
+    let text = std::str::from_utf8(stdout).expect("stdout is UTF-8");
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let parsed = Json::parse(line)
+            .unwrap_or_else(|e| panic!("stdout line {} is not JSON ({e}): {line:?}", i + 1));
+        assert!(
+            matches!(parsed, Json::Obj(_)),
+            "stdout line {} is JSON but not an object: {line:?}",
+            i + 1
+        );
+        rows.push(parsed);
+    }
+    rows
+}
+
+#[test]
+fn campaign_json_stdout_is_strict_jsonl_with_chatter_on_stderr() {
+    let dir = scratch("campaign");
+    let spec_path = dir.join("sweep.campaign");
+    let mut spec = std::fs::File::create(&spec_path).unwrap();
+    write!(
+        spec,
+        "name = jsonl-regress\n\
+         workload = nw, bfs\n\
+         scale = tiny\n\
+         preset = swift-sim-basic, swift-sim-memory\n"
+    )
+    .unwrap();
+    drop(spec);
+
+    let output = swiftsim()
+        .arg("campaign")
+        .arg(&spec_path)
+        .args(["--json", "--no-cache", "--jobs", "2"])
+        .output()
+        .expect("swiftsim campaign runs");
+    assert!(
+        output.status.success(),
+        "campaign failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let rows = assert_strict_jsonl(&output.stdout);
+    assert_eq!(rows.len(), 4, "one JSONL row per job");
+    for row in &rows {
+        assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(row.get("result").is_some(), "row embeds the result");
+    }
+
+    // The progress chatter still happened — on stderr, where it belongs.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("[1/4]") && stderr.contains("[4/4]"),
+        "progress lines expected on stderr, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_run_json_stdout_is_one_json_object() {
+    let output = swiftsim()
+        .args([
+            "--json",
+            "--workload",
+            "nw",
+            "--scale",
+            "tiny",
+            "--preset",
+            "swift-memory",
+        ])
+        .output()
+        .expect("swiftsim runs");
+    assert!(
+        output.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let rows = assert_strict_jsonl(&output.stdout);
+    assert_eq!(rows.len(), 1, "exactly one JSON object on stdout");
+    assert!(rows[0].get("cycles").is_some());
+
+    // The human banner went to stderr.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("simulating"), "banner on stderr: {stderr}");
+}

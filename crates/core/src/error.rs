@@ -17,6 +17,13 @@ pub enum SimError {
     Trace {
         /// The rendered [`swiftsim_trace::TraceError`].
         message: String,
+        /// When the underlying failure was file I/O
+        /// ([`swiftsim_trace::TraceError::Io`]), its
+        /// [`std::io::ErrorKind`] — preserved so a service log can
+        /// distinguish `NotFound` (bad request) from `PermissionDenied`
+        /// (deployment problem) without string matching. `None` for
+        /// parse/corruption failures.
+        io_kind: Option<std::io::ErrorKind>,
     },
     /// The trace is inconsistent with its declared launch geometry.
     InconsistentTrace {
@@ -76,7 +83,7 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { message } => {
                 write!(f, "invalid simulator configuration: {message}")
             }
-            SimError::Trace { message } => {
+            SimError::Trace { message, .. } => {
                 write!(f, "trace ingestion failed: {message}")
             }
             SimError::InconsistentTrace { kernel, message } => {
@@ -104,9 +111,21 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+impl SimError {
+    /// The [`std::io::ErrorKind`] behind this error, when it wraps a trace
+    /// I/O failure.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            SimError::Trace { io_kind, .. } => *io_kind,
+            _ => None,
+        }
+    }
+}
+
 impl From<swiftsim_trace::TraceError> for SimError {
     fn from(e: swiftsim_trace::TraceError) -> Self {
         SimError::Trace {
+            io_kind: e.io_kind(),
             message: e.to_string(),
         }
     }
@@ -142,5 +161,36 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn trace_io_kind_survives_conversion_and_display() {
+        use std::io::ErrorKind;
+        let make = |kind: ErrorKind| {
+            let io = std::io::Error::new(kind, "os says no");
+            SimError::from(swiftsim_trace::TraceError::io("/traces/app.sstraceb", &io))
+        };
+
+        // NotFound and PermissionDenied stay distinguishable both
+        // structurally (io_kind) and in the rendered message.
+        let not_found = make(ErrorKind::NotFound);
+        let denied = make(ErrorKind::PermissionDenied);
+        assert_eq!(not_found.io_kind(), Some(ErrorKind::NotFound));
+        assert_eq!(denied.io_kind(), Some(ErrorKind::PermissionDenied));
+        assert!(not_found.to_string().contains("NotFound"), "{not_found}");
+        assert!(denied.to_string().contains("PermissionDenied"), "{denied}");
+        assert!(not_found.to_string().contains("/traces/app.sstraceb"));
+
+        // Non-I/O trace failures carry no kind.
+        let parse: SimError = swiftsim_trace::TraceError::Parse {
+            line: 1,
+            message: "bad".to_owned(),
+        }
+        .into();
+        assert_eq!(parse.io_kind(), None);
+        let cfg = SimError::InvalidConfig {
+            message: "m".to_owned(),
+        };
+        assert_eq!(cfg.io_kind(), None);
     }
 }

@@ -1,0 +1,131 @@
+//! Shared service counters: a thread-safe registry of named monotonic
+//! counters and settable gauges.
+//!
+//! The simulator's own per-run statistics live in [`crate::MetricsCollector`]
+//! (single-threaded, owned by one simulation). Long-running *services* — the
+//! `swiftsim serve` daemon foremost — need the opposite shape: one registry
+//! shared by many threads (accept loop, queue, worker slots, cache layers),
+//! mutated concurrently, snapshotted on demand by a `stats` endpoint.
+//! [`CounterSet`] is that registry: clone it freely (clones share state),
+//! `add`/`set` from any thread, `snapshot` or [`CounterSet::to_json`] to
+//! observe.
+
+use crate::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A shared, thread-safe set of named `u64` counters and gauges.
+///
+/// Cloning is cheap and clones observe the same underlying values. Names
+/// are free-form dotted paths by convention (`queue.depth`,
+/// `cache.result.hits`, `client.3.submitted`); the snapshot is sorted by
+/// name so output is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    inner: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+impl CounterSet {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Add `amount` to counter `name` (creating it at 0 first).
+    pub fn add(&self, name: &str, amount: u64) {
+        let mut map = self.lock();
+        let slot = map.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(amount);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set gauge `name` to `value`, overwriting any previous value.
+    pub fn set(&self, name: &str, value: u64) {
+        self.lock().insert(name.to_owned(), value);
+    }
+
+    /// Current value of `name`, or 0 when it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.lock().iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// The snapshot as one flat JSON object, keys sorted.
+    pub fn to_json(&self) -> Json {
+        let map = self.lock();
+        Json::Obj(
+            map.iter()
+                .map(|(k, &v)| (k.clone(), Json::int(v)))
+                .collect(),
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, u64>> {
+        // A panic while holding the lock leaves plain integers behind —
+        // nothing can be torn, so poisoning is ignored.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get_round_trip() {
+        let c = CounterSet::new();
+        assert_eq!(c.get("jobs"), 0);
+        c.incr("jobs");
+        c.add("jobs", 4);
+        c.set("queue.depth", 7);
+        assert_eq!(c.get("jobs"), 5);
+        assert_eq!(c.get("queue.depth"), 7);
+        c.set("queue.depth", 2);
+        assert_eq!(c.get("queue.depth"), 2);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let c = CounterSet::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr("n");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("n"), 4000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses() {
+        let c = CounterSet::new();
+        c.set("b", 2);
+        c.set("a", 1);
+        let snap = c.snapshot();
+        assert_eq!(snap, vec![("a".to_owned(), 1u64), ("b".to_owned(), 2u64)]);
+        let json = c.to_json().dump();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("b").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn saturating_add_never_wraps() {
+        let c = CounterSet::new();
+        c.set("x", u64::MAX - 1);
+        c.add("x", 10);
+        assert_eq!(c.get("x"), u64::MAX);
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod collector;
+mod counters;
 pub mod json;
 mod profile;
 mod stats;
 mod table;
 
 pub use collector::{MetricsCollector, ScopedCollector, Value};
+pub use counters::CounterSet;
 pub use json::Json;
 pub use profile::{ProfFrame, ProfModule, ProfileReport, Profiler};
 pub use stats::{geomean, mean, mean_abs, rel_error};

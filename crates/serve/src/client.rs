@@ -1,0 +1,162 @@
+//! A thin synchronous client for the serve protocol — what `swiftsim
+//! submit` and the test suite use, and a template for clients in any
+//! language (the protocol is just JSON lines over TCP).
+
+use crate::protocol::{read_message, str_field, u64_field, write_message, WireError};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+use swiftsim_metrics::Json;
+
+/// One connection to a serve daemon.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a daemon at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection error.
+    pub fn connect(addr: &str) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and read its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on connection loss or malformed responses.
+    pub fn request(&mut self, msg: &Json) -> Result<Json, WireError> {
+        write_message(&mut self.writer, msg)?;
+        match read_message(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(WireError::Malformed(
+                "daemon closed the connection".to_owned(),
+            )),
+        }
+    }
+
+    /// A request that must come back `ok`; protocol-level errors become
+    /// [`WireError::Malformed`] carrying the daemon's message.
+    ///
+    /// # Errors
+    ///
+    /// Connection loss, malformed responses, or an `ok: false` reply.
+    pub fn request_ok(&mut self, msg: &Json) -> Result<Json, WireError> {
+        let reply = self.request(msg)?;
+        if reply.get("ok") == Some(&Json::Bool(true)) {
+            Ok(reply)
+        } else {
+            Err(WireError::Malformed(
+                str_field(&reply, "error")
+                    .unwrap_or("request failed")
+                    .to_owned(),
+            ))
+        }
+    }
+
+    /// Liveness check; returns the daemon's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn ping(&mut self) -> Result<u64, WireError> {
+        let reply = self.request_ok(&Json::obj(vec![("op", Json::str("ping"))]))?;
+        Ok(u64_field(&reply, "version").unwrap_or(0))
+    }
+
+    /// Submit a campaign spec (the same text format `swiftsim campaign`
+    /// reads). Returns `(submission id, task count)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`]; an unusable spec is reported by
+    /// the daemon and surfaces here as [`WireError::Malformed`].
+    pub fn submit(
+        &mut self,
+        spec_text: &str,
+        client: &str,
+        priority: u64,
+    ) -> Result<(u64, u64), WireError> {
+        let reply = self.request_ok(&Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("spec", Json::str(spec_text)),
+            ("client", Json::str(client)),
+            ("priority", Json::int(priority)),
+        ]))?;
+        Ok((
+            u64_field(&reply, "job").unwrap_or(0),
+            u64_field(&reply, "tasks").unwrap_or(0),
+        ))
+    }
+
+    /// One submission's status fields.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn status(&mut self, job: u64) -> Result<Json, WireError> {
+        self.request_ok(&Json::obj(vec![
+            ("op", Json::str("status")),
+            ("job", Json::int(job)),
+        ]))
+    }
+
+    /// Cancel a submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn cancel(&mut self, job: u64) -> Result<(), WireError> {
+        self.request_ok(&Json::obj(vec![
+            ("op", Json::str("cancel")),
+            ("job", Json::int(job)),
+        ]))?;
+        Ok(())
+    }
+
+    /// Block until the submission finishes and return the full report
+    /// response (`rows` carries one JSON object per job, in the same
+    /// schema as `swiftsim campaign --json`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`]; also fails when `timeout` passes
+    /// before the submission finishes.
+    pub fn wait_result(&mut self, job: u64, timeout: Duration) -> Result<Json, WireError> {
+        self.request_ok(&Json::obj(vec![
+            ("op", Json::str("result")),
+            ("job", Json::int(job)),
+            ("wait", Json::Bool(true)),
+            ("timeout_ms", Json::int(timeout.as_millis() as u64)),
+        ]))
+    }
+
+    /// Daemon statistics: metric counters plus warm-cache stats.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn stats(&mut self) -> Result<Json, WireError> {
+        self.request_ok(&Json::obj(vec![("op", Json::str("stats"))]))
+    }
+
+    /// Ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.request_ok(&Json::obj(vec![("op", Json::str("shutdown"))]))?;
+        Ok(())
+    }
+}

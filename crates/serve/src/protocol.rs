@@ -1,0 +1,158 @@
+//! The wire protocol: line-delimited JSON over a byte stream.
+//!
+//! Every message — request or response, client or worker — is one JSON
+//! object serialized compactly on a single line, terminated by `\n`. The
+//! framing is trivial on purpose: any language (or `nc`) can speak it, it
+//! needs no length prefixes, and a partial write is detectable as a
+//! missing newline. Requests carry an `"op"` field naming the operation;
+//! responses carry `"ok"` (and `"error"` when `ok` is false).
+//!
+//! The protocol is strictly request→response on each connection: the
+//! sender writes one line, then reads one line. Remote workers use the
+//! same shape (they *poll* for tasks rather than being pushed to), which
+//! keeps every connection half-duplex and the server free of write races.
+
+use std::io::{BufRead, Write};
+use swiftsim_metrics::Json;
+
+/// Version tag carried in `hello`/`ping` responses. Bump on incompatible
+/// message changes; workers refuse to join a coordinator with a different
+/// version (a worker from another build would also fail the job-key
+/// determinism check, but refusing early gives a clear error).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A protocol-level failure: the peer closed, sent garbage, or violated
+/// the request/response shape.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed or closed.
+    Io(std::io::Error),
+    /// A line arrived but was not a JSON object.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "connection: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Write one message: compact JSON, one line, flushed.
+pub fn write_message(w: &mut impl Write, msg: &Json) -> Result<(), WireError> {
+    let mut line = msg.dump();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one message. `Ok(None)` means the peer closed the stream cleanly
+/// between messages (EOF at a line boundary).
+pub fn read_message(r: &mut impl BufRead) -> Result<Option<Json>, WireError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        let json = Json::parse(line.trim()).map_err(WireError::Malformed)?;
+        if !matches!(json, Json::Obj(_)) {
+            return Err(WireError::Malformed(format!(
+                "expected a JSON object, got: {}",
+                line.trim()
+            )));
+        }
+        return Ok(Some(json));
+    }
+}
+
+/// `{"ok": true, ...fields}`.
+pub fn ok_response(fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// `{"ok": false, "error": message}`.
+pub fn err_response(message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message.into())),
+    ])
+}
+
+/// The request's `"op"` field, or `""` when absent.
+pub fn op_of(msg: &Json) -> &str {
+    msg.get("op").and_then(Json::as_str).unwrap_or("")
+}
+
+/// A string field of a message.
+pub fn str_field<'m>(msg: &'m Json, key: &str) -> Option<&'m str> {
+    msg.get(key).and_then(Json::as_str)
+}
+
+/// An unsigned integer field of a message.
+pub fn u64_field(msg: &Json, key: &str) -> Option<u64> {
+    msg.get(key).and_then(Json::as_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_over_a_buffer() {
+        let msg = Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("priority", Json::int(3)),
+            ("spec", Json::str("workload = nw\nscale = tiny\n")),
+        ]);
+        let mut wire = Vec::new();
+        write_message(&mut wire, &msg).unwrap();
+        write_message(&mut wire, &ok_response(vec![("job", Json::int(1))])).unwrap();
+
+        let mut r = std::io::BufReader::new(wire.as_slice());
+        let got = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(op_of(&got), "submit");
+        assert_eq!(u64_field(&got, "priority"), Some(3));
+        // The embedded newlines in the spec stay inside the one-line frame.
+        assert!(str_field(&got, "spec").unwrap().contains("scale = tiny"));
+
+        let reply = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(u64_field(&reply, "job"), Some(1));
+
+        // Clean EOF between messages is None, not an error.
+        assert!(read_message(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let mut r = std::io::BufReader::new(&b"{not json}\n"[..]);
+        assert!(matches!(read_message(&mut r), Err(WireError::Malformed(_))));
+        let mut r = std::io::BufReader::new(&b"42\n"[..]);
+        assert!(matches!(read_message(&mut r), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut r = std::io::BufReader::new(&b"\n\n{\"op\":\"ping\"}\n"[..]);
+        let got = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(op_of(&got), "ping");
+    }
+}

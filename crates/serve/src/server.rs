@@ -1,0 +1,733 @@
+//! The coordinator daemon: TCP accept loop, request dispatch, local
+//! executor slots, remote-worker bookkeeping, and graceful drain.
+//!
+//! Threading model (std only, no async runtime):
+//!
+//! * a **supervisor** thread owns the non-blocking listener: it accepts
+//!   connections, reaps expired remote leases, watches the shutdown
+//!   flags, and orchestrates the drain;
+//! * **local executor** threads (`local_slots` of them) pull tasks from
+//!   the queue and run them through the shared [`JobRunner`];
+//! * one **connection** thread per client or worker socket speaks the
+//!   line-delimited JSON protocol; worker connections double as the
+//!   liveness signal — a dropped socket requeues everything leased to it.
+//!
+//! Every simulation — submitted locally or executed remotely — flows
+//! through the same warm caches and the same on-disk result cache, and
+//! merges back into its submission by task index, so a sweep's report is
+//! bit-identical to what a local `swiftsim campaign` run produces no
+//! matter how execution was scheduled.
+
+use crate::protocol::{
+    err_response, ok_response, op_of, str_field, u64_field, write_message, WireError,
+    PROTOCOL_VERSION,
+};
+use crate::queue::{Dispatch, JobQueue, LeasedTask, SubmissionView};
+use crate::signal;
+use crate::warm::WarmCaches;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swiftsim_campaign::{
+    CacheMode, CampaignSpec, ExecutorOptions, JobOutcome, JobRunner, JobStatus, ResultCache,
+};
+use swiftsim_core::SimulationResult;
+use swiftsim_metrics::{CounterSet, Json};
+
+/// Everything configurable about a serve daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7733` (`:0` picks a free port).
+    pub listen: String,
+    /// Local executor threads. `None` means one per available CPU; `Some(0)`
+    /// runs no local simulations (remote workers do everything).
+    pub local_slots: Option<usize>,
+    /// On-disk result cache directory (shared with `swiftsim campaign`).
+    pub cache_dir: PathBuf,
+    /// On-disk cache policy.
+    pub cache: CacheMode,
+    /// Per-task simulation retries (errors/panics), as in campaigns.
+    pub max_retries: u32,
+    /// Warm in-memory result cache budget, bytes.
+    pub result_cache_bytes: usize,
+    /// Shared decoded-kernel cache budget, bytes.
+    pub kernel_cache_bytes: usize,
+    /// Times a task may lose its remote worker before failing.
+    pub max_worker_losses: u32,
+    /// Remote lease age after which a task is taken back from a
+    /// non-responsive worker.
+    pub worker_lease: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:7733".to_owned(),
+            local_slots: None,
+            cache_dir: PathBuf::from("target/swiftsim-campaigns/cache"),
+            cache: CacheMode::Use,
+            max_retries: 1,
+            result_cache_bytes: 64 << 20,
+            kernel_cache_bytes: 256 << 20,
+            max_worker_losses: 2,
+            worker_lease: Duration::from_secs(300),
+        }
+    }
+}
+
+struct ServerShared {
+    queue: JobQueue,
+    warm: Arc<WarmCaches>,
+    runner: JobRunner,
+    counters: CounterSet,
+    /// Instance stop flag ( `shutdown` op, [`ServerHandle::shutdown`] ).
+    stop: AtomicBool,
+    /// Set once the drain finished; connection threads then close.
+    finished: AtomicBool,
+    conn_ids: AtomicU64,
+    opts: ServeOptions,
+}
+
+impl ServerShared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+}
+
+/// A running daemon: its bound address plus shutdown/join control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    supervisor: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metric counters (shared; live).
+    pub fn counters(&self) -> CounterSet {
+        self.shared.counters.clone()
+    }
+
+    /// Begin a graceful drain and block until the daemon has fully
+    /// stopped: queued work finishes, new submissions are refused.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.supervisor.join();
+    }
+
+    /// Block until the daemon stops on its own (SIGTERM or a `shutdown`
+    /// request).
+    pub fn join(self) {
+        let _ = self.supervisor.join();
+    }
+}
+
+/// Bind and start a daemon. Returns once the listener is accepting.
+///
+/// # Errors
+///
+/// Returns the bind error when the listen address is unusable.
+pub fn start(opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let exec_opts = ExecutorOptions {
+        workers: 1,
+        max_retries: opts.max_retries,
+        progress: false,
+        heartbeat: None,
+        profile: false,
+    };
+    let cache = ResultCache::new(opts.cache_dir.clone(), opts.cache);
+    let shared = Arc::new(ServerShared {
+        queue: JobQueue::new(opts.max_worker_losses),
+        warm: WarmCaches::new(opts.result_cache_bytes, opts.kernel_cache_bytes),
+        runner: JobRunner::new(exec_opts, cache),
+        counters: CounterSet::new(),
+        stop: AtomicBool::new(false),
+        finished: AtomicBool::new(false),
+        conn_ids: AtomicU64::new(0),
+        opts,
+    });
+
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-supervisor".to_owned())
+            .spawn(move || supervise(&shared, &listener))
+            .expect("spawn supervisor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        supervisor,
+    })
+}
+
+fn supervise(shared: &Arc<ServerShared>, listener: &TcpListener) {
+    let slots = shared.opts.local_slots.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+
+    let mut executors = Vec::with_capacity(slots);
+    for i in 0..slots {
+        let shared = Arc::clone(shared);
+        executors.push(
+            std::thread::Builder::new()
+                .name(format!("serve-local-{i}"))
+                .spawn(move || local_executor(&shared, i))
+                .expect("spawn executor"),
+        );
+    }
+
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut last_reap = Instant::now();
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let id = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+                shared.counters.incr("connections");
+                connections.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-conn-{id}"))
+                        .spawn(move || {
+                            if let Err(e) = serve_connection(&shared, stream, id) {
+                                eprintln!("serve: connection {id}: {e}");
+                            }
+                        })
+                        .expect("spawn connection"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        if last_reap.elapsed() >= Duration::from_secs(1) {
+            last_reap = Instant::now();
+            let reaped = shared
+                .queue
+                .reap_expired(shared.opts.worker_lease, "remote-");
+            if reaped > 0 {
+                shared.counters.add("tasks_requeued", reaped as u64);
+                eprintln!("serve: reaped {reaped} expired remote lease(s)");
+            }
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+
+    // Graceful drain: no new submissions, queued work still runs, then
+    // every thread is joined so the process exits with nothing in flight.
+    eprintln!("serve: draining ({} tasks pending)", shared.queue.depth());
+    shared.queue.drain();
+    while !shared.queue.is_idle() {
+        std::thread::sleep(Duration::from_millis(20));
+        let reaped = shared
+            .queue
+            .reap_expired(shared.opts.worker_lease, "remote-");
+        if reaped > 0 {
+            shared.counters.add("tasks_requeued", reaped as u64);
+        }
+    }
+    for exec in executors {
+        let _ = exec.join();
+    }
+    shared.finished.store(true, Ordering::SeqCst);
+    for conn in connections {
+        let _ = conn.join();
+    }
+    eprintln!("serve: drained, exiting");
+}
+
+fn local_executor(shared: &ServerShared, slot: usize) {
+    let name = format!("local-{slot}");
+    loop {
+        match shared.queue.next_task(&name, Duration::from_millis(200)) {
+            Dispatch::Task(task) => {
+                let outcome = execute_local(shared, &task);
+                record_outcome(&shared.counters, &outcome, "local");
+                shared.queue.complete(task.submission, task.index, outcome);
+            }
+            Dispatch::Idle => {}
+            Dispatch::Drain => break,
+        }
+    }
+}
+
+fn execute_local(shared: &ServerShared, task: &LeasedTask) -> JobOutcome {
+    let started = Instant::now();
+    if task.cancel.is_cancelled() {
+        return JobOutcome {
+            index: task.index,
+            label: task.job.spec.label(),
+            status: JobStatus::Cancelled,
+            attempts: 0,
+            wall: started.elapsed(),
+        };
+    }
+    if let Some(result) = shared.warm.lookup_result(task.job.key) {
+        shared.counters.incr("warm_result_hits");
+        return JobOutcome {
+            index: task.index,
+            label: task.job.spec.label(),
+            status: JobStatus::Cached(result),
+            attempts: 0,
+            wall: started.elapsed(),
+        };
+    }
+    let job = shared.warm.warm_job(task.job.clone());
+    let outcome = shared.runner.run_one(&job, &task.cancel);
+    if let JobStatus::Completed(r) | JobStatus::Cached(r) = &outcome.status {
+        shared.warm.store_result(task.job.key, r);
+    }
+    outcome
+}
+
+fn record_outcome(counters: &CounterSet, outcome: &JobOutcome, origin: &str) {
+    counters.incr(&format!("tasks_{origin}"));
+    match &outcome.status {
+        JobStatus::Completed(_) => counters.incr("tasks_completed"),
+        JobStatus::Cached(_) => counters.incr("tasks_cached"),
+        JobStatus::Failed { .. } => counters.incr("tasks_failed"),
+        JobStatus::Cancelled => counters.incr("tasks_cancelled"),
+    }
+}
+
+/// Per-connection state: whether this connection is a worker, and what it
+/// currently has leased (for requeue-on-drop).
+struct ConnState {
+    id: u64,
+    worker: Option<String>,
+    lease: Option<LeasedTask>,
+}
+
+impl ConnState {
+    fn executor_name(&self) -> String {
+        // Unique per connection even when two workers share a name.
+        format!(
+            "remote-{}-{}",
+            self.id,
+            self.worker.as_deref().unwrap_or("client")
+        )
+    }
+}
+
+fn serve_connection(
+    shared: &Arc<ServerShared>,
+    stream: TcpStream,
+    id: u64,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut conn = ConnState {
+        id,
+        worker: None,
+        lease: None,
+    };
+
+    let result = loop {
+        match read_request(shared, &mut reader) {
+            Ok(Some(msg)) => {
+                let reply = handle_request(shared, &mut conn, &msg);
+                write_message(&mut writer, &reply)?;
+            }
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+
+    // Anything still leased to this connection lost its executor.
+    if conn.lease.is_some() {
+        let requeued = shared
+            .queue
+            .requeue_executor(&conn.executor_name(), "worker connection lost");
+        shared.counters.add("tasks_requeued", requeued as u64);
+        eprintln!(
+            "serve: worker {:?} disconnected with a task in flight; requeued {requeued}",
+            conn.worker.as_deref().unwrap_or("?"),
+        );
+    }
+    result
+}
+
+/// Read one request, tolerating read timeouts (used to poll the shutdown
+/// flags) and partial lines (the buffer persists across timeouts).
+fn read_request(
+    shared: &ServerShared,
+    reader: &mut BufReader<TcpStream>,
+) -> Result<Option<Json>, WireError> {
+    use std::io::BufRead;
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None) // clean EOF between messages
+                } else {
+                    Err(WireError::Malformed("EOF mid-message".to_owned()))
+                };
+            }
+            Ok(_) if buf.ends_with('\n') => {
+                let line = buf.trim();
+                if line.is_empty() {
+                    buf.clear();
+                    continue;
+                }
+                let json = Json::parse(line).map_err(WireError::Malformed)?;
+                return Ok(Some(json));
+            }
+            Ok(_) => {} // partial line; keep reading
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle between requests: close once the daemon has fully
+                // drained (mid-message partials still get their chance
+                // until then).
+                if shared.finished.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Json) -> Json {
+    match op_of(msg) {
+        "ping" => ok_response(vec![
+            ("version", Json::int(PROTOCOL_VERSION)),
+            ("role", Json::str("coordinator")),
+        ]),
+        "submit" => handle_submit(shared, msg),
+        "status" => match u64_field(msg, "job").and_then(|id| shared.queue.status(id)) {
+            Some(view) => ok_response(view_fields(&view)),
+            None => err_response("unknown job"),
+        },
+        "list" => {
+            let jobs: Vec<Json> = shared
+                .queue
+                .list()
+                .iter()
+                .map(|v| {
+                    Json::Obj(
+                        view_fields(v)
+                            .into_iter()
+                            .map(|(k, j)| (k.to_owned(), j))
+                            .collect(),
+                    )
+                })
+                .collect();
+            ok_response(vec![("jobs", Json::Arr(jobs))])
+        }
+        "cancel" => match u64_field(msg, "job") {
+            Some(id) if shared.queue.cancel(id) => {
+                shared.counters.incr("jobs_cancelled");
+                ok_response(vec![("job", Json::int(id))])
+            }
+            _ => err_response("unknown job"),
+        },
+        "result" => handle_result(shared, msg),
+        "stats" => handle_stats(shared),
+        "shutdown" => {
+            shared.stop.store(true, Ordering::SeqCst);
+            ok_response(vec![("draining", Json::Bool(true))])
+        }
+        "worker-hello" => {
+            let version = u64_field(msg, "version").unwrap_or(0);
+            if version != PROTOCOL_VERSION {
+                return err_response(format!(
+                    "protocol version mismatch: coordinator {PROTOCOL_VERSION}, worker {version}"
+                ));
+            }
+            conn.worker = Some(str_field(msg, "name").unwrap_or("worker").to_owned());
+            shared.counters.incr("workers_joined");
+            ok_response(vec![("version", Json::int(PROTOCOL_VERSION))])
+        }
+        "task-request" => handle_task_request(shared, conn),
+        "task-result" => handle_task_result(shared, conn, msg),
+        other => err_response(format!("unknown op {other:?}")),
+    }
+}
+
+fn handle_submit(shared: &Arc<ServerShared>, msg: &Json) -> Json {
+    // A shutdown request flips the stop flag before the supervisor gets
+    // around to draining the queue; refuse on either signal so no
+    // submission slips through that window.
+    if shared.stopping() {
+        return err_response("daemon is draining; submission refused");
+    }
+    let Some(spec_text) = str_field(msg, "spec") else {
+        return err_response("submit needs a \"spec\" field");
+    };
+    let client = str_field(msg, "client").unwrap_or("anonymous");
+    let priority = u64_field(msg, "priority").unwrap_or(0);
+
+    let spec = match CampaignSpec::parse(spec_text) {
+        Ok(s) => s,
+        Err(e) => return err_response(e.to_string()),
+    };
+    let jobs = match spec.resolve() {
+        Ok(j) => j,
+        Err(e) => return err_response(e.to_string()),
+    };
+
+    // Judge the warm result cache now: warm tasks are born finished and
+    // never touch the scheduler.
+    let total = jobs.len();
+    let mut warm_hits = 0u64;
+    let prejudged: Vec<_> = jobs
+        .into_iter()
+        .map(|job| {
+            let outcome = shared.warm.lookup_result(job.key).map(|result| {
+                warm_hits += 1;
+                JobOutcome {
+                    index: job.spec.index,
+                    label: job.spec.label(),
+                    status: JobStatus::Cached(result),
+                    attempts: 0,
+                    wall: Duration::ZERO,
+                }
+            });
+            (job, outcome)
+        })
+        .collect();
+
+    match shared
+        .queue
+        .submit_prejudged(client, &spec.name, priority, prejudged)
+    {
+        Some(id) => {
+            shared.counters.incr("jobs_submitted");
+            shared.counters.add("tasks_total", total as u64);
+            shared.counters.add("warm_submit_hits", warm_hits);
+            shared
+                .counters
+                .incr(&format!("client.{client}.submissions"));
+            ok_response(vec![
+                ("job", Json::int(id)),
+                ("tasks", Json::int(total as u64)),
+                ("warm", Json::int(warm_hits)),
+            ])
+        }
+        None => err_response("daemon is draining; submission refused"),
+    }
+}
+
+fn handle_result(shared: &Arc<ServerShared>, msg: &Json) -> Json {
+    let Some(id) = u64_field(msg, "job") else {
+        return err_response("result needs a \"job\" field");
+    };
+    let wait = matches!(msg.get("wait"), Some(Json::Bool(true)));
+    let timeout = Duration::from_millis(u64_field(msg, "timeout_ms").unwrap_or(600_000));
+
+    let state = if wait {
+        shared.queue.wait_terminal(id, timeout)
+    } else {
+        shared
+            .queue
+            .status(id)
+            .map(|v| v.state)
+            .filter(|s| s.is_terminal())
+    };
+    match state {
+        None if shared.queue.status(id).is_none() => err_response("unknown job"),
+        None => err_response("job not finished"),
+        Some(_) => {
+            let report = shared.queue.report(id).expect("terminal implies report");
+            let rows: Vec<Json> = report.rows.iter().map(|r| r.to_json()).collect();
+            ok_response(vec![
+                ("job", Json::int(id)),
+                ("name", Json::str(&report.name)),
+                ("summary", Json::str(report.summary_line())),
+                ("rows", Json::Arr(rows)),
+            ])
+        }
+    }
+}
+
+fn handle_stats(shared: &Arc<ServerShared>) -> Json {
+    shared
+        .counters
+        .set("queue_depth", shared.queue.depth() as u64);
+    let rs = shared.warm.result_stats();
+    let ks = shared.warm.kernel_stats();
+    ok_response(vec![
+        ("counters", shared.counters.to_json()),
+        (
+            "result_cache",
+            Json::obj(vec![
+                ("hits", Json::int(rs.hits)),
+                ("misses", Json::int(rs.misses)),
+                ("evictions", Json::int(rs.evictions)),
+                ("entries", Json::int(rs.entries as u64)),
+                ("bytes", Json::int(rs.bytes as u64)),
+            ]),
+        ),
+        (
+            "kernel_cache",
+            Json::obj(vec![
+                ("hits", Json::int(ks.hits)),
+                ("misses", Json::int(ks.misses)),
+                ("evictions", Json::int(ks.evictions)),
+                ("entries", Json::int(ks.entries as u64)),
+                ("bytes", Json::int(ks.bytes as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json {
+    if conn.worker.is_none() {
+        return err_response("task-request before worker-hello");
+    }
+    if conn.lease.is_some() {
+        return err_response("worker already holds a lease");
+    }
+    match shared
+        .queue
+        .next_task(&conn.executor_name(), Duration::from_millis(500))
+    {
+        Dispatch::Task(task) => {
+            let Some(spec_text) = task.job.spec.to_single_spec_text("shipped") else {
+                // The job cannot be expressed in spec text (pathological
+                // path); fail it rather than bounce it between workers.
+                let outcome = JobOutcome {
+                    index: task.index,
+                    label: task.job.spec.label(),
+                    status: JobStatus::Failed {
+                        error: "job not shippable to a remote worker".to_owned(),
+                    },
+                    attempts: 0,
+                    wall: Duration::ZERO,
+                };
+                record_outcome(&shared.counters, &outcome, "remote");
+                shared.queue.complete(task.submission, task.index, outcome);
+                return ok_response(vec![("task", Json::Null)]);
+            };
+            let reply = ok_response(vec![(
+                "task",
+                Json::obj(vec![
+                    ("submission", Json::int(task.submission)),
+                    ("index", Json::int(task.index as u64)),
+                    ("label", Json::str(task.job.spec.label())),
+                    ("key", Json::str(task.job.key_hex())),
+                    ("spec", Json::str(spec_text)),
+                ]),
+            )]);
+            conn.lease = Some(*task);
+            reply
+        }
+        Dispatch::Idle => ok_response(vec![("task", Json::Null)]),
+        Dispatch::Drain => ok_response(vec![("task", Json::Null), ("drain", Json::Bool(true))]),
+    }
+}
+
+fn handle_task_result(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Json) -> Json {
+    let Some(task) = conn.lease.take() else {
+        return err_response("task-result without a lease");
+    };
+    let submission = u64_field(msg, "submission");
+    let index = u64_field(msg, "index").map(|i| i as usize);
+    if submission != Some(task.submission) || index != Some(task.index) {
+        conn.lease = Some(task);
+        return err_response("task-result does not match the held lease");
+    }
+
+    let worker_key = str_field(msg, "key").unwrap_or("");
+    let attempts = u64_field(msg, "attempts").unwrap_or(1) as u32;
+    let wall = Duration::from_micros(u64_field(msg, "wall_us").unwrap_or(0));
+    let status = str_field(msg, "status").unwrap_or("failed");
+
+    // End-to-end determinism check: the worker resolved the shipped spec
+    // independently; its content-addressed key must agree with ours. A
+    // mismatch means version/config/trace skew — the result cannot be
+    // trusted as *this* job's answer.
+    let outcome = if worker_key != task.job.key_hex() {
+        shared.counters.incr("key_mismatches");
+        JobOutcome {
+            index: task.index,
+            label: task.job.spec.label(),
+            status: JobStatus::Failed {
+                error: format!(
+                    "worker job-key mismatch (coordinator {}, worker {worker_key}): \
+                     worker runs a different simulator version or sees different inputs",
+                    task.job.key_hex()
+                ),
+            },
+            attempts,
+            wall,
+        }
+    } else {
+        let status = match status {
+            "ok" | "cached" => match msg.get("result").map(SimulationResult::from_json) {
+                Some(Ok(result)) => {
+                    shared.warm.store_result(task.job.key, &result);
+                    if status == "cached" {
+                        JobStatus::Cached(result)
+                    } else {
+                        JobStatus::Completed(result)
+                    }
+                }
+                Some(Err(e)) => JobStatus::Failed {
+                    error: format!("worker result unparsable: {e}"),
+                },
+                None => JobStatus::Failed {
+                    error: "worker sent ok without a result".to_owned(),
+                },
+            },
+            _ => JobStatus::Failed {
+                error: str_field(msg, "error")
+                    .unwrap_or("worker failure")
+                    .to_owned(),
+            },
+        };
+        JobOutcome {
+            index: task.index,
+            label: task.job.spec.label(),
+            status,
+            attempts,
+            wall,
+        }
+    };
+    record_outcome(&shared.counters, &outcome, "remote");
+    shared.queue.complete(task.submission, task.index, outcome);
+    ok_response(vec![("accepted", Json::Bool(true))])
+}
+
+fn view_fields(v: &SubmissionView) -> Vec<(&'static str, Json)> {
+    vec![
+        ("job", Json::int(v.id)),
+        ("name", Json::str(&v.name)),
+        ("client", Json::str(&v.client)),
+        ("priority", Json::int(v.priority)),
+        ("state", Json::str(v.state.name())),
+        ("done", Json::int(v.done as u64)),
+        ("running", Json::int(v.running as u64)),
+        ("total", Json::int(v.total as u64)),
+    ]
+}

@@ -1,0 +1,390 @@
+//! End-to-end tests: a real daemon on a real socket, real workers, real
+//! simulations (tiny scale), and the acceptance properties of the serve
+//! subsystem — bit-identical reports, worker-loss convergence, warm-cache
+//! resubmission, fair scheduling, and graceful drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+use swiftsim_campaign::{run_campaign, CacheMode, CampaignOptions, CampaignSpec};
+use swiftsim_metrics::Json;
+use swiftsim_serve::client::ServeClient;
+use swiftsim_serve::server::{self, ServeOptions};
+use swiftsim_serve::worker::{run_worker, WorkerOptions};
+
+const SWEEP_SPEC: &str = "name = e2e\n\
+                          workload = nw, bfs\n\
+                          scale = tiny\n\
+                          preset = swift-sim-basic, swift-sim-memory\n\
+                          scheduler = gto, lrr\n";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swiftsim-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(tag: &str) -> ServeOptions {
+    ServeOptions {
+        listen: "127.0.0.1:0".to_owned(),
+        local_slots: Some(2),
+        cache_dir: scratch(tag),
+        cache: CacheMode::Off,
+        worker_lease: Duration::from_secs(30),
+        ..ServeOptions::default()
+    }
+}
+
+/// Strip the fields that legitimately differ between runs (wall time,
+/// cache provenance, slow flags) and keep everything that must not.
+fn prediction_fields(row: &Json) -> String {
+    let job = row.get("job").expect("row has job");
+    let result = row.get("result").expect("row has result");
+    format!(
+        "label={} key={} cycles={:?} instructions={:?} ipc_input={}",
+        job.get("label").and_then(Json::as_str).unwrap(),
+        job.get("key").and_then(Json::as_str).unwrap(),
+        result.get("cycles").and_then(Json::as_u64),
+        result.get("instructions").and_then(Json::as_u64),
+        result.dump().len(), // full result payload size as a cheap digest
+    )
+}
+
+/// The acceptance test: daemon + 2 remote workers, no local slots. The
+/// merged report must be bit-identical (modulo wall time) to a direct
+/// local `swiftsim campaign` run of the same spec.
+#[test]
+fn remote_sweep_matches_local_campaign_bit_for_bit() {
+    let mut o = opts("remote-identical");
+    o.local_slots = Some(0); // every simulation must flow through workers
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let w = WorkerOptions {
+                coordinator: addr.clone(),
+                name: format!("w{i}"),
+                cache_dir: scratch(&format!("remote-identical-w{i}")),
+                cache: CacheMode::Off,
+                ..WorkerOptions::default()
+            };
+            std::thread::spawn(move || run_worker(&w).unwrap())
+        })
+        .collect();
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let (job, tasks) = client.submit(SWEEP_SPEC, "acceptance", 0).unwrap();
+    assert_eq!(tasks, 8);
+    let reply = client.wait_result(job, Duration::from_secs(300)).unwrap();
+    let rows = reply.get("rows").and_then(Json::as_arr).unwrap().to_vec();
+    assert_eq!(rows.len(), 8);
+
+    // Reference: the same spec run entirely locally, no service involved.
+    let spec = CampaignSpec::parse(SWEEP_SPEC).unwrap();
+    let local = run_campaign(&spec, &CampaignOptions::default().cache_off()).unwrap();
+    assert_eq!(local.failed(), 0);
+    let local_rows: Vec<Json> = local.rows.iter().map(|r| r.to_json()).collect();
+
+    for (served, direct) in rows.iter().zip(&local_rows) {
+        assert_eq!(
+            prediction_fields(served),
+            prediction_fields(direct),
+            "served row must match the local campaign exactly"
+        );
+        assert_eq!(
+            served.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "remote-executed rows report ok"
+        );
+    }
+
+    // Both workers drain cleanly and between them did all the work.
+    client.shutdown().unwrap();
+    let mut done = 0;
+    for w in workers {
+        done += w.join().unwrap().completed;
+    }
+    assert_eq!(done, 8);
+    handle.join();
+}
+
+/// Kill a worker mid-campaign (drop its socket while it holds a lease):
+/// the task requeues and the sweep still converges to a complete report.
+#[test]
+fn worker_loss_mid_task_converges_via_requeue() {
+    let mut o = opts("worker-loss");
+    o.local_slots = Some(0);
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let (job, tasks) = client
+        .submit(
+            "name = loss\nworkload = nw\nscale = tiny\npreset = swift-sim-memory\nscheduler = gto, lrr\n",
+            "c",
+            0,
+        )
+        .unwrap();
+    assert_eq!(tasks, 2);
+
+    // A "worker" that claims a task and dies without answering: raw
+    // protocol over a socket we then drop. This is exactly what a killed
+    // worker process looks like to the coordinator.
+    {
+        let mut dying = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(dying.try_clone().unwrap());
+        let mut say = |line: String| {
+            dying.write_all(line.as_bytes()).unwrap();
+            dying.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Json::parse(reply.trim()).unwrap()
+        };
+        let hello = say("{\"op\":\"worker-hello\",\"name\":\"doomed\",\"version\":1}".to_owned());
+        assert_eq!(hello.get("ok"), Some(&Json::Bool(true)));
+        let reply = say("{\"op\":\"task-request\",\"name\":\"doomed\"}".to_owned());
+        assert!(
+            !matches!(reply.get("task"), Some(Json::Null) | None),
+            "doomed worker got a lease: {}",
+            reply.dump()
+        );
+        // Socket drops here with the lease unresolved.
+    }
+
+    // A healthy worker finishes the sweep, including the requeued task.
+    let w = WorkerOptions {
+        coordinator: addr.clone(),
+        name: "healthy".to_owned(),
+        cache_dir: scratch("worker-loss-w"),
+        cache: CacheMode::Off,
+        ..WorkerOptions::default()
+    };
+    let healthy = std::thread::spawn(move || run_worker(&w).unwrap());
+
+    let reply = client.wait_result(job, Duration::from_secs(300)).unwrap();
+    let rows = reply.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    let stats = client.stats().unwrap();
+    let requeued = stats
+        .get("counters")
+        .and_then(|c| c.get("tasks_requeued"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(requeued >= 1, "the dropped lease was requeued: {requeued}");
+
+    client.shutdown().unwrap();
+    healthy.join().unwrap();
+    handle.join();
+}
+
+/// Resubmitting the same sweep hits the warm result cache: zero new
+/// simulations, instant completion, and the identical report.
+#[test]
+fn warm_resubmission_skips_all_simulation() {
+    let handle = server::start(opts("warm")).unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+
+    let (cold_id, _) = client.submit(SWEEP_SPEC, "c", 0).unwrap();
+    let cold = client
+        .wait_result(cold_id, Duration::from_secs(300))
+        .unwrap();
+
+    let (warm_id, _) = client.submit(SWEEP_SPEC, "c", 0).unwrap();
+    let warm = client
+        .wait_result(warm_id, Duration::from_secs(300))
+        .unwrap();
+
+    let cold_rows = cold.get("rows").and_then(Json::as_arr).unwrap();
+    let warm_rows = warm.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(cold_rows.len(), warm_rows.len());
+    for (a, b) in cold_rows.iter().zip(warm_rows) {
+        assert_eq!(prediction_fields(a), prediction_fields(b));
+        assert_eq!(
+            b.get("status").and_then(Json::as_str),
+            Some("cached"),
+            "warm rows are served from memory"
+        );
+    }
+
+    let stats = client.stats().unwrap();
+    let warm_hits = stats
+        .get("counters")
+        .and_then(|c| c.get("warm_submit_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert_eq!(warm_hits, 8, "every resubmitted task was judged warm");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Two clients: a flood from one must not starve a single run from the
+/// other, and priorities order work within a client.
+#[test]
+fn status_list_cancel_and_fairness() {
+    let mut o = opts("lifecycle");
+    o.local_slots = Some(1); // serialize execution so ordering is observable
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut alice = ServeClient::connect(&addr).unwrap();
+    let mut bob = ServeClient::connect(&addr).unwrap();
+    assert_eq!(alice.ping().unwrap(), 1);
+
+    let flood_spec = "name = flood\nworkload = nw\nscale = tiny\npreset = swift-sim-basic\nscheduler = gto, lrr, two_level\n";
+    let (flood, flood_tasks) = alice.submit(flood_spec, "alice", 0).unwrap();
+    assert_eq!(flood_tasks, 3);
+    let single_spec = "name = single\nworkload = bfs\nscale = tiny\npreset = swift-sim-memory\n";
+    let (single, _) = bob.submit(single_spec, "bob", 5).unwrap();
+
+    // Bob's single run completes long before Alice's flood would if the
+    // scheduler were FIFO; with round-robin it is dispatched second.
+    bob.wait_result(single, Duration::from_secs(300)).unwrap();
+    let flood_status = alice.status(flood).unwrap();
+    let state = flood_status.get("state").and_then(Json::as_str).unwrap();
+    assert!(
+        state == "queued" || state == "running" || state == "done",
+        "sane state: {state}"
+    );
+
+    // list sees both submissions with their clients.
+    let listed = alice
+        .request_ok(&Json::obj(vec![("op", Json::str("list"))]))
+        .unwrap();
+    let jobs = listed.get("jobs").and_then(Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 2);
+    let clients: Vec<&str> = jobs
+        .iter()
+        .filter_map(|j| j.get("client").and_then(Json::as_str))
+        .collect();
+    assert!(clients.contains(&"alice") && clients.contains(&"bob"));
+
+    // Cancel a fresh submission: queued tasks die, report says cancelled.
+    let (doomed, _) = bob.submit(flood_spec, "bob", 0).unwrap();
+    bob.cancel(doomed).unwrap();
+    let report = bob.wait_result(doomed, Duration::from_secs(300)).unwrap();
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    assert!(
+        rows.iter()
+            .any(|r| r.get("status").and_then(Json::as_str) == Some("cancelled")),
+        "cancellation reaches the report: {}",
+        report.get("summary").and_then(Json::as_str).unwrap_or("")
+    );
+
+    alice.wait_result(flood, Duration::from_secs(300)).unwrap();
+    alice.shutdown().unwrap();
+    handle.join();
+}
+
+/// Graceful drain: a shutdown with queued work finishes that work first,
+/// refuses new submissions meanwhile, and the daemon exits idle.
+#[test]
+fn graceful_drain_finishes_queued_work_and_refuses_new() {
+    let mut o = opts("drain");
+    o.local_slots = Some(1);
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    let (job, tasks) = client.submit(SWEEP_SPEC, "c", 0).unwrap();
+    assert_eq!(tasks, 8);
+
+    // Park a result wait on its own connection *before* the shutdown: a
+    // drain must let in-flight consumers collect their reports (after the
+    // daemon exits the results are gone with it).
+    let mut waiter = ServeClient::connect(&addr).unwrap();
+    let waiting = std::thread::spawn(move || waiter.wait_result(job, Duration::from_secs(300)));
+    std::thread::sleep(Duration::from_millis(50)); // let the wait register
+    client.shutdown().unwrap();
+
+    // Submissions after the drain began are refused (answered with an
+    // error on a live connection, or never served on a post-drain one).
+    let refused = client.submit(SWEEP_SPEC, "late", 0);
+    assert!(refused.is_err(), "drain refuses new work: {refused:?}");
+
+    // The in-flight sweep still completed, with every row ok.
+    let report = waiting.join().unwrap().unwrap();
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 8);
+    for row in rows {
+        assert_eq!(row.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    handle.join();
+}
+
+/// Malformed requests get protocol errors, not dropped connections, and
+/// the daemon keeps serving afterwards.
+#[test]
+fn protocol_errors_are_answered_not_fatal() {
+    let handle = server::start(opts("protocol")).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    let unknown = client
+        .request(&Json::obj(vec![("op", Json::str("frobnicate"))]))
+        .unwrap();
+    assert_eq!(unknown.get("ok"), Some(&Json::Bool(false)));
+
+    let bad_spec = client
+        .request(&Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("spec", Json::str("workload = doom\nscale = tiny")),
+        ]))
+        .unwrap();
+    assert_eq!(bad_spec.get("ok"), Some(&Json::Bool(false)));
+    assert!(bad_spec
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("doom"));
+
+    let orphan_result = client
+        .request(&Json::obj(vec![("op", Json::str("task-result"))]))
+        .unwrap();
+    assert_eq!(orphan_result.get("ok"), Some(&Json::Bool(false)));
+
+    // Status of a job that never existed.
+    let ghost = client
+        .request(&Json::obj(vec![
+            ("op", Json::str("status")),
+            ("job", Json::int(999)),
+        ]))
+        .unwrap();
+    assert_eq!(ghost.get("ok"), Some(&Json::Bool(false)));
+
+    // The connection and daemon survived all of it.
+    assert_eq!(client.ping().unwrap(), 1);
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// The stats endpoint reports counters and cache statistics that add up.
+#[test]
+fn stats_reflect_execution_and_caches() {
+    let handle = server::start(opts("stats")).unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+
+    let spec = "workload = nw\nscale = tiny\npreset = swift-sim-memory\nscheduler = gto, lrr\n";
+    let (job, _) = client.submit(spec, "statclient", 0).unwrap();
+    client.wait_result(job, Duration::from_secs(300)).unwrap();
+
+    let stats = client.stats().unwrap();
+    let counters = stats.get("counters").unwrap();
+    let get = |k: &str| counters.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(get("jobs_submitted"), 1);
+    assert_eq!(get("tasks_total"), 2);
+    assert_eq!(get("tasks_completed"), 2);
+    assert_eq!(get("queue_depth"), 0);
+    assert_eq!(get("client.statclient.submissions"), 1);
+    assert!(stats.get("result_cache").is_some());
+    assert!(stats.get("kernel_cache").is_some());
+
+    client.shutdown().unwrap();
+    handle.join();
+}

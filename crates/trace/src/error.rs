@@ -86,8 +86,16 @@ impl fmt::Display for TraceError {
             TraceError::UnexpectedEof(section) => {
                 write!(f, "unexpected end of trace inside {section}")
             }
-            TraceError::Io { path, message, .. } => {
-                write!(f, "trace file {path}: {message}")
+            TraceError::Io {
+                path,
+                kind,
+                message,
+            } => {
+                // The kind token (`NotFound`, `PermissionDenied`, ...) is
+                // part of the rendered text so logs that only keep the
+                // string — daemon logs, campaign failure rows — still
+                // distinguish I/O error categories.
+                write!(f, "trace file {path} ({kind:?}): {message}")
             }
         }
     }

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod binfmt;
+mod cache;
 mod error;
 mod format;
 mod inst;
@@ -66,6 +67,7 @@ mod kernel;
 mod source;
 
 pub use binfmt::ChunkedTraceWriter;
+pub use cache::{kernel_approx_bytes, CachedTraceSource, DecodedKernelCache, KernelCacheStats};
 pub use error::TraceError;
 pub use inst::{AddressList, InstBuilder, MemInfo, Reg, TraceInstruction};
 pub use isa::{MemSpace, Opcode, OpcodeClass};
