@@ -1,0 +1,271 @@
+//! Parallel-scaling benchmark: the two-phase deterministic engine at 1, 4,
+//! and 8 threads over the Fig. 4/5 workload suite. Each (workload, threads)
+//! cell runs in its own child process so wall-clock measurements never
+//! share a warmed-up allocator, and the driver asserts that every thread
+//! count predicts bit-identical cycles and instruction counts — the
+//! deterministic mode's headline property (the fine-grained gate is
+//! `crates/core/tests/event_engine_equiv.rs`). Results land in
+//! `BENCH_parallel_speedup.json` together with the host's core count:
+//! scaling numbers from a box with fewer cores than shards measure
+//! protocol overhead, not parallelism, and the report says so rather than
+//! pretending otherwise.
+//!
+//! ```sh
+//! cargo run --release -p swiftsim-bench --bin parallel_speedup
+//! SWIFTSIM_SCALE=tiny SWIFTSIM_APPS=nw,bfs SWIFTSIM_PARALLEL_THREADS=1,4 \
+//!   cargo run --release -p swiftsim-bench --bin parallel_speedup
+//! ```
+
+use std::time::Instant;
+use swiftsim_bench::Knobs;
+use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::geomean;
+use swiftsim_trace::ApplicationTrace;
+
+const THREADS_CHILD_ENV: &str = "SWIFTSIM_PARALLEL_SPEEDUP_THREADS";
+const TRACE_ENV: &str = "SWIFTSIM_PARALLEL_SPEEDUP_TRACE";
+const PRESET_ENV: &str = "SWIFTSIM_PARALLEL_SPEEDUP_PRESET";
+/// Driver-level knob: comma-separated thread counts to sweep.
+const THREADS_AXIS_ENV: &str = "SWIFTSIM_PARALLEL_THREADS";
+
+const PRESETS: [(SimulatorPreset, &str); 3] = [
+    (SimulatorPreset::Detailed, "detailed"),
+    (SimulatorPreset::SwiftBasic, "swift_basic"),
+    (SimulatorPreset::SwiftMemory, "swift_memory"),
+];
+
+/// Eight SMs so an 8-thread sweep shards one SM per worker.
+fn bench_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = swiftsim_config::presets::rtx2080ti();
+    cfg.num_sms = 8;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+fn preset_from_token(token: &str) -> SimulatorPreset {
+    PRESETS
+        .iter()
+        .find(|(_, t)| *t == token)
+        .map(|(p, _)| *p)
+        .unwrap_or_else(|| panic!("unknown preset token {token:?}"))
+}
+
+/// Child process: decode the trace, run once at the requested thread
+/// count, report `key=value` lines. Decoding happens before the clock
+/// starts so only the engine is timed.
+fn run_child(threads: usize, preset: &str, path: &str) {
+    let fidelity = FidelityConfig::for_preset(preset_from_token(preset));
+    let sim = SimulatorBuilder::new(bench_gpu())
+        .fidelity(fidelity)
+        .threads(threads)
+        .try_build()
+        .expect("valid config");
+    let app = ApplicationTrace::read_binary_file(path).expect("read trace");
+
+    let t0 = Instant::now();
+    let result = sim.run(&app).expect("benchmark run");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!("cycles={}", result.cycles);
+    println!("insts={}", result.instructions());
+    println!("wall_ms={wall_ms:.3}");
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    cycles: u64,
+    insts: u64,
+    wall_ms: f64,
+}
+
+/// Spawn this binary again for one (threads, workload) cell.
+fn measure(threads: usize, preset: &str, path: &std::path::Path) -> Measurement {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .env(THREADS_CHILD_ENV, threads.to_string())
+        .env(PRESET_ENV, preset)
+        .env(TRACE_ENV, path)
+        .output()
+        .expect("spawn parallel-speedup child");
+    assert!(
+        out.status.success(),
+        "{threads}-thread/{preset} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> f64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("{threads}-thread child did not report {key}: {stdout}"))
+            .parse()
+            .expect("numeric field")
+    };
+    Measurement {
+        cycles: field("cycles") as u64,
+        insts: field("insts") as u64,
+        wall_ms: field("wall_ms"),
+    }
+}
+
+/// One (workload, threads) cell, with the 1-thread wall time it is
+/// normalized against.
+struct Cell {
+    app: &'static str,
+    threads: usize,
+    cycles: u64,
+    wall_ms: f64,
+    base_ms: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.base_ms / self.wall_ms.max(1e-6)
+    }
+}
+
+fn thread_axis() -> Vec<usize> {
+    let spec = std::env::var(THREADS_AXIS_ENV).unwrap_or_else(|_| "1,4,8".to_owned());
+    let axis: Vec<usize> = spec
+        .split(',')
+        .map(|t| t.trim().parse().expect("thread count"))
+        .collect();
+    assert!(
+        axis.first() == Some(&1),
+        "the axis must start at 1 thread (the normalization base): {spec:?}"
+    );
+    axis
+}
+
+fn main() {
+    // Child mode: one measured run, then exit.
+    if let Ok(threads) = std::env::var(THREADS_CHILD_ENV) {
+        let preset = std::env::var(PRESET_ENV).expect("preset env");
+        let path = std::env::var(TRACE_ENV).expect("trace path env");
+        run_child(threads.parse().expect("thread count"), &preset, &path);
+        return;
+    }
+
+    let knobs = Knobs::from_env();
+    let workloads = knobs.workloads();
+    assert!(!workloads.is_empty(), "no workloads selected");
+    let axis = thread_axis();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let preset = "detailed"; // densest per-cycle work: the honest scaling case
+    eprintln!(
+        "parallel-speedup sweep: two-phase engine at {axis:?} threads on {host_cores} host \
+         cores [{}]",
+        knobs.describe()
+    );
+
+    let dir =
+        std::env::temp_dir().join(format!("swiftsim-parallel-speedup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &workloads {
+        let app = w.generate(knobs.scale);
+        let path = dir.join(format!("{}.sstraceb", w.name));
+        app.write_binary_file(&path).expect("write trace");
+        drop(app); // the children load it themselves
+
+        let base = measure(1, preset, &path);
+        cells.push(Cell {
+            app: w.name,
+            threads: 1,
+            cycles: base.cycles,
+            wall_ms: base.wall_ms,
+            base_ms: base.wall_ms,
+        });
+        for &threads in axis.iter().skip(1) {
+            let m = measure(threads, preset, &path);
+            assert_eq!(
+                m.cycles, base.cycles,
+                "{}@{threads}: parallel cycles must be bit-identical to 1 thread",
+                w.name
+            );
+            assert_eq!(
+                m.insts, base.insts,
+                "{}@{threads}: parallel instruction counts must be bit-identical to 1 thread",
+                w.name
+            );
+            eprintln!(
+                "  {:<12} {:>2} threads  {:>12} cycles  {:>9.1} ms  {:>5.2}x vs 1 thread",
+                w.name,
+                threads,
+                m.cycles,
+                m.wall_ms,
+                base.wall_ms / m.wall_ms.max(1e-6),
+            );
+            cells.push(Cell {
+                app: w.name,
+                threads,
+                cycles: m.cycles,
+                wall_ms: m.wall_ms,
+                base_ms: base.wall_ms,
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let geo: Vec<(usize, f64)> = axis
+        .iter()
+        .skip(1)
+        .map(|&threads| {
+            let speedups: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.threads == threads)
+                .map(Cell::speedup)
+                .collect();
+            (threads, geomean(&speedups))
+        })
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"parallel_speedup\",\n");
+    json.push_str(&format!("  \"scale\": \"{:?}\",\n", knobs.scale));
+    json.push_str(&format!("  \"preset\": \"{preset}\",\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"apps\": {},\n", workloads.len()));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"threads\": {}, \"cycles\": {}, \
+             \"wall_ms\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            c.app,
+            c.threads,
+            c.cycles,
+            c.wall_ms,
+            c.speedup(),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"geomean_speedup\": {\n");
+    for (i, (threads, g)) in geo.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{threads}\": {g:.3}{}\n",
+            if i + 1 == geo.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let out_path = std::env::var("SWIFTSIM_PARALLEL_SPEEDUP_OUT")
+        .unwrap_or_else(|_| "BENCH_parallel_speedup.json".into());
+    std::fs::write(&out_path, &json).expect("write bench json");
+
+    println!("{json}");
+    for (threads, g) in &geo {
+        println!("{threads} threads: {g:.2}x vs 1 thread ({out_path})");
+    }
+    if let Some((threads, g)) = geo.last() {
+        if *g < 3.0 {
+            eprintln!(
+                "WARNING: {threads}-thread geomean speedup {g:.2}x below the 3x target \
+                 (host has {host_cores} cores; shard count above the core count measures \
+                 synchronization overhead, not scaling)"
+            );
+        }
+    }
+}

@@ -64,12 +64,14 @@ use std::path::PathBuf;
 
 /// Bumped whenever the engine changes in a way that invalidates cached
 /// results (job-key composition, result schema, simulator semantics).
-/// Version 3: the event-driven cycle-skipping core replaced the swift
-/// presets' stat-free idle jump — skipped cycles now accrue stall/active
-/// counters exactly as dense ticking would, so pre-event-engine rows are
-/// stale. (Version 2: trace content hashes moved to the chunked-binary
-/// header scheme.)
-pub const ENGINE_VERSION: u64 = 3;
+/// Version 4: multi-threaded jobs moved from decoupled per-shard memory
+/// slices to the two-phase engine over one shared memory system
+/// (bit-identical to single-threaded under the default per-cycle
+/// quantum), so cached multi-threaded rows no longer match what a rerun
+/// produces. (Version 3: the event-driven cycle-skipping core replaced
+/// the swift presets' stat-free idle jump. Version 2: trace content
+/// hashes moved to the chunked-binary header scheme.)
+pub const ENGINE_VERSION: u64 = 4;
 
 /// How a campaign run executes: worker count, retry bound, cache policy.
 #[derive(Debug, Clone)]

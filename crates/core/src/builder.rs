@@ -266,7 +266,14 @@ impl GpuSimulator {
         let source = input.into().source();
         let started = std::time::Instant::now();
         let mut result = if self.threads > 1 {
-            run_parallel(self, source)?
+            match self.fidelity.sync_quantum {
+                // Legacy decoupled shards: private memory slices, no
+                // cross-shard traffic (the paper's original model).
+                crate::fidelity::SyncQuantum::Unsynchronized => run_parallel(self, source)?,
+                // Two-phase engine: one shared memory system, shards
+                // synchronize every quantum (per-cycle = bit-identical).
+                _ => crate::twophase::run_two_phase(self, source)?,
+            }
         } else {
             self.run_single(source)?
         };
@@ -318,11 +325,12 @@ impl GpuSimulator {
                 let kernel = &*kernel;
                 prof.begin_frame(&format!("k{idx}:{}", kernel.name));
                 let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
+                let sm_ids: Vec<usize> = (0..num_sms).collect();
                 let outcome = run_kernel_shard(
                     &self.cfg,
                     kernel,
                     &blocks,
-                    num_sms,
+                    &sm_ids,
                     mem.as_mut(),
                     self.fidelity,
                     0,
@@ -429,6 +437,7 @@ mod tests {
             memory: MemoryModelKind::AnalyticalReuse,
             frontend: FrontendModelKind::Simplified,
             skip_policy: SkipPolicy::Dense,
+            sync_quantum: crate::fidelity::SyncQuantum::Cycles(32),
         };
         let sim = SimulatorBuilder::new(presets::rtx2080ti())
             .fidelity(fidelity)

@@ -73,6 +73,34 @@ pub enum SkipPolicy {
     EventDriven,
 }
 
+/// How often parallel SM shards synchronize with the shared memory system
+/// when a simulation runs with more than one thread.
+///
+/// The two-phase parallel engine alternates a *compute phase* (shards tick
+/// their SMs independently, buffering memory-visible events) with a *commit
+/// phase* (buffered events are applied to the shared memory system in a
+/// deterministic global order). This knob sets the length of that cycle
+/// quantum. Single-threaded runs ignore it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SyncQuantum {
+    /// Commit after every simulated cycle. The committed-event order is a
+    /// total order identical to the sequential engine's call order, so the
+    /// results are **bit-identical** to a single-threaded run regardless of
+    /// thread count (gated by `event_engine_equiv`).
+    #[default]
+    PerCycle,
+    /// Relaxed synchronization: shards run `n >= 2` cycles ahead between
+    /// commits. Deterministic and reproducible for a fixed thread count,
+    /// but memory contention is observed at quantum granularity, so the
+    /// statistics may diverge from the sequential engine. Divergence is
+    /// exercised by the relaxed-quantum cases in `event_engine_equiv`.
+    Cycles(u32),
+    /// Legacy decoupled shards: each shard owns a private slice of the
+    /// memory hierarchy and never exchanges traffic (the paper's original
+    /// parallel model). Fast, but per-shard bandwidth is an approximation.
+    Unsynchronized,
+}
+
 /// The resolved per-module fidelity of one simulator instance.
 ///
 /// # Examples
@@ -102,6 +130,8 @@ pub struct FidelityConfig {
     pub frontend: FrontendModelKind,
     /// Clock-advance policy.
     pub skip_policy: SkipPolicy,
+    /// Shard-synchronization quantum for multi-threaded runs.
+    pub sync_quantum: SyncQuantum,
 }
 
 impl Default for FidelityConfig {
@@ -149,6 +179,17 @@ impl SkipPolicy {
         match self {
             SkipPolicy::Dense => "dense",
             SkipPolicy::EventDriven => "event_driven",
+        }
+    }
+}
+
+impl SyncQuantum {
+    /// Short stable token, used in JSON output and parseable back.
+    pub fn token(self) -> String {
+        match self {
+            SyncQuantum::PerCycle => "per_cycle".to_owned(),
+            SyncQuantum::Cycles(n) => n.to_string(),
+            SyncQuantum::Unsynchronized => "unsync".to_owned(),
         }
     }
 }
@@ -214,6 +255,25 @@ impl FromStr for SkipPolicy {
     }
 }
 
+impl FromStr for SyncQuantum {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, SimError> {
+        match s {
+            "per_cycle" | "per-cycle" | "1" => Ok(SyncQuantum::PerCycle),
+            "unsync" | "unsynchronized" => Ok(SyncQuantum::Unsynchronized),
+            other => match other.parse::<u32>() {
+                Ok(n) if n >= 2 => Ok(SyncQuantum::Cycles(n)),
+                _ => Err(parse_err(
+                    "sync quantum",
+                    other,
+                    "per_cycle, a cycle count >= 2, unsync",
+                )),
+            },
+        }
+    }
+}
+
 impl FidelityConfig {
     /// The module choices behind one of the paper's presets (§IV-A3).
     ///
@@ -226,18 +286,21 @@ impl FidelityConfig {
                 memory: MemoryModelKind::CycleAccurate,
                 frontend: FrontendModelKind::Detailed,
                 skip_policy: SkipPolicy::EventDriven,
+                sync_quantum: SyncQuantum::PerCycle,
             },
             SimulatorPreset::SwiftBasic => FidelityConfig {
                 alu: AluModelKind::Analytical,
                 memory: MemoryModelKind::CycleAccurate,
                 frontend: FrontendModelKind::Simplified,
                 skip_policy: SkipPolicy::EventDriven,
+                sync_quantum: SyncQuantum::PerCycle,
             },
             SimulatorPreset::SwiftMemory => FidelityConfig {
                 alu: AluModelKind::Analytical,
                 memory: MemoryModelKind::Analytical,
                 frontend: FrontendModelKind::Simplified,
                 skip_policy: SkipPolicy::EventDriven,
+                sync_quantum: SyncQuantum::PerCycle,
             },
         }
     }
@@ -263,13 +326,26 @@ impl FidelityConfig {
             FrontendModelKind::Detailed => "detailed_frontend",
             FrontendModelKind::Simplified => "simplified_frontend",
         };
-        format!("{alu}+{mem}+{frontend}+{}", self.skip_policy.token())
+        let mut out = format!("{alu}+{mem}+{frontend}+{}", self.skip_policy.token());
+        // The default per-cycle quantum is bit-identical to the sequential
+        // engine, so it stays silent; only non-default quanta change what a
+        // run computes and therefore must show up in descriptions (and in
+        // the campaign cache keys built from them).
+        match self.sync_quantum {
+            SyncQuantum::PerCycle => {}
+            SyncQuantum::Cycles(n) => {
+                out.push_str(&format!("+sync_q{n}"));
+            }
+            SyncQuantum::Unsynchronized => out.push_str("+unsync"),
+        }
+        out
     }
 
     /// Apply one GPGPU-Sim-style fidelity option.
     ///
     /// Recognized keys: `-sim_alu_model`, `-sim_mem_model`,
-    /// `-sim_frontend_model`, `-sim_skip_policy`. Unknown `-sim_*` keys are
+    /// `-sim_frontend_model`, `-sim_skip_policy`, `-sim_sync_quantum`.
+    /// Unknown `-sim_*` keys are
     /// an error (a typo'd fidelity knob must not silently fall back to the
     /// default); returns `Ok(false)` for any other key so callers can embed
     /// fidelity options inside a full config file.
@@ -284,11 +360,13 @@ impl FidelityConfig {
             "-sim_mem_model" => self.memory = value.parse()?,
             "-sim_frontend_model" => self.frontend = value.parse()?,
             "-sim_skip_policy" => self.skip_policy = value.parse()?,
+            "-sim_sync_quantum" => self.sync_quantum = value.parse()?,
             other if other.starts_with("-sim_") => {
                 return Err(SimError::InvalidConfig {
                     message: format!(
                         "unknown fidelity option {other:?} (expected -sim_alu_model, \
-                         -sim_mem_model, -sim_frontend_model, or -sim_skip_policy)"
+                         -sim_mem_model, -sim_frontend_model, -sim_skip_policy, or \
+                         -sim_sync_quantum)"
                     ),
                 });
             }
@@ -413,5 +491,40 @@ mod tests {
         let f = FidelityConfig::default();
         assert_eq!(f, FidelityConfig::for_preset(SimulatorPreset::Detailed));
         assert_eq!(f.skip_policy, SkipPolicy::EventDriven);
+        assert_eq!(f.sync_quantum, SyncQuantum::PerCycle);
+    }
+
+    #[test]
+    fn sync_quantum_tokens_round_trip() {
+        for q in [
+            SyncQuantum::PerCycle,
+            SyncQuantum::Cycles(2),
+            SyncQuantum::Cycles(64),
+            SyncQuantum::Unsynchronized,
+        ] {
+            assert_eq!(q.token().parse::<SyncQuantum>().unwrap(), q);
+        }
+        // A 1-cycle quantum *is* per-cycle synchronization.
+        assert_eq!("1".parse::<SyncQuantum>().unwrap(), SyncQuantum::PerCycle);
+        assert!("0".parse::<SyncQuantum>().is_err());
+        assert!("-4".parse::<SyncQuantum>().is_err());
+        assert!("sometimes".parse::<SyncQuantum>().is_err());
+    }
+
+    #[test]
+    fn sync_quantum_parses_and_shows_in_describe() {
+        let f = FidelityConfig::parse_args("-sim_sync_quantum 8").unwrap();
+        assert_eq!(f.sync_quantum, SyncQuantum::Cycles(8));
+        assert!(f.describe().ends_with("+sync_q8"), "{}", f.describe());
+
+        let f = FidelityConfig::parse_args("-sim_sync_quantum unsync").unwrap();
+        assert_eq!(f.sync_quantum, SyncQuantum::Unsynchronized);
+        assert!(f.describe().ends_with("+unsync"), "{}", f.describe());
+
+        // The default quantum stays silent so preset descriptions (and the
+        // campaign cache keys derived from them) are unchanged.
+        let f = FidelityConfig::parse_args("-sim_sync_quantum per_cycle").unwrap();
+        assert_eq!(f.describe(), FidelityConfig::default().describe());
+        assert!(!f.describe().contains("sync"), "{}", f.describe());
     }
 }

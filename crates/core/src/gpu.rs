@@ -61,7 +61,7 @@ pub(crate) fn merge_into(total: &mut SmStats, s: SmStats) {
     total.add(&s);
 }
 
-fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
+pub(crate) fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
     match kind {
         AluModelKind::CycleAccurate => Box::new(CycleAccurateAlu::new(&cfg.sm)),
         AluModelKind::Analytical => Box::new(AnalyticalAlu::new(&cfg.sm)),
@@ -72,20 +72,22 @@ fn make_alu(kind: AluModelKind, cfg: &GpuConfig) -> Box<dyn AluModel> {
 ///
 /// `block_indices` are the kernel's block ids this shard executes; `sm_ids`
 /// are the *global* SM ids the shard owns (their count sets the local SM
-/// array size; memory-system calls use local indices). `shard` is the
-/// shard's index, used only for error reporting.
+/// array size; memory-system calls use local indices, diagnostics use the
+/// global ids). `shard` is the shard's index, used only for error
+/// reporting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_kernel_shard(
     cfg: &GpuConfig,
     kernel: &KernelTrace,
     block_indices: &[usize],
-    num_local_sms: usize,
+    sm_ids: &[usize],
     mem: &mut dyn MemorySystem,
     fidelity: FidelityConfig,
     shard: usize,
     start: Cycle,
     prof: &mut Profiler,
 ) -> Result<ShardKernelOutcome, SimError> {
+    let num_local_sms = sm_ids.len();
     if !kernel.is_consistent(cfg.sm.warp_size) {
         return Err(SimError::InconsistentTrace {
             kernel: kernel.name.clone(),
@@ -108,6 +110,7 @@ pub(crate) fn run_kernel_shard(
         .map(|i| {
             SmCore::new(
                 i,
+                sm_ids[i],
                 &cfg.sm,
                 occupancy.blocks_per_sm as usize,
                 warps_per_block,
@@ -283,15 +286,66 @@ pub(crate) fn split_blocks(num_blocks: usize, shards: usize) -> Vec<Vec<usize>> 
     out
 }
 
+/// Distribute `partitions` memory partitions over shards proportionally to
+/// their SM counts, exactly and deterministically.
+///
+/// Largest-remainder apportionment: every shard gets the floor of its
+/// proportional share, then the leftover partitions go one each to the
+/// shards with the largest fractional remainders (ties broken by shard
+/// index). Shards that still end up with zero take one partition from the
+/// currently-richest shard (a shard cannot simulate with no memory
+/// partition), so the counts sum to `partitions` whenever
+/// `shards <= partitions` and to the shard count otherwise.
+pub(crate) fn shard_partitions(partitions: u32, shard_sms: &[u32]) -> Vec<u32> {
+    let total: u64 = shard_sms.iter().map(|&s| u64::from(s)).sum();
+    if shard_sms.is_empty() || total == 0 {
+        return vec![1; shard_sms.len()];
+    }
+    let mut share: Vec<u32> = shard_sms
+        .iter()
+        .map(|&s| (u64::from(partitions) * u64::from(s) / total) as u32)
+        .collect();
+    // Hand out the remainder by descending fractional part, index as the
+    // deterministic tiebreak.
+    let mut order: Vec<usize> = (0..shard_sms.len()).collect();
+    order.sort_by_key(|&i| {
+        let frac = u64::from(partitions) * u64::from(shard_sms[i]) % total;
+        (std::cmp::Reverse(frac), i)
+    });
+    let assigned: u32 = share.iter().sum();
+    for &i in order
+        .iter()
+        .take(partitions.saturating_sub(assigned) as usize)
+    {
+        share[i] += 1;
+    }
+    // Min-1 floor: fund empty shards from the richest ones while any shard
+    // still holds at least 2; once every share is 0 or 1 (possible only
+    // when shards > partitions), the remaining zeros are bumped outright.
+    for i in 0..share.len() {
+        if share[i] > 0 {
+            continue;
+        }
+        let richest = (0..share.len()).max_by_key(|&j| (share[j], std::cmp::Reverse(j)));
+        match richest {
+            Some(j) if share[j] >= 2 => {
+                share[j] -= 1;
+                share[i] = 1;
+            }
+            _ => share[i] = 1,
+        }
+    }
+    share
+}
+
 /// A scaled-down configuration for one shard of a parallel run: the shard
-/// owns `local_sms` of `total_sms` SMs and a proportional slice of the
-/// memory system, preserving per-SM bandwidth and capacity ratios.
-pub(crate) fn shard_config(cfg: &GpuConfig, local_sms: u32, total_sms: u32) -> GpuConfig {
+/// owns `local_sms` SMs and `partitions` memory partitions (computed for
+/// the whole split by [`shard_partitions`], so sibling shards' slices sum
+/// to the GPU's total and per-SM bandwidth stays unskewed).
+pub(crate) fn shard_config(cfg: &GpuConfig, local_sms: u32, partitions: u32) -> GpuConfig {
     let mut shard = cfg.clone();
     shard.num_sms = local_sms;
-    let parts = (u64::from(cfg.memory.partitions) * u64::from(local_sms)
-        / u64::from(total_sms.max(1))) as u32;
-    shard.memory.partitions = parts.max(1);
+    shard.memory.partitions = partitions.max(1);
     shard
 }
 
@@ -314,10 +368,46 @@ mod tests {
     #[test]
     fn shard_config_scales_partitions() {
         let cfg = swiftsim_config::presets::rtx2080ti(); // 68 SMs, 22 parts
-        let shard = shard_config(&cfg, 17, 68);
+        let parts = shard_partitions(cfg.memory.partitions, &[17, 17, 17, 17]);
+        assert_eq!(parts.iter().sum::<u32>(), 22);
+        let shard = shard_config(&cfg, 17, parts[0]);
         assert_eq!(shard.num_sms, 17);
-        assert_eq!(shard.memory.partitions, 5); // 22*17/68 = 5.5 -> 5
-                                                // Degenerate shard still has one partition.
-        assert_eq!(shard_config(&cfg, 1, 68).memory.partitions, 1);
+        assert_eq!(shard.memory.partitions, parts[0]);
+        // Degenerate shard still has one partition.
+        assert_eq!(shard_config(&cfg, 1, 0).memory.partitions, 1);
+    }
+
+    #[test]
+    fn shard_partitions_sum_to_the_gpu_total() {
+        // The old floor-division scaling lost partitions on uneven splits
+        // (e.g. 22 partitions over 23/23/22 SMs gave 7+7+7 = 21), silently
+        // skewing per-SM bandwidth between shards. The apportionment must
+        // be exact for every shard count.
+        let cfg = swiftsim_config::presets::rtx2080ti(); // 68 SMs, 22 parts
+        let total_parts = cfg.memory.partitions;
+        for shards in 1..=cfg.num_sms as usize {
+            let sizes: Vec<u32> = crate::parallel::split_sms(cfg.num_sms as usize, shards)
+                .iter()
+                .map(|&n| n as u32)
+                .collect();
+            let parts = shard_partitions(total_parts, &sizes);
+            let sum: u32 = parts.iter().sum();
+            // Every shard needs >= 1 partition to simulate, so splits wider
+            // than the partition count sum to the shard count instead.
+            let expect = total_parts.max(shards as u32);
+            assert_eq!(sum, expect, "{shards} shards, sizes {sizes:?}: {parts:?}");
+            assert!(parts.iter().all(|&p| p >= 1), "{parts:?}");
+            // Proportionality: a shard never gets more than its ceiling
+            // share plus the min-1 bump.
+            for (i, &p) in parts.iter().enumerate() {
+                let ceil = (u64::from(total_parts) * u64::from(sizes[i]))
+                    .div_ceil(u64::from(cfg.num_sms)) as u32;
+                assert!(p <= ceil.max(1), "shard {i}: {p} > ceil {ceil}");
+            }
+        }
+        // The motivating case from the issue: uneven 23/23/22 split.
+        let parts = shard_partitions(22, &[23, 23, 22]);
+        assert_eq!(parts.iter().sum::<u32>(), 22);
+        assert_eq!(parts, vec![8, 7, 7]);
     }
 }

@@ -16,7 +16,13 @@ use swiftsim_metrics::{Json, MetricsCollector};
 /// stall/active-cycle statistics during formerly skipped idle cycles (the
 /// event-driven engine accounts them exactly), so v1 counters are not
 /// comparable.
-pub const RESULT_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the fidelity object gained `sync_quantum` (shard-synchronization
+/// quantum of the two-phase parallel engine). Multi-threaded runs now use
+/// the shared-memory two-phase engine by default instead of decoupled
+/// per-shard memory slices, so v2 multi-threaded counters are not
+/// comparable.
+pub const RESULT_SCHEMA_VERSION: u64 = 3;
 
 impl KernelResult {
     /// Serialize to the shared JSON schema.
@@ -62,6 +68,7 @@ impl FidelityConfig {
             ("memory", Json::str(self.memory.token())),
             ("frontend", Json::str(self.frontend.token())),
             ("skip_policy", Json::str(self.skip_policy.token())),
+            ("sync_quantum", Json::str(self.sync_quantum.token())),
         ])
     }
 
@@ -81,6 +88,14 @@ impl FidelityConfig {
             memory: field(json, "memory")?,
             frontend: field(json, "frontend")?,
             skip_policy: field(json, "skip_policy")?,
+            // Absent in pre-v3 documents; the default quantum is the only
+            // value such documents could have run with.
+            sync_quantum: match json.get("sync_quantum").and_then(Json::as_str) {
+                Some(tok) => tok
+                    .parse()
+                    .map_err(|e: crate::error::SimError| e.to_string())?,
+                None => crate::fidelity::SyncQuantum::PerCycle,
+            },
         })
     }
 }
@@ -163,7 +178,9 @@ impl SimulationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fidelity::{AluModelKind, FrontendModelKind, MemoryModelKind, SkipPolicy};
+    use crate::fidelity::{
+        AluModelKind, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
+    };
     use swiftsim_metrics::Value;
 
     fn sample() -> SimulationResult {
@@ -176,6 +193,7 @@ mod tests {
             memory: MemoryModelKind::CycleAccurate,
             frontend: FrontendModelKind::Simplified,
             skip_policy: SkipPolicy::EventDriven,
+            sync_quantum: SyncQuantum::Cycles(16),
         };
         SimulationResult {
             app: "bfs".into(),
@@ -246,11 +264,26 @@ mod tests {
             fid.get("skip_policy").and_then(Json::as_str),
             Some("event_driven")
         );
+        assert_eq!(fid.get("sync_quantum").and_then(Json::as_str), Some("16"));
         // A malformed fidelity is rejected, not defaulted.
         let mut bad = sample().to_json();
         if let Json::Obj(pairs) = &mut bad {
             pairs[3].1 = Json::obj(vec![("alu", Json::str("quantum"))]);
         }
         assert!(SimulationResult::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn missing_sync_quantum_defaults_to_per_cycle() {
+        // Documents written before the field existed can only have run with
+        // per-cycle semantics; reading one must not fail.
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            if let Json::Obj(fid) = &mut pairs[3].1 {
+                fid.retain(|(k, _)| *k != "sync_quantum");
+            }
+        }
+        let back = SimulationResult::from_json(&json).unwrap();
+        assert_eq!(back.fidelity.sync_quantum, SyncQuantum::PerCycle);
     }
 }

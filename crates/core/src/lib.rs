@@ -72,12 +72,16 @@ mod result;
 mod scheduler;
 mod scoreboard;
 mod sm;
+mod spsc;
+mod twophase;
 
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
 pub use builder::{GpuSimulator, SimulatorBuilder, SimulatorPreset};
 pub use error::{panic_message, SimError};
-pub use fidelity::{AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy};
+pub use fidelity::{
+    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
+};
 pub use input::TraceInput;
 pub use json::RESULT_SCHEMA_VERSION;
 pub use mem_system::{MemReply, MemorySystem};

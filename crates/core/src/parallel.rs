@@ -16,7 +16,7 @@
 use crate::builder::GpuSimulator;
 use crate::error::SimError;
 use crate::fidelity::MemoryModelKind;
-use crate::gpu::{merge_into, run_kernel_shard, shard_config, split_blocks};
+use crate::gpu::{merge_into, run_kernel_shard, shard_config, shard_partitions, split_blocks};
 use crate::mem_system::{
     AnalyticalMemoryBuilder, CycleAccurateMemory, MemorySystem, ReuseAnalyticalMemoryBuilder,
 };
@@ -42,7 +42,7 @@ pub fn max_threads() -> usize {
 
 /// Split `total` SMs into `shards` contiguous groups (sizes differ by at
 /// most one).
-fn split_sms(total: usize, shards: usize) -> Vec<usize> {
+pub(crate) fn split_sms(total: usize, shards: usize) -> Vec<usize> {
     let shards = shards.max(1).min(total.max(1));
     let base = total / shards;
     let extra = total % shards;
@@ -57,13 +57,31 @@ pub(crate) fn run_parallel(
     let group_sizes = split_sms(total_sms, sim.threads);
     let shards = group_sizes.len();
 
+    // The global SM ids each shard owns: contiguous ranges in shard order,
+    // so diagnostics (deadlock reports, profiles) name SMs a user can find.
+    let sm_id_groups: Vec<Vec<usize>> = {
+        let mut next = 0usize;
+        group_sizes
+            .iter()
+            .map(|&n| {
+                let ids = (next..next + n).collect();
+                next += n;
+                ids
+            })
+            .collect()
+    };
+
     // Shard configurations and memory systems (persisting across kernels so
-    // caches stay warm, as in the single-threaded path). The analytical
-    // pre-passes stream: each kernel is decoded once and fed to every
-    // shard's accumulator, then dropped.
-    let shard_cfgs: Vec<_> = group_sizes
+    // caches stay warm, as in the single-threaded path). Memory partitions
+    // are apportioned exactly across the shards — their counts sum to the
+    // GPU's total. The analytical pre-passes stream: each kernel is decoded
+    // once and fed to every shard's accumulator, then dropped.
+    let group_sizes_u32: Vec<u32> = group_sizes.iter().map(|&n| n as u32).collect();
+    let partition_split = shard_partitions(sim.cfg.memory.partitions, &group_sizes_u32);
+    let shard_cfgs: Vec<_> = group_sizes_u32
         .iter()
-        .map(|&n| shard_config(&sim.cfg, n as u32, sim.cfg.num_sms))
+        .zip(&partition_split)
+        .map(|(&n, &parts)| shard_config(&sim.cfg, n, parts))
         .collect();
     let mut mems: Vec<Box<dyn MemorySystem>> = match sim.fidelity.memory {
         MemoryModelKind::CycleAccurate => shard_cfgs
@@ -138,17 +156,17 @@ pub(crate) fn run_parallel(
                         .iter_mut()
                         .zip(&mut profs)
                         .zip(&shard_cfgs)
-                        .zip(&group_sizes)
+                        .zip(&sm_id_groups)
                         .zip(&block_split)
                         .enumerate()
-                        .map(|(shard, ((((mem, prof), cfg), &local_sms), blocks))| {
+                        .map(|(shard, ((((mem, prof), cfg), sm_ids), blocks))| {
                             scope.spawn(move || {
                                 prof.begin_frame(&format!("k{kidx}:{}", kernel.name));
                                 let outcome = run_kernel_shard(
                                     cfg,
                                     kernel,
                                     blocks,
-                                    local_sms,
+                                    sm_ids,
                                     mem.as_mut(),
                                     sim.fidelity,
                                     shard,

@@ -195,6 +195,10 @@ pub(crate) struct TickOutcome {
 /// One streaming multiprocessor.
 pub(crate) struct SmCore<'a> {
     id: usize,
+    /// Global SM id for diagnostics. Under sharded execution `id` is the
+    /// shard-local index the memory system keys ports by, while this is
+    /// the id a user can find in the profile/trace.
+    global_id: usize,
     cfg: SmConfig,
     schedulers: Vec<Box<dyn WarpSchedulerPolicy>>,
     /// Warps per block slot: warp `w` of slot `s` is SoA index
@@ -258,6 +262,7 @@ impl<'a> SmCore<'a> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
+        global_id: usize,
         cfg: &SmConfig,
         slots: usize,
         warps_per_block: usize,
@@ -269,6 +274,7 @@ impl<'a> SmCore<'a> {
         let n = slots * warps_per_block;
         SmCore {
             id,
+            global_id,
             cfg: cfg.clone(),
             schedulers: (0..cfg.sub_cores).map(|_| make_scheduler()).collect(),
             stride: warps_per_block,
@@ -428,8 +434,26 @@ impl<'a> SmCore<'a> {
         };
         Some(format!(
             "SM {} block {} warp {w} {why}",
-            self.id, self.s_global_block[slot]
+            self.global_id, self.s_global_block[slot]
         ))
+    }
+
+    /// Apply a memory reply that the two-phase engine resolved during its
+    /// commit phase: exactly what the sequential engine's `MemReply::Done`
+    /// arm does at issue time (LD/ST latency attribution plus a future
+    /// writeback event), deferred to just before the next compute phase.
+    pub(crate) fn apply_deferred_done(
+        &mut self,
+        target: WbTarget,
+        at: Cycle,
+        issue_now: Cycle,
+        prof: &mut Profiler,
+    ) {
+        prof.add_cycles(ProfModule::LdSt, at.saturating_sub(issue_now));
+        if target.reg.0 != u16::MAX {
+            self.wb_events
+                .push(Reverse((at, target.slot, target.warp, target.reg.0)));
+        }
     }
 
     /// Drain due writebacks; returns whether any event fired (even for a

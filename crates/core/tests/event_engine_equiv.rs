@@ -11,8 +11,9 @@
 use swiftsim_config::presets;
 use swiftsim_core::{
     AluModelKind, FidelityConfig, MemoryModelKind, SimulationResult, SimulatorBuilder,
-    SimulatorPreset, SkipPolicy,
+    SimulatorPreset, SkipPolicy, SyncQuantum,
 };
+use swiftsim_metrics::Value;
 use swiftsim_trace::{ChunkedTraceSource, TextTraceSource, TraceSource};
 use swiftsim_workloads::Scale;
 
@@ -136,6 +137,109 @@ fn event_engine_matches_dense_when_sharded() {
             );
         }
     }
+}
+
+/// The two-phase engine's headline contract: under the default per-cycle
+/// quantum, a multi-threaded run is **bit-identical** to the
+/// single-threaded engine — same cycles, same per-kernel stats, same
+/// Metrics Gatherer counters — for every preset and thread count
+/// (including uneven SM splits). Only `sim.threads` and the simulator
+/// label legitimately differ; they are normalized before comparing.
+#[test]
+fn two_phase_parallel_matches_single_thread_bit_identically() {
+    let cfg = small_gpu(); // 4 SMs: threads 3 exercises the uneven 2/1/1 split
+    let app = swiftsim_workloads::by_name("hotspot")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        let (_, event) = preset_pair(preset);
+        let mut reference = run_with(&cfg, event, 1, &app);
+        reference.metrics.set("sim.threads", Value::Count(0));
+        for threads in [2usize, 3, 4] {
+            let mut sharded = run_with(&cfg, event, threads, &app);
+            sharded.metrics.set("sim.threads", Value::Count(0));
+            assert_stats_equal(
+                &reference,
+                &sharded,
+                &format!("{preset:?} at {threads} threads vs single"),
+            );
+        }
+    }
+}
+
+/// The bit-identity must also hold when the trace streams from disk and
+/// under dense ticking (no event-driven jumps to hide behind).
+#[test]
+fn two_phase_parallel_matches_single_thread_across_sources_and_policies() {
+    let dir = std::env::temp_dir().join(format!("swiftsim-equiv-twophase-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let app = swiftsim_workloads::by_name("backprop")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    let bin_path = dir.join("app.sstraceb");
+    app.write_binary_file(&bin_path)
+        .expect("write binary trace");
+    let chunked = ChunkedTraceSource::open(&bin_path).expect("open chunked trace");
+
+    let cfg = small_gpu();
+    let (dense, event) = preset_pair(SimulatorPreset::SwiftBasic);
+    for fidelity in [dense, event] {
+        let mut reference = run_with(&cfg, fidelity, 1, &app);
+        reference.metrics.set("sim.threads", Value::Count(0));
+        let sources: [(&str, &dyn TraceSource); 2] = [("memory", &app), ("chunked", &chunked)];
+        for (label, source) in sources {
+            let mut sharded = run_with(&cfg, fidelity, 4, source);
+            sharded.metrics.set("sim.threads", Value::Count(0));
+            assert_stats_equal(
+                &reference,
+                &sharded,
+                &format!(
+                    "{label} source, {:?} policy, 4 threads",
+                    fidelity.skip_policy
+                ),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Relaxed quanta trade the bit-identity guarantee for fewer
+/// synchronization barriers. They are explicit opt-in (the default is
+/// per-cycle) and must stay *deterministic*: the same configuration run
+/// twice produces the same statistics.
+#[test]
+fn relaxed_quantum_is_deterministic_and_opt_in() {
+    assert_eq!(
+        FidelityConfig::default().sync_quantum,
+        SyncQuantum::PerCycle,
+        "bit-identical per-cycle commit is the default"
+    );
+    let cfg = small_gpu();
+    let app = swiftsim_workloads::by_name("bfs")
+        .expect("workload exists")
+        .generate(Scale::Tiny);
+    let mut fid = FidelityConfig::for_preset(SimulatorPreset::SwiftBasic);
+    fid.sync_quantum = SyncQuantum::Cycles(8);
+    let a = run_with(&cfg, fid, 4, &app);
+    let b = run_with(&cfg, fid, 4, &app);
+    assert_stats_equal(&a, &b, "relaxed quantum, identical runs");
+    assert!(
+        a.simulator.contains("+sync_q8"),
+        "relaxed quantum must be visible in the simulator label: {}",
+        a.simulator
+    );
+
+    // The legacy decoupled-shard engine stays reachable behind the same
+    // knob and is equally deterministic.
+    fid.sync_quantum = SyncQuantum::Unsynchronized;
+    let a = run_with(&cfg, fid, 2, &app);
+    let b = run_with(&cfg, fid, 2, &app);
+    assert_stats_equal(&a, &b, "unsynchronized legacy engine, identical runs");
+    assert!(a.simulator.contains("+unsync"), "{}", a.simulator);
 }
 
 #[test]
@@ -298,6 +402,43 @@ mod randomized {
             let (dense, event) = super::preset_pair(preset);
             let a = super::run_with(&cfg, dense, 1, &app);
             let b = super::run_with(&cfg, event, 1, &app);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(&a.kernels, &b.kernels);
+            prop_assert_eq!(&a.metrics, &b.metrics);
+        }
+
+        /// Randomized synchronization quanta: per-cycle commits must stay
+        /// bit-identical to single-threaded for any trace, and relaxed
+        /// quanta must stay deterministic run-to-run.
+        #[test]
+        fn random_quanta_are_deterministic(
+            quantum in 2u32..48,
+            threads in 2usize..5,
+            blocks in 1u32..5,
+            warps in 1u32..4,
+            bodies in prop::collection::vec(
+                prop::collection::vec((0u8..5, any::<u64>()), 1..16),
+                1..4,
+            ),
+        ) {
+            let cfg = super::small_gpu(); // 4 SMs
+            let threads = threads.min(4);
+            let app = build_app(blocks, warps, &bodies);
+
+            let mut per_cycle = FidelityConfig::for_preset(SimulatorPreset::SwiftBasic);
+            per_cycle.sync_quantum = SyncQuantum::PerCycle;
+            let mut reference = super::run_with(&cfg, per_cycle, 1, &app);
+            let mut sharded = super::run_with(&cfg, per_cycle, threads, &app);
+            reference.metrics.set("sim.threads", super::Value::Count(0));
+            sharded.metrics.set("sim.threads", super::Value::Count(0));
+            prop_assert_eq!(reference.cycles, sharded.cycles);
+            prop_assert_eq!(&reference.kernels, &sharded.kernels);
+            prop_assert_eq!(&reference.metrics, &sharded.metrics);
+
+            let mut relaxed = per_cycle;
+            relaxed.sync_quantum = SyncQuantum::Cycles(quantum);
+            let a = super::run_with(&cfg, relaxed, threads, &app);
+            let b = super::run_with(&cfg, relaxed, threads, &app);
             prop_assert_eq!(a.cycles, b.cycles);
             prop_assert_eq!(&a.kernels, &b.kernels);
             prop_assert_eq!(&a.metrics, &b.metrics);

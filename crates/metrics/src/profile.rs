@@ -57,11 +57,14 @@ pub enum ProfModule {
     /// Quiescent cycles the event-driven engine fast-forwarded over instead
     /// of ticking (cycle attribution only; skipping costs no wall time).
     CycleSkip,
+    /// Two-phase parallel engine synchronization: the coordinator waiting
+    /// on shard compute phases and committing their buffered events.
+    PhaseSync,
 }
 
 impl ProfModule {
     /// Every module, in fixed report order.
-    pub const ALL: [ProfModule; 12] = [
+    pub const ALL: [ProfModule; 13] = [
         ProfModule::BlockScheduler,
         ProfModule::WarpScheduler,
         ProfModule::Alu,
@@ -74,6 +77,7 @@ impl ProfModule {
         ProfModule::TraceDecode,
         ProfModule::Other,
         ProfModule::CycleSkip,
+        ProfModule::PhaseSync,
     ];
 
     /// Dense index of this module in [`ProfModule::ALL`].
@@ -91,6 +95,7 @@ impl ProfModule {
             ProfModule::TraceDecode => 9,
             ProfModule::Other => 10,
             ProfModule::CycleSkip => 11,
+            ProfModule::PhaseSync => 12,
         }
     }
 
@@ -109,6 +114,7 @@ impl ProfModule {
             ProfModule::TraceDecode => "trace-decode",
             ProfModule::Other => "other",
             ProfModule::CycleSkip => "cycle-skip",
+            ProfModule::PhaseSync => "phase-sync",
         }
     }
 
@@ -124,7 +130,10 @@ impl ProfModule {
             | ProfModule::L2
             | ProfModule::Dram
             | ProfModule::MemAnalytical => "mem",
-            ProfModule::TraceDecode | ProfModule::Other | ProfModule::CycleSkip => "sim",
+            ProfModule::TraceDecode
+            | ProfModule::Other
+            | ProfModule::CycleSkip
+            | ProfModule::PhaseSync => "sim",
         }
     }
 }

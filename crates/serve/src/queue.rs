@@ -18,8 +18,21 @@
 //!
 //! The queue is executor-agnostic: local worker threads and remote worker
 //! connections both pull from [`JobQueue::next_task`] and push through
-//! [`JobQueue::complete`]. Remote-worker failure shows up as
-//! [`JobQueue::requeue`] (bounded by `max_losses`, then the task fails).
+//! [`JobQueue::complete`]. Remote failure splits into two independently
+//! counted, independently capped budgets:
+//!
+//! * **Infrastructure losses** — the executor vanished (connection drop,
+//!   lease expiry) and said nothing about the job itself. These go through
+//!   [`JobQueue::requeue`], bounded by `max_losses`.
+//! * **Execution failures** — a live worker ran the job and reported a
+//!   real error. These go through [`JobQueue::grant_retry`], bounded by
+//!   `max_exec_retries`.
+//!
+//! Keeping the two counters separate means a sweep on flaky workers
+//! cannot silently burn a task's execution-retry budget on connection
+//! drops (nor the reverse), and a task that ultimately fails does so with
+//! the right diagnosis: the real execution error when the job is bad, an
+//! executor-loss message when the fleet is.
 
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -62,8 +75,14 @@ enum TaskState {
 struct Task {
     job: ResolvedJob,
     state: TaskState,
-    /// Times this task was requeued after losing its executor.
+    /// Times this task was requeued after losing its executor
+    /// (infrastructure: connection drops, lease expiries). Counted
+    /// separately from `exec_failures` so flaky workers cannot exhaust a
+    /// task's execution-retry budget.
     losses: u32,
+    /// Times a live worker ran this task and reported a real execution
+    /// failure.
+    exec_failures: u32,
 }
 
 struct Submission {
@@ -148,14 +167,19 @@ pub struct JobQueue {
     /// Signaled on every state change: new tasks, completions, drain.
     changed: Condvar,
     /// Requeues granted to a task whose executor was lost, before the task
-    /// is failed outright.
+    /// is failed outright. Infrastructure budget only — independent of
+    /// `max_exec_retries`.
     max_losses: u32,
+    /// Re-runs granted to a task whose worker reported a real execution
+    /// failure, before that failure becomes the task's outcome.
+    max_exec_retries: u32,
 }
 
 impl JobQueue {
     /// An empty queue. A task survives `max_losses` executor losses
-    /// (worker connection drops, lease expiries) before failing.
-    pub fn new(max_losses: u32) -> Self {
+    /// (worker connection drops, lease expiries) and, independently,
+    /// `max_exec_retries` reported execution failures before failing.
+    pub fn new(max_losses: u32, max_exec_retries: u32) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
                 submissions: HashMap::new(),
@@ -166,6 +190,7 @@ impl JobQueue {
             }),
             changed: Condvar::new(),
             max_losses,
+            max_exec_retries,
         }
     }
 
@@ -215,6 +240,7 @@ impl JobQueue {
                     None => TaskState::Queued,
                 },
                 losses: 0,
+                exec_failures: 0,
             })
             .collect();
         state.submissions.insert(
@@ -293,6 +319,10 @@ impl JobQueue {
     /// `max_losses` requeues the task is failed instead, so one bad input
     /// cannot bounce between workers forever. Returns whether the task is
     /// queued again (false: it was failed, or was not running).
+    ///
+    /// This is the *infrastructure* path — the executor said nothing about
+    /// the job itself. Losses counted here never touch the execution-retry
+    /// budget (see [`JobQueue::grant_retry`]).
     pub fn requeue(&self, submission: u64, index: usize, reason: &str) -> bool {
         let mut state = self.lock();
         let Some(sub) = state.submissions.get_mut(&submission) else {
@@ -321,6 +351,37 @@ impl JobQueue {
         drop(state);
         self.changed.notify_all();
         requeued
+    }
+
+    /// A live worker ran this task and reported a real execution failure:
+    /// decide whether the task gets another run. Returns `true` and
+    /// requeues the task while its execution-failure count is within
+    /// `max_exec_retries`; returns `false` (leaving the task `Running`,
+    /// for the caller to [`JobQueue::complete`] with the real error) once
+    /// the budget is spent or when the task is not running.
+    ///
+    /// Execution failures counted here never touch the infrastructure-loss
+    /// budget (see [`JobQueue::requeue`]): a sweep on flaky workers cannot
+    /// burn a task's execution retries on connection drops, nor can a
+    /// genuinely failing job eat the requeues that keep it schedulable
+    /// across worker churn.
+    pub fn grant_retry(&self, submission: u64, index: usize) -> bool {
+        let mut state = self.lock();
+        let Some(sub) = state.submissions.get_mut(&submission) else {
+            return false;
+        };
+        let task = &mut sub.tasks[index];
+        if !matches!(task.state, TaskState::Running { .. }) {
+            return false;
+        }
+        task.exec_failures += 1;
+        let retried = task.exec_failures <= self.max_exec_retries;
+        if retried {
+            task.state = TaskState::Queued;
+        }
+        drop(state);
+        self.changed.notify_all();
+        retried
     }
 
     /// Requeue every task currently leased to `executor` (its connection
@@ -637,7 +698,7 @@ mod tests {
 
     #[test]
     fn lifecycle_queued_running_done() {
-        let q = JobQueue::new(1);
+        let q = JobQueue::new(1, 1);
         let id = q.submit("alice", "sweep", 0, jobs(2)).unwrap();
         assert_eq!(q.status(id).unwrap().state, SubmissionState::Queued);
         assert_eq!(q.depth(), 2);
@@ -665,7 +726,7 @@ mod tests {
 
     #[test]
     fn round_robin_across_clients_priority_within() {
-        let q = JobQueue::new(1);
+        let q = JobQueue::new(1, 1);
         // alice floods the queue first; bob submits one task, low and one
         // high priority.
         let a = q.submit("alice", "flood", 0, jobs(3)).unwrap();
@@ -691,7 +752,7 @@ mod tests {
 
     #[test]
     fn cancel_skips_queued_keeps_running() {
-        let q = JobQueue::new(1);
+        let q = JobQueue::new(1, 1);
         let id = q.submit("c", "s", 0, jobs(3)).unwrap();
         let running = claim(&q, "w");
         assert!(q.cancel(id));
@@ -727,7 +788,7 @@ mod tests {
 
     #[test]
     fn requeue_is_bounded() {
-        let q = JobQueue::new(2);
+        let q = JobQueue::new(2, 1);
         let id = q.submit("c", "s", 0, jobs(1)).unwrap();
 
         // Two losses: requeued both times.
@@ -749,9 +810,48 @@ mod tests {
             .contains("lost executor 3 times"));
     }
 
+    /// Regression: infrastructure losses and execution failures used to be
+    /// indistinguishable to the caller-facing budget. With one loss cap of
+    /// 1 and one retry cap of 1, a connection drop followed by a reported
+    /// failure would exhaust a shared counter; independent counters keep
+    /// both budgets intact.
+    #[test]
+    fn infra_losses_and_exec_failures_are_capped_independently() {
+        let q = JobQueue::new(1, 1);
+        let id = q.submit("c", "s", 0, jobs(1)).unwrap();
+
+        // One reported execution failure: retried (1 <= max_exec_retries).
+        let t = claim(&q, "flaky-sim");
+        assert!(q.grant_retry(t.submission, t.index));
+        assert_eq!(q.status(id).unwrap().state, SubmissionState::Queued);
+
+        // One connection drop: requeued. A shared counter would be at 2
+        // here and fail the task; the infra budget must be untouched by
+        // the execution failure above.
+        let t = claim(&q, "dying-worker");
+        assert!(
+            q.requeue(t.submission, t.index, "connection dropped"),
+            "an execution failure must not consume the infrastructure budget"
+        );
+
+        // Second execution failure: the retry budget is spent. The task is
+        // left Running for the caller to complete with the real error —
+        // grant_retry never invents an executor-loss message for it.
+        let t = claim(&q, "flaky-sim");
+        assert!(!q.grant_retry(t.submission, t.index));
+        assert_eq!(q.status(id).unwrap().running, 1);
+        q.complete(id, t.index, done(&t));
+        let report = q.report(id).unwrap();
+        assert_eq!(
+            report.rows[0].error.as_deref(),
+            Some("test stub"),
+            "the task fails with the real execution error"
+        );
+    }
+
     #[test]
     fn requeue_executor_returns_only_that_workers_leases() {
-        let q = JobQueue::new(5);
+        let q = JobQueue::new(5, 1);
         let id = q.submit("c", "s", 0, jobs(3)).unwrap();
         let t_a = claim(&q, "a");
         let _t_b = claim(&q, "b");
@@ -765,7 +865,7 @@ mod tests {
 
     #[test]
     fn reap_expired_requeues_stale_leases() {
-        let q = JobQueue::new(5);
+        let q = JobQueue::new(5, 1);
         q.submit("c", "s", 0, jobs(1)).unwrap();
         let _t = claim(&q, "remote-hung");
         assert_eq!(
@@ -784,7 +884,7 @@ mod tests {
 
     #[test]
     fn prejudged_tasks_are_born_terminal() {
-        let q = JobQueue::new(1);
+        let q = JobQueue::new(1, 1);
         let mut js = jobs(2);
         let warm_job = js.remove(0);
         let warm_outcome = JobOutcome {
@@ -813,7 +913,7 @@ mod tests {
 
     #[test]
     fn drain_refuses_submits_and_releases_idle_executors() {
-        let q = Arc::new(JobQueue::new(1));
+        let q = Arc::new(JobQueue::new(1, 1));
         let id = q.submit("c", "s", 0, jobs(1)).unwrap();
         q.drain();
         assert!(q.submit("c", "late", 0, jobs(1)).is_none());
@@ -831,7 +931,7 @@ mod tests {
 
     #[test]
     fn blocked_next_task_wakes_on_submit() {
-        let q = Arc::new(JobQueue::new(1));
+        let q = Arc::new(JobQueue::new(1, 1));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || match q2.next_task("w", Duration::from_secs(10)) {
             Dispatch::Task(t) => t.job.spec.label(),

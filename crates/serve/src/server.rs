@@ -55,8 +55,15 @@ pub struct ServeOptions {
     pub result_cache_bytes: usize,
     /// Shared decoded-kernel cache budget, bytes.
     pub kernel_cache_bytes: usize,
-    /// Times a task may lose its remote worker before failing.
+    /// Times a task may lose its remote worker (connection drop, lease
+    /// expiry) before failing. Infrastructure budget: counted and capped
+    /// independently of execution failures, so a flaky fleet cannot burn a
+    /// task's retry budget without ever running it.
     pub max_worker_losses: u32,
+    /// Re-runs granted to a task whose remote worker reported a real
+    /// execution failure (the remote analogue of `max_retries`, which
+    /// only governs the local executor and the worker's own runner).
+    pub max_remote_retries: u32,
     /// Remote lease age after which a task is taken back from a
     /// non-responsive worker.
     pub worker_lease: Duration,
@@ -73,6 +80,7 @@ impl Default for ServeOptions {
             result_cache_bytes: 64 << 20,
             kernel_cache_bytes: 256 << 20,
             max_worker_losses: 2,
+            max_remote_retries: 1,
             worker_lease: Duration::from_secs(300),
         }
     }
@@ -148,7 +156,7 @@ pub fn start(opts: ServeOptions) -> std::io::Result<ServerHandle> {
     };
     let cache = ResultCache::new(opts.cache_dir.clone(), opts.cache);
     let shared = Arc::new(ServerShared {
-        queue: JobQueue::new(opts.max_worker_losses),
+        queue: JobQueue::new(opts.max_worker_losses, opts.max_remote_retries),
         warm: WarmCaches::new(opts.result_cache_bytes, opts.kernel_cache_bytes),
         runner: JobRunner::new(exec_opts, cache),
         counters: CounterSet::new(),
@@ -714,6 +722,17 @@ fn handle_task_result(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Js
             wall,
         }
     };
+    // A reported failure is an *execution* failure — the worker is alive
+    // and talking — so it draws on the task's execution-retry budget, not
+    // the executor-loss budget that connection drops and lease expiries
+    // use. Within budget the task requeues (likely to land on another
+    // worker); past it, the task fails with the real execution error.
+    if matches!(outcome.status, JobStatus::Failed { .. })
+        && shared.queue.grant_retry(task.submission, task.index)
+    {
+        shared.counters.incr("tasks_retried");
+        return ok_response(vec![("accepted", Json::Bool(true))]);
+    }
     record_outcome(&shared.counters, &outcome, "remote");
     shared.queue.complete(task.submission, task.index, outcome);
     ok_response(vec![("accepted", Json::Bool(true))])

@@ -183,6 +183,135 @@ fn worker_loss_mid_task_converges_via_requeue() {
     handle.join();
 }
 
+/// Regression: infrastructure requeues (connection drops, lease expiries)
+/// and reported execution failures used to share one bounded-attempt
+/// budget, so a sweep on flaky workers could fail a task that no worker
+/// ever actually ran to a real error — or burn its execution retries on
+/// connection drops. With both caps set to 1, this drives one loss of
+/// each kind and the task must still converge to `ok` on a healthy
+/// worker; a shared counter would have failed it after the second loss.
+#[test]
+fn infra_losses_do_not_consume_execution_retries() {
+    let mut o = opts("infra-vs-exec");
+    o.local_slots = Some(0);
+    o.max_worker_losses = 1;
+    o.max_remote_retries = 1;
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let (job, tasks) = client
+        .submit(
+            "name = flaky\nworkload = nw\nscale = tiny\npreset = swift-sim-memory\nscheduler = gto\n",
+            "c",
+            0,
+        )
+        .unwrap();
+    assert_eq!(tasks, 1);
+
+    // Raw-protocol worker: hello, then poll task-request until the single
+    // task is leased to us (requeues from a prior loss land asynchronously
+    // when the server notices the dropped socket).
+    let lease_task = |name: &str| -> (TcpStream, BufReader<TcpStream>, Json) {
+        let mut sock = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        let say = |sock: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: String| {
+            sock.write_all(line.as_bytes()).unwrap();
+            sock.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Json::parse(reply.trim()).unwrap()
+        };
+        let hello = say(
+            &mut sock,
+            &mut reader,
+            format!("{{\"op\":\"worker-hello\",\"name\":\"{name}\",\"version\":1}}"),
+        );
+        assert_eq!(hello.get("ok"), Some(&Json::Bool(true)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let reply = say(
+                &mut sock,
+                &mut reader,
+                format!("{{\"op\":\"task-request\",\"name\":\"{name}\"}}"),
+            );
+            match reply.get("task") {
+                Some(Json::Null) | None => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "no lease for {name}: {}",
+                        reply.dump()
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Some(task) => return (sock, reader, task.clone()),
+            }
+        }
+    };
+
+    // Loss #1, infrastructure: a worker claims the task and its socket
+    // drops with the lease unresolved. max_worker_losses = 1 is now spent.
+    drop(lease_task("doomed"));
+
+    // Loss #2, execution: a live worker runs the task and reports a real
+    // failure. Under the old shared budget this second loss exhausted the
+    // task; independently capped, it only spends max_remote_retries = 1.
+    {
+        let (mut sock, mut reader, task) = lease_task("flaky");
+        let submission = task.get("submission").and_then(Json::as_u64).unwrap();
+        let index = task.get("index").and_then(Json::as_u64).unwrap();
+        let key = task.get("key").and_then(Json::as_str).unwrap();
+        sock.write_all(
+            format!(
+                "{{\"op\":\"task-result\",\"name\":\"flaky\",\"submission\":{submission},\
+                 \"index\":{index},\"key\":\"{key}\",\"status\":\"failed\",\
+                 \"error\":\"synthetic crash\",\"attempts\":1,\"wall_us\":0}}\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let reply = Json::parse(reply.trim()).unwrap();
+        assert_eq!(reply.get("accepted"), Some(&Json::Bool(true)), "{reply:?}");
+    }
+
+    // A healthy worker gets the third lease and the sweep converges.
+    let w = WorkerOptions {
+        coordinator: addr.clone(),
+        name: "healthy".to_owned(),
+        cache_dir: scratch("infra-vs-exec-w"),
+        cache: CacheMode::Off,
+        ..WorkerOptions::default()
+    };
+    let healthy = std::thread::spawn(move || run_worker(&w).unwrap());
+
+    let reply = client.wait_result(job, Duration::from_secs(300)).unwrap();
+    let rows = reply.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].get("status").and_then(Json::as_str),
+        Some("ok"),
+        "the task survived one infra loss AND one execution failure: {}",
+        rows[0].dump()
+    );
+
+    let stats = client.stats().unwrap();
+    let counter = |name: &str| {
+        stats
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(counter("tasks_requeued") >= 1, "infra loss was requeued");
+    assert!(counter("tasks_retried") >= 1, "exec failure was retried");
+
+    client.shutdown().unwrap();
+    healthy.join().unwrap();
+    handle.join();
+}
+
 /// Resubmitting the same sweep hits the warm result cache: zero new
 /// simulations, instant completion, and the identical report.
 #[test]
