@@ -57,7 +57,7 @@ pub use executor::{
     run_jobs, run_jobs_cancellable, CancelToken, ExecutorOptions, JobOutcome, JobStatus,
 };
 pub use report::{CampaignReport, JobRow, RowStatus};
-pub use runner::JobRunner;
+pub use runner::{JobRunner, StageTimings};
 pub use spec::{CampaignError, CampaignSpec, GpuSource, JobSpec, ResolvedJob, WorkloadSource};
 
 use std::path::PathBuf;

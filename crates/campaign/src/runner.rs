@@ -14,7 +14,30 @@
 use crate::cache::ResultCache;
 use crate::executor::{run_jobs_cancellable, CancelToken, ExecutorOptions, JobOutcome, JobStatus};
 use crate::spec::ResolvedJob;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use swiftsim_core::SimulatorBuilder;
+
+/// Wall time spent in each stage of one job attempt: cache consultation,
+/// simulator construction (config validation + trace open/decode setup),
+/// the simulation proper, and storing the fresh result.
+///
+/// Produced by [`JobRunner::run_one_timed`] so a scheduler (the serve
+/// daemon's executor slots) can feed per-stage latency histograms. A cache
+/// hit reports only `cache_lookup`; stages not reached stay zero. When a
+/// job is retried, the timings describe the final attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Looking the job key up in the on-disk result cache.
+    pub cache_lookup: Duration,
+    /// `SimulatorBuilder::try_build`: config validation and trace-source
+    /// setup — the "decode" side of an attempt.
+    pub build: Duration,
+    /// Running the simulation itself.
+    pub simulate: Duration,
+    /// Persisting the fresh result into the cache.
+    pub store: Duration,
+}
 
 /// Reusable executor for resolved campaign jobs: cache consultation,
 /// simulation, retries, panic isolation, and cancellation.
@@ -53,24 +76,7 @@ impl JobRunner {
             |_, job| self.attempt(job),
         );
 
-        jobs.iter()
-            .zip(runs)
-            .map(|(job, run)| {
-                let (status, attempts) = match (run.result, run.cancelled) {
-                    (_, true) => (JobStatus::Cancelled, 0),
-                    (Ok((result, true)), _) => (JobStatus::Cached(result), 0),
-                    (Ok((result, false)), _) => (JobStatus::Completed(result), run.attempts),
-                    (Err(error), _) => (JobStatus::Failed { error }, run.attempts),
-                };
-                JobOutcome {
-                    index: job.spec.index,
-                    label: job.spec.label(),
-                    status,
-                    attempts,
-                    wall: run.wall,
-                }
-            })
-            .collect()
+        jobs.iter().zip(runs).map(outcome_of).collect()
     }
 
     /// Execute exactly one job on the *calling* thread, with the same
@@ -80,18 +86,32 @@ impl JobRunner {
     /// daemon's worker slots): they decide *when and where* a job runs,
     /// the runner decides *how*.
     pub fn run_one(&self, job: &ResolvedJob, cancel: &CancelToken) -> JobOutcome {
+        self.run_one_timed(job, cancel).0
+    }
+
+    /// Like [`JobRunner::run_one`], but also reports where the wall time of
+    /// the (final) attempt went, stage by stage.
+    pub fn run_one_timed(
+        &self,
+        job: &ResolvedJob,
+        cancel: &CancelToken,
+    ) -> (JobOutcome, StageTimings) {
         let single = std::slice::from_ref(job);
         let mut opts = self.opts.clone();
         opts.workers = 1;
         opts.heartbeat = None;
-        let runner = JobRunner {
-            opts,
-            cache: self.cache.clone(),
-        };
-        runner
-            .run(single, cancel)
-            .pop()
-            .expect("one job in, one outcome out")
+        let timings = Mutex::new(StageTimings::default());
+        let runs = run_jobs_cancellable(
+            single,
+            &opts,
+            cancel,
+            |job| job.spec.label(),
+            |_, job| self.attempt_timed(job, &timings),
+        );
+        let run = runs.into_iter().next().expect("one job in, one run out");
+        let outcome = outcome_of((job, run));
+        let timings = timings.into_inner().unwrap_or_else(|p| p.into_inner());
+        (outcome, timings)
     }
 
     /// One cache-check → simulate → store attempt. `Ok((result, true))`
@@ -100,18 +120,69 @@ impl JobRunner {
         &self,
         job: &ResolvedJob,
     ) -> Result<(swiftsim_core::SimulationResult, bool), String> {
-        if let Some(hit) = self.cache.lookup(job.key) {
+        self.attempt_timed(job, &Mutex::new(StageTimings::default()))
+    }
+
+    /// The attempt body, publishing stage durations into `timings` at each
+    /// stage boundary (so even a failing attempt reports the stages it
+    /// reached). The cell is a `Mutex` because the executor's panic
+    /// isolation runs attempts under `catch_unwind`.
+    fn attempt_timed(
+        &self,
+        job: &ResolvedJob,
+        timings: &Mutex<StageTimings>,
+    ) -> Result<(swiftsim_core::SimulationResult, bool), String> {
+        let publish = |t: StageTimings| {
+            *timings.lock().unwrap_or_else(|p| p.into_inner()) = t;
+        };
+        let mut t = StageTimings::default();
+        let t0 = Instant::now();
+        let hit = self.cache.lookup(job.key);
+        t.cache_lookup = t0.elapsed();
+        publish(t);
+        if let Some(hit) = hit {
             return Ok((hit, true));
         }
+        let t1 = Instant::now();
         let sim = SimulatorBuilder::new(job.cfg.clone())
             .fidelity(job.fidelity)
             .threads(job.spec.threads)
             .profile(self.opts.profile)
             .try_build()
             .map_err(|e| e.to_string())?;
+        t.build = t1.elapsed();
+        publish(t);
+        let t2 = Instant::now();
         let result = sim.run(job.app.as_ref()).map_err(|e| e.to_string())?;
+        t.simulate = t2.elapsed();
+        publish(t);
+        let t3 = Instant::now();
         self.cache.store(job.key, &job.spec.label(), &result);
+        t.store = t3.elapsed();
+        publish(t);
         Ok((result, false))
+    }
+}
+
+/// Map one executor run back onto the job it executed.
+fn outcome_of(
+    (job, run): (
+        &ResolvedJob,
+        crate::executor::JobRun<(swiftsim_core::SimulationResult, bool)>,
+    ),
+) -> JobOutcome {
+    let (status, attempts) = match (run.result, run.cancelled) {
+        (_, true) => (JobStatus::Cancelled, 0),
+        (Ok((result, true)), _) => (JobStatus::Cached(result), 0),
+        (Ok((result, false)), _) => (JobStatus::Completed(result), run.attempts),
+        (Err(error), _) => (JobStatus::Failed { error }, run.attempts),
+    };
+    JobOutcome {
+        index: job.spec.index,
+        label: job.spec.label(),
+        status,
+        attempts,
+        wall: run.wall,
     }
 }
 
@@ -175,6 +246,25 @@ mod tests {
         // A single-job run honors the token the same way.
         let one = runner.run_one(&jobs[0], &cancel);
         assert_eq!(one.status, JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn run_one_timed_attributes_stages() {
+        let dir = scratch_dir("timed");
+        let jobs = tiny_jobs(1);
+        let runner = JobRunner::new(
+            ExecutorOptions::default(),
+            ResultCache::new(dir.clone(), CacheMode::Use),
+        );
+        let (fresh, t) = runner.run_one_timed(&jobs[0], &CancelToken::new());
+        assert!(matches!(fresh.status, JobStatus::Completed(_)), "{fresh:?}");
+        assert!(t.simulate > Duration::ZERO, "{t:?}");
+        // The cached re-run never reaches the simulate stage.
+        let (cached, t2) = runner.run_one_timed(&jobs[0], &CancelToken::new());
+        assert!(matches!(cached.status, JobStatus::Cached(_)), "{cached:?}");
+        assert_eq!(t2.simulate, Duration::ZERO, "{t2:?}");
+        assert_eq!(t2.build, Duration::ZERO, "{t2:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

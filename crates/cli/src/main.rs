@@ -86,6 +86,15 @@ SERVE OPTIONS (after `swiftsim serve`):
     --retries <N>                                  per-task simulation retries [default: 1]
     --lease-secs <N>                               take tasks back from silent workers after N
                                                    seconds [default: 300]
+    --trace-out <FILE>                             record a task-lifecycle trace: workers ship
+                                                   their profiler tracks back and the daemon
+                                                   writes one merged Perfetto JSON file with
+                                                   coordinator and worker tracks on drain
+    --events-out <FILE>                            write the flight recorder as JSON lines on
+                                                   deadlock, panic, exhausted worker-loss
+                                                   budget, or a dump-events request
+    --flight-capacity <N>                          flight-recorder ring size; 0 disables it
+                                                   [default: 4096]
 
 SUBMIT OPTIONS (after `swiftsim submit <SPEC>`):
     --to <ADDR>                                    daemon address [default: 127.0.0.1:7733]
@@ -95,6 +104,12 @@ SUBMIT OPTIONS (after `swiftsim submit <SPEC>`):
     --no-wait                                      print the job id and exit without waiting
     --out <FILE>                                   also write result rows as JSON lines to FILE
     --stats                                        print daemon statistics as JSON and exit
+    --metrics                                      print the daemon's Prometheus-style metrics
+                                                   exposition (counters, gauges, latency
+                                                   histograms) and exit; with --json, print
+                                                   the structured JSON form instead
+    --dump-events                                  print the daemon's flight-recorder ring as
+                                                   JSON lines and exit
     --drain                                        ask the daemon to drain and exit
 ";
 
@@ -387,6 +402,13 @@ fn parse_serve_args(mut argv: Vec<String>) -> Result<ServeArgs, String> {
                         .map_err(|_| "invalid lease".to_owned())?,
                 );
             }
+            "--trace-out" => options.trace_out = Some(value("--trace-out")?.into()),
+            "--events-out" => options.events_out = Some(value("--events-out")?.into()),
+            "--flight-capacity" => {
+                options.flight_capacity = value("--flight-capacity")?
+                    .parse()
+                    .map_err(|_| "invalid flight-recorder capacity".to_owned())?;
+            }
             other => return Err(format!("unknown serve option {other:?} (try --help)")),
         }
     }
@@ -450,6 +472,9 @@ struct SubmitArgs {
     wait: bool,
     out: Option<String>,
     stats: bool,
+    metrics: bool,
+    dump_events: bool,
+    json: bool,
     drain: bool,
 }
 
@@ -463,6 +488,9 @@ fn parse_submit_args(mut argv: Vec<String>) -> Result<SubmitArgs, String> {
         wait: true,
         out: None,
         stats: false,
+        metrics: false,
+        dump_events: false,
+        json: false,
         drain: false,
     };
 
@@ -487,6 +515,9 @@ fn parse_submit_args(mut argv: Vec<String>) -> Result<SubmitArgs, String> {
             "--no-wait" => args.wait = false,
             "--out" => args.out = Some(value("--out")?),
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
+            "--dump-events" => args.dump_events = true,
+            "--json" => args.json = true,
             "--drain" => args.drain = true,
             other if !other.starts_with('-') && args.spec_path.is_none() => {
                 args.spec_path = Some(other.to_owned());
@@ -505,6 +536,30 @@ fn run_submit_cmd(argv: Vec<String>) -> Result<(), String> {
     if args.stats {
         let stats = client.stats().map_err(|e| e.to_string())?;
         emit(&(stats.dump() + "\n"));
+        return Ok(());
+    }
+    if args.metrics {
+        let (text, json) = client.metrics().map_err(|e| e.to_string())?;
+        if args.json {
+            emit(&(json.dump() + "\n"));
+        } else {
+            emit(&text);
+        }
+        return Ok(());
+    }
+    if args.dump_events {
+        let reply = client.dump_events().map_err(|e| e.to_string())?;
+        let mut jsonl = String::new();
+        for ev in reply.get("events").and_then(Json::as_arr).unwrap_or(&[]) {
+            jsonl.push_str(&ev.dump());
+            jsonl.push('\n');
+        }
+        emit(&jsonl);
+        if let Some(dropped) = reply.get("dropped").and_then(Json::as_u64) {
+            if dropped > 0 {
+                eprintln!("flight recorder dropped {dropped} older event(s)");
+            }
+        }
         return Ok(());
     }
     if args.drain {
@@ -790,6 +845,12 @@ mod tests {
             "--no-cache",
             "--lease-secs",
             "60",
+            "--trace-out",
+            "merged.json",
+            "--events-out",
+            "flight.jsonl",
+            "--flight-capacity",
+            "128",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -799,7 +860,22 @@ mod tests {
         assert_eq!(args.options.local_slots, Some(2));
         assert_eq!(args.options.cache, swiftsim_campaign::CacheMode::Off);
         assert_eq!(args.options.worker_lease, Duration::from_secs(60));
+        assert_eq!(
+            args.options.trace_out,
+            Some(std::path::PathBuf::from("merged.json"))
+        );
+        assert_eq!(
+            args.options.events_out,
+            Some(std::path::PathBuf::from("flight.jsonl"))
+        );
+        assert_eq!(args.options.flight_capacity, 128);
         assert!(args.worker.is_none());
+
+        let defaults = parse_serve_args(vec![]).unwrap();
+        assert!(defaults.options.trace_out.is_none());
+        assert!(defaults.options.events_out.is_none());
+        assert_eq!(defaults.options.flight_capacity, 4096);
+        assert!(parse_serve_args(vec!["--flight-capacity".into(), "lots".into()]).is_err());
 
         let worker = parse_serve_args(vec![
             "--worker".into(),
@@ -845,6 +921,14 @@ mod tests {
 
         let stats = parse_submit_args(vec!["--stats".into()]).unwrap();
         assert!(stats.stats && stats.spec_path.is_none());
+
+        let metrics = parse_submit_args(vec!["--metrics".into(), "--json".into()]).unwrap();
+        assert!(metrics.metrics && metrics.json && metrics.spec_path.is_none());
+        assert!(!parse_submit_args(vec!["--stats".into()]).unwrap().metrics);
+
+        let dump = parse_submit_args(vec!["--dump-events".into()]).unwrap();
+        assert!(dump.dump_events && !dump.metrics);
+
         assert!(parse_submit_args(vec!["--priority".into()]).is_err());
     }
 

@@ -2,6 +2,14 @@
 
 use std::fmt;
 
+/// The stable prefix of every rendered [`SimError::Deadlock`] message.
+///
+/// Services that only see stringified errors (the serve daemon's flight
+/// recorder, remote workers shipping failures as text) match on this marker
+/// to classify a failure as a modeling deadlock — keep it in sync with the
+/// `Display` impl below, which is built from it.
+pub const DEADLOCK_MARKER: &str = "simulation made no progress";
+
 /// Error produced while running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -99,7 +107,7 @@ impl fmt::Display for SimError {
             } => {
                 write!(
                     f,
-                    "simulation made no progress at cycle {cycle} (shard {shard}): {detail}"
+                    "{DEADLOCK_MARKER} at cycle {cycle} (shard {shard}): {detail}"
                 )
             }
             SimError::WorkerPanic { context, message } => {
@@ -152,6 +160,7 @@ mod tests {
             detail: "SM 1 block 7 warp 0 at barrier".to_owned(),
         };
         let s = e.to_string();
+        assert!(s.starts_with(DEADLOCK_MARKER), "{s}");
         assert!(s.contains("cycle 42"), "{s}");
         assert!(s.contains("shard 3"), "{s}");
         assert!(s.contains("warp 0 at barrier"), "{s}");

@@ -78,7 +78,7 @@ mod twophase;
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
 pub use builder::{GpuSimulator, SimulatorBuilder, SimulatorPreset};
-pub use error::{panic_message, SimError};
+pub use error::{panic_message, SimError, DEADLOCK_MARKER};
 pub use fidelity::{
     AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
 };

@@ -1,0 +1,99 @@
+//! The observability machinery must be free when it is off.
+//!
+//! Tier-1 runs (plain `swiftsim`, campaigns without `--profile`, serve
+//! daemons without `--trace-out`) leave the self-profiler and the flight
+//! recorder disabled; this suite pins down that the disabled path really
+//! is the do-nothing path: no profile attached to results, no events
+//! buffered, no field construction, and no measurable slowdown relative
+//! to the instrumented run that does strictly more work.
+
+use std::time::{Duration, Instant};
+
+use swiftsim_config::presets;
+use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_metrics::{FlightRecorder, Json};
+use swiftsim_workloads::Scale;
+
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = presets::rtx2080ti();
+    cfg.num_sms = 4;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+fn app() -> swiftsim_trace::ApplicationTrace {
+    swiftsim_workloads::by_name("backprop")
+        .expect("workload exists")
+        .generate(Scale::Tiny)
+}
+
+fn timed_run(profile: bool, app: &swiftsim_trace::ApplicationTrace) -> (Duration, bool) {
+    let sim = SimulatorBuilder::new(small_gpu())
+        .preset(SimulatorPreset::SwiftMemory)
+        .profile(profile)
+        .try_build()
+        .expect("valid config");
+    let start = Instant::now();
+    let result = sim.run(app).expect("run succeeds");
+    (start.elapsed(), result.profile.is_some())
+}
+
+#[test]
+fn disabled_profiler_attaches_nothing_and_costs_nothing() {
+    let app = app();
+
+    // Warm up (page cache, lazy statics) so the timed runs are comparable.
+    let _ = timed_run(false, &app);
+
+    // Median of several runs each way; the disabled path must not be
+    // slower than the instrumented path, which does strictly more work.
+    // The generous factor absorbs scheduler noise on loaded CI machines —
+    // this is a regression tripwire for accidental always-on
+    // instrumentation, not a microbenchmark.
+    let mut off = Vec::new();
+    let mut on = Vec::new();
+    for _ in 0..5 {
+        let (t_off, has_profile) = timed_run(false, &app);
+        assert!(!has_profile, "default run must not carry a profile");
+        off.push(t_off);
+        let (t_on, has_profile) = timed_run(true, &app);
+        assert!(has_profile, "profiled run must carry a profile");
+        on.push(t_on);
+    }
+    off.sort_unstable();
+    on.sort_unstable();
+    let (off_med, on_med) = (off[off.len() / 2], on[on.len() / 2]);
+    assert!(
+        off_med.as_secs_f64() <= on_med.as_secs_f64() * 1.5 + 0.05,
+        "disabled-profiler run ({off_med:?}) measurably slower than \
+         instrumented run ({on_med:?})"
+    );
+}
+
+#[test]
+fn disabled_flight_recorder_buffers_nothing_and_skips_field_construction() {
+    let rec = FlightRecorder::disabled();
+    assert!(!rec.is_enabled());
+
+    let mut built = 0u64;
+    let start = Instant::now();
+    for _ in 0..1_000_000 {
+        rec.record_with("tick", || {
+            built += 1;
+            vec![("x".to_owned(), Json::int(1))]
+        });
+    }
+    let elapsed = start.elapsed();
+
+    assert_eq!(built, 0, "disabled recorder must never build event fields");
+    assert_eq!(rec.len(), 0);
+    assert_eq!(rec.dropped(), 0);
+    assert!(rec.snapshot().is_empty());
+    assert_eq!(rec.dump_jsonl(), "");
+    // A million no-op records should be effectively instant; this bound is
+    // three orders of magnitude above the expected cost.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "disabled recorder too slow: {elapsed:?}"
+    );
+}

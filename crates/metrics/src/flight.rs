@@ -1,0 +1,237 @@
+//! Bounded ring-buffer flight recorder for post-mortems.
+//!
+//! Long-running services want a trail of recent structured events (task
+//! submitted, dispatched, worker dropped, lease expired, ...) that costs
+//! almost nothing while everything is healthy, but can be dumped the moment
+//! something goes wrong — a deadlock, a panic, a worker lost beyond its
+//! requeue budget. [`FlightRecorder`] keeps the last `capacity` events in a
+//! ring buffer; [`FlightRecorder::dump_jsonl`] renders them as JSON lines
+//! for post-mortem tooling.
+//!
+//! A disabled recorder ([`FlightRecorder::disabled`]) reduces recording to a
+//! single branch, so instrumented hot paths cost nothing when the feature is
+//! off. Use [`FlightRecorder::record_with`] to also skip building the event
+//! fields in that case.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// Event kind, e.g. `"dispatch"` or `"worker-drop"`.
+    pub kind: String,
+    /// Structured payload fields.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl FlightEvent {
+    /// Render as a JSON object: `{"seq":..,"t_us":..,"event":..,<fields>}`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("seq".to_owned(), Json::int(self.seq)),
+            ("t_us".to_owned(), Json::int(self.at_us)),
+            ("event".to_owned(), Json::str(&self.kind)),
+        ];
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+}
+
+struct FlightState {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+struct FlightInner {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+/// A bounded ring buffer of structured events.
+///
+/// Clones share the same buffer, like
+/// [`CounterSet`](crate::CounterSet).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Option<Arc<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    ///
+    /// `capacity == 0` yields a disabled recorder.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        if capacity == 0 {
+            return FlightRecorder::disabled();
+        }
+        FlightRecorder {
+            inner: Some(Arc::new(FlightInner {
+                epoch: Instant::now(),
+                capacity,
+                state: Mutex::new(FlightState {
+                    next_seq: 0,
+                    dropped: 0,
+                    events: VecDeque::with_capacity(capacity.min(1024)),
+                }),
+            })),
+        }
+    }
+
+    /// A recorder that drops everything at the cost of one branch.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    /// True if events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event.
+    pub fn record(&self, kind: &str, fields: Vec<(String, Json)>) {
+        self.record_with(kind, || fields);
+    }
+
+    /// Record one event, building the fields only if enabled.
+    pub fn record_with(&self, kind: &str, fields: impl FnOnce() -> Vec<(String, Json)>) {
+        let Some(inner) = &self.inner else { return };
+        let at_us = inner.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let fields = fields();
+        let mut state = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.events.len() == inner.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(FlightEvent {
+            seq,
+            at_us,
+            kind: kind.to_owned(),
+            fields,
+        });
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .events
+                .len(),
+            None => 0,
+        }
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                inner
+                    .state
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .dropped
+            }
+            None => 0,
+        }
+    }
+
+    /// Snapshot of the held events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .events
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the held events as JSON lines, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.snapshot() {
+            out.push_str(&ev.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            rec.record("tick", vec![("i".to_owned(), Json::int(i))]);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        // Oldest first, sequence numbers survive eviction.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("tick"));
+        assert_eq!(first.get("i").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn disabled_recorder_never_builds_fields() {
+        let rec = FlightRecorder::disabled();
+        rec.record_with("x", || panic!("fields must not be built when disabled"));
+        assert!(!rec.is_enabled());
+        assert!(rec.is_empty());
+        assert_eq!(rec.dump_jsonl(), "");
+        // Capacity 0 is the same as disabled.
+        assert!(!FlightRecorder::with_capacity(0).is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let rec = FlightRecorder::with_capacity(8);
+        let other = rec.clone();
+        other.record("a", vec![]);
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -12,6 +12,17 @@
 //! evaluation ([`geomean`], [`mean`], [`rel_error`]) and a fixed-width text
 //! [`Table`] used by the experiment harness to print paper-style rows.
 //!
+//! On top of the per-run collectors sits the *observability layer* for
+//! long-running services (the `swiftsim serve` daemon foremost):
+//! [`CounterSet`] (flat monotonic counters), [`Histogram`] (mergeable
+//! log-bucketed latency distributions) and [`Gauge`] (instantaneous
+//! levels), all unified behind a [`Registry`] with Prometheus-style text
+//! exposition; a [`FlightRecorder`] ring buffer of structured events for
+//! post-mortems; and a self-profiling [`Profiler`] whose
+//! [`ProfileReport`]s serialize losslessly, so worker processes can ship
+//! their tracks to a coordinator that merges them into one Perfetto
+//! timeline.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,14 +44,20 @@
 
 mod collector;
 mod counters;
+mod flight;
+mod hist;
 pub mod json;
 mod profile;
+mod registry;
 mod stats;
 mod table;
 
 pub use collector::{MetricsCollector, ScopedCollector, Value};
 pub use counters::CounterSet;
+pub use flight::{FlightEvent, FlightRecorder};
+pub use hist::{Gauge, Histogram};
 pub use json::Json;
 pub use profile::{ProfFrame, ProfModule, ProfileReport, Profiler};
+pub use registry::{escape_label_value, sanitize_metric_name, Registry};
 pub use stats::{geomean, mean, mean_abs, rel_error};
 pub use table::Table;

@@ -118,6 +118,12 @@ impl ProfModule {
         }
     }
 
+    /// Inverse of [`ProfModule::name`], for deserializing reports shipped
+    /// between processes (worker → coordinator).
+    pub fn from_name(name: &str) -> Option<ProfModule> {
+        ProfModule::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
     /// Trace-event category: which side of the GPU the module sits on.
     fn category(self) -> &'static str {
         match self {
@@ -181,6 +187,98 @@ impl ProfFrame {
     /// Total frame duration.
     pub fn duration(&self) -> Duration {
         Duration::from_nanos(self.end_ns.saturating_sub(self.start_ns))
+    }
+
+    /// Build a frame from explicit per-module `(module, wall_ns, cycles,
+    /// events)` entries — the constructor used when deserializing frames
+    /// recorded in another process.
+    pub fn from_parts(
+        name: &str,
+        track: usize,
+        start_ns: u64,
+        end_ns: u64,
+        entries: &[(ProfModule, u64, u64, u64)],
+    ) -> ProfFrame {
+        let mut totals = [ModuleTotals::default(); NUM_MODULES];
+        for &(module, wall_ns, cycles, events) in entries {
+            let t = &mut totals[module.index()];
+            t.wall_ns = t.wall_ns.saturating_add(wall_ns);
+            t.cycles = t.cycles.saturating_add(cycles);
+            t.events = t.events.saturating_add(events);
+        }
+        ProfFrame {
+            name: name.to_owned(),
+            track,
+            start_ns,
+            end_ns,
+            totals,
+        }
+    }
+
+    /// Serialize to JSON. Module totals are emitted by stable module name
+    /// as `[wall_ns, cycles, events]` triples; inactive modules are
+    /// omitted.
+    pub fn to_json(&self) -> Json {
+        let totals: Vec<(String, Json)> = ProfModule::ALL
+            .iter()
+            .filter_map(|&m| {
+                let t = self.totals[m.index()];
+                if t.wall_ns == 0 && t.cycles == 0 && t.events == 0 {
+                    return None;
+                }
+                Some((
+                    m.name().to_owned(),
+                    Json::Arr(vec![
+                        Json::int(t.wall_ns),
+                        Json::int(t.cycles),
+                        Json::int(t.events),
+                    ]),
+                ))
+            })
+            .collect();
+        Json::obj(vec![
+            ("name", Json::str(self.name.as_str())),
+            ("track", Json::int(self.track as u64)),
+            ("start_ns", Json::int(self.start_ns)),
+            ("end_ns", Json::int(self.end_ns)),
+            ("totals", Json::Obj(totals)),
+        ])
+    }
+
+    /// Deserialize a frame written by [`ProfFrame::to_json`]. Module names
+    /// from a different build that no longer resolve are skipped rather
+    /// than rejected, so traces stay forward-compatible.
+    pub fn from_json(v: &Json) -> Result<ProfFrame, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("frame missing name")?;
+        let track = v
+            .get("track")
+            .and_then(Json::as_u64)
+            .ok_or("frame missing track")? as usize;
+        let start_ns = v
+            .get("start_ns")
+            .and_then(Json::as_u64)
+            .ok_or("frame missing start_ns")?;
+        let end_ns = v
+            .get("end_ns")
+            .and_then(Json::as_u64)
+            .ok_or("frame missing end_ns")?;
+        let mut entries = Vec::new();
+        if let Some(Json::Obj(totals)) = v.get("totals") {
+            for (module_name, triple) in totals {
+                let Some(module) = ProfModule::from_name(module_name) else {
+                    continue;
+                };
+                let triple = triple.as_arr().ok_or("totals entry not an array")?;
+                let get = |i: usize| triple.get(i).and_then(Json::as_u64).unwrap_or(0);
+                entries.push((module, get(0), get(1), get(2)));
+            }
+        }
+        Ok(ProfFrame::from_parts(
+            name, track, start_ns, end_ns, &entries,
+        ))
     }
 }
 
@@ -427,6 +525,26 @@ impl ProfileReport {
     /// per-module events within one frame are laid out sequentially from
     /// the frame start — the trace shows attribution, not interleaving.
     pub fn to_chrome_trace(&self) -> Json {
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(self.chrome_events(1, 0, &[]))),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+
+    /// The raw trace events behind [`ProfileReport::to_chrome_trace`],
+    /// emitted on process `pid` with every timestamp shifted by
+    /// `offset_ns` and `extra_args` appended to each span's args.
+    ///
+    /// This is the multiplexing primitive: a coordinator merging reports
+    /// from several workers assigns each worker its own pid, rebases their
+    /// clocks via `offset_ns`, and tags spans with trace context (run/task
+    /// ids) through `extra_args`.
+    pub fn chrome_events(
+        &self,
+        pid: u64,
+        offset_ns: u64,
+        extra_args: &[(&str, Json)],
+    ) -> Vec<Json> {
         let mut events: Vec<Json> = Vec::new();
         let mut named: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
         for frame in &self.frames {
@@ -435,12 +553,13 @@ impl ProfileReport {
             events.push(trace_event(
                 &frame.name,
                 "frame",
+                pid,
                 frame.track * (NUM_MODULES + 1),
-                frame.start_ns,
+                frame.start_ns.saturating_add(offset_ns),
                 frame.end_ns.saturating_sub(frame.start_ns),
-                Vec::new(),
+                extra_args.to_vec(),
             ));
-            let mut cursor = frame.start_ns;
+            let mut cursor = frame.start_ns.saturating_add(offset_ns);
             for &module in &ProfModule::ALL {
                 let t = frame.totals[module.index()];
                 if t.wall_ns == 0 && t.cycles == 0 && t.events == 0 {
@@ -448,17 +567,20 @@ impl ProfileReport {
                 }
                 let tid = frame.track * (NUM_MODULES + 1) + 1 + module.index();
                 named.insert((frame.track, module.index()));
+                let mut args = vec![
+                    ("cycles", Json::Num(t.cycles as f64)),
+                    ("events", Json::Num(t.events as f64)),
+                    ("frame", Json::str(frame.name.as_str())),
+                ];
+                args.extend(extra_args.to_vec());
                 events.push(trace_event(
                     module.name(),
                     module.category(),
+                    pid,
                     tid,
                     cursor,
                     t.wall_ns,
-                    vec![
-                        ("cycles", Json::Num(t.cycles as f64)),
-                        ("events", Json::Num(t.events as f64)),
-                        ("frame", Json::str(frame.name.as_str())),
-                    ],
+                    args,
                 ));
                 cursor += t.wall_ns;
             }
@@ -483,15 +605,45 @@ impl ProfileReport {
             events.push(Json::obj(vec![
                 ("ph", Json::str("M")),
                 ("name", Json::str("thread_name")),
-                ("pid", Json::Num(1.0)),
+                ("pid", Json::Num(pid as f64)),
                 ("tid", Json::Num(tid as f64)),
                 ("args", Json::obj(vec![("name", Json::str(name.as_str()))])),
             ]));
         }
-        Json::obj(vec![
-            ("traceEvents", Json::Arr(events)),
-            ("displayTimeUnit", Json::str("ms")),
-        ])
+        events
+    }
+
+    /// Nanoseconds from the profiler epoch to the last frame end — the
+    /// span a coordinator needs when rebasing a remote report onto its own
+    /// clock.
+    pub fn span_ns(&self) -> u64 {
+        self.frames.iter().map(|f| f.end_ns).max().unwrap_or(0)
+    }
+
+    /// Serialize the full report (all frames) to JSON.
+    ///
+    /// This is the wire format workers use to ship their profiler track to
+    /// the coordinator with `task-result`; unlike
+    /// [`ProfileReport::summary_json`] it is lossless.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "frames",
+            Json::Arr(self.frames.iter().map(ProfFrame::to_json).collect()),
+        )])
+    }
+
+    /// Deserialize a report written by [`ProfileReport::to_json`].
+    pub fn from_json(v: &Json) -> Result<ProfileReport, String> {
+        let frames = v
+            .get("frames")
+            .and_then(Json::as_arr)
+            .ok_or("report missing frames")?;
+        Ok(ProfileReport {
+            frames: frames
+                .iter()
+                .map(ProfFrame::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
     }
 
     /// Compact JSON summary (module → wall-ms / cycles / events), used by
@@ -533,6 +685,7 @@ impl Default for ProfileReport {
 fn trace_event(
     name: &str,
     cat: &str,
+    pid: u64,
     tid: usize,
     start_ns: u64,
     dur_ns: u64,
@@ -542,7 +695,7 @@ fn trace_event(
         ("ph", Json::str("X")),
         ("name", Json::str(name)),
         ("cat", Json::str(cat)),
-        ("pid", Json::Num(1.0)),
+        ("pid", Json::Num(pid as f64)),
         ("tid", Json::Num(tid as f64)),
         // Trace-event timestamps are microseconds; keep sub-µs resolution
         // as a fraction.
@@ -672,6 +825,54 @@ mod tests {
             .unwrap();
         assert_eq!(ldst.get("dur").unwrap().as_f64(), Some(2.0));
         assert_eq!(ldst.get("cat").and_then(Json::as_str), Some("core"));
+    }
+
+    #[test]
+    fn report_json_round_trips_losslessly() {
+        let mut prof = Profiler::enabled_on_track(Instant::now(), 3);
+        prof.begin_frame("k0:bfs");
+        prof.record_wall_ns(ProfModule::Alu, 2_500, 7);
+        prof.add_cycles(ProfModule::CycleSkip, 900);
+        prof.end_frame();
+        prof.begin_frame("k1:bfs");
+        prof.record_wall_ns(ProfModule::Dram, 800, 1);
+        prof.end_frame();
+        let report = prof.into_report();
+        let back = ProfileReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // And through the actual wire text.
+        let text = report.to_json().dump();
+        let reparsed = ProfileReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, report);
+        assert!(report.span_ns() >= report.frames[1].end_ns);
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for &m in &ProfModule::ALL {
+            assert_eq!(ProfModule::from_name(m.name()), Some(m));
+        }
+        assert_eq!(ProfModule::from_name("not-a-module"), None);
+    }
+
+    #[test]
+    fn chrome_events_rebase_pid_offset_and_args() {
+        let frame = ProfFrame::from_parts("k0", 0, 100, 300, &[(ProfModule::Alu, 50, 4, 1)]);
+        let report = ProfileReport {
+            frames: vec![frame],
+        };
+        let events = report.chrome_events(7, 1_000_000, &[("task", Json::int(42))]);
+        for e in &events {
+            assert_eq!(e.get("pid").and_then(Json::as_u64), Some(7));
+        }
+        let alu = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("alu-pipeline"))
+            .unwrap();
+        // 100ns frame start + 1ms offset, in microseconds.
+        assert_eq!(alu.get("ts").unwrap().as_f64(), Some(1_000_100.0 / 1e3));
+        let args = alu.get("args").unwrap();
+        assert_eq!(args.get("task").and_then(Json::as_u64), Some(42));
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The observability registry: counters, gauges, labeled counters, and
+//! histograms behind one handle, with Prometheus text exposition and a JSON
+//! snapshot.
+//!
+//! A [`Registry`] is the one object a service threads through its layers.
+//! It owns a [`CounterSet`] (flat monotonic counters, kept for the existing
+//! `stats` JSON shape), [`Gauge`]s (instantaneous levels), labeled counters
+//! (one metric name, per-label-set values — the Prometheus-native shape for
+//! e.g. per-client submission counts), and [`Histogram`]s (latency
+//! distributions). Clones share state.
+//!
+//! [`Registry::prometheus_text`] renders everything in the Prometheus text
+//! exposition format (`# TYPE` lines, cumulative `_bucket{le="..."}` rows,
+//! `_sum`/`_count`); [`Registry::to_json`] renders the same data as a JSON
+//! document for the protocol's structured consumers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::hist::{Gauge, Histogram};
+use crate::json::Json;
+use crate::CounterSet;
+
+/// Sanitize a metric name to the Prometheus charset `[a-zA-Z0-9_:]`.
+///
+/// Dots (the `CounterSet` path convention) and any other invalid characters
+/// become underscores. An empty name becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_owned();
+    }
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => c,
+            '0'..='9' if i > 0 => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Escape a label value for the Prometheus text format.
+///
+/// Backslash, double quote, and newline must be escaped inside the quoted
+/// label value; everything else passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct RegInner {
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Histogram>,
+    /// metric name -> label set (sorted key/value pairs) -> value.
+    labeled: BTreeMap<String, BTreeMap<Vec<(String, String)>, u64>>,
+}
+
+/// A shared registry of counters, gauges, labeled counters, and histograms.
+///
+/// Cloning is cheap; clones observe and mutate the same underlying state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    counters: CounterSet,
+    inner: Arc<Mutex<RegInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The flat monotonic counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// The gauge named `name`, creating it at zero. Clones share the value.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Record one sample into the histogram named `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.lock()
+            .hists
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// Record a duration (in microseconds) into the histogram named `name`.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Merge a whole histogram into the histogram named `name`.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        self.lock()
+            .hists
+            .entry(name.to_owned())
+            .or_default()
+            .merge(h);
+    }
+
+    /// A snapshot of the histogram named `name`, if it has been touched.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().hists.get(name).cloned()
+    }
+
+    /// Add to a labeled counter, e.g.
+    /// `add_labeled("client_submissions", &[("client", "alice")], 1)`.
+    pub fn add_labeled(&self, name: &str, labels: &[(&str, &str)], amount: u64) {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        key.sort();
+        let mut inner = self.lock();
+        let slot = inner
+            .labeled
+            .entry(name.to_owned())
+            .or_default()
+            .entry(key)
+            .or_insert(0);
+        *slot = slot.saturating_add(amount);
+    }
+
+    /// Increment a labeled counter by one.
+    pub fn incr_labeled(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add_labeled(name, labels, 1);
+    }
+
+    /// Render everything in the Prometheus text exposition format.
+    ///
+    /// Every metric name is sanitized and prefixed with `{prefix}_` (no
+    /// prefix when empty). Histograms render cumulative
+    /// `_bucket{le="..."}` rows over their non-empty buckets plus `+Inf`,
+    /// then `_sum` and `_count`.
+    pub fn prometheus_text(&self, prefix: &str) -> String {
+        let full = |name: &str| {
+            let base = sanitize_metric_name(name);
+            if prefix.is_empty() {
+                base
+            } else {
+                format!("{}_{}", sanitize_metric_name(prefix), base)
+            }
+        };
+        let mut out = String::new();
+        for (name, value) in self.counters.snapshot() {
+            let name = full(&name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let inner = self.lock();
+        for (name, sets) in &inner.labeled {
+            let name = full(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (labels, value) in sets {
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| {
+                        format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v))
+                    })
+                    .collect();
+                let _ = writeln!(out, "{name}{{{}}} {value}", rendered.join(","));
+            }
+        }
+        for (name, gauge) in &inner.gauges {
+            let name = full(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.get());
+        }
+        for (name, hist) in &inner.hists {
+            let name = full(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (le, count) in hist.buckets() {
+                cumulative = cumulative.saturating_add(count);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// Render everything as one JSON document:
+    /// `{"counters":{...},"labeled":{...},"gauges":{...},"histograms":{...}}`.
+    ///
+    /// Histograms carry count/sum/min/max/mean plus estimated p50/p90/p99
+    /// quantiles (within +12.5% by construction; see
+    /// [`Histogram::quantile`]).
+    pub fn to_json(&self) -> Json {
+        let inner = self.lock();
+        let labeled = Json::Obj(
+            inner
+                .labeled
+                .iter()
+                .map(|(name, sets)| {
+                    let rows = sets
+                        .iter()
+                        .map(|(labels, value)| {
+                            let key = labels
+                                .iter()
+                                .map(|(k, v)| format!("{k}={v}"))
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            (key, Json::int(*value))
+                        })
+                        .collect();
+                    (name.clone(), Json::Obj(rows))
+                })
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), Json::Num(g.get() as f64)))
+                .collect(),
+        );
+        let hists = Json::Obj(
+            inner
+                .hists
+                .iter()
+                .map(|(name, h)| {
+                    let mut pairs = vec![
+                        ("count".to_owned(), Json::int(h.count())),
+                        ("sum".to_owned(), Json::int(h.sum())),
+                    ];
+                    if let (Some(min), Some(max)) = (h.min(), h.max()) {
+                        pairs.push(("min".to_owned(), Json::int(min)));
+                        pairs.push(("max".to_owned(), Json::int(max)));
+                    }
+                    if let Some(mean) = h.mean() {
+                        pairs.push(("mean".to_owned(), Json::Num(mean)));
+                    }
+                    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                        if let Some(v) = h.quantile(q) {
+                            pairs.push((label.to_owned(), Json::int(v)));
+                        }
+                    }
+                    (name.clone(), Json::Obj(pairs))
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", self.counters.to_json()),
+            ("labeled", labeled),
+            ("gauges", gauges),
+            ("histograms", hists),
+        ])
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegInner> {
+        // Same policy as CounterSet: plain data, poisoning ignored.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.hists.len())
+            .field("labeled", &inner.labeled.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize_metric_name("queue.depth"), "queue_depth");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("9starts-bad"), "_starts_bad");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let reg = Registry::new();
+        reg.counters().incr("jobs");
+        reg.gauge("depth").set(3);
+        reg.observe("wait_us", 10);
+        reg.observe("wait_us", 100);
+        reg.incr_labeled("per_client", &[("client", "a")]);
+        let clone = reg.clone();
+        assert_eq!(clone.gauge("depth").get(), 3);
+        assert_eq!(clone.histogram("wait_us").unwrap().count(), 2);
+        let json = clone.to_json();
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("jobs"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let h = json
+            .get("histograms")
+            .and_then(|h| h.get("wait_us"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(h.get("min").and_then(Json::as_u64), Some(10));
+    }
+}

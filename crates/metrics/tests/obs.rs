@@ -1,0 +1,221 @@
+//! Observability primitives under adversarial inputs: histogram merge
+//! algebra, quantile error bounds, degenerate (empty / overflow) buckets,
+//! and Prometheus text-exposition escaping.
+//!
+//! These are the guarantees the serve daemon leans on when it merges
+//! worker-shipped histograms into its own and exposes the result to a
+//! scraper: merging must be order-independent, quantiles must never
+//! under-report, and hostile label values must not corrupt the exposition.
+
+use swiftsim_metrics::{escape_label_value, sanitize_metric_name, Histogram, Json, Registry};
+
+/// A deterministic xorshift stream so the tests are reproducible without
+/// a random-number dependency.
+fn xorshift(seed: &mut u64) -> u64 {
+    let mut x = *seed;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *seed = x;
+    x
+}
+
+/// A histogram over `n` pseudo-random samples in `[0, span)`, plus the raw
+/// samples for ground-truth comparisons.
+fn sample_hist(seed: u64, n: usize, span: u64) -> (Histogram, Vec<u64>) {
+    let mut h = Histogram::new();
+    let mut values = Vec::with_capacity(n);
+    let mut s = seed;
+    for _ in 0..n {
+        let v = xorshift(&mut s) % span;
+        h.record(v);
+        values.push(v);
+    }
+    (h, values)
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let (a, _) = sample_hist(0x5eed_0001, 500, 1 << 20);
+    let (b, _) = sample_hist(0x5eed_0002, 300, 1 << 8);
+    let (c, _) = sample_hist(0x5eed_0003, 700, u64::MAX);
+
+    // (a ⊕ b) ⊕ c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+
+    // a ⊕ (b ⊕ c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+
+    assert_eq!(left, right, "merge must be associative");
+
+    // b ⊕ a == a ⊕ b
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must be commutative");
+
+    // The merged summary stats equal the union's.
+    assert_eq!(left.count(), 1500);
+    assert_eq!(
+        left.sum(),
+        a.sum().saturating_add(b.sum()).saturating_add(c.sum())
+    );
+    assert_eq!(left.min(), a.min().min(b.min()).min(c.min()));
+    assert_eq!(left.max(), a.max().max(b.max()).max(c.max()));
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(left.quantile(q), right.quantile(q), "q={q}");
+    }
+}
+
+#[test]
+fn quantile_never_under_reports_and_over_reports_within_bound() {
+    let (h, mut values) = sample_hist(0xfeed_beef, 2000, 1 << 40);
+    values.sort_unstable();
+    for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        // Nearest-rank ground truth over the raw samples.
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let est = h.quantile(q).expect("non-empty");
+        assert!(est >= truth, "q={q}: estimate {est} under-reports {truth}");
+        assert!(
+            est as f64 <= truth as f64 * 1.125 + 1.0,
+            "q={q}: estimate {est} over-reports {truth} by more than 12.5%"
+        );
+    }
+}
+
+#[test]
+fn empty_histogram_is_inert() {
+    let empty = Histogram::new();
+    assert!(empty.is_empty());
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.sum(), 0);
+    assert_eq!(empty.min(), None);
+    assert_eq!(empty.max(), None);
+    assert_eq!(empty.mean(), None);
+    assert_eq!(empty.quantile(0.5), None);
+    assert_eq!(empty.buckets().count(), 0);
+
+    // Merging with empty is the identity in both directions.
+    let (populated, _) = sample_hist(0xabad_cafe, 100, 1000);
+    let mut merged = populated.clone();
+    merged.merge(&empty);
+    assert_eq!(merged, populated, "x ⊕ empty == x");
+    let mut from_empty = Histogram::new();
+    from_empty.merge(&populated);
+    assert_eq!(from_empty, populated, "empty ⊕ x == x");
+
+    // An untouched histogram still renders a valid (all-zero) exposition.
+    let reg = Registry::new();
+    reg.merge_histogram("silent_us", &empty);
+    let text = reg.prometheus_text("t");
+    assert!(text.contains("# TYPE t_silent_us histogram"), "{text}");
+    assert!(text.contains("t_silent_us_bucket{le=\"+Inf\"} 0"), "{text}");
+    assert!(text.contains("t_silent_us_count 0"), "{text}");
+}
+
+#[test]
+fn overflow_values_land_in_the_top_bucket() {
+    let mut h = Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    h.record(u64::MAX - 1);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max(), Some(u64::MAX));
+    // The top quantile is clamped to the observed max, not a bucket bound
+    // beyond u64 range.
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    // The sum saturates instead of wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+    // Both extreme samples are really in buckets (no silent drop).
+    let total: u64 = h.buckets().map(|(_, n)| n).sum();
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn exposition_bucket_rows_are_cumulative_and_consistent() {
+    let reg = Registry::new();
+    let (h, _) = sample_hist(0x0dd_ba11, 256, 1 << 16);
+    reg.merge_histogram("lat_us", &h);
+    let text = reg.prometheus_text("swiftsim");
+
+    let mut last = 0u64;
+    let mut rows = 0;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("swiftsim_lat_us_bucket{le=\"") else {
+            continue;
+        };
+        let (le, count) = rest.split_once("\"} ").expect("bucket row shape");
+        let count: u64 = count.parse().expect("bucket count");
+        assert!(count >= last, "bucket rows must be cumulative: {line}");
+        last = count;
+        rows += 1;
+        if le == "+Inf" {
+            assert_eq!(count, h.count(), "+Inf bucket carries the total");
+        }
+    }
+    assert!(rows > 2, "expected several bucket rows:\n{text}");
+    assert_eq!(last, h.count(), "final cumulative equals _count");
+    assert!(text.contains(&format!("swiftsim_lat_us_count {}", h.count())));
+    assert!(text.contains(&format!("swiftsim_lat_us_sum {}", h.sum())));
+}
+
+#[test]
+fn exposition_escapes_hostile_label_values_and_names() {
+    let reg = Registry::new();
+    // A client name chosen to break out of the quoted label value.
+    reg.incr_labeled(
+        "client_submissions",
+        &[("client", "evil\"} 9\nfake_metric 1\\")],
+    );
+    // A metric name using the CounterSet dot convention plus invalid chars.
+    reg.counters().incr("queue.depth-total");
+    reg.gauge("workers connected").set(2);
+    let text = reg.prometheus_text("swiftsim");
+
+    // The hostile value is fully escaped on one line; nothing injected.
+    assert!(
+        text.contains(r#"swiftsim_client_submissions{client="evil\"} 9\nfake_metric 1\\"} 1"#),
+        "escaped label row missing:\n{text}"
+    );
+    assert!(
+        !text.contains("\nfake_metric"),
+        "label value injected a row"
+    );
+
+    // Names are sanitized to the Prometheus charset.
+    assert!(text.contains("swiftsim_queue_depth_total 1"), "{text}");
+    assert!(text.contains("swiftsim_workers_connected 2"), "{text}");
+
+    // The helpers behave as documented on their own.
+    assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    assert_eq!(sanitize_metric_name("9a.b-c"), "_a_b_c");
+
+    // Every non-comment line parses as `name{labels}? value`.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("row shape");
+        assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+    }
+}
+
+#[test]
+fn registry_json_quantiles_match_histogram() {
+    let reg = Registry::new();
+    let (h, _) = sample_hist(0x50_50_50, 128, 1 << 12);
+    reg.merge_histogram("lat_us", &h);
+    let json = reg.to_json();
+    let row = json
+        .get("histograms")
+        .and_then(|m| m.get("lat_us"))
+        .expect("histogram row");
+    assert_eq!(row.get("count").and_then(Json::as_u64), Some(h.count()));
+    assert_eq!(row.get("p50").and_then(Json::as_u64), h.quantile(0.5));
+    assert_eq!(row.get("p99").and_then(Json::as_u64), h.quantile(0.99));
+}

@@ -150,6 +150,29 @@ impl ServeClient {
         self.request_ok(&Json::obj(vec![("op", Json::str("stats"))]))
     }
 
+    /// Metrics exposition: `(Prometheus text, structured JSON)` — the
+    /// daemon's counters, gauges, and latency histograms.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn metrics(&mut self) -> Result<(String, Json), WireError> {
+        let reply = self.request_ok(&Json::obj(vec![("op", Json::str("metrics"))]))?;
+        let text = str_field(&reply, "text").unwrap_or("").to_owned();
+        let json = reply.get("metrics").cloned().unwrap_or(Json::Null);
+        Ok((text, json))
+    }
+
+    /// The daemon's flight-recorder contents (ring buffer of structured
+    /// lifecycle events), for post-mortems without waiting for a crash.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request_ok`].
+    pub fn dump_events(&mut self) -> Result<Json, WireError> {
+        self.request_ok(&Json::obj(vec![("op", Json::str("dump-events"))]))
+    }
+
     /// Ask the daemon to drain and exit.
     ///
     /// # Errors

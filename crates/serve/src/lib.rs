@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod server;

@@ -1,0 +1,353 @@
+//! Serve-side observability: the trace multiplexer that merges queue
+//! spans, task spans, and per-executor profiler frames into one Perfetto
+//! timeline, plus failure classification for the flight recorder.
+//!
+//! Trace layout: the coordinator is process 1 — thread 0 is the queue row
+//! (one span per task from enqueue to dispatch), and every executor that
+//! completed a task gets its own thread row with one span per task from
+//! dispatch to completion. Every executor that shipped back a
+//! [`ProfileReport`] (remote workers via `task-result`, local slots
+//! directly) becomes its own *process*, carrying the full per-module
+//! profiler tracks of [`ProfileReport::chrome_events`]. All spans carry
+//! `run` (submission id) and `task` (task index) args, so one distributed
+//! sweep can be followed across the queue, the dispatching coordinator,
+//! and the worker that simulated it — one consistent trace context
+//! end-to-end.
+//!
+//! Remote clocks: worker frames are timestamped against the *worker's*
+//! profiler epoch. [`TraceMux::executor_report`] rebases them into the
+//! coordinator timeline by centering the report's span inside the
+//! dispatch→receive window observed on the coordinator (the classic
+//! half-RTT assumption; with symmetric network delay the placement error
+//! is bounded by the RTT asymmetry).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+use swiftsim_metrics::{Json, ProfileReport};
+
+/// Classify a rendered failure string for the flight recorder.
+///
+/// Returns `Some("deadlock")` for modeling deadlocks (matched via
+/// [`swiftsim_core::DEADLOCK_MARKER`]), `Some("panic")` for captured
+/// panics (the campaign executor surfaces them as `panic: ...`; shard
+/// panics render as `worker panicked in ...`), `None` otherwise.
+pub fn failure_kind(error: &str) -> Option<&'static str> {
+    if error.contains(swiftsim_core::DEADLOCK_MARKER) {
+        Some("deadlock")
+    } else if error.starts_with("panic: ") || error.contains("panicked") {
+        Some("panic")
+    } else {
+        None
+    }
+}
+
+/// The coordinator's process id in the merged trace.
+const COORD_PID: u64 = 1;
+/// The queue row's thread id within the coordinator process.
+const QUEUE_TID: u64 = 0;
+
+struct MuxState {
+    events: Vec<Json>,
+    /// Executor label → trace process id (2+) for shipped profiler tracks.
+    pids: BTreeMap<String, u64>,
+    /// Executor label → coordinator thread row (1+) for task spans.
+    tids: BTreeMap<String, u64>,
+}
+
+/// Accumulates one merged Chrome trace for a whole serve session.
+///
+/// All methods are safe to call from any thread; event order within the
+/// document is arrival order (Perfetto sorts by timestamp anyway).
+pub struct TraceMux {
+    epoch: Instant,
+    state: Mutex<MuxState>,
+}
+
+impl TraceMux {
+    /// A new multiplexer; its creation instant is time zero of the trace.
+    pub fn new() -> TraceMux {
+        TraceMux {
+            epoch: Instant::now(),
+            state: Mutex::new(MuxState {
+                events: Vec::new(),
+                pids: BTreeMap::new(),
+                tids: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn ns_of(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MuxState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record the queue-wait span of one task: it sat queued for `wait_ns`
+    /// and was handed to `executor` at `dispatched`.
+    pub fn queue_span(
+        &self,
+        run: u64,
+        task: usize,
+        label: &str,
+        wait_ns: u64,
+        dispatched: Instant,
+        executor: &str,
+    ) {
+        let end = self.ns_of(dispatched);
+        let start = end.saturating_sub(wait_ns);
+        let event = span_event(
+            &format!("r{run}:t{task} {label}"),
+            "queue",
+            COORD_PID,
+            QUEUE_TID,
+            start,
+            end - start,
+            vec![
+                ("run", Json::int(run)),
+                ("task", Json::int(task as u64)),
+                ("executor", Json::str(executor)),
+            ],
+        );
+        self.lock().events.push(event);
+    }
+
+    /// Record one task's execution span on `executor`'s coordinator row,
+    /// from dispatch to completion (local) or result receipt (remote).
+    pub fn task_span(
+        &self,
+        run: u64,
+        task: usize,
+        label: &str,
+        executor: &str,
+        start: Instant,
+        end: Instant,
+    ) {
+        let start_ns = self.ns_of(start);
+        let dur_ns = self.ns_of(end).saturating_sub(start_ns);
+        let mut state = self.lock();
+        let next = state.tids.len() as u64 + 1;
+        let tid = *state.tids.entry(executor.to_owned()).or_insert(next);
+        let event = span_event(
+            &format!("r{run}:t{task} {label}"),
+            "task",
+            COORD_PID,
+            tid,
+            start_ns,
+            dur_ns,
+            vec![
+                ("run", Json::int(run)),
+                ("task", Json::int(task as u64)),
+                ("executor", Json::str(executor)),
+            ],
+        );
+        state.events.push(event);
+    }
+
+    /// Merge an executor's profiler track for one task into the timeline,
+    /// as its own trace process named after `executor`.
+    ///
+    /// `dispatched`/`received` bound the task on the *coordinator's*
+    /// clock; the report's own timestamps (relative to the executor's
+    /// profiler epoch) are rebased by centering its span inside that
+    /// window.
+    pub fn executor_report(
+        &self,
+        executor: &str,
+        run: u64,
+        task: usize,
+        report: &ProfileReport,
+        dispatched: Instant,
+        received: Instant,
+    ) {
+        let dispatch_ns = self.ns_of(dispatched);
+        let window = self.ns_of(received).saturating_sub(dispatch_ns);
+        let slack = window.saturating_sub(report.span_ns());
+        let offset = dispatch_ns + slack / 2;
+        let args = [
+            ("run", Json::int(run)),
+            ("task", Json::int(task as u64)),
+            ("executor", Json::str(executor)),
+        ];
+        let mut state = self.lock();
+        let next = state.pids.len() as u64 + 2;
+        let pid = *state.pids.entry(executor.to_owned()).or_insert(next);
+        state
+            .events
+            .extend(report.chrome_events(pid, offset, &args));
+    }
+
+    /// Number of events accumulated so far (metadata not included).
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the merged Chrome trace document: all accumulated events
+    /// plus process/thread naming metadata.
+    pub fn to_chrome_json(&self) -> Json {
+        let state = self.lock();
+        let mut events = state.events.clone();
+        events.push(meta_event("process_name", COORD_PID, None, "coordinator"));
+        events.push(meta_event(
+            "thread_name",
+            COORD_PID,
+            Some(QUEUE_TID),
+            "queue",
+        ));
+        for (label, tid) in &state.tids {
+            events.push(meta_event("thread_name", COORD_PID, Some(*tid), label));
+        }
+        for (label, pid) in &state.pids {
+            events.push(meta_event("process_name", *pid, None, label));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+}
+
+impl Default for TraceMux {
+    fn default() -> Self {
+        TraceMux::new()
+    }
+}
+
+fn span_event(
+    name: &str,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    args: Vec<(&str, Json)>,
+) -> Json {
+    Json::obj(vec![
+        ("ph", Json::str("X")),
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("pid", Json::Num(pid as f64)),
+        ("tid", Json::Num(tid as f64)),
+        ("ts", Json::Num(start_ns as f64 / 1e3)),
+        ("dur", Json::Num(dur_ns as f64 / 1e3)),
+        ("args", Json::obj(args)),
+    ])
+}
+
+fn meta_event(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Json {
+    let mut fields = vec![
+        ("ph", Json::str("M")),
+        ("name", Json::str(kind)),
+        ("pid", Json::Num(pid as f64)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Json::Num(tid as f64)));
+    }
+    fields.push(("args", Json::obj(vec![("name", Json::str(name))])));
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftsim_metrics::{ProfFrame, ProfModule};
+
+    #[test]
+    fn failure_kind_classifies_real_error_strings() {
+        let deadlock = swiftsim_core::SimError::Deadlock {
+            cycle: 7,
+            shard: 0,
+            detail: "SM 0 warp 1 at barrier".to_owned(),
+        };
+        assert_eq!(failure_kind(&deadlock.to_string()), Some("deadlock"));
+        // The campaign executor's catch_unwind surfaces panics like this.
+        assert_eq!(failure_kind("panic: index out of bounds"), Some("panic"));
+        let shard_panic = swiftsim_core::SimError::WorkerPanic {
+            context: "shard 3".to_owned(),
+            message: "boom".to_owned(),
+        };
+        assert_eq!(failure_kind(&shard_panic.to_string()), Some("panic"));
+        assert_eq!(failure_kind("trace ingestion failed: bad magic"), None);
+    }
+
+    #[test]
+    fn mux_merges_coordinator_and_executor_tracks() {
+        let mux = TraceMux::new();
+        let t0 = Instant::now();
+        mux.queue_span(3, 1, "nw/tiny", 5_000, t0, "remote-0-w");
+        mux.task_span(3, 1, "nw/tiny", "remote-0-w", t0, t0);
+        let frame = ProfFrame::from_parts("k0:nw", 0, 0, 1_000, &[(ProfModule::Alu, 400, 4, 1)]);
+        let report = ProfileReport {
+            frames: vec![frame],
+        };
+        mux.executor_report("remote-0-w", 3, 1, &report, t0, t0);
+
+        let doc = mux.to_chrome_json();
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // Coordinator spans live on pid 1; the worker's profiler frames on
+        // their own pid — and both carry the same run/task context.
+        let runs_on = |pid: u64| {
+            events.iter().any(|e| {
+                e.get("pid").and_then(Json::as_u64) == Some(pid)
+                    && e.get("args")
+                        .and_then(|a| a.get("run"))
+                        .and_then(Json::as_u64)
+                        == Some(3)
+                    && e.get("args")
+                        .and_then(|a| a.get("task"))
+                        .and_then(Json::as_u64)
+                        == Some(1)
+            })
+        };
+        assert!(runs_on(1), "coordinator spans carry the trace context");
+        assert!(runs_on(2), "worker frames carry the trace context");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"coordinator"), "{names:?}");
+        assert!(names.contains(&"queue"), "{names:?}");
+        assert!(names.contains(&"remote-0-w"), "{names:?}");
+    }
+
+    #[test]
+    fn executor_report_centers_frames_in_the_observed_window() {
+        let mux = TraceMux::new();
+        let dispatched = Instant::now();
+        // A 1µs-span report inside a window observed later; the rebased
+        // timestamp must be >= the dispatch time.
+        let frame = ProfFrame::from_parts("k0", 0, 0, 1_000, &[(ProfModule::Alu, 1_000, 1, 1)]);
+        let report = ProfileReport {
+            frames: vec![frame],
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        mux.executor_report("w", 1, 0, &report, dispatched, Instant::now());
+        let doc = mux.to_chrome_json();
+        let dispatch_us = mux.ns_of(dispatched) as f64 / 1e3;
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let frame_ev = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("frame"))
+            .unwrap();
+        let ts = frame_ev.get("ts").unwrap().as_f64().unwrap();
+        assert!(
+            ts >= dispatch_us,
+            "frame at {ts}µs before dispatch {dispatch_us}µs"
+        );
+    }
+}

@@ -19,7 +19,12 @@ use swiftsim_metrics::Json;
 /// message changes; workers refuse to join a coordinator with a different
 /// version (a worker from another build would also fail the job-key
 /// determinism check, but refusing early gives a clear error).
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version 2: tasks carry a trace context (`submission`/`index` as
+/// run/task ids plus a `trace` flag), workers may attach `profile`,
+/// `decode_us`, and `simulate_us` to `task-result`, and the coordinator
+/// answers `metrics` and `dump-events` ops.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A protocol-level failure: the peer closed, sent garbage, or violated
 /// the request/response shape.

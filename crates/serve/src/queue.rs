@@ -50,6 +50,27 @@ pub struct LeasedTask {
     pub job: ResolvedJob,
     /// The submission's cancel token; executors pass it to the runner.
     pub cancel: CancelToken,
+    /// How long the task sat queued before this dispatch (since submission,
+    /// or since its latest requeue).
+    pub queue_wait: Duration,
+}
+
+/// One lease that [`JobQueue::requeue_executor`] or
+/// [`JobQueue::reap_expired`] took back, so the caller can log and trace
+/// exactly which run/task was affected and whether it got another chance.
+#[derive(Debug, Clone)]
+pub struct RequeuedLease {
+    /// The owning submission.
+    pub submission: u64,
+    /// Task index within the submission.
+    pub index: usize,
+    /// Task label (for logs).
+    pub label: String,
+    /// The executor that held the lease.
+    pub executor: String,
+    /// Whether the task was queued again (`false`: its loss budget is
+    /// spent and it was failed).
+    pub requeued: bool,
 }
 
 /// What [`JobQueue::next_task`] returned.
@@ -75,6 +96,9 @@ enum TaskState {
 struct Task {
     job: ResolvedJob,
     state: TaskState,
+    /// When the task last became `Queued` (submission or latest requeue);
+    /// the base of the queue-wait latency reported on dispatch.
+    enqueued: Instant,
     /// Times this task was requeued after losing its executor
     /// (infrastructure: connection drops, lease expiries). Counted
     /// separately from `exec_failures` so flaky workers cannot exhaust a
@@ -83,6 +107,24 @@ struct Task {
     /// Times a live worker ran this task and reported a real execution
     /// failure.
     exec_failures: u32,
+}
+
+/// Tasks per lifecycle state, across all submissions — the per-state
+/// breakdown a `stats` endpoint reports next to the flat queue depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskStateCounts {
+    /// Waiting for an executor.
+    pub queued: usize,
+    /// Leased to an executor.
+    pub running: usize,
+    /// Finished with a fresh result.
+    pub completed: usize,
+    /// Finished from cache (disk or warm).
+    pub cached: usize,
+    /// Finished with an error.
+    pub failed: usize,
+    /// Cancelled before running.
+    pub cancelled: usize,
 }
 
 struct Submission {
@@ -239,6 +281,7 @@ impl JobQueue {
                     Some(outcome) => TaskState::Terminal(outcome),
                     None => TaskState::Queued,
                 },
+                enqueued: Instant::now(),
                 losses: 0,
                 exec_failures: 0,
             })
@@ -276,6 +319,7 @@ impl JobQueue {
                 let client = sub.client.clone();
                 let cancel = sub.cancel.clone();
                 let task = &mut sub.tasks[index];
+                let queue_wait = task.enqueued.elapsed();
                 task.state = TaskState::Running {
                     executor: executor.to_owned(),
                     since: Instant::now(),
@@ -285,6 +329,7 @@ impl JobQueue {
                     index,
                     job: task.job.clone(),
                     cancel,
+                    queue_wait,
                 };
                 state.last_client = Some(client);
                 return Dispatch::Task(Box::new(leased));
@@ -337,6 +382,7 @@ impl JobQueue {
         let requeued = task.losses <= self.max_losses;
         if requeued {
             task.state = TaskState::Queued;
+            task.enqueued = Instant::now();
         } else {
             task.state = TaskState::Terminal(JobOutcome {
                 index,
@@ -378,6 +424,7 @@ impl JobQueue {
         let retried = task.exec_failures <= self.max_exec_retries;
         if retried {
             task.state = TaskState::Queued;
+            task.enqueued = Instant::now();
         }
         drop(state);
         self.changed.notify_all();
@@ -385,9 +432,10 @@ impl JobQueue {
     }
 
     /// Requeue every task currently leased to `executor` (its connection
-    /// dropped). Returns how many tasks were affected.
-    pub fn requeue_executor(&self, executor: &str, reason: &str) -> usize {
-        let leased: Vec<(u64, usize)> = {
+    /// dropped). Returns the affected leases with their requeue verdicts,
+    /// so the caller can attribute every loss in logs and traces.
+    pub fn requeue_executor(&self, executor: &str, reason: &str) -> Vec<RequeuedLease> {
+        let leased: Vec<(u64, usize, String)> = {
             let state = self.lock();
             state
                 .submissions
@@ -398,17 +446,23 @@ impl JobQueue {
                         .enumerate()
                         .filter_map(move |(i, t)| match &t.state {
                             TaskState::Running { executor: e, .. } if e == executor => {
-                                Some((sub.id, i))
+                                Some((sub.id, i, t.job.spec.label()))
                             }
                             _ => None,
                         })
                 })
                 .collect()
         };
-        for &(sub, idx) in &leased {
-            self.requeue(sub, idx, reason);
-        }
-        leased.len()
+        leased
+            .into_iter()
+            .map(|(sub, idx, label)| RequeuedLease {
+                submission: sub,
+                index: idx,
+                label,
+                executor: executor.to_owned(),
+                requeued: self.requeue(sub, idx, reason),
+            })
+            .collect()
     }
 
     /// Requeue tasks whose lease is older than `lease` and whose executor
@@ -416,9 +470,10 @@ impl JobQueue {
     /// enough to hold a connection but has stopped making progress. The
     /// prefix lets the server reap only *remote* leases — a long-running
     /// local simulation is directly observable and must not be
-    /// double-scheduled. Returns the number of expired leases.
-    pub fn reap_expired(&self, lease: Duration, executor_prefix: &str) -> usize {
-        let expired: Vec<(u64, usize)> = {
+    /// double-scheduled. Returns the expired leases with their requeue
+    /// verdicts.
+    pub fn reap_expired(&self, lease: Duration, executor_prefix: &str) -> Vec<RequeuedLease> {
+        let expired: Vec<(u64, usize, String, String)> = {
             let state = self.lock();
             state
                 .submissions
@@ -432,17 +487,23 @@ impl JobQueue {
                                 if since.elapsed() > lease
                                     && executor.starts_with(executor_prefix) =>
                             {
-                                Some((sub.id, i))
+                                Some((sub.id, i, t.job.spec.label(), executor.clone()))
                             }
                             _ => None,
                         })
                 })
                 .collect()
         };
-        for &(sub, idx) in &expired {
-            self.requeue(sub, idx, "lease expired");
-        }
-        expired.len()
+        expired
+            .into_iter()
+            .map(|(sub, idx, label, executor)| RequeuedLease {
+                submission: sub,
+                index: idx,
+                label,
+                executor,
+                requeued: self.requeue(sub, idx, "lease expired"),
+            })
+            .collect()
     }
 
     /// Cancel a submission: its token trips (queued tasks are skipped by
@@ -517,6 +578,25 @@ impl JobQueue {
             .flat_map(|s| s.tasks.iter())
             .filter(|t| !matches!(t.state, TaskState::Terminal(_)))
             .count()
+    }
+
+    /// Count tasks per lifecycle state across all submissions.
+    pub fn state_counts(&self) -> TaskStateCounts {
+        let state = self.lock();
+        let mut counts = TaskStateCounts::default();
+        for task in state.submissions.values().flat_map(|s| s.tasks.iter()) {
+            match &task.state {
+                TaskState::Queued => counts.queued += 1,
+                TaskState::Running { .. } => counts.running += 1,
+                TaskState::Terminal(outcome) => match outcome.status {
+                    JobStatus::Completed(_) => counts.completed += 1,
+                    JobStatus::Cached(_) => counts.cached += 1,
+                    JobStatus::Failed { .. } => counts.failed += 1,
+                    JobStatus::Cancelled => counts.cancelled += 1,
+                },
+            }
+        }
+        counts
     }
 
     /// Build the finished submission's report. `None` until every task is
@@ -855,7 +935,13 @@ mod tests {
         let id = q.submit("c", "s", 0, jobs(3)).unwrap();
         let t_a = claim(&q, "a");
         let _t_b = claim(&q, "b");
-        assert_eq!(q.requeue_executor("a", "killed"), 1);
+        let lost = q.requeue_executor("a", "killed");
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].submission, t_a.submission);
+        assert_eq!(lost[0].index, t_a.index);
+        assert_eq!(lost[0].executor, "a");
+        assert!(lost[0].requeued, "budget of 5 grants the requeue");
+        assert!(!lost[0].label.is_empty());
         let v = q.status(id).unwrap();
         assert_eq!(v.running, 1, "b's lease survives");
         // a's task is claimable again.
@@ -864,22 +950,68 @@ mod tests {
     }
 
     #[test]
+    fn requeue_executor_reports_exhausted_budgets() {
+        let q = JobQueue::new(0, 1);
+        let id = q.submit("c", "s", 0, jobs(1)).unwrap();
+        let _t = claim(&q, "doomed");
+        let lost = q.requeue_executor("doomed", "killed");
+        assert_eq!(lost.len(), 1);
+        assert!(!lost[0].requeued, "loss budget of 0 fails the task");
+        assert_eq!(q.status(id).unwrap().state, SubmissionState::Failed);
+    }
+
+    #[test]
     fn reap_expired_requeues_stale_leases() {
         let q = JobQueue::new(5, 1);
         q.submit("c", "s", 0, jobs(1)).unwrap();
         let _t = claim(&q, "remote-hung");
-        assert_eq!(
-            q.reap_expired(Duration::from_secs(3600), "remote-"),
-            0,
+        assert!(
+            q.reap_expired(Duration::from_secs(3600), "remote-")
+                .is_empty(),
             "fresh lease"
         );
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(
-            q.reap_expired(Duration::from_millis(1), "local-"),
-            0,
+        assert!(
+            q.reap_expired(Duration::from_millis(1), "local-")
+                .is_empty(),
             "prefix filter protects other executors"
         );
-        assert_eq!(q.reap_expired(Duration::from_millis(1), "remote-"), 1);
+        let reaped = q.reap_expired(Duration::from_millis(1), "remote-");
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].executor, "remote-hung");
+        assert!(reaped[0].requeued);
+    }
+
+    #[test]
+    fn queue_wait_and_state_counts_track_the_lifecycle() {
+        let q = JobQueue::new(1, 1);
+        let id = q.submit("c", "s", 0, jobs(3)).unwrap();
+        assert_eq!(
+            q.state_counts(),
+            TaskStateCounts {
+                queued: 3,
+                ..TaskStateCounts::default()
+            }
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        let t = claim(&q, "w");
+        assert!(
+            t.queue_wait >= Duration::from_millis(15),
+            "{:?}",
+            t.queue_wait
+        );
+        let counts = q.state_counts();
+        assert_eq!((counts.queued, counts.running), (2, 1));
+        q.complete(id, t.index, {
+            let mut o = done(&t);
+            o.status = JobStatus::Completed(result_stub());
+            o
+        });
+        q.cancel(id);
+        let counts = q.state_counts();
+        assert_eq!(counts.completed, 1);
+        assert_eq!(counts.cancelled, 2);
+        assert_eq!(counts.running + counts.queued, 0);
     }
 
     #[test]

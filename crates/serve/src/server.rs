@@ -17,12 +17,24 @@
 //! merges back into its submission by task index, so a sweep's report is
 //! bit-identical to what a local `swiftsim campaign` run produces no
 //! matter how execution was scheduled.
+//!
+//! Observability: every significant latency (queue wait, dispatch,
+//! decode, simulate, result merge) lands in a mergeable histogram of the
+//! daemon's [`Registry`], scrapable via the `metrics` op as Prometheus
+//! text or JSON; task-lifecycle events feed a bounded [`FlightRecorder`]
+//! that dumps JSONL on deadlock, panic, exhausted worker-loss budgets, or
+//! the explicit `dump-events` op; and with a trace output configured
+//! ([`ServeOptions::trace_out`]) every task's journey — queue wait,
+//! executor span, and the executing worker's own profiler frames shipped
+//! back with `task-result` — merges into one Perfetto timeline via
+//! [`TraceMux`].
 
+use crate::obs::{failure_kind, TraceMux};
 use crate::protocol::{
     err_response, ok_response, op_of, str_field, u64_field, write_message, WireError,
     PROTOCOL_VERSION,
 };
-use crate::queue::{Dispatch, JobQueue, LeasedTask, SubmissionView};
+use crate::queue::{Dispatch, JobQueue, LeasedTask, RequeuedLease, SubmissionView};
 use crate::signal;
 use crate::warm::WarmCaches;
 use std::io::BufReader;
@@ -33,9 +45,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swiftsim_campaign::{
     CacheMode, CampaignSpec, ExecutorOptions, JobOutcome, JobRunner, JobStatus, ResultCache,
+    StageTimings,
 };
 use swiftsim_core::SimulationResult;
-use swiftsim_metrics::{CounterSet, Json};
+use swiftsim_metrics::{CounterSet, FlightRecorder, Json, ProfileReport, Registry};
 
 /// Everything configurable about a serve daemon.
 #[derive(Debug, Clone)]
@@ -67,6 +80,18 @@ pub struct ServeOptions {
     /// Remote lease age after which a task is taken back from a
     /// non-responsive worker.
     pub worker_lease: Duration,
+    /// Write a merged Perfetto/Chrome trace of the whole session here at
+    /// drain. Setting this also turns on self-profiling for every task
+    /// (local slots directly; remote workers via the shipped `trace`
+    /// flag), so the trace carries per-module simulator tracks.
+    pub trace_out: Option<PathBuf>,
+    /// Where flight-recorder dumps (JSONL, one event per line) go. With
+    /// `None`, dumps still announce themselves on stderr but events stay
+    /// in memory (reachable via the `dump-events` op).
+    pub events_out: Option<PathBuf>,
+    /// Flight-recorder ring capacity, in events. `0` disables recording
+    /// entirely (the disabled path is one branch per event).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -82,6 +107,9 @@ impl Default for ServeOptions {
             max_worker_losses: 2,
             max_remote_retries: 1,
             worker_lease: Duration::from_secs(300),
+            trace_out: None,
+            events_out: None,
+            flight_capacity: 4096,
         }
     }
 }
@@ -90,7 +118,13 @@ struct ServerShared {
     queue: JobQueue,
     warm: Arc<WarmCaches>,
     runner: JobRunner,
-    counters: CounterSet,
+    /// Counters, gauges, and latency histograms, exposed by `metrics`.
+    obs: Registry,
+    /// Ring buffer of structured lifecycle events for post-mortems.
+    flight: FlightRecorder,
+    /// Merged-trace accumulator; `Some` iff `trace_out` is configured.
+    tracer: Option<TraceMux>,
+    started: Instant,
     /// Instance stop flag ( `shutdown` op, [`ServerHandle::shutdown`] ).
     stop: AtomicBool,
     /// Set once the drain finished; connection threads then close.
@@ -102,6 +136,10 @@ struct ServerShared {
 impl ServerShared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn counters(&self) -> &CounterSet {
+        self.obs.counters()
     }
 }
 
@@ -120,7 +158,18 @@ impl ServerHandle {
 
     /// The daemon's metric counters (shared; live).
     pub fn counters(&self) -> CounterSet {
-        self.shared.counters.clone()
+        self.shared.obs.counters().clone()
+    }
+
+    /// The daemon's full metric registry (shared; live): counters plus
+    /// gauges and latency histograms.
+    pub fn registry(&self) -> Registry {
+        self.shared.obs.clone()
+    }
+
+    /// The daemon's flight recorder (shared; live).
+    pub fn flight(&self) -> FlightRecorder {
+        self.shared.flight.clone()
     }
 
     /// Begin a graceful drain and block until the daemon has fully
@@ -152,14 +201,23 @@ pub fn start(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         max_retries: opts.max_retries,
         progress: false,
         heartbeat: None,
-        profile: false,
+        // Tracing needs per-module frames from every simulation.
+        profile: opts.trace_out.is_some(),
     };
     let cache = ResultCache::new(opts.cache_dir.clone(), opts.cache);
+    let obs = Registry::new();
+    // Touch the gauges so a scrape before any activity still shows them.
+    obs.gauge("queue_depth");
+    obs.gauge("workers_connected");
+    obs.gauge("connections_open");
     let shared = Arc::new(ServerShared {
         queue: JobQueue::new(opts.max_worker_losses, opts.max_remote_retries),
         warm: WarmCaches::new(opts.result_cache_bytes, opts.kernel_cache_bytes),
         runner: JobRunner::new(exec_opts, cache),
-        counters: CounterSet::new(),
+        obs,
+        flight: FlightRecorder::with_capacity(opts.flight_capacity),
+        tracer: opts.trace_out.as_ref().map(|_| TraceMux::new()),
+        started: Instant::now(),
         stop: AtomicBool::new(false),
         finished: AtomicBool::new(false),
         conn_ids: AtomicU64::new(0),
@@ -209,14 +267,16 @@ fn supervise(shared: &Arc<ServerShared>, listener: &TcpListener) {
             Ok((stream, _peer)) => {
                 let shared = Arc::clone(shared);
                 let id = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
-                shared.counters.incr("connections");
+                shared.counters().incr("connections");
                 connections.push(
                     std::thread::Builder::new()
                         .name(format!("serve-conn-{id}"))
                         .spawn(move || {
+                            shared.obs.gauge("connections_open").add(1);
                             if let Err(e) = serve_connection(&shared, stream, id) {
                                 eprintln!("serve: connection {id}: {e}");
                             }
+                            shared.obs.gauge("connections_open").add(-1);
                         })
                         .expect("spawn connection"),
                 );
@@ -231,13 +291,16 @@ fn supervise(shared: &Arc<ServerShared>, listener: &TcpListener) {
         }
         if last_reap.elapsed() >= Duration::from_secs(1) {
             last_reap = Instant::now();
-            let reaped = shared
+            for lease in shared
                 .queue
-                .reap_expired(shared.opts.worker_lease, "remote-");
-            if reaped > 0 {
-                shared.counters.add("tasks_requeued", reaped as u64);
-                eprintln!("serve: reaped {reaped} expired remote lease(s)");
+                .reap_expired(shared.opts.worker_lease, "remote-")
+            {
+                note_lost_lease(shared, &lease, "lease-expiry");
             }
+            shared
+                .obs
+                .gauge("queue_depth")
+                .set(shared.queue.depth() as i64);
         }
         connections.retain(|c| !c.is_finished());
     }
@@ -245,14 +308,17 @@ fn supervise(shared: &Arc<ServerShared>, listener: &TcpListener) {
     // Graceful drain: no new submissions, queued work still runs, then
     // every thread is joined so the process exits with nothing in flight.
     eprintln!("serve: draining ({} tasks pending)", shared.queue.depth());
+    shared.flight.record_with("drain", || {
+        ev_fields(vec![("pending", Json::int(shared.queue.depth() as u64))])
+    });
     shared.queue.drain();
     while !shared.queue.is_idle() {
         std::thread::sleep(Duration::from_millis(20));
-        let reaped = shared
+        for lease in shared
             .queue
-            .reap_expired(shared.opts.worker_lease, "remote-");
-        if reaped > 0 {
-            shared.counters.add("tasks_requeued", reaped as u64);
+            .reap_expired(shared.opts.worker_lease, "remote-")
+        {
+            note_lost_lease(shared, &lease, "lease-expiry");
         }
     }
     for exec in executors {
@@ -262,6 +328,16 @@ fn supervise(shared: &Arc<ServerShared>, listener: &TcpListener) {
     for conn in connections {
         let _ = conn.join();
     }
+    if let (Some(path), Some(mux)) = (&shared.opts.trace_out, &shared.tracer) {
+        match std::fs::write(path, mux.to_chrome_json().dump()) {
+            Ok(()) => eprintln!(
+                "serve: wrote merged trace ({} events) to {}",
+                mux.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("serve: trace write to {} failed: {e}", path.display()),
+        }
+    }
     eprintln!("serve: drained, exiting");
 }
 
@@ -270,8 +346,41 @@ fn local_executor(shared: &ServerShared, slot: usize) {
     loop {
         match shared.queue.next_task(&name, Duration::from_millis(200)) {
             Dispatch::Task(task) => {
-                let outcome = execute_local(shared, &task);
-                record_outcome(&shared.counters, &outcome, "local");
+                let dispatched = Instant::now();
+                note_dispatch(shared, &task, &name, dispatched);
+                let (outcome, timings) = execute_local(shared, &task);
+                observe_stages(shared, &timings);
+                if let Some(mux) = &shared.tracer {
+                    let done = Instant::now();
+                    mux.task_span(
+                        task.submission,
+                        task.index,
+                        &task.job.spec.label(),
+                        &name,
+                        dispatched,
+                        done,
+                    );
+                    if let JobStatus::Completed(r) = &outcome.status {
+                        if let Some(report) = &r.profile {
+                            mux.executor_report(
+                                &name,
+                                task.submission,
+                                task.index,
+                                report,
+                                dispatched,
+                                done,
+                            );
+                        }
+                    }
+                }
+                observe_outcome(
+                    shared,
+                    &outcome,
+                    "local",
+                    &name,
+                    task.submission,
+                    task.index,
+                );
                 shared.queue.complete(task.submission, task.index, outcome);
             }
             Dispatch::Idle => {}
@@ -280,33 +389,42 @@ fn local_executor(shared: &ServerShared, slot: usize) {
     }
 }
 
-fn execute_local(shared: &ServerShared, task: &LeasedTask) -> JobOutcome {
+fn execute_local(shared: &ServerShared, task: &LeasedTask) -> (JobOutcome, StageTimings) {
     let started = Instant::now();
     if task.cancel.is_cancelled() {
-        return JobOutcome {
+        let outcome = JobOutcome {
             index: task.index,
             label: task.job.spec.label(),
             status: JobStatus::Cancelled,
             attempts: 0,
             wall: started.elapsed(),
         };
+        return (outcome, StageTimings::default());
     }
-    if let Some(result) = shared.warm.lookup_result(task.job.key) {
-        shared.counters.incr("warm_result_hits");
-        return JobOutcome {
+    let warm_hit = shared.warm.lookup_result(task.job.key);
+    let warm_lookup = started.elapsed();
+    if let Some(result) = warm_hit {
+        shared.counters().incr("warm_result_hits");
+        let outcome = JobOutcome {
             index: task.index,
             label: task.job.spec.label(),
             status: JobStatus::Cached(result),
             attempts: 0,
             wall: started.elapsed(),
         };
+        let timings = StageTimings {
+            cache_lookup: warm_lookup,
+            ..StageTimings::default()
+        };
+        return (outcome, timings);
     }
     let job = shared.warm.warm_job(task.job.clone());
-    let outcome = shared.runner.run_one(&job, &task.cancel);
+    let (outcome, mut timings) = shared.runner.run_one_timed(&job, &task.cancel);
+    timings.cache_lookup += warm_lookup;
     if let JobStatus::Completed(r) | JobStatus::Cached(r) = &outcome.status {
         shared.warm.store_result(task.job.key, r);
     }
-    outcome
+    (outcome, timings)
 }
 
 fn record_outcome(counters: &CounterSet, outcome: &JobOutcome, origin: &str) {
@@ -319,12 +437,174 @@ fn record_outcome(counters: &CounterSet, outcome: &JobOutcome, origin: &str) {
     }
 }
 
+/// Flight-event fields from borrowed pairs.
+fn ev_fields(pairs: Vec<(&str, Json)>) -> Vec<(String, Json)> {
+    pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
+}
+
+/// A task left the queue for an executor: histogram its queue wait,
+/// flight-record the dispatch, and open its queue span in the trace.
+fn note_dispatch(shared: &ServerShared, task: &LeasedTask, executor: &str, dispatched: Instant) {
+    shared
+        .obs
+        .observe_duration("queue_wait_us", task.queue_wait);
+    shared.flight.record_with("dispatch", || {
+        ev_fields(vec![
+            ("run", Json::int(task.submission)),
+            ("task", Json::int(task.index as u64)),
+            ("label", Json::str(task.job.spec.label())),
+            ("executor", Json::str(executor)),
+            ("wait_us", Json::int(task.queue_wait.as_micros() as u64)),
+        ])
+    });
+    if let Some(mux) = &shared.tracer {
+        let wait_ns = task.queue_wait.as_nanos().min(u64::MAX as u128) as u64;
+        mux.queue_span(
+            task.submission,
+            task.index,
+            &task.job.spec.label(),
+            wait_ns,
+            dispatched,
+            executor,
+        );
+    }
+}
+
+/// Per-stage attempt timings → the fleet-wide latency histograms.
+/// `decode` is simulator construction (config validation + trace
+/// decode setup); zero stages (not reached, e.g. cache hits) are skipped
+/// so the histograms describe work actually done.
+fn observe_stages(shared: &ServerShared, t: &StageTimings) {
+    shared
+        .obs
+        .observe_duration("cache_lookup_us", t.cache_lookup);
+    if t.build > Duration::ZERO {
+        shared.obs.observe_duration("decode_us", t.build);
+    }
+    if t.simulate > Duration::ZERO {
+        shared.obs.observe_duration("simulate_us", t.simulate);
+    }
+    if t.store > Duration::ZERO {
+        shared.obs.observe_duration("store_us", t.store);
+    }
+}
+
+/// Account one finished task everywhere: counters, labeled counters, the
+/// flight recorder — and when the failure is a deadlock or a panic,
+/// classify it, log it structurally, and dump the flight recorder.
+fn observe_outcome(
+    shared: &ServerShared,
+    outcome: &JobOutcome,
+    origin: &str,
+    executor: &str,
+    run: u64,
+    task: usize,
+) {
+    record_outcome(shared.counters(), outcome, origin);
+    let status = match &outcome.status {
+        JobStatus::Completed(_) => "completed",
+        JobStatus::Cached(_) => "cached",
+        JobStatus::Failed { .. } => "failed",
+        JobStatus::Cancelled => "cancelled",
+    };
+    shared
+        .obs
+        .incr_labeled("tasks_done", &[("origin", origin), ("status", status)]);
+    shared.flight.record_with("task-done", || {
+        let mut f = vec![
+            ("run", Json::int(run)),
+            ("task", Json::int(task as u64)),
+            ("executor", Json::str(executor)),
+            ("origin", Json::str(origin)),
+            ("status", Json::str(status)),
+            ("wall_us", Json::int(outcome.wall.as_micros() as u64)),
+        ];
+        if let JobStatus::Failed { error } = &outcome.status {
+            f.push(("error", Json::str(error.as_str())));
+        }
+        ev_fields(f)
+    });
+    if let JobStatus::Failed { error } = &outcome.status {
+        if let Some(kind) = failure_kind(error) {
+            shared.counters().incr(&format!("failures_{kind}"));
+            shared.flight.record_with(kind, || {
+                ev_fields(vec![
+                    ("run", Json::int(run)),
+                    ("task", Json::int(task as u64)),
+                    ("executor", Json::str(executor)),
+                    ("error", Json::str(error.as_str())),
+                ])
+            });
+            eprintln!(
+                "serve: event={kind} run={run} task={task} executor={executor} error={error:?}"
+            );
+            dump_flight(shared, kind);
+        }
+    }
+}
+
+/// A running task lost its executor (connection drop or lease expiry):
+/// count it, flight-record it, log it structurally, and — when its loss
+/// budget is spent and it was failed instead of requeued — dump the
+/// flight recorder, because work was lost to infrastructure.
+fn note_lost_lease(shared: &ServerShared, lease: &RequeuedLease, kind: &str) {
+    shared.counters().incr("tasks_requeued");
+    shared.flight.record_with(kind, || {
+        ev_fields(vec![
+            ("run", Json::int(lease.submission)),
+            ("task", Json::int(lease.index as u64)),
+            ("label", Json::str(lease.label.as_str())),
+            ("executor", Json::str(lease.executor.as_str())),
+            ("requeued", Json::Bool(lease.requeued)),
+        ])
+    });
+    eprintln!(
+        "serve: event={kind} executor={} run={} task={} requeued={}",
+        lease.executor, lease.submission, lease.index, lease.requeued
+    );
+    if !lease.requeued {
+        shared.counters().incr("tasks_loss_exhausted");
+        dump_flight(shared, "loss-budget-exhausted");
+    }
+}
+
+/// Dump the flight recorder: JSONL to [`ServeOptions::events_out`] when
+/// configured, always announced on stderr with the trigger.
+fn dump_flight(shared: &ServerShared, reason: &str) {
+    if !shared.flight.is_enabled() {
+        return;
+    }
+    shared.counters().incr("flight_dumps");
+    match &shared.opts.events_out {
+        Some(path) => match std::fs::write(path, shared.flight.dump_jsonl()) {
+            Ok(()) => eprintln!(
+                "serve: event=flight-dump reason={reason} events={} file={}",
+                shared.flight.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("serve: event=flight-dump reason={reason} write failed: {e}"),
+        },
+        None => eprintln!(
+            "serve: event=flight-dump reason={reason} events={} (no events file configured; \
+             use the dump-events op to read them)",
+            shared.flight.len()
+        ),
+    }
+}
+
 /// Per-connection state: whether this connection is a worker, and what it
 /// currently has leased (for requeue-on-drop).
 struct ConnState {
     id: u64,
     worker: Option<String>,
-    lease: Option<LeasedTask>,
+    lease: Option<Lease>,
+}
+
+/// A task leased to a remote worker, plus when it was shipped (the
+/// coordinator-side anchor for clock-rebasing the worker's trace frames).
+struct Lease {
+    task: LeasedTask,
+    dispatched: Instant,
 }
 
 impl ConnState {
@@ -371,11 +651,24 @@ fn serve_connection(
         let requeued = shared
             .queue
             .requeue_executor(&conn.executor_name(), "worker connection lost");
-        shared.counters.add("tasks_requeued", requeued as u64);
+        for lease in &requeued {
+            note_lost_lease(shared, lease, "worker-loss-requeue");
+        }
         eprintln!(
-            "serve: worker {:?} disconnected with a task in flight; requeued {requeued}",
+            "serve: worker {:?} disconnected with a task in flight; requeued {}",
             conn.worker.as_deref().unwrap_or("?"),
+            requeued.iter().filter(|l| l.requeued).count(),
         );
+    }
+    if let Some(worker) = &conn.worker {
+        shared.obs.gauge("workers_connected").add(-1);
+        shared.flight.record_with("worker-drop", || {
+            ev_fields(vec![
+                ("conn", Json::int(id)),
+                ("worker", Json::str(worker.as_str())),
+            ])
+        });
+        eprintln!("serve: event=worker-disconnect conn={id} worker={worker}");
     }
     result
 }
@@ -454,13 +747,18 @@ fn handle_request(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Json) 
         }
         "cancel" => match u64_field(msg, "job") {
             Some(id) if shared.queue.cancel(id) => {
-                shared.counters.incr("jobs_cancelled");
+                shared.counters().incr("jobs_cancelled");
+                shared
+                    .flight
+                    .record_with("cancel", || ev_fields(vec![("run", Json::int(id))]));
                 ok_response(vec![("job", Json::int(id))])
             }
             _ => err_response("unknown job"),
         },
         "result" => handle_result(shared, msg),
         "stats" => handle_stats(shared),
+        "metrics" => handle_metrics(shared),
+        "dump-events" => handle_dump_events(shared),
         "shutdown" => {
             shared.stop.store(true, Ordering::SeqCst);
             ok_response(vec![("draining", Json::Bool(true))])
@@ -472,8 +770,17 @@ fn handle_request(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Json) 
                     "protocol version mismatch: coordinator {PROTOCOL_VERSION}, worker {version}"
                 ));
             }
-            conn.worker = Some(str_field(msg, "name").unwrap_or("worker").to_owned());
-            shared.counters.incr("workers_joined");
+            let name = str_field(msg, "name").unwrap_or("worker").to_owned();
+            shared.counters().incr("workers_joined");
+            shared.obs.gauge("workers_connected").add(1);
+            shared.flight.record_with("worker-connect", || {
+                ev_fields(vec![
+                    ("conn", Json::int(conn.id)),
+                    ("worker", Json::str(name.as_str())),
+                ])
+            });
+            eprintln!("serve: event=worker-connect conn={} worker={name}", conn.id);
+            conn.worker = Some(name);
             ok_response(vec![("version", Json::int(PROTOCOL_VERSION))])
         }
         "task-request" => handle_task_request(shared, conn),
@@ -530,12 +837,25 @@ fn handle_submit(shared: &Arc<ServerShared>, msg: &Json) -> Json {
         .submit_prejudged(client, &spec.name, priority, prejudged)
     {
         Some(id) => {
-            shared.counters.incr("jobs_submitted");
-            shared.counters.add("tasks_total", total as u64);
-            shared.counters.add("warm_submit_hits", warm_hits);
+            shared.counters().incr("jobs_submitted");
+            shared.counters().add("tasks_total", total as u64);
+            shared.counters().add("warm_submit_hits", warm_hits);
             shared
-                .counters
+                .counters()
                 .incr(&format!("client.{client}.submissions"));
+            shared
+                .obs
+                .incr_labeled("client_submissions", &[("client", client)]);
+            shared.flight.record_with("submit", || {
+                ev_fields(vec![
+                    ("run", Json::int(id)),
+                    ("client", Json::str(client)),
+                    ("name", Json::str(spec.name.as_str())),
+                    ("tasks", Json::int(total as u64)),
+                    ("warm", Json::int(warm_hits)),
+                    ("priority", Json::int(priority)),
+                ])
+            });
             ok_response(vec![
                 ("job", Json::int(id)),
                 ("tasks", Json::int(total as u64)),
@@ -579,13 +899,35 @@ fn handle_result(shared: &Arc<ServerShared>, msg: &Json) -> Json {
 }
 
 fn handle_stats(shared: &Arc<ServerShared>) -> Json {
-    shared
-        .counters
-        .set("queue_depth", shared.queue.depth() as u64);
+    let depth = shared.queue.depth();
+    shared.counters().set("queue_depth", depth as u64);
+    shared.obs.gauge("queue_depth").set(depth as i64);
+    let counts = shared.queue.state_counts();
     let rs = shared.warm.result_stats();
     let ks = shared.warm.kernel_stats();
     ok_response(vec![
-        ("counters", shared.counters.to_json()),
+        (
+            "uptime_us",
+            Json::int(shared.started.elapsed().as_micros() as u64),
+        ),
+        ("counters", shared.counters().to_json()),
+        (
+            "queue",
+            Json::obj(vec![
+                ("depth", Json::int(depth as u64)),
+                (
+                    "by_state",
+                    Json::obj(vec![
+                        ("queued", Json::int(counts.queued as u64)),
+                        ("running", Json::int(counts.running as u64)),
+                        ("completed", Json::int(counts.completed as u64)),
+                        ("cached", Json::int(counts.cached as u64)),
+                        ("failed", Json::int(counts.failed as u64)),
+                        ("cancelled", Json::int(counts.cancelled as u64)),
+                    ]),
+                ),
+            ]),
+        ),
         (
             "result_cache",
             Json::obj(vec![
@@ -609,6 +951,38 @@ fn handle_stats(shared: &Arc<ServerShared>) -> Json {
     ])
 }
 
+/// The `metrics` op: Prometheus-style text exposition plus the same data
+/// as structured JSON (counters, labeled counters, gauges, histogram
+/// summaries).
+fn handle_metrics(shared: &Arc<ServerShared>) -> Json {
+    let depth = shared.queue.depth();
+    shared.counters().set("queue_depth", depth as u64);
+    shared.obs.gauge("queue_depth").set(depth as i64);
+    ok_response(vec![
+        ("text", Json::str(shared.obs.prometheus_text("swiftsim"))),
+        ("metrics", shared.obs.to_json()),
+    ])
+}
+
+/// The `dump-events` op: the flight recorder's current contents, and —
+/// when an events file is configured — a dump to disk as a side effect.
+fn handle_dump_events(shared: &Arc<ServerShared>) -> Json {
+    if shared.opts.events_out.is_some() {
+        dump_flight(shared, "dump-events-op");
+    }
+    let events: Vec<Json> = shared
+        .flight
+        .snapshot()
+        .iter()
+        .map(|e| e.to_json())
+        .collect();
+    ok_response(vec![
+        ("enabled", Json::Bool(shared.flight.is_enabled())),
+        ("dropped", Json::int(shared.flight.dropped())),
+        ("events", Json::Arr(events)),
+    ])
+}
+
 fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json {
     if conn.worker.is_none() {
         return err_response("task-request before worker-hello");
@@ -616,11 +990,13 @@ fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json
     if conn.lease.is_some() {
         return err_response("worker already holds a lease");
     }
+    let executor = conn.executor_name();
     match shared
         .queue
-        .next_task(&conn.executor_name(), Duration::from_millis(500))
+        .next_task(&executor, Duration::from_millis(500))
     {
         Dispatch::Task(task) => {
+            let dispatched = Instant::now();
             let Some(spec_text) = task.job.spec.to_single_spec_text("shipped") else {
                 // The job cannot be expressed in spec text (pathological
                 // path); fail it rather than bounce it between workers.
@@ -633,10 +1009,18 @@ fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json
                     attempts: 0,
                     wall: Duration::ZERO,
                 };
-                record_outcome(&shared.counters, &outcome, "remote");
+                observe_outcome(
+                    shared,
+                    &outcome,
+                    "remote",
+                    &executor,
+                    task.submission,
+                    task.index,
+                );
                 shared.queue.complete(task.submission, task.index, outcome);
                 return ok_response(vec![("task", Json::Null)]);
             };
+            note_dispatch(shared, &task, &executor, dispatched);
             let reply = ok_response(vec![(
                 "task",
                 Json::obj(vec![
@@ -645,9 +1029,20 @@ fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json
                     ("label", Json::str(task.job.spec.label())),
                     ("key", Json::str(task.job.key_hex())),
                     ("spec", Json::str(spec_text)),
+                    // Trace context: submission/index double as the
+                    // run/task ids; `trace` asks the worker to profile and
+                    // ship its frames back with the result.
+                    ("trace", Json::Bool(shared.tracer.is_some())),
                 ]),
             )]);
-            conn.lease = Some(*task);
+            // Dispatch latency: queue pick to reply packaged.
+            shared
+                .obs
+                .observe_duration("dispatch_us", dispatched.elapsed());
+            conn.lease = Some(Lease {
+                task: *task,
+                dispatched,
+            });
             reply
         }
         Dispatch::Idle => ok_response(vec![("task", Json::Null)]),
@@ -656,27 +1051,65 @@ fn handle_task_request(shared: &Arc<ServerShared>, conn: &mut ConnState) -> Json
 }
 
 fn handle_task_result(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Json) -> Json {
-    let Some(task) = conn.lease.take() else {
+    let received = Instant::now();
+    let Some(lease) = conn.lease.take() else {
         return err_response("task-result without a lease");
     };
     let submission = u64_field(msg, "submission");
     let index = u64_field(msg, "index").map(|i| i as usize);
-    if submission != Some(task.submission) || index != Some(task.index) {
-        conn.lease = Some(task);
+    if submission != Some(lease.task.submission) || index != Some(lease.task.index) {
+        conn.lease = Some(lease);
         return err_response("task-result does not match the held lease");
     }
+    let Lease { task, dispatched } = lease;
+    let executor = conn.executor_name();
 
     let worker_key = str_field(msg, "key").unwrap_or("");
     let attempts = u64_field(msg, "attempts").unwrap_or(1) as u32;
     let wall = Duration::from_micros(u64_field(msg, "wall_us").unwrap_or(0));
     let status = str_field(msg, "status").unwrap_or("failed");
 
+    // Trace context closes here: the worker's execution becomes a span on
+    // this executor's coordinator row, and its shipped profiler frames —
+    // clock-rebased into the dispatch→receive window — its own process.
+    if let Some(mux) = &shared.tracer {
+        mux.task_span(
+            task.submission,
+            task.index,
+            &task.job.spec.label(),
+            &executor,
+            dispatched,
+            received,
+        );
+        if let Some(profile) = msg.get("profile") {
+            match ProfileReport::from_json(profile) {
+                Ok(report) => mux.executor_report(
+                    &executor,
+                    task.submission,
+                    task.index,
+                    &report,
+                    dispatched,
+                    received,
+                ),
+                Err(e) => eprintln!("serve: worker profile unparsable ({executor}): {e}"),
+            }
+        }
+    }
+    // Worker-measured stage latencies merge into the same fleet-wide
+    // histograms the local slots feed.
+    if let Some(us) = u64_field(msg, "decode_us").filter(|us| *us > 0) {
+        shared.obs.observe("decode_us", us);
+    }
+    if let Some(us) = u64_field(msg, "simulate_us").filter(|us| *us > 0) {
+        shared.obs.observe("simulate_us", us);
+    }
+
     // End-to-end determinism check: the worker resolved the shipped spec
     // independently; its content-addressed key must agree with ours. A
     // mismatch means version/config/trace skew — the result cannot be
     // trusted as *this* job's answer.
     let outcome = if worker_key != task.job.key_hex() {
-        shared.counters.incr("key_mismatches");
+        shared.counters().incr("key_mismatches");
         JobOutcome {
             index: task.index,
             label: task.job.spec.label(),
@@ -730,11 +1163,28 @@ fn handle_task_result(shared: &Arc<ServerShared>, conn: &mut ConnState, msg: &Js
     if matches!(outcome.status, JobStatus::Failed { .. })
         && shared.queue.grant_retry(task.submission, task.index)
     {
-        shared.counters.incr("tasks_retried");
+        shared.counters().incr("tasks_retried");
+        shared.flight.record_with("exec-retry", || {
+            ev_fields(vec![
+                ("run", Json::int(task.submission)),
+                ("task", Json::int(task.index as u64)),
+                ("executor", Json::str(executor.as_str())),
+            ])
+        });
+        shared.obs.observe_duration("merge_us", received.elapsed());
         return ok_response(vec![("accepted", Json::Bool(true))]);
     }
-    record_outcome(&shared.counters, &outcome, "remote");
+    observe_outcome(
+        shared,
+        &outcome,
+        "remote",
+        &executor,
+        task.submission,
+        task.index,
+    );
     shared.queue.complete(task.submission, task.index, outcome);
+    // Merge latency: result line received to merged into the submission.
+    shared.obs.observe_duration("merge_us", received.elapsed());
     ok_response(vec![("accepted", Json::Bool(true))])
 }
 

@@ -93,15 +93,24 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, WireError> {
         )));
     }
 
-    let runner = JobRunner::new(
+    let exec_opts = ExecutorOptions {
+        workers: 1,
+        max_retries: opts.max_retries,
+        progress: false,
+        heartbeat: None,
+        profile: false,
+    };
+    let cache = ResultCache::new(opts.cache_dir.clone(), opts.cache);
+    let runner = JobRunner::new(exec_opts.clone(), cache.clone());
+    // Used for tasks whose coordinator asked for a trace (`"trace": true`):
+    // the profiler's per-module frames ship back with the result and merge
+    // into the coordinator's session-wide Perfetto timeline.
+    let profiled = JobRunner::new(
         ExecutorOptions {
-            workers: 1,
-            max_retries: opts.max_retries,
-            progress: false,
-            heartbeat: None,
-            profile: false,
+            profile: true,
+            ..exec_opts
         },
-        ResultCache::new(opts.cache_dir.clone(), opts.cache),
+        cache,
     );
 
     let mut summary = WorkerSummary::default();
@@ -120,7 +129,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, WireError> {
             continue;
         };
 
-        let result_msg = execute_task(&runner, task, &mut summary);
+        let result_msg = execute_task(&runner, &profiled, task, &mut summary);
         write_message(&mut writer, &result_msg)?;
         let ack = expect_reply(&mut reader)?;
         if ack.get("ok") != Some(&Json::Bool(true)) {
@@ -142,7 +151,17 @@ fn expect_reply(reader: &mut BufReader<TcpStream>) -> Result<Json, WireError> {
 }
 
 /// Run one shipped task and build its `task-result` message.
-fn execute_task(runner: &JobRunner, task: &Json, summary: &mut WorkerSummary) -> Json {
+///
+/// The coordinator's trace context rides along: `submission`/`index` are
+/// echoed back as the run/task ids, per-stage wall times are attached for
+/// the coordinator's fleet-wide latency histograms, and when the task
+/// asked for a trace the profiler's frames ship back under `"profile"`.
+fn execute_task(
+    runner: &JobRunner,
+    profiled: &JobRunner,
+    task: &Json,
+    summary: &mut WorkerSummary,
+) -> Json {
     let submission = u64_field(task, "submission").unwrap_or(0);
     let index = u64_field(task, "index").unwrap_or(0);
     let base = move |status: &str| {
@@ -182,7 +201,9 @@ fn execute_task(runner: &JobRunner, task: &Json, summary: &mut WorkerSummary) ->
     // its own before accepting the result.
     let key = job.key_hex();
 
-    let outcome = runner.run_one(job, &CancelToken::new());
+    let traced = matches!(task.get("trace"), Some(Json::Bool(true)));
+    let runner = if traced { profiled } else { runner };
+    let (outcome, stages) = runner.run_one_timed(job, &CancelToken::new());
     match outcome.status {
         JobStatus::Completed(result) | JobStatus::Cached(result) => {
             let cached = outcome.attempts == 0;
@@ -196,6 +217,11 @@ fn execute_task(runner: &JobRunner, task: &Json, summary: &mut WorkerSummary) ->
             fields.push(("result", result.to_json()));
             fields.push(("attempts", Json::int(u64::from(outcome.attempts))));
             fields.push(("wall_us", Json::int(outcome.wall.as_micros() as u64)));
+            fields.push(("decode_us", Json::int(stages.build.as_micros() as u64)));
+            fields.push(("simulate_us", Json::int(stages.simulate.as_micros() as u64)));
+            if let Some(report) = &result.profile {
+                fields.push(("profile", report.to_json()));
+            }
             Json::obj(fields)
         }
         JobStatus::Failed { error } => fail(summary, key, error),
@@ -257,12 +283,59 @@ mod tests {
             ),
         ]);
         let mut summary = WorkerSummary::default();
-        let msg = execute_task(&runner, &task, &mut summary);
+        let msg = execute_task(&runner, &runner, &task, &mut summary);
         assert_eq!(op_of(&msg), "task-result");
         assert_eq!(str_field(&msg, "status"), Some("ok"));
         assert_eq!(str_field(&msg, "key"), Some(job.key_hex().as_str()));
         assert!(msg.get("result").is_some());
+        // Stage latencies ride along for the coordinator's histograms; an
+        // untraced task ships no profiler frames.
+        assert!(u64_field(&msg, "simulate_us").is_some());
+        assert!(msg.get("profile").is_none());
         assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn traced_task_ships_the_profiler_track() {
+        let plain = JobRunner::new(
+            ExecutorOptions::default(),
+            ResultCache::new(
+                std::env::temp_dir().join("swiftsim-worker-trace-test"),
+                CacheMode::Off,
+            ),
+        );
+        let profiled = JobRunner::new(
+            ExecutorOptions {
+                profile: true,
+                ..ExecutorOptions::default()
+            },
+            ResultCache::new(
+                std::env::temp_dir().join("swiftsim-worker-trace-test"),
+                CacheMode::Off,
+            ),
+        );
+        let spec =
+            CampaignSpec::parse("workload = nw\nscale = tiny\npreset = swift-memory").unwrap();
+        let job = spec.resolve().unwrap().remove(0);
+        let task = Json::obj(vec![
+            ("submission", Json::int(7)),
+            ("index", Json::int(0)),
+            ("trace", Json::Bool(true)),
+            (
+                "spec",
+                Json::str(job.spec.to_single_spec_text("t").unwrap()),
+            ),
+        ]);
+        let mut summary = WorkerSummary::default();
+        let msg = execute_task(&plain, &profiled, &task, &mut summary);
+        assert_eq!(str_field(&msg, "status"), Some("ok"));
+        let profile = msg.get("profile").expect("traced task ships its frames");
+        let frames = profile.get("frames").and_then(Json::as_arr).unwrap();
+        assert!(!frames.is_empty(), "profiler recorded at least one frame");
+        // The trace context echoes back: same run/task ids the
+        // coordinator dispatched with.
+        assert_eq!(u64_field(&msg, "submission"), Some(7));
+        assert_eq!(u64_field(&msg, "index"), Some(0));
     }
 
     #[test]
@@ -280,7 +353,7 @@ mod tests {
             ("spec", Json::str("workload = doom\nscale = tiny")),
         ]);
         let mut summary = WorkerSummary::default();
-        let msg = execute_task(&runner, &task, &mut summary);
+        let msg = execute_task(&runner, &runner, &task, &mut summary);
         assert_eq!(str_field(&msg, "status"), Some("failed"));
         assert!(str_field(&msg, "error").unwrap().contains("spec unusable"));
         assert_eq!(summary.failed, 1);

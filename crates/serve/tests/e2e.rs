@@ -142,7 +142,7 @@ fn worker_loss_mid_task_converges_via_requeue() {
             reader.read_line(&mut reply).unwrap();
             Json::parse(reply.trim()).unwrap()
         };
-        let hello = say("{\"op\":\"worker-hello\",\"name\":\"doomed\",\"version\":1}".to_owned());
+        let hello = say("{\"op\":\"worker-hello\",\"name\":\"doomed\",\"version\":2}".to_owned());
         assert_eq!(hello.get("ok"), Some(&Json::Bool(true)));
         let reply = say("{\"op\":\"task-request\",\"name\":\"doomed\"}".to_owned());
         assert!(
@@ -225,7 +225,7 @@ fn infra_losses_do_not_consume_execution_retries() {
         let hello = say(
             &mut sock,
             &mut reader,
-            format!("{{\"op\":\"worker-hello\",\"name\":\"{name}\",\"version\":1}}"),
+            format!("{{\"op\":\"worker-hello\",\"name\":\"{name}\",\"version\":2}}"),
         );
         assert_eq!(hello.get("ok"), Some(&Json::Bool(true)));
         let deadline = std::time::Instant::now() + Duration::from_secs(60);
@@ -364,7 +364,7 @@ fn status_list_cancel_and_fairness() {
 
     let mut alice = ServeClient::connect(&addr).unwrap();
     let mut bob = ServeClient::connect(&addr).unwrap();
-    assert_eq!(alice.ping().unwrap(), 1);
+    assert_eq!(alice.ping().unwrap(), 2);
 
     let flood_spec = "name = flood\nworkload = nw\nscale = tiny\npreset = swift-sim-basic\nscheduler = gto, lrr, two_level\n";
     let (flood, flood_tasks) = alice.submit(flood_spec, "alice", 0).unwrap();
@@ -488,7 +488,7 @@ fn protocol_errors_are_answered_not_fatal() {
     assert_eq!(ghost.get("ok"), Some(&Json::Bool(false)));
 
     // The connection and daemon survived all of it.
-    assert_eq!(client.ping().unwrap(), 1);
+    assert_eq!(client.ping().unwrap(), 2);
     client.shutdown().unwrap();
     handle.join();
 }
@@ -514,6 +514,268 @@ fn stats_reflect_execution_and_caches() {
     assert!(stats.get("result_cache").is_some());
     assert!(stats.get("kernel_cache").is_some());
 
+    // The enriched stats of protocol v2: uptime and per-lifecycle-state
+    // task counts that add up to the submission.
+    assert!(
+        stats.get("uptime_us").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "uptime is reported"
+    );
+    let queue = stats.get("queue").expect("stats carry a queue object");
+    assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(0));
+    let by_state = queue.get("by_state").expect("queue carries by_state");
+    let state = |k: &str| by_state.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(
+        state("completed") + state("cached"),
+        2,
+        "both tasks reached a terminal state: {}",
+        by_state.dump()
+    );
+    assert_eq!(state("queued") + state("running"), 0);
+
     client.shutdown().unwrap();
     handle.join();
+}
+
+/// The `metrics` op: after a sweep, the Prometheus exposition carries the
+/// latency histograms with non-empty buckets, the gauges, and the labeled
+/// per-client counters; the JSON view agrees.
+#[test]
+fn metrics_exposition_has_live_histograms_after_a_sweep() {
+    let handle = server::start(opts("metrics")).unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+
+    let (job, tasks) = client.submit(SWEEP_SPEC, "mclient", 0).unwrap();
+    assert_eq!(tasks, 8);
+    client.wait_result(job, Duration::from_secs(300)).unwrap();
+
+    let (text, json) = client.metrics().unwrap();
+    // Histograms: every fresh task simulated, so simulate_us has samples
+    // and cumulative buckets ending in +Inf.
+    assert!(
+        text.contains("# TYPE swiftsim_simulate_us histogram"),
+        "histogram TYPE line present:\n{text}"
+    );
+    assert!(
+        text.contains("swiftsim_simulate_us_bucket{le="),
+        "non-empty buckets exposed:\n{text}"
+    );
+    assert!(text.contains("swiftsim_simulate_us_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("swiftsim_queue_wait_us_count"));
+    assert!(text.contains("# TYPE swiftsim_queue_depth gauge"));
+    assert!(
+        text.contains("swiftsim_client_submissions{client=\"mclient\"} 1"),
+        "labeled counter exposed:\n{text}"
+    );
+
+    let hists = json.get("histograms").expect("JSON view has histograms");
+    let simulate = hists.get("simulate_us").expect("simulate_us histogram");
+    assert_eq!(simulate.get("count").and_then(Json::as_u64), Some(8));
+    assert!(simulate.get("p99").and_then(Json::as_u64).unwrap_or(0) > 0);
+    let queue_wait = hists.get("queue_wait_us").expect("queue_wait histogram");
+    assert!(queue_wait.get("count").and_then(Json::as_u64).unwrap_or(0) >= 8);
+
+    // The flight recorder saw the whole lifecycle; dump-events returns it.
+    let events = client.dump_events().unwrap();
+    assert_eq!(events.get("enabled"), Some(&Json::Bool(true)));
+    let kinds: Vec<&str> = events
+        .get("events")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.contains(&"submit"), "{kinds:?}");
+    assert!(kinds.contains(&"dispatch"), "{kinds:?}");
+    assert!(kinds.contains(&"task-done"), "{kinds:?}");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// The tentpole acceptance: a remote-worker campaign with `trace_out`
+/// produces ONE merged Perfetto trace holding the coordinator's queue and
+/// executor spans (pid 1) AND the worker's own profiler frames (its own
+/// pid), all tagged with consistent run/task ids.
+#[test]
+fn remote_sweep_merges_one_trace_with_worker_tracks() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "swiftsim-serve-e2e-trace-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&trace_path);
+    let mut o = opts("traced");
+    o.local_slots = Some(0); // all simulation on the remote worker
+    o.trace_out = Some(trace_path.clone());
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let w = WorkerOptions {
+        coordinator: addr.clone(),
+        name: "tracer".to_owned(),
+        cache_dir: scratch("traced-w"),
+        cache: CacheMode::Off,
+        ..WorkerOptions::default()
+    };
+    let worker = std::thread::spawn(move || run_worker(&w).unwrap());
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let spec = "name = traced\nworkload = nw\nscale = tiny\npreset = swift-sim-memory\nscheduler = gto, lrr\n";
+    let (job, tasks) = client.submit(spec, "c", 0).unwrap();
+    assert_eq!(tasks, 2);
+    client.wait_result(job, Duration::from_secs(300)).unwrap();
+    client.shutdown().unwrap();
+    worker.join().unwrap();
+    handle.join(); // trace is written at the end of the drain
+
+    let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let ctx = |e: &Json| {
+        let run = e
+            .get("args")
+            .and_then(|a| a.get("run"))
+            .and_then(Json::as_u64);
+        let task = e
+            .get("args")
+            .and_then(|a| a.get("task"))
+            .and_then(Json::as_u64);
+        run.zip(task)
+    };
+    // Coordinator spans: queue + executor rows on pid 1, with run/task.
+    let coord: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.get("pid").and_then(Json::as_u64) == Some(1))
+        .filter_map(&ctx)
+        .collect();
+    // Worker frames: X events on a pid other than 1, same run/task args.
+    let worker_spans: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("pid").and_then(Json::as_u64).unwrap_or(1) != 1
+        })
+        .filter_map(&ctx)
+        .collect();
+    assert!(!coord.is_empty(), "coordinator spans carry trace context");
+    assert!(
+        !worker_spans.is_empty(),
+        "worker frames carry trace context"
+    );
+    for id in &worker_spans {
+        assert!(
+            coord.contains(id),
+            "worker span {id:?} matches a coordinator span; coordinator saw {coord:?}"
+        );
+    }
+    // Both tasks of the sweep appear.
+    assert!(coord.iter().any(|(_, t)| *t == 0) && coord.iter().any(|(_, t)| *t == 1));
+    // The worker's process row is named after its executor identity.
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("name").and_then(Json::as_str) == Some("process_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.contains("tracer"))
+        }),
+        "worker process is named in the trace"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+/// Worker loss beyond the loss budget dumps the flight recorder as JSONL
+/// naming the run and task ids — the post-mortem artifact.
+#[test]
+fn exhausted_loss_budget_dumps_flight_recorder_jsonl() {
+    let events_path = std::env::temp_dir().join(format!(
+        "swiftsim-serve-e2e-events-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&events_path);
+    let mut o = opts("flightdump");
+    o.local_slots = Some(0);
+    o.max_worker_losses = 0; // first loss exhausts the budget
+    o.events_out = Some(events_path.clone());
+    let handle = server::start(o).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let (job, _) = client
+        .submit(
+            "name = doomed\nworkload = nw\nscale = tiny\npreset = swift-sim-memory\nscheduler = gto\n",
+            "c",
+            0,
+        )
+        .unwrap();
+
+    // A worker claims the task and dies. With a zero loss budget the task
+    // fails instead of requeueing, which must trigger the dump.
+    {
+        let mut dying = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(dying.try_clone().unwrap());
+        let mut say = |line: String| {
+            dying.write_all(line.as_bytes()).unwrap();
+            dying.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Json::parse(reply.trim()).unwrap()
+        };
+        let hello = say("{\"op\":\"worker-hello\",\"name\":\"doomed\",\"version\":2}".to_owned());
+        assert_eq!(hello.get("ok"), Some(&Json::Bool(true)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let reply = say("{\"op\":\"task-request\",\"name\":\"doomed\"}".to_owned());
+            if !matches!(reply.get("task"), Some(Json::Null) | None) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never got a lease");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // The loss fails the task, so the submission reaches a terminal state.
+    let report = client.wait_result(job, Duration::from_secs(300)).unwrap();
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows[0].get("status").and_then(Json::as_str), Some("failed"));
+
+    // The dump exists, every line parses, and the lost task is named by
+    // run and task id. (The task turns terminal a moment before the dump
+    // is written, so give the file a beat to appear.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let dump = loop {
+        match std::fs::read_to_string(&events_path) {
+            Ok(d) if !d.is_empty() => break d,
+            _ if std::time::Instant::now() >= deadline => panic!("flight recorder never dumped"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let events: Vec<Json> = dump
+        .lines()
+        .map(|l| Json::parse(l).expect("JSONL line parses"))
+        .collect();
+    assert!(!events.is_empty());
+    let loss = events
+        .iter()
+        .find(|e| {
+            e.get("event").and_then(Json::as_str) == Some("worker-loss-requeue")
+                && e.get("requeued") == Some(&Json::Bool(false))
+        })
+        .expect("the exhausted loss is recorded");
+    assert_eq!(loss.get("run").and_then(Json::as_u64), Some(job));
+    assert_eq!(loss.get("task").and_then(Json::as_u64), Some(0));
+    assert!(
+        loss.get("executor")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("doomed")),
+        "{}",
+        loss.dump()
+    );
+    // Earlier lifecycle events are in the same dump (submit → dispatch).
+    assert!(events
+        .iter()
+        .any(|e| e.get("event").and_then(Json::as_str) == Some("submit")));
+
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_file(&events_path);
 }
