@@ -5,7 +5,7 @@
 //! performance regressions are caught in CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_workloads::Scale;
 
 fn small_gpu() -> swiftsim_config::GpuConfig {
@@ -33,7 +33,8 @@ fn bench_presets(c: &mut Criterion) {
             ("swift_memory", SimulatorPreset::SwiftMemory),
         ] {
             group.bench_with_input(BenchmarkId::new(label, app_name), &app, |b, app| {
-                let sim = SimulatorBuilder::new(gpu.clone()).preset(preset).build();
+                let options = RunOptions::default().with_preset(preset);
+                let sim = GpuSimulator::try_new(gpu.clone(), &options).expect("bench simulator");
                 b.iter(|| sim.run(app).expect("bench run"));
             });
         }

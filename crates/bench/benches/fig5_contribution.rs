@@ -3,8 +3,26 @@
 //! simulation — on one memory-bound workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder, SkipPolicy};
+use swiftsim_core::{
+    AluModelKind, FidelityConfig, FrontendModelKind, GpuSimulator, MemoryModelKind, RunOptions,
+    SkipPolicy,
+};
 use swiftsim_workloads::Scale;
+
+fn fidelity(
+    alu: AluModelKind,
+    memory: MemoryModelKind,
+    frontend: FrontendModelKind,
+    skip_policy: SkipPolicy,
+) -> FidelityConfig {
+    FidelityConfig {
+        alu,
+        memory,
+        frontend,
+        skip_policy,
+        ..FidelityConfig::default()
+    }
+}
 
 fn small_gpu() -> swiftsim_config::GpuConfig {
     let mut cfg = swiftsim_config::presets::rtx2080ti();
@@ -24,43 +42,48 @@ fn bench_contributions(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(2));
     group.measurement_time(std::time::Duration::from_secs(10));
 
-    let cases: Vec<(&str, SimulatorBuilder)> = vec![
+    let cases: Vec<(&str, RunOptions)> = vec![
         (
             "baseline_detailed",
-            SimulatorBuilder::new(gpu.clone())
-                .alu_model(AluModelKind::CycleAccurate)
-                .memory_model(MemoryModelKind::CycleAccurate)
-                .frontend_detailed(true)
-                .skip_policy(SkipPolicy::Dense),
+            RunOptions::default().with_fidelity(fidelity(
+                AluModelKind::CycleAccurate,
+                MemoryModelKind::CycleAccurate,
+                FrontendModelKind::Detailed,
+                SkipPolicy::Dense,
+            )),
         ),
         (
             "analytical_alu",
-            SimulatorBuilder::new(gpu.clone())
-                .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::CycleAccurate)
-                .frontend_detailed(false)
-                .skip_policy(SkipPolicy::EventDriven),
+            RunOptions::default().with_fidelity(fidelity(
+                AluModelKind::Analytical,
+                MemoryModelKind::CycleAccurate,
+                FrontendModelKind::Simplified,
+                SkipPolicy::EventDriven,
+            )),
         ),
         (
             "analytical_alu_and_memory",
-            SimulatorBuilder::new(gpu.clone())
-                .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::Analytical)
-                .frontend_detailed(false)
-                .skip_policy(SkipPolicy::EventDriven),
+            RunOptions::default().with_fidelity(fidelity(
+                AluModelKind::Analytical,
+                MemoryModelKind::Analytical,
+                FrontendModelKind::Simplified,
+                SkipPolicy::EventDriven,
+            )),
         ),
         (
             "analytical_all_parallel4",
-            SimulatorBuilder::new(gpu.clone())
-                .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::Analytical)
-                .frontend_detailed(false)
-                .skip_policy(SkipPolicy::EventDriven)
-                .threads(4),
+            RunOptions::default()
+                .with_fidelity(fidelity(
+                    AluModelKind::Analytical,
+                    MemoryModelKind::Analytical,
+                    FrontendModelKind::Simplified,
+                    SkipPolicy::EventDriven,
+                ))
+                .with_threads(4),
         ),
     ];
-    for (label, builder) in cases {
-        let sim = builder.build();
+    for (label, options) in cases {
+        let sim = GpuSimulator::try_new(gpu.clone(), &options).expect("bench simulator");
         group.bench_function(label, |b| {
             b.iter(|| sim.run(&app).expect("bench run"));
         });

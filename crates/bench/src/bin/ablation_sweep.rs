@@ -16,7 +16,10 @@
 
 use std::time::Instant;
 use swiftsim_bench::Knobs;
-use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder, SkipPolicy};
+use swiftsim_core::{
+    AluModelKind, FidelityConfig, FrontendModelKind, GpuSimulator, MemoryModelKind, RunOptions,
+    SkipPolicy,
+};
 use swiftsim_metrics::Table;
 
 fn main() {
@@ -31,50 +34,74 @@ fn main() {
     let app = workload.generate(knobs.scale);
     eprintln!("ablation on {} [{}]", workload.name, knobs.describe());
 
-    let cases: Vec<(&str, SimulatorBuilder)> = vec![
+    let mesh_gpu = {
+        let mut mesh_gpu = gpu.clone();
+        mesh_gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
+        mesh_gpu
+    };
+    let cases: Vec<(&str, swiftsim_config::GpuConfig, FidelityConfig)> = vec![
         (
             "detailed baseline, dense clock",
-            SimulatorBuilder::new(gpu.clone()).skip_policy(SkipPolicy::Dense),
+            gpu.clone(),
+            FidelityConfig {
+                skip_policy: SkipPolicy::Dense,
+                ..FidelityConfig::default()
+            },
         ),
         (
             "detailed baseline (event-driven clock)",
-            SimulatorBuilder::new(gpu.clone()),
+            gpu.clone(),
+            FidelityConfig::default(),
         ),
         (
             "- per-cycle frontend caches",
-            SimulatorBuilder::new(gpu.clone()).frontend_detailed(false),
+            gpu.clone(),
+            FidelityConfig {
+                frontend: FrontendModelKind::Simplified,
+                ..FidelityConfig::default()
+            },
         ),
         (
             "- cycle-accurate ALU (analytical ALU, = Swift-Sim-Basic)",
-            SimulatorBuilder::new(gpu.clone())
-                .frontend_detailed(false)
-                .alu_model(AluModelKind::Analytical),
+            gpu.clone(),
+            FidelityConfig {
+                frontend: FrontendModelKind::Simplified,
+                alu: AluModelKind::Analytical,
+                ..FidelityConfig::default()
+            },
         ),
         (
             "+ analytical memory, funcsim rates (= Swift-Sim-Memory)",
-            SimulatorBuilder::new(gpu.clone())
-                .frontend_detailed(false)
-                .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::Analytical),
+            gpu.clone(),
+            FidelityConfig {
+                frontend: FrontendModelKind::Simplified,
+                alu: AluModelKind::Analytical,
+                memory: MemoryModelKind::Analytical,
+                ..FidelityConfig::default()
+            },
         ),
         (
             "+ analytical memory, reuse-distance rates",
-            SimulatorBuilder::new(gpu.clone())
-                .frontend_detailed(false)
-                .alu_model(AluModelKind::Analytical)
-                .memory_model(MemoryModelKind::AnalyticalReuse),
+            gpu.clone(),
+            FidelityConfig {
+                frontend: FrontendModelKind::Simplified,
+                alu: AluModelKind::Analytical,
+                memory: MemoryModelKind::AnalyticalReuse,
+                ..FidelityConfig::default()
+            },
         ),
-        ("detailed baseline over a 2D-mesh NoC", {
-            let mut mesh_gpu = gpu.clone();
-            mesh_gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
-            SimulatorBuilder::new(mesh_gpu)
-        }),
+        (
+            "detailed baseline over a 2D-mesh NoC",
+            mesh_gpu,
+            FidelityConfig::default(),
+        ),
     ];
 
     let mut table = Table::new(vec!["Configuration", "Cycles", "Wall s", "Speedup"]);
     let mut baseline: Option<(u64, f64)> = None;
-    for (label, builder) in cases {
-        let sim = builder.build();
+    for (label, case_gpu, fidelity) in cases {
+        let options = RunOptions::default().with_fidelity(fidelity);
+        let sim = GpuSimulator::try_new(case_gpu, &options).expect("ablation simulator");
         let started = Instant::now();
         let r = sim.run(&app).expect("ablation run");
         let wall = started.elapsed().as_secs_f64();

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 use swiftsim_bench::Knobs;
-use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset, SkipPolicy};
+use swiftsim_core::{FidelityConfig, GpuSimulator, RunOptions, SimulatorPreset, SkipPolicy};
 use swiftsim_metrics::geomean;
 use swiftsim_trace::ApplicationTrace;
 
@@ -55,9 +55,7 @@ fn run_child(mode: &str, preset: &str, path: &str) {
         "event" => SkipPolicy::EventDriven,
         other => panic!("unknown clock mode {other:?}"),
     };
-    let sim = SimulatorBuilder::new(small_gpu())
-        .fidelity(fidelity)
-        .try_build()
+    let sim = GpuSimulator::try_new(small_gpu(), &RunOptions::default().with_fidelity(fidelity))
         .expect("valid config");
     let app = ApplicationTrace::read_binary_file(path).expect("read trace");
 

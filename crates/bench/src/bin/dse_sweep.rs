@@ -17,7 +17,7 @@ use swiftsim_campaign::{
     run_campaign, CampaignOptions, CampaignReport, CampaignSpec, WorkloadSource,
 };
 use swiftsim_config::{presets, ReplacementPolicy, SchedulerPolicy};
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_workloads::{MemPattern, Mix, PatternKernel, Scale};
 
@@ -162,11 +162,11 @@ fn main() {
     ] {
         let mut gpu = presets::rtx2080ti();
         gpu.sm.l1d.replacement = policy;
-        match SimulatorBuilder::new(gpu)
-            .preset(SimulatorPreset::SwiftBasic)
-            .build()
-            .run(&app)
-        {
+        match run(
+            &app,
+            &gpu,
+            &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+        ) {
             Ok(r) => fine.row(vec![
                 policy.to_string(),
                 r.cycles.to_string(),

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 use swiftsim_bench::Knobs;
-use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{FidelityConfig, GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_metrics::geomean;
 use swiftsim_trace::ApplicationTrace;
 
@@ -55,11 +55,13 @@ fn preset_from_token(token: &str) -> SimulatorPreset {
 /// starts so only the engine is timed.
 fn run_child(threads: usize, preset: &str, path: &str) {
     let fidelity = FidelityConfig::for_preset(preset_from_token(preset));
-    let sim = SimulatorBuilder::new(bench_gpu())
-        .fidelity(fidelity)
-        .threads(threads)
-        .try_build()
-        .expect("valid config");
+    let sim = GpuSimulator::try_new(
+        bench_gpu(),
+        &RunOptions::default()
+            .with_fidelity(fidelity)
+            .with_threads(threads),
+    )
+    .expect("valid config");
     let app = ApplicationTrace::read_binary_file(path).expect("read trace");
 
     let t0 = Instant::now();

@@ -15,7 +15,7 @@
 //! ```
 
 use std::time::Instant;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_trace::{ApplicationTrace, ChunkedTraceSource};
 
 const MODE_ENV: &str = "SWIFTSIM_INGEST_MODE";
@@ -44,10 +44,11 @@ fn peak_rss_kb() -> u64 {
 /// Child process: run one ingestion mode and report measurements on stdout
 /// as `key=value` lines.
 fn run_child(mode: &str, path: &str) {
-    let sim = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftBasic)
-        .try_build()
-        .expect("valid config");
+    let sim = GpuSimulator::try_new(
+        small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+    )
+    .expect("valid config");
 
     let t0 = Instant::now();
     let result = match mode {

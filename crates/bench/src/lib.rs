@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 use swiftsim_config::GpuConfig;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::{geomean, mean};
 use swiftsim_workloads::{silicon, Scale, Workload};
 
@@ -128,11 +128,10 @@ fn run_one(
     threads: usize,
     app: &swiftsim_trace::ApplicationTrace,
 ) -> Measurement {
-    let sim = SimulatorBuilder::new(gpu.clone())
-        .preset(preset)
-        .threads(threads)
-        .build();
-    let result = sim.run(app).expect("benchmark simulation completes");
+    let options = RunOptions::default()
+        .with_preset(preset)
+        .with_threads(threads);
+    let result = run(app, gpu, &options).expect("benchmark simulation completes");
     Measurement {
         cycles: result.cycles,
         wall: result.wall_time,

@@ -120,6 +120,7 @@ mod tests {
             }],
             metrics: swiftsim_metrics::MetricsCollector::new(),
             wall_time: std::time::Duration::from_micros(5),
+            confidence: None,
             profile: None,
         }
     }
@@ -156,6 +157,25 @@ mod tests {
         assert!(!dir.exists(), "Off must not touch the filesystem");
         let on = ResultCache::new(dir.clone(), CacheMode::Use);
         assert!(on.lookup(1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_confidence_schema_entries_are_misses() {
+        // Regression: schema-3 entries predate the `confidence` block, so
+        // they cannot state whether their numbers came from a sampled run.
+        // Serving one as a hit would silently mix error-bounded results
+        // into exact sweeps — it must be re-simulated instead.
+        let dir = scratch_dir("stale-schema");
+        let cache = ResultCache::new(dir.clone(), CacheMode::Use);
+        cache.store(12, "job", &sample(77));
+        let path = dir.join(format!("{:016x}.json", 12u64));
+        let downgraded = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\":4", "\"schema\":3");
+        assert!(downgraded.contains("\"schema\":3"), "{downgraded}");
+        std::fs::write(&path, downgraded).unwrap();
+        assert!(cache.lookup(12).is_none(), "stale schema must miss");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,8 +14,8 @@ use std::fmt;
 use std::sync::Arc;
 use swiftsim_config::{fnv1a64, GpuConfig, ReplacementPolicy, SchedulerPolicy};
 use swiftsim_core::{
-    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SimulatorPreset, SkipPolicy,
-    RESULT_SCHEMA_VERSION,
+    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SamplingPolicy,
+    SimulatorPreset, SkipPolicy, RESULT_SCHEMA_VERSION,
 };
 use swiftsim_trace::{open_trace, TraceSource};
 use swiftsim_workloads::Scale;
@@ -110,6 +110,10 @@ pub struct CampaignSpec {
     /// Clock-advance (skip-policy) overrides; `None` keeps the preset's
     /// (event-driven everywhere).
     pub skips: Vec<Option<SkipPolicy>>,
+    /// Kernel-launch sampling overrides; `None` keeps the preset's
+    /// (sampling off everywhere). Sampling changes predicted cycles, so it
+    /// is a real axis: it lands in the fidelity, the label, and the key.
+    pub samplings: Vec<Option<SamplingPolicy>>,
     /// Self-profile every job (per-module wall-time attribution carried on
     /// each row). Deliberately *not* part of the job cache key: profiling
     /// observes the simulator without changing its predictions.
@@ -131,6 +135,7 @@ impl Default for CampaignSpec {
             mem_models: vec![None],
             frontends: vec![None],
             skips: vec![None],
+            samplings: vec![None],
             profile: false,
         }
     }
@@ -163,6 +168,8 @@ pub struct JobSpec {
     pub frontend: Option<FrontendModelKind>,
     /// Skip-policy override on top of the preset.
     pub skip: Option<SkipPolicy>,
+    /// Sampling-policy override on top of the preset.
+    pub sampling: Option<SamplingPolicy>,
 }
 
 impl JobSpec {
@@ -193,6 +200,9 @@ impl JobSpec {
         }
         if let Some(s) = self.skip {
             label.push_str(&format!("/skip={}", s.token()));
+        }
+        if let Some(s) = self.sampling {
+            label.push_str(&format!("/samp={}", s.token()));
         }
         label
     }
@@ -259,6 +269,9 @@ impl JobSpec {
         if let Some(s) = self.skip {
             text.push_str(&format!("skip = {}\n", s.token()));
         }
+        if let Some(s) = self.sampling {
+            text.push_str(&format!("sampling = {}\n", s.token()));
+        }
         Some(text)
     }
 
@@ -277,6 +290,9 @@ impl JobSpec {
         }
         if let Some(s) = self.skip {
             fidelity.skip_policy = s;
+        }
+        if let Some(s) = self.sampling {
+            fidelity.sampling = s;
         }
         fidelity
     }
@@ -357,13 +373,14 @@ impl CampaignSpec {
     /// Recognized keys: `name`, `preset`, `gpu`, `gpu-config` (file paths),
     /// `workload`, `trace` (file paths), `scale`, `threads`, `scheduler`,
     /// `replacement`, `alu-model`, `mem-model`, `frontend`, `skip`,
-    /// `profile` (`true`/`false`). `#` starts a comment; list-valued keys
-    /// accumulate across repeated lines. Override lists
-    /// (`scheduler`/`replacement`/`alu-model`/`mem-model`/`frontend`/`skip`)
-    /// may include `default` to also cover the un-overridden configuration;
-    /// the fidelity keys take the same tokens as the core parser
-    /// (`analytical`, `cycle_accurate`, `analytical_reuse`, `detailed`,
-    /// `simplified`, `dense`, `event_driven`).
+    /// `sampling`, `profile` (`true`/`false`). `#` starts a comment;
+    /// list-valued keys accumulate across repeated lines. Override lists
+    /// (`scheduler`/`replacement`/`alu-model`/`mem-model`/`frontend`/`skip`/
+    /// `sampling`) may include `default` to also cover the un-overridden
+    /// configuration; the fidelity keys take the same tokens as the core
+    /// parser (`analytical`, `cycle_accurate`, `analytical_reuse`,
+    /// `detailed`, `simplified`, `dense`, `event_driven`, `off`,
+    /// `cluster`, `cluster:N`).
     ///
     /// # Errors
     ///
@@ -380,6 +397,7 @@ impl CampaignSpec {
         let mut mem_models = Vec::new();
         let mut frontends = Vec::new();
         let mut skips = Vec::new();
+        let mut samplings = Vec::new();
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -455,6 +473,11 @@ impl CampaignSpec {
                         skips.push(parse_override::<SkipPolicy>(&v, "skip policy")?);
                     }
                 }
+                "sampling" => {
+                    for v in parse_list(value) {
+                        samplings.push(parse_override::<SamplingPolicy>(&v, "sampling policy")?);
+                    }
+                }
                 "profile" => {
                     spec.profile = match value {
                         "true" | "on" | "1" => true,
@@ -502,6 +525,9 @@ impl CampaignSpec {
         if !skips.is_empty() {
             spec.skips = skips;
         }
+        if !samplings.is_empty() {
+            spec.samplings = samplings;
+        }
         Ok(spec)
     }
 
@@ -509,8 +535,8 @@ impl CampaignSpec {
     ///
     /// Axis order (outermost to innermost): GPU, workload, preset, threads,
     /// scheduler, replacement, ALU model, memory model, frontend, skip
-    /// policy. The order — and therefore each job's `index` — depends only
-    /// on the spec.
+    /// policy, sampling policy. The order — and therefore each job's
+    /// `index` — depends only on the spec.
     pub fn expand(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::new();
         for gpu in &self.gpus {
@@ -523,20 +549,23 @@ impl CampaignSpec {
                                     for &memory in &self.mem_models {
                                         for &frontend in &self.frontends {
                                             for &skip in &self.skips {
-                                                jobs.push(JobSpec {
-                                                    index: jobs.len(),
-                                                    preset,
-                                                    gpu: gpu.clone(),
-                                                    workload: workload.clone(),
-                                                    scale: self.scale,
-                                                    threads,
-                                                    scheduler,
-                                                    replacement,
-                                                    alu,
-                                                    memory,
-                                                    frontend,
-                                                    skip,
-                                                });
+                                                for &sampling in &self.samplings {
+                                                    jobs.push(JobSpec {
+                                                        index: jobs.len(),
+                                                        preset,
+                                                        gpu: gpu.clone(),
+                                                        workload: workload.clone(),
+                                                        scale: self.scale,
+                                                        threads,
+                                                        scheduler,
+                                                        replacement,
+                                                        alu,
+                                                        memory,
+                                                        frontend,
+                                                        skip,
+                                                        sampling,
+                                                    });
+                                                }
                                             }
                                         }
                                     }

@@ -39,6 +39,7 @@ fn stamped(seed: u64) -> SimulationResult {
         }],
         metrics: swiftsim_metrics::MetricsCollector::new(),
         wall_time: Duration::from_micros(5),
+        confidence: None,
         profile: None,
     }
 }

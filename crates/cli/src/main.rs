@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use swiftsim_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use swiftsim_config::{presets, GpuConfig};
-use swiftsim_core::{FidelityConfig, SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{FidelityConfig, GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Json;
 use swiftsim_serve::client::ServeClient;
 use swiftsim_serve::server::{self, ServeOptions};
@@ -37,13 +37,25 @@ USAGE:
     swiftsim serve [SERVE OPTIONS]
     swiftsim submit <SPEC> [SUBMIT OPTIONS]
 
+FIDELITY GRAMMAR (one grammar, every surface):
+    Per-module fidelity is selected by `-sim_*` key/value pairs. Valid keys:
+    -sim_alu_model, -sim_mem_model, -sim_frontend_model, -sim_skip_policy,
+    -sim_sync_quantum, -sim_sampling. The pairs may be given as bare
+    arguments (`swiftsim -sim_sampling cluster:2 ...`, also after
+    `campaign`), bundled in --fidelity \"<OPTS>\" (same keys, quoted), or as
+    spec-file axes for campaign/submit (alu-model / mem-model / frontend /
+    skip / sampling lines take the same value tokens). For campaign, each
+    key's value may be a comma-separated axis (no spaces, `default` keeps
+    the preset's policy): `-sim_sampling off,cluster:2`. An unknown
+    `-sim_*` key is an error that lists the valid keys.
+
 OPTIONS:
     --preset <detailed|swift-basic|swift-memory>   simulator preset [default: swift-basic]
     --fidelity \"<OPTS>\"                            per-module fidelity overrides on top of the
                                                    preset, GPGPU-Sim option style, e.g.
                                                    \"-sim_alu_model analytical -sim_skip_policy dense\"
-                                                   (keys: -sim_alu_model, -sim_mem_model,
-                                                   -sim_frontend_model, -sim_skip_policy)
+                                                   (see FIDELITY GRAMMAR; bare -sim_* pairs
+                                                   are accepted too)
     --gpu <rtx2080ti|rtx3060|rtx3090>              built-in hardware preset [default: rtx2080ti]
     --config <FILE>                                hardware config file (overrides --gpu)
     --workload <NAME>                              built-in synthetic workload
@@ -55,6 +67,15 @@ OPTIONS:
                                                    per-module wall-time attribution table
     --trace-out <FILE>                             write the profile as a Chrome trace-event /
                                                    Perfetto JSON file (implies --profile)
+    --checkpoint-out <FILE>                        write a resumable snapshot of the simulation
+                                                   at every kernel boundary (atomic overwrite)
+    --resume <FILE>                                resume from a snapshot written by
+                                                   --checkpoint-out; the completed prefix is
+                                                   replayed from the snapshot bit-identically
+    --halt-after <N>                               stop cleanly after N kernels have completed
+                                                   (the result covers the simulated prefix;
+                                                   with --checkpoint-out this is a
+                                                   deterministic \"kill mid-app\")
     --json                                         print the result as JSON instead of a report
     --list-workloads                               list built-in workloads and exit
     --dump-config <GPU>                            print a GPU preset as a config file and exit
@@ -63,6 +84,13 @@ OPTIONS:
     --help                                         show this help
 
 CAMPAIGN OPTIONS (after `swiftsim campaign <SPEC>`):
+    --fidelity \"<OPTS>\" / bare -sim_* pairs        force one fidelity override across every job
+                                                   (replaces the spec's matching axis; same
+                                                   keys as the FIDELITY GRAMMAR above, except
+                                                   -sim_sync_quantum which has no campaign axis)
+    --checkpoint-dir <DIR>                         checkpoint every job at kernel boundaries
+                                                   into DIR; a killed campaign resumes each
+                                                   interrupted job from its last snapshot
     --jobs <N>                                     concurrent simulations [default: one per CPU]
     --no-cache                                     neither read nor write the result cache
     --refresh                                      ignore cached results but overwrite them
@@ -95,6 +123,9 @@ SERVE OPTIONS (after `swiftsim serve`):
                                                    budget, or a dump-events request
     --flight-capacity <N>                          flight-recorder ring size; 0 disables it
                                                    [default: 4096]
+    --checkpoint-dir <DIR>                         checkpoint local tasks at kernel boundaries
+                                                   into DIR; after a crash or drain, restarted
+                                                   tasks resume from their last snapshot
 
 SUBMIT OPTIONS (after `swiftsim submit <SPEC>`):
     --to <ADDR>                                    daemon address [default: 127.0.0.1:7733]
@@ -148,19 +179,37 @@ struct Args {
     json: bool,
     profile: bool,
     trace_out: Option<String>,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+    halt_after: Option<usize>,
 }
 
 #[derive(Debug)]
 struct CampaignArgs {
     spec_path: String,
     options: CampaignOptions,
+    /// `-sim_*` pairs forced across every job (from `--fidelity` and bare
+    /// pairs alike), replacing the spec's matching axes.
+    fidelity: Option<String>,
     out: Option<String>,
     json: bool,
+}
+
+/// Append one `-sim_*` key/value pair (or a whole `--fidelity` string) to
+/// an accumulated fidelity-override text. Both spellings funnel into the
+/// same string so they compose in either order.
+fn push_fidelity_text(acc: &mut Option<String>, text: &str) {
+    let acc = acc.get_or_insert_with(String::new);
+    if !acc.is_empty() {
+        acc.push(' ');
+    }
+    acc.push_str(text);
 }
 
 fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
     let mut spec_path = None;
     let mut options = CampaignOptions::default();
+    let mut fidelity = None;
     let mut out = None;
     let mut json = false;
 
@@ -177,8 +226,17 @@ fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
             "--refresh" => options = options.refresh(),
             "--profile" => options.profile = true,
             "--cache-dir" => options.cache_dir = value("--cache-dir")?.into(),
+            "--checkpoint-dir" => options.checkpoint_dir = Some(value("--checkpoint-dir")?.into()),
+            "--fidelity" => {
+                let text = value("--fidelity")?;
+                push_fidelity_text(&mut fidelity, &text);
+            }
             "--out" => out = Some(value("--out")?),
             "--json" => json = true,
+            sim_key if sim_key.starts_with("-sim_") => {
+                let v = value(sim_key)?;
+                push_fidelity_text(&mut fidelity, &format!("{sim_key} {v}"));
+            }
             other if !other.starts_with('-') && spec_path.is_none() => {
                 spec_path = Some(other.to_owned());
             }
@@ -188,9 +246,70 @@ fn parse_campaign_args(mut argv: Vec<String>) -> Result<CampaignArgs, String> {
     Ok(CampaignArgs {
         spec_path: spec_path.ok_or("campaign needs a spec file (try --help)")?,
         options,
+        fidelity,
         out,
         json,
     })
+}
+
+/// Force `-sim_*` overrides across every job of a campaign by replacing
+/// the spec's matching sweep axes with the single given value. Uses the
+/// same key grammar as `--fidelity` on a plain run; `-sim_sync_quantum`
+/// is rejected because the engine quantum has no campaign axis.
+fn apply_fidelity_axes(spec: &mut CampaignSpec, text: &str) -> Result<(), String> {
+    // Each key's value is a comma-separated axis (no spaces: the grammar
+    // is whitespace-tokenized); `default` keeps the preset's own policy
+    // for that cell, mirroring campaign spec files.
+    fn one<T: std::str::FromStr>(key: &str, value: &str) -> Result<Vec<Option<T>>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        value
+            .split(',')
+            .filter(|v| !v.is_empty())
+            .map(|v| match v {
+                "default" => Ok(None),
+                v => v
+                    .parse::<T>()
+                    .map(Some)
+                    .map_err(|e| format!("invalid {key} value {v:?}: {e}")),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .and_then(|axis| {
+                if axis.is_empty() {
+                    Err(format!("{key} has an empty value list"))
+                } else {
+                    Ok(axis)
+                }
+            })
+    }
+
+    let mut tokens = text.split_whitespace();
+    while let Some(token) = tokens.next() {
+        let value = tokens
+            .next()
+            .ok_or_else(|| format!("fidelity option {token:?} is missing its value"))?;
+        match token {
+            "-sim_alu_model" => spec.alu_models = one(token, value)?,
+            "-sim_mem_model" => spec.mem_models = one(token, value)?,
+            "-sim_frontend_model" => spec.frontends = one(token, value)?,
+            "-sim_skip_policy" => spec.skips = one(token, value)?,
+            "-sim_sampling" => spec.samplings = one(token, value)?,
+            "-sim_sync_quantum" => {
+                return Err(
+                    "-sim_sync_quantum has no campaign axis (set it per run, not per sweep)"
+                        .to_owned(),
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown fidelity option {other:?} (expected -sim_alu_model, -sim_mem_model, \
+                     -sim_frontend_model, -sim_skip_policy, or -sim_sampling)"
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
@@ -204,6 +323,9 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
     let mut json = false;
     let mut profile = false;
     let mut trace_out = None;
+    let mut checkpoint_out = None;
+    let mut resume = None;
+    let mut halt_after = None;
 
     let mut it = argv.drain(..);
     while let Some(arg) = it.next() {
@@ -251,7 +373,10 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown preset {other:?}")),
                 };
             }
-            "--fidelity" => fidelity = Some(value("--fidelity")?),
+            "--fidelity" => {
+                let text = value("--fidelity")?;
+                push_fidelity_text(&mut fidelity, &text);
+            }
             "--gpu" => {
                 let name = value("--gpu")?;
                 gpu = presets::by_name(&name)
@@ -284,6 +409,22 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
                 trace_out = Some(value("--trace-out")?);
                 profile = true;
             }
+            "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?),
+            "--resume" => resume = Some(value("--resume")?),
+            "--halt-after" => {
+                halt_after = Some(
+                    value("--halt-after")?
+                        .parse()
+                        .map_err(|_| "invalid kernel count".to_owned())?,
+                );
+            }
+            // Bare `-sim_*` pairs are sugar for --fidelity "<key> <value>";
+            // both spellings funnel into one override string, so they
+            // compose in either order.
+            sim_key if sim_key.starts_with("-sim_") => {
+                let v = value(sim_key)?;
+                push_fidelity_text(&mut fidelity, &format!("{sim_key} {v}"));
+            }
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -298,6 +439,9 @@ fn parse_args(mut argv: Vec<String>) -> Result<Option<Args>, String> {
         json,
         profile,
         trace_out,
+        checkpoint_out,
+        resume,
+        halt_after,
     }))
 }
 
@@ -318,7 +462,7 @@ fn apply_fidelity_text(fidelity: &mut FidelityConfig, text: &str) -> Result<(), 
         {
             return Err(format!(
                 "unknown fidelity option {token:?} (expected -sim_alu_model, -sim_mem_model, \
-                 -sim_frontend_model, or -sim_skip_policy)"
+                 -sim_frontend_model, -sim_skip_policy, -sim_sync_quantum, or -sim_sampling)"
             ));
         }
     }
@@ -336,7 +480,10 @@ fn run_campaign_cmd(argv: Vec<String>) -> Result<(), String> {
     let args = parse_campaign_args(argv)?;
     let text = std::fs::read_to_string(&args.spec_path)
         .map_err(|e| format!("cannot read {}: {e}", args.spec_path))?;
-    let spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+    let mut spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+    if let Some(overrides) = &args.fidelity {
+        apply_fidelity_axes(&mut spec, overrides)?;
+    }
 
     let mut options = args.options;
     options.progress = true;
@@ -409,6 +556,7 @@ fn parse_serve_args(mut argv: Vec<String>) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| "invalid flight-recorder capacity".to_owned())?;
             }
+            "--checkpoint-dir" => options.checkpoint_dir = Some(value("--checkpoint-dir")?.into()),
             other => return Err(format!("unknown serve option {other:?} (try --help)")),
         }
     }
@@ -647,12 +795,20 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     if let Some(text) = &args.fidelity {
         apply_fidelity_text(&mut fidelity, text)?;
     }
-    let sim = SimulatorBuilder::new(args.gpu.clone())
-        .fidelity(fidelity)
-        .threads(args.threads)
-        .profile(args.profile)
-        .try_build()
-        .map_err(|e| e.to_string())?;
+    let mut options = RunOptions::default()
+        .with_fidelity(fidelity)
+        .with_threads(args.threads)
+        .with_profile(args.profile);
+    if let Some(path) = &args.checkpoint_out {
+        options = options.with_checkpoint_out(path);
+    }
+    if let Some(path) = &args.resume {
+        options = options.with_resume(path);
+    }
+    if let Some(kernels) = args.halt_after {
+        options = options.with_halt_after(kernels);
+    }
+    let sim = GpuSimulator::try_new(args.gpu.clone(), &options).map_err(|e| e.to_string())?;
 
     eprintln!(
         "simulating {:?} ({} instructions) on {} with {} ({})...",
@@ -664,6 +820,9 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     );
     let result = sim.run(source.as_ref()).map_err(|e| e.to_string())?;
 
+    if let Some(path) = &args.checkpoint_out {
+        eprintln!("checkpoint snapshot at {path} (resume with --resume {path})");
+    }
     if let (Some(path), Some(report)) = (&args.trace_out, &result.profile) {
         let trace = report.to_chrome_trace().dump();
         std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -694,6 +853,16 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
         "sim_rate   = {:.0} cycles/s\n\n",
         result.sim_rate()
     ));
+    if let Some(c) = &result.confidence {
+        out.push_str(&format!(
+            "sampling   = {} cluster(s), {} detailed + {} replayed kernel(s), \
+             app error bound {:.1}%\n",
+            c.clusters,
+            c.sampled_kernels,
+            c.replayed_kernels,
+            c.app_error_bound * 100.0
+        ));
+    }
     for k in &result.kernels {
         out.push_str(&format!(
             "kernel {:<24} cycles={:<10} insts={:<10} ipc={:.3}\n",
@@ -811,6 +980,132 @@ mod tests {
     }
 
     #[test]
+    fn unknown_sim_key_error_lists_every_valid_key() {
+        // Pin the discoverability contract: a typo'd -sim_* key names all
+        // six valid keys, both through the core parser (unknown -sim_*)
+        // and the CLI wrapper (non-fidelity token).
+        let mut f = FidelityConfig::default();
+        for bad in ["-sim_bogus x", "--threads 4"] {
+            let err = apply_fidelity_text(&mut f, bad).unwrap_err();
+            for key in [
+                "-sim_alu_model",
+                "-sim_mem_model",
+                "-sim_frontend_model",
+                "-sim_skip_policy",
+                "-sim_sync_quantum",
+                "-sim_sampling",
+            ] {
+                assert!(err.contains(key), "{bad:?} error must list {key}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn bare_sim_pairs_merge_with_the_fidelity_flag() {
+        let args = parse_args(vec![
+            "-sim_sampling".into(),
+            "cluster:2".into(),
+            "--fidelity".into(),
+            "-sim_alu_model analytical".into(),
+            "-sim_skip_policy".into(),
+            "dense".into(),
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            args.fidelity.as_deref(),
+            Some("-sim_sampling cluster:2 -sim_alu_model analytical -sim_skip_policy dense")
+        );
+        let mut f = FidelityConfig::for_preset(SimulatorPreset::Detailed);
+        apply_fidelity_text(&mut f, args.fidelity.as_deref().unwrap()).unwrap();
+        assert_eq!(
+            f.sampling,
+            swiftsim_core::SamplingPolicy::KernelCluster { reps: 2 }
+        );
+        assert!(parse_args(vec!["-sim_sampling".into()]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let args = parse_args(vec![
+            "--checkpoint-out".into(),
+            "snap.sstbckpt".into(),
+            "--resume".into(),
+            "old.sstbckpt".into(),
+            "--halt-after".into(),
+            "3".into(),
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.checkpoint_out.as_deref(), Some("snap.sstbckpt"));
+        assert_eq!(args.resume.as_deref(), Some("old.sstbckpt"));
+        assert_eq!(args.halt_after, Some(3));
+
+        let defaults = parse_args(vec![]).unwrap().unwrap();
+        assert!(defaults.checkpoint_out.is_none());
+        assert!(defaults.resume.is_none());
+        assert!(defaults.halt_after.is_none());
+        assert!(parse_args(vec!["--halt-after".into(), "some".into()]).is_err());
+        assert!(parse_args(vec!["--checkpoint-out".into()]).is_err());
+    }
+
+    #[test]
+    fn campaign_fidelity_overrides_replace_spec_axes() {
+        let args = parse_campaign_args(vec![
+            "sweep.campaign".into(),
+            "--fidelity".into(),
+            "-sim_alu_model analytical".into(),
+            "-sim_sampling".into(),
+            "cluster:2".into(),
+            "--checkpoint-dir".into(),
+            "/tmp/ckpts".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            args.fidelity.as_deref(),
+            Some("-sim_alu_model analytical -sim_sampling cluster:2")
+        );
+        assert_eq!(
+            args.options.checkpoint_dir,
+            Some(std::path::PathBuf::from("/tmp/ckpts"))
+        );
+
+        let mut spec =
+            CampaignSpec::parse("name = t\nworkload = bfs\npreset = detailed\n").unwrap();
+        apply_fidelity_axes(&mut spec, args.fidelity.as_deref().unwrap()).unwrap();
+        assert_eq!(spec.alu_models.len(), 1);
+        assert!(spec.alu_models[0].is_some());
+        assert_eq!(
+            spec.samplings,
+            vec![Some(swiftsim_core::SamplingPolicy::KernelCluster {
+                reps: 2
+            })]
+        );
+
+        // Comma-separated values become a sweep axis; `default` keeps the
+        // preset's own policy for that cell.
+        apply_fidelity_axes(&mut spec, "-sim_sampling default,off,cluster:4").unwrap();
+        assert_eq!(
+            spec.samplings,
+            vec![
+                None,
+                Some(swiftsim_core::SamplingPolicy::Off),
+                Some(swiftsim_core::SamplingPolicy::KernelCluster { reps: 4 })
+            ]
+        );
+        let err = apply_fidelity_axes(&mut spec, "-sim_sampling ,").unwrap_err();
+        assert!(err.contains("empty value list"), "{err}");
+
+        // The engine quantum has no campaign axis; unknown keys list the
+        // campaign-valid set.
+        assert!(apply_fidelity_axes(&mut spec, "-sim_sync_quantum 64").is_err());
+        let err = apply_fidelity_axes(&mut spec, "-sim_bogus x").unwrap_err();
+        assert!(err.contains("-sim_sampling"), "{err}");
+        assert!(apply_fidelity_axes(&mut spec, "-sim_alu_model").is_err());
+        assert!(apply_fidelity_axes(&mut spec, "-sim_alu_model quantum").is_err());
+    }
+
+    #[test]
     fn campaign_args_parse() {
         let argv: Vec<String> = [
             "sweep.campaign",
@@ -871,7 +1166,14 @@ mod tests {
         assert_eq!(args.options.flight_capacity, 128);
         assert!(args.worker.is_none());
 
+        let ckpt = parse_serve_args(vec!["--checkpoint-dir".into(), "/tmp/sd".into()]).unwrap();
+        assert_eq!(
+            ckpt.options.checkpoint_dir,
+            Some(std::path::PathBuf::from("/tmp/sd"))
+        );
+
         let defaults = parse_serve_args(vec![]).unwrap();
+        assert!(defaults.options.checkpoint_dir.is_none());
         assert!(defaults.options.trace_out.is_none());
         assert!(defaults.options.events_out.is_none());
         assert_eq!(defaults.options.flight_capacity, 4096);

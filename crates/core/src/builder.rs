@@ -1,23 +1,45 @@
-//! Simulator construction: per-module model selection and the paper's
-//! three presets.
+//! Simulator construction and the single-threaded engine loop.
 //!
 //! "Based on the modular modeling approach, we can adopt various modeling
-//! methods for a single module" (§III-B3). The builder consumes one
-//! data-driven [`FidelityConfig`]; [`SimulatorPreset`] is a pure alias
-//! table over it (see [`FidelityConfig::for_preset`]).
+//! methods for a single module" (§III-B3). A simulator instance is a
+//! hardware description ([`GpuConfig`]) plus one [`RunOptions`] value
+//! carrying everything else — fidelity (including sampling), thread count,
+//! profiling, checkpointing. [`SimulatorPreset`] is a pure alias table over
+//! the fidelity plan (see [`FidelityConfig::for_preset`]).
+//!
+//! The one-call entry point is the free [`run`]:
+//!
+//! ```
+//! use swiftsim_config::presets;
+//! use swiftsim_core::{RunOptions, SimulatorPreset};
+//! use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
+//!
+//! let mut k = KernelTrace::new("k", (1, 1, 1), (32, 1, 1));
+//! let w = k.push_block().push_warp();
+//! w.push(InstBuilder::new(Opcode::Iadd).pc(0).dst(1).src(1));
+//! w.push(InstBuilder::new(Opcode::Exit).pc(16));
+//! let app = ApplicationTrace::new("demo", vec![k]);
+//!
+//! let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+//! let result = swiftsim_core::run(&app, &presets::rtx2080ti(), &options).unwrap();
+//! assert_eq!(result.kernels.len(), 1);
+//! ```
 
+use crate::checkpoint::Snapshot;
 use crate::error::SimError;
-use crate::fidelity::{
-    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy,
-};
+use crate::fidelity::{FidelityConfig, MemoryModelKind, SamplingPolicy, SyncQuantum};
 use crate::gpu::{merge_into, run_kernel_shard};
 use crate::input::TraceInput;
 use crate::mem_system::{
-    build_analytical_memory, build_analytical_memory_reuse, CycleAccurateMemory, MemorySystem,
+    build_analytical_memory_for, build_analytical_memory_reuse_for, CycleAccurateMemory,
+    MemorySystem,
 };
+use crate::options::{CheckpointOptions, RunOptions};
 use crate::parallel::run_parallel;
 use crate::prefetch::Prefetcher;
-use crate::result::{KernelResult, SimulationResult};
+use crate::result::{Confidence, KernelResult, SimulationResult};
+use crate::sampling::{RepMeasure, Sampler};
+use crate::sm::SmStats;
 use crate::Cycle;
 use swiftsim_config::GpuConfig;
 use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler, Value};
@@ -26,8 +48,8 @@ use swiftsim_trace::TraceSource;
 /// The three simulator configurations of the paper's evaluation.
 ///
 /// A preset is nothing but a name for a [`FidelityConfig`]:
-/// `builder.preset(p)` is exactly
-/// `builder.fidelity(FidelityConfig::for_preset(p))`.
+/// `options.with_preset(p)` is exactly
+/// `options.with_fidelity(FidelityConfig::for_preset(p))`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimulatorPreset {
     /// Everything cycle-accurate, single-threaded: the stand-in for
@@ -52,30 +74,40 @@ impl SimulatorPreset {
     }
 }
 
+/// Run one application through a simulator built from `cfg` + `options` —
+/// the one-call entry point wrapping [`GpuSimulator::try_new`] and
+/// [`GpuSimulator::run`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] for an invalid configuration, a trace failure, a
+/// checkpoint problem, or a modeling deadlock.
+pub fn run<'a>(
+    input: impl Into<TraceInput<'a>>,
+    cfg: &GpuConfig,
+    options: &RunOptions,
+) -> Result<SimulationResult, SimError> {
+    GpuSimulator::try_new(cfg.clone(), options)?.run(input)
+}
+
 /// Builder for [`GpuSimulator`].
 ///
-/// # Examples
-///
-/// ```
-/// use swiftsim_config::presets;
-/// use swiftsim_core::{AluModelKind, MemoryModelKind, SimulatorBuilder};
-///
-/// // A custom hybrid: cycle-accurate ALU exploration over analytical
-/// // memory.
-/// let sim = SimulatorBuilder::new(presets::rtx3060())
-///     .alu_model(AluModelKind::CycleAccurate)
-///     .memory_model(MemoryModelKind::Analytical)
-///     .build();
-/// assert!(sim.description().contains("analytical_memory"));
-/// ```
+/// Deprecated: the setter-per-knob surface is replaced by the plain-data
+/// [`RunOptions`] consumed by [`GpuSimulator::try_new`] and the free
+/// [`run`]. Each `SimulatorBuilder` method maps to a `RunOptions` field or
+/// `with_*` method one-to-one.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `RunOptions` with `GpuSimulator::try_new(cfg, &options)` or the free \
+            `run(input, &cfg, &options)`; each builder method maps to a RunOptions field"
+)]
 #[derive(Debug, Clone)]
 pub struct SimulatorBuilder {
     cfg: GpuConfig,
-    fidelity: FidelityConfig,
-    threads: usize,
-    profile: bool,
+    options: RunOptions,
 }
 
+#[allow(deprecated)]
 impl SimulatorBuilder {
     /// Start from a hardware configuration with the default fidelity:
     /// the detailed-baseline module choices under the event-driven engine
@@ -83,9 +115,7 @@ impl SimulatorBuilder {
     pub fn new(cfg: GpuConfig) -> Self {
         SimulatorBuilder {
             cfg,
-            fidelity: FidelityConfig::default(),
-            threads: 1,
-            profile: false,
+            options: RunOptions::default(),
         }
     }
 
@@ -97,38 +127,35 @@ impl SimulatorBuilder {
 
     /// Set the full per-module fidelity in one call.
     pub fn fidelity(mut self, fidelity: FidelityConfig) -> Self {
-        self.fidelity = fidelity;
+        self.options.fidelity = fidelity;
         self
     }
 
     /// Choose the ALU-pipeline model.
-    pub fn alu_model(mut self, kind: AluModelKind) -> Self {
-        self.fidelity.alu = kind;
+    pub fn alu_model(mut self, kind: crate::fidelity::AluModelKind) -> Self {
+        self.options.fidelity.alu = kind;
         self
     }
 
     /// Choose the memory-access model.
     pub fn memory_model(mut self, kind: MemoryModelKind) -> Self {
-        self.fidelity.memory = kind;
+        self.options.fidelity.memory = kind;
         self
     }
 
     /// Model (or simplify away) the instruction/constant caches.
     pub fn frontend_detailed(mut self, detailed: bool) -> Self {
-        self.fidelity.frontend = if detailed {
-            FrontendModelKind::Detailed
+        self.options.fidelity.frontend = if detailed {
+            crate::fidelity::FrontendModelKind::Detailed
         } else {
-            FrontendModelKind::Simplified
+            crate::fidelity::FrontendModelKind::Simplified
         };
         self
     }
 
-    /// Choose how the engine advances simulated time. Both policies are
-    /// bit-identical in results; [`SkipPolicy::EventDriven`] (the default)
-    /// fast-forwards over quiescent spans, [`SkipPolicy::Dense`] ticks
-    /// every cycle (useful as the differential-testing reference).
-    pub fn skip_policy(mut self, policy: SkipPolicy) -> Self {
-        self.fidelity.skip_policy = policy;
+    /// Choose how the engine advances simulated time.
+    pub fn skip_policy(mut self, policy: crate::fidelity::SkipPolicy) -> Self {
+        self.options.fidelity.skip_policy = policy;
         self
     }
 
@@ -140,78 +167,39 @@ impl SimulatorBuilder {
     )]
     pub fn skip_idle(self, skip: bool) -> Self {
         self.skip_policy(if skip {
-            SkipPolicy::EventDriven
+            crate::fidelity::SkipPolicy::EventDriven
         } else {
-            SkipPolicy::Dense
+            crate::fidelity::SkipPolicy::Dense
         })
     }
 
-    /// Simulate with `threads` worker threads (SM-sharded). `0` means
-    /// *auto*: use [`crate::max_threads`] (the host's available
-    /// parallelism), capped at the SM count. An explicit count larger than
-    /// the configuration's SM count is rejected by
-    /// [`try_build`](SimulatorBuilder::try_build) — a shard needs at least
-    /// one SM.
+    /// Simulate with `threads` worker threads (`0` = auto).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.options.threads = threads;
         self
     }
 
-    /// Record per-module wall-time and cycle attribution while simulating
-    /// (the self-profiling layer). Off by default; when off the
-    /// instrumentation reduces to untaken branches on the hot path.
+    /// Record per-module wall-time and cycle attribution while simulating.
     pub fn profile(mut self, enabled: bool) -> Self {
-        self.profile = enabled;
+        self.options.profile = enabled;
         self
     }
 
-    /// Finish building, validating the configuration up front: the
-    /// hardware description must pass [`GpuConfig::validate`], and an
-    /// explicit thread count must not exceed the SM count (each worker
-    /// shards at least one SM). A thread count of `0` resolves here to
-    /// `min(`[`crate::max_threads`]`(), num_sms)`.
+    /// Finish building — delegates to [`GpuSimulator::try_new`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] describing the first violation.
     pub fn try_build(self) -> Result<GpuSimulator, SimError> {
-        self.cfg.validate().map_err(|e| SimError::InvalidConfig {
-            message: e.to_string(),
-        })?;
-        let num_sms = self.cfg.num_sms.max(1) as usize;
-        let threads = if self.threads == 0 {
-            crate::parallel::max_threads().min(num_sms)
-        } else {
-            if self.threads > num_sms {
-                return Err(SimError::InvalidConfig {
-                    message: format!(
-                        "thread count {} exceeds the {} SMs of {:?}; each worker thread \
-                         shards at least one SM (use threads(0) for auto)",
-                        self.threads, num_sms, self.cfg.name
-                    ),
-                });
-            }
-            self.threads
-        };
-        Ok(GpuSimulator {
-            cfg: self.cfg,
-            fidelity: self.fidelity,
-            threads,
-            profile: self.profile,
-        })
+        GpuSimulator::try_new(self.cfg, &self.options)
     }
 
     /// Finish building, panicking on an invalid configuration.
     ///
-    /// Thin wrapper over [`try_build`](SimulatorBuilder::try_build), kept
-    /// for the common case of hard-coded known-good configurations.
-    /// Callers handling user-supplied configurations (CLI flags, campaign
-    /// specs) should migrate to `try_build` and surface the
-    /// [`SimError::InvalidConfig`] instead.
-    ///
     /// # Panics
     ///
-    /// Panics when `try_build` would return an error.
+    /// Panics when [`try_build`](SimulatorBuilder::try_build) would return
+    /// an error.
     pub fn build(self) -> GpuSimulator {
         match self.try_build() {
             Ok(sim) => sim,
@@ -227,9 +215,68 @@ pub struct GpuSimulator {
     pub(crate) fidelity: FidelityConfig,
     pub(crate) threads: usize,
     pub(crate) profile: bool,
+    pub(crate) checkpoint: CheckpointOptions,
 }
 
 impl GpuSimulator {
+    /// Build a simulator from a hardware description and run options,
+    /// validating both up front: the hardware must pass
+    /// [`GpuConfig::validate`], an explicit thread count must not exceed
+    /// the SM count (each worker shards at least one SM; `0` resolves to
+    /// `min(`[`crate::max_threads`]`(), num_sms)`), and sampling or
+    /// checkpointing must not be combined with the legacy
+    /// [`SyncQuantum::Unsynchronized`] engine — its privately sharded
+    /// memory has no single state to snapshot or replay against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violation.
+    pub fn try_new(cfg: GpuConfig, options: &RunOptions) -> Result<GpuSimulator, SimError> {
+        cfg.validate().map_err(|e| SimError::InvalidConfig {
+            message: e.to_string(),
+        })?;
+        let num_sms = cfg.num_sms.max(1) as usize;
+        let threads = if options.threads == 0 {
+            crate::parallel::max_threads().min(num_sms)
+        } else {
+            if options.threads > num_sms {
+                return Err(SimError::InvalidConfig {
+                    message: format!(
+                        "thread count {} exceeds the {} SMs of {:?}; each worker thread \
+                         shards at least one SM (use threads 0 for auto)",
+                        options.threads, num_sms, cfg.name
+                    ),
+                });
+            }
+            options.threads
+        };
+        if threads > 1 && options.fidelity.sync_quantum == SyncQuantum::Unsynchronized {
+            if options.fidelity.sampling != SamplingPolicy::Off {
+                return Err(SimError::InvalidConfig {
+                    message: "kernel-launch sampling requires a synchronized engine; \
+                              the unsynchronized quantum shards memory privately \
+                              (use -sim_sync_quantum per_cycle or a cycle count)"
+                        .to_owned(),
+                });
+            }
+            if options.checkpoint.is_active() {
+                return Err(SimError::InvalidConfig {
+                    message: "checkpointing requires a synchronized engine; the \
+                              unsynchronized quantum has no single memory state to \
+                              snapshot (use -sim_sync_quantum per_cycle or a cycle count)"
+                        .to_owned(),
+                });
+            }
+        }
+        Ok(GpuSimulator {
+            cfg,
+            fidelity: options.fidelity,
+            threads,
+            profile: options.profile,
+            checkpoint: options.checkpoint.clone(),
+        })
+    }
+
     /// The simulated hardware configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
@@ -260,8 +307,8 @@ impl GpuSimulator {
     /// # Errors
     ///
     /// Returns [`SimError`] when the trace is inconsistent with its launch
-    /// geometry, a block exceeds SM resources, a kernel fails to decode, or
-    /// the model deadlocks.
+    /// geometry, a block exceeds SM resources, a kernel fails to decode, a
+    /// checkpoint cannot be written/read/applied, or the model deadlocks.
     pub fn run<'a>(&self, input: impl Into<TraceInput<'a>>) -> Result<SimulationResult, SimError> {
         let source = input.into().source();
         let started = std::time::Instant::now();
@@ -269,7 +316,7 @@ impl GpuSimulator {
             match self.fidelity.sync_quantum {
                 // Legacy decoupled shards: private memory slices, no
                 // cross-shard traffic (the paper's original model).
-                crate::fidelity::SyncQuantum::Unsynchronized => run_parallel(self, source)?,
+                SyncQuantum::Unsynchronized => run_parallel(self, source)?,
                 // Two-phase engine: one shared memory system, shards
                 // synchronize every quantum (per-cycle = bit-identical).
                 _ => crate::twophase::run_two_phase(self, source)?,
@@ -291,11 +338,20 @@ impl GpuSimulator {
     }
 
     fn run_single(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
+        let total = source.num_kernels();
+        let mut driver = RunDriver::new(self, source)?;
         let mut mem: Box<dyn MemorySystem> = match self.fidelity.memory {
             MemoryModelKind::CycleAccurate => Box::new(CycleAccurateMemory::new(&self.cfg)),
-            MemoryModelKind::Analytical => build_analytical_memory(&self.cfg, source)?,
-            MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&self.cfg, source)?,
+            MemoryModelKind::Analytical => {
+                build_analytical_memory_for(&self.cfg, source, &driver.prepass_indices(total))?
+            }
+            MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse_for(
+                &self.cfg,
+                source,
+                &driver.prepass_indices(total),
+            )?,
         };
+        driver.restore_memory(mem.as_mut())?;
 
         let num_sms = self.cfg.num_sms as usize;
         // The simulation profiler renders on track 0, the decode profiler
@@ -315,40 +371,68 @@ impl GpuSimulator {
         mem.set_profiling(self.profile);
 
         std::thread::scope(|scope| {
-            let mut pf = Prefetcher::new(scope, source, decode_prof, source.prefers_prefetch());
-            let mut start: Cycle = 0;
-            let mut kernels = Vec::new();
-            let mut total_stats = crate::sm::SmStats::default();
+            let mut pf = Prefetcher::with_schedule(
+                scope,
+                source,
+                decode_prof,
+                source.prefers_prefetch(),
+                driver.decode_schedule(total),
+            );
+            let (mut start, mut total_stats, mut kernels) = driver.initial();
 
-            for idx in 0..source.num_kernels() {
-                let kernel = pf.get(idx)?;
-                let kernel = &*kernel;
-                prof.begin_frame(&format!("k{idx}:{}", kernel.name));
-                let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
-                let sm_ids: Vec<usize> = (0..num_sms).collect();
-                let outcome = run_kernel_shard(
-                    &self.cfg,
-                    kernel,
-                    &blocks,
-                    &sm_ids,
-                    mem.as_mut(),
-                    self.fidelity,
-                    0,
-                    start,
-                    &mut prof,
-                )?;
-                // Flush the memory system's per-level attribution into the
-                // still-open frame before closing it.
-                mem.report_profile(&mut prof);
-                prof.end_frame();
-                kernels.push(KernelResult {
-                    name: kernel.name.clone(),
-                    cycles: outcome.end_cycle - start,
-                    instructions: outcome.stats.issued,
-                    blocks: outcome.blocks,
-                });
-                merge_into(&mut total_stats, outcome.stats);
-                start = outcome.end_cycle;
+            for idx in driver.start_kernel()..total {
+                if driver.is_detailed(idx) {
+                    let kernel = pf.get(idx)?;
+                    let kernel = &*kernel;
+                    prof.begin_frame(&format!("k{idx}:{}", kernel.name));
+                    let blocks: Vec<usize> = (0..kernel.blocks().len()).collect();
+                    let sm_ids: Vec<usize> = (0..num_sms).collect();
+                    let outcome = run_kernel_shard(
+                        &self.cfg,
+                        kernel,
+                        &blocks,
+                        &sm_ids,
+                        mem.as_mut(),
+                        self.fidelity,
+                        0,
+                        start,
+                        &mut prof,
+                    )?;
+                    // Flush the memory system's per-level attribution into
+                    // the still-open frame before closing it.
+                    mem.report_profile(&mut prof);
+                    prof.end_frame();
+                    let measure = RepMeasure {
+                        cycles: outcome.end_cycle - start,
+                        stats: outcome.stats,
+                        instructions: outcome.stats.issued,
+                        blocks: outcome.blocks,
+                    };
+                    driver.record(idx, measure);
+                    kernels.push(KernelResult {
+                        name: kernel.name.clone(),
+                        cycles: measure.cycles,
+                        instructions: measure.instructions,
+                        blocks: measure.blocks,
+                    });
+                    merge_into(&mut total_stats, outcome.stats);
+                    start = outcome.end_cycle;
+                } else {
+                    // Replayed launch: synthesized from its cluster's
+                    // representatives, trace body never decoded.
+                    let replayed = driver.replay(idx);
+                    kernels.push(KernelResult {
+                        name: source.kernel_meta(idx).name,
+                        cycles: replayed.cycles,
+                        instructions: replayed.instructions,
+                        blocks: replayed.blocks,
+                    });
+                    total_stats.add(&replayed.stats);
+                    start += replayed.cycles;
+                }
+                if !driver.boundary(idx, start, &total_stats, &kernels, mem.as_ref())? {
+                    break;
+                }
             }
 
             let mut metrics = MetricsCollector::new();
@@ -358,6 +442,7 @@ impl GpuSimulator {
             let profile = self
                 .profile
                 .then(|| ProfileReport::merge(vec![prof.into_report(), pf.finish().into_report()]));
+            let confidence = driver.confidence(&kernels);
 
             Ok(SimulationResult {
                 app: source.name().to_owned(),
@@ -367,6 +452,7 @@ impl GpuSimulator {
                 kernels,
                 metrics,
                 wall_time: std::time::Duration::ZERO, // filled by run()
+                confidence,
                 profile,
             })
         })
@@ -377,7 +463,7 @@ impl GpuSimulator {
 pub(crate) fn report_common(
     metrics: &mut MetricsCollector,
     cycles: Cycle,
-    stats: &crate::sm::SmStats,
+    stats: &SmStats,
     sim: &GpuSimulator,
 ) {
     metrics.set("gpu.cycles", Value::Cycles(cycles));
@@ -398,32 +484,227 @@ pub(crate) fn report_common(
     metrics.set("sim.threads", Value::Count(sim.threads as u64));
 }
 
+/// Snapshot identity of one run, captured once when checkpointing is
+/// active.
+struct RunIdentity {
+    app: String,
+    content_hash: u64,
+    config_hash: u64,
+    fidelity: String,
+    threads: usize,
+}
+
+/// Per-run coordinator for sampling and checkpointing, shared by the
+/// single-threaded and two-phase engines. Owns the sampling plan and
+/// measurements, the resume snapshot, and the boundary-snapshot writer;
+/// the engine owns the clock, stats, and kernel results and threads them
+/// through.
+pub(crate) struct RunDriver {
+    sampler: Option<Sampler>,
+    write_to: Option<std::path::PathBuf>,
+    halt_after: Option<usize>,
+    identity: Option<RunIdentity>,
+    resume: Option<Snapshot>,
+    start_kernel: usize,
+}
+
+impl RunDriver {
+    /// Plan sampling, capture snapshot identity, and load + validate the
+    /// resume snapshot when one was requested.
+    pub(crate) fn new(sim: &GpuSimulator, source: &dyn TraceSource) -> Result<RunDriver, SimError> {
+        let mut sampler = Sampler::plan(source, sim.fidelity.sampling);
+        let identity = if sim.checkpoint.is_active() {
+            Some(RunIdentity {
+                app: source.name().to_owned(),
+                content_hash: source.content_hash()?,
+                config_hash: sim.cfg.stable_hash(),
+                fidelity: sim.fidelity.describe(),
+                threads: sim.threads,
+            })
+        } else {
+            None
+        };
+        let mut start_kernel = 0;
+        let mut resume = None;
+        if let Some(path) = &sim.checkpoint.resume_from {
+            let snap = Snapshot::read_from(path)?;
+            let id = identity.as_ref().expect("resume_from implies is_active");
+            snap.validate_identity(
+                &id.app,
+                id.content_hash,
+                id.config_hash,
+                &id.fidelity,
+                id.threads,
+            )?;
+            if snap.next_kernel() > source.num_kernels() {
+                return Err(SimError::Checkpoint {
+                    message: format!(
+                        "snapshot completed {} kernels but the trace has only {}",
+                        snap.next_kernel(),
+                        source.num_kernels()
+                    ),
+                });
+            }
+            // The fidelity match above guarantees the snapshot and this run
+            // agree on the sampling policy, so the sampling section is
+            // present exactly when a sampler was planned.
+            if let (Some(s), Some(words)) = (&mut sampler, &snap.sampling) {
+                s.restore_words(words)
+                    .map_err(|e| SimError::Checkpoint { message: e })?;
+            }
+            start_kernel = snap.next_kernel();
+            resume = Some(snap);
+        }
+        Ok(RunDriver {
+            sampler,
+            write_to: sim.checkpoint.write_to.clone(),
+            halt_after: sim.checkpoint.halt_after,
+            identity,
+            resume,
+            start_kernel,
+        })
+    }
+
+    /// Index of the first kernel this run simulates (0 unless resuming).
+    pub(crate) fn start_kernel(&self) -> usize {
+        self.start_kernel
+    }
+
+    /// Initial accumulators: clock, statistics, and per-kernel results —
+    /// the snapshot's on resume, zeros otherwise.
+    pub(crate) fn initial(&self) -> (Cycle, SmStats, Vec<KernelResult>) {
+        match &self.resume {
+            Some(s) => (s.cycle, s.total_stats, s.kernels.clone()),
+            None => (0, SmStats::default(), Vec::new()),
+        }
+    }
+
+    /// Apply the resume snapshot's memory section to a freshly built model.
+    pub(crate) fn restore_memory(&self, mem: &mut dyn MemorySystem) -> Result<(), SimError> {
+        if let Some(s) = &self.resume {
+            mem.load_state(&s.memory)
+                .map_err(|e| SimError::Checkpoint {
+                    message: format!("restoring memory state: {e}"),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Whether launch `kernel` is simulated in detail (always, when
+    /// sampling is off).
+    pub(crate) fn is_detailed(&self, kernel: usize) -> bool {
+        self.sampler.as_ref().is_none_or(|s| s.is_detailed(kernel))
+    }
+
+    /// Launch indices the engine will decode this run: detailed ones not
+    /// already covered by the resume snapshot.
+    pub(crate) fn decode_schedule(&self, total: usize) -> Vec<usize> {
+        (self.start_kernel..total)
+            .filter(|&k| self.is_detailed(k))
+            .collect()
+    }
+
+    /// Launch indices the analytical memory pre-pass must decode. This is
+    /// every detailed launch — including ones a resume snapshot already
+    /// covers — so the per-PC hit rates match the original run exactly
+    /// (bit-identity of the resumed run depends on it).
+    pub(crate) fn prepass_indices(&self, total: usize) -> Vec<usize> {
+        match &self.sampler {
+            Some(s) => s.detailed_indices(),
+            None => (0..total).collect(),
+        }
+    }
+
+    /// Record a detailed launch's measurements for later replays.
+    pub(crate) fn record(&mut self, kernel: usize, measure: RepMeasure) {
+        if let Some(s) = &mut self.sampler {
+            s.record(kernel, measure);
+        }
+    }
+
+    /// Synthesize a replayed launch's outcome.
+    pub(crate) fn replay(&self, kernel: usize) -> RepMeasure {
+        self.sampler
+            .as_ref()
+            .expect("replay is only reached when a sampling plan exists")
+            .replay(kernel)
+    }
+
+    /// Kernel-boundary hook: write a snapshot when requested, and report
+    /// whether the run should continue (`false` once `halt_after` kernels
+    /// have completed — the partial result covers the simulated prefix).
+    pub(crate) fn boundary(
+        &mut self,
+        kernel: usize,
+        cycle: Cycle,
+        total_stats: &SmStats,
+        kernels: &[KernelResult],
+        mem: &dyn MemorySystem,
+    ) -> Result<bool, SimError> {
+        let completed = kernel + 1;
+        if let Some(path) = &self.write_to {
+            let id = self.identity.as_ref().expect("write_to implies is_active");
+            let memory = mem.save_state().map_err(|e| SimError::Checkpoint {
+                message: format!("snapshot at kernel {kernel} boundary: {e}"),
+            })?;
+            let snap = Snapshot {
+                app: id.app.clone(),
+                content_hash: id.content_hash,
+                config_hash: id.config_hash,
+                fidelity: id.fidelity.clone(),
+                threads: id.threads,
+                next_kernel: completed,
+                cycle,
+                total_stats: *total_stats,
+                kernels: kernels.to_vec(),
+                sampling: self.sampler.as_ref().map(Sampler::save_words),
+                memory,
+            };
+            snap.write_to(path)?;
+        }
+        Ok(self.halt_after != Some(completed))
+    }
+
+    /// The run's confidence block (`None` when sampling is off).
+    pub(crate) fn confidence(&self, kernels: &[KernelResult]) -> Option<Confidence> {
+        self.sampler.as_ref().map(|s| s.confidence(kernels))
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the shim keeps working for one release; pin that here
 mod tests {
     use super::*;
+    use crate::fidelity::{AluModelKind, FrontendModelKind, SkipPolicy};
     use swiftsim_config::presets;
 
     #[test]
     fn presets_select_models() {
-        let detailed = SimulatorBuilder::new(presets::rtx2080ti())
-            .preset(SimulatorPreset::Detailed)
-            .build();
+        let detailed = GpuSimulator::try_new(
+            presets::rtx2080ti(),
+            &RunOptions::default().with_preset(SimulatorPreset::Detailed),
+        )
+        .unwrap();
         assert_eq!(
             detailed.description(),
             "cycle_accurate_alu+cycle_accurate_memory+detailed_frontend+event_driven"
         );
 
-        let basic = SimulatorBuilder::new(presets::rtx2080ti())
-            .preset(SimulatorPreset::SwiftBasic)
-            .build();
+        let basic = GpuSimulator::try_new(
+            presets::rtx2080ti(),
+            &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+        )
+        .unwrap();
         assert_eq!(
             basic.description(),
             "analytical_alu+cycle_accurate_memory+simplified_frontend+event_driven"
         );
 
-        let memory = SimulatorBuilder::new(presets::rtx2080ti())
-            .preset(SimulatorPreset::SwiftMemory)
-            .build();
+        let memory = GpuSimulator::try_new(
+            presets::rtx2080ti(),
+            &RunOptions::default().with_preset(SimulatorPreset::SwiftMemory),
+        )
+        .unwrap();
         assert_eq!(
             memory.description(),
             "analytical_alu+analytical_memory+simplified_frontend+event_driven"
@@ -437,17 +718,39 @@ mod tests {
             memory: MemoryModelKind::AnalyticalReuse,
             frontend: FrontendModelKind::Simplified,
             skip_policy: SkipPolicy::Dense,
-            sync_quantum: crate::fidelity::SyncQuantum::Cycles(32),
+            sync_quantum: SyncQuantum::Cycles(32),
+            sampling: SamplingPolicy::Off,
         };
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .fidelity(fidelity)
-            .build();
+        let sim = GpuSimulator::try_new(
+            presets::rtx2080ti(),
+            &RunOptions::default().with_fidelity(fidelity),
+        )
+        .unwrap();
         assert_eq!(sim.fidelity(), fidelity);
         assert_eq!(sim.description(), fidelity.describe());
     }
 
     #[test]
-    #[allow(deprecated)]
+    fn deprecated_builder_still_builds_identically() {
+        let via_builder = SimulatorBuilder::new(presets::rtx2080ti())
+            .preset(SimulatorPreset::SwiftMemory)
+            .threads(2)
+            .profile(true)
+            .build();
+        let via_options = GpuSimulator::try_new(
+            presets::rtx2080ti(),
+            &RunOptions::default()
+                .with_preset(SimulatorPreset::SwiftMemory)
+                .with_threads(2)
+                .with_profile(true),
+        )
+        .unwrap();
+        assert_eq!(via_builder.fidelity(), via_options.fidelity());
+        assert_eq!(via_builder.threads, via_options.threads);
+        assert_eq!(via_builder.profile, via_options.profile);
+    }
+
+    #[test]
     fn deprecated_skip_idle_maps_to_skip_policy() {
         let sim = SimulatorBuilder::new(presets::rtx2080ti())
             .skip_idle(false)
@@ -461,38 +764,72 @@ mod tests {
 
     #[test]
     fn threads_zero_resolves_to_auto() {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .threads(0)
-            .try_build()
-            .expect("auto threads is always valid");
+        let sim =
+            GpuSimulator::try_new(presets::rtx2080ti(), &RunOptions::default().with_threads(0))
+                .expect("auto threads is always valid");
         assert!(sim.threads >= 1);
         assert!(sim.threads <= presets::rtx2080ti().num_sms as usize);
         assert!(sim.threads <= crate::parallel::max_threads());
     }
 
     #[test]
-    fn try_build_rejects_more_threads_than_sms() {
+    fn try_new_rejects_more_threads_than_sms() {
         let cfg = presets::rtx2080ti();
         let too_many = cfg.num_sms as usize + 1;
-        let err = SimulatorBuilder::new(cfg.clone())
-            .threads(too_many)
-            .try_build()
+        let err = GpuSimulator::try_new(cfg.clone(), &RunOptions::default().with_threads(too_many))
             .expect_err("one shard needs at least one SM");
         assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
         // The exact SM count is accepted.
-        let sim = SimulatorBuilder::new(cfg.clone())
-            .threads(cfg.num_sms as usize)
-            .try_build()
-            .expect("threads == SMs is valid");
+        let sim = GpuSimulator::try_new(
+            cfg.clone(),
+            &RunOptions::default().with_threads(cfg.num_sms as usize),
+        )
+        .expect("threads == SMs is valid");
         assert_eq!(sim.threads, cfg.num_sms as usize);
     }
 
     #[test]
-    fn try_build_rejects_invalid_config() {
+    fn try_new_rejects_invalid_config() {
         let mut cfg = presets::rtx2080ti();
         cfg.num_sms = 0;
-        let err = SimulatorBuilder::new(cfg).try_build().expect_err("0 SMs");
+        let err = GpuSimulator::try_new(cfg, &RunOptions::default()).expect_err("0 SMs is invalid");
         assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_new_rejects_sampling_and_checkpointing_on_unsync_engine() {
+        let cfg = presets::rtx2080ti();
+        let unsync = FidelityConfig {
+            sync_quantum: SyncQuantum::Unsynchronized,
+            ..FidelityConfig::default()
+        };
+        let err = GpuSimulator::try_new(
+            cfg.clone(),
+            &RunOptions::default()
+                .with_fidelity(unsync)
+                .with_threads(2)
+                .with_sampling(SamplingPolicy::KernelCluster { reps: 2 }),
+        )
+        .expect_err("sampling on unsync engine");
+        assert!(err.to_string().contains("sampling"), "{err}");
+        let err = GpuSimulator::try_new(
+            cfg.clone(),
+            &RunOptions::default()
+                .with_fidelity(unsync)
+                .with_threads(2)
+                .with_checkpoint_out("/tmp/snap"),
+        )
+        .expect_err("checkpointing on unsync engine");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        // Single-threaded runs never dispatch to the unsync engine, so the
+        // combination is fine there.
+        GpuSimulator::try_new(
+            cfg,
+            &RunOptions::default()
+                .with_fidelity(unsync)
+                .with_sampling(SamplingPolicy::KernelCluster { reps: 2 }),
+        )
+        .expect("threads=1 ignores the quantum");
     }
 
     #[test]

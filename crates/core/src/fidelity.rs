@@ -101,6 +101,75 @@ pub enum SyncQuantum {
     Unsynchronized,
 }
 
+/// Whether (and how aggressively) repeated kernel launches are sampled.
+///
+/// Kernel-level sampling clusters launches by *content hash + launch
+/// geometry* (name, grid/block dims, shared memory, registers, instruction
+/// count — everything [`swiftsim_trace::KernelMeta`] carries). The first
+/// `reps` instances of each cluster are simulated in detail; every later
+/// instance is *replayed*: its cycle count is the cluster representatives'
+/// measured CPI times its instruction count, its statistics are the
+/// representatives' mean, and its decode is skipped entirely. The spread
+/// across representatives becomes the per-cluster error bound carried in
+/// the result's `confidence` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SamplingPolicy {
+    /// Simulate every kernel launch in detail (no sampling, no error).
+    #[default]
+    Off,
+    /// Cluster repeated launches; simulate `reps` representatives per
+    /// cluster in detail and replay the rest analytically.
+    KernelCluster {
+        /// Detailed representatives per cluster (>= 1). Two or more give a
+        /// measured spread for the error bound; one falls back to the
+        /// default floor.
+        reps: u32,
+    },
+}
+
+impl SamplingPolicy {
+    /// Short stable token, used in JSON output and parseable back:
+    /// `off`, `cluster` (default reps), or `cluster:N`.
+    pub fn token(self) -> String {
+        match self {
+            SamplingPolicy::Off => "off".to_owned(),
+            SamplingPolicy::KernelCluster { reps } => format!("cluster:{reps}"),
+        }
+    }
+
+    /// Representatives simulated in detail per cluster (0 when off).
+    pub fn reps(self) -> u32 {
+        match self {
+            SamplingPolicy::Off => 0,
+            SamplingPolicy::KernelCluster { reps } => reps,
+        }
+    }
+}
+
+/// Default representatives per cluster for `-sim_sampling cluster`.
+pub const DEFAULT_SAMPLING_REPS: u32 = 2;
+
+impl FromStr for SamplingPolicy {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, SimError> {
+        match s {
+            "off" => Ok(SamplingPolicy::Off),
+            "cluster" => Ok(SamplingPolicy::KernelCluster {
+                reps: DEFAULT_SAMPLING_REPS,
+            }),
+            other => match other.strip_prefix("cluster:").map(str::parse::<u32>) {
+                Some(Ok(reps)) if reps >= 1 => Ok(SamplingPolicy::KernelCluster { reps }),
+                _ => Err(parse_err(
+                    "sampling policy",
+                    other,
+                    "off, cluster, cluster:N",
+                )),
+            },
+        }
+    }
+}
+
 /// The resolved per-module fidelity of one simulator instance.
 ///
 /// # Examples
@@ -132,6 +201,8 @@ pub struct FidelityConfig {
     pub skip_policy: SkipPolicy,
     /// Shard-synchronization quantum for multi-threaded runs.
     pub sync_quantum: SyncQuantum,
+    /// Kernel-launch sampling policy (off in every preset).
+    pub sampling: SamplingPolicy,
 }
 
 impl Default for FidelityConfig {
@@ -287,6 +358,7 @@ impl FidelityConfig {
                 frontend: FrontendModelKind::Detailed,
                 skip_policy: SkipPolicy::EventDriven,
                 sync_quantum: SyncQuantum::PerCycle,
+                sampling: SamplingPolicy::Off,
             },
             SimulatorPreset::SwiftBasic => FidelityConfig {
                 alu: AluModelKind::Analytical,
@@ -294,6 +366,7 @@ impl FidelityConfig {
                 frontend: FrontendModelKind::Simplified,
                 skip_policy: SkipPolicy::EventDriven,
                 sync_quantum: SyncQuantum::PerCycle,
+                sampling: SamplingPolicy::Off,
             },
             SimulatorPreset::SwiftMemory => FidelityConfig {
                 alu: AluModelKind::Analytical,
@@ -301,6 +374,7 @@ impl FidelityConfig {
                 frontend: FrontendModelKind::Simplified,
                 skip_policy: SkipPolicy::EventDriven,
                 sync_quantum: SyncQuantum::PerCycle,
+                sampling: SamplingPolicy::Off,
             },
         }
     }
@@ -338,14 +412,23 @@ impl FidelityConfig {
             }
             SyncQuantum::Unsynchronized => out.push_str("+unsync"),
         }
+        // Sampling changes what a run computes, so any non-off policy must
+        // show up in descriptions (and in the campaign cache keys built from
+        // them); `off` stays silent so existing keys are unchanged.
+        match self.sampling {
+            SamplingPolicy::Off => {}
+            SamplingPolicy::KernelCluster { reps } => {
+                out.push_str(&format!("+sampled_r{reps}"));
+            }
+        }
         out
     }
 
     /// Apply one GPGPU-Sim-style fidelity option.
     ///
     /// Recognized keys: `-sim_alu_model`, `-sim_mem_model`,
-    /// `-sim_frontend_model`, `-sim_skip_policy`, `-sim_sync_quantum`.
-    /// Unknown `-sim_*` keys are
+    /// `-sim_frontend_model`, `-sim_skip_policy`, `-sim_sync_quantum`,
+    /// `-sim_sampling`. Unknown `-sim_*` keys are
     /// an error (a typo'd fidelity knob must not silently fall back to the
     /// default); returns `Ok(false)` for any other key so callers can embed
     /// fidelity options inside a full config file.
@@ -361,12 +444,13 @@ impl FidelityConfig {
             "-sim_frontend_model" => self.frontend = value.parse()?,
             "-sim_skip_policy" => self.skip_policy = value.parse()?,
             "-sim_sync_quantum" => self.sync_quantum = value.parse()?,
+            "-sim_sampling" => self.sampling = value.parse()?,
             other if other.starts_with("-sim_") => {
                 return Err(SimError::InvalidConfig {
                     message: format!(
                         "unknown fidelity option {other:?} (expected -sim_alu_model, \
-                         -sim_mem_model, -sim_frontend_model, -sim_skip_policy, or \
-                         -sim_sync_quantum)"
+                         -sim_mem_model, -sim_frontend_model, -sim_skip_policy, \
+                         -sim_sync_quantum, or -sim_sampling)"
                     ),
                 });
             }
@@ -509,6 +593,54 @@ mod tests {
         assert!("0".parse::<SyncQuantum>().is_err());
         assert!("-4".parse::<SyncQuantum>().is_err());
         assert!("sometimes".parse::<SyncQuantum>().is_err());
+    }
+
+    #[test]
+    fn sampling_tokens_round_trip() {
+        for p in [
+            SamplingPolicy::Off,
+            SamplingPolicy::KernelCluster { reps: 1 },
+            SamplingPolicy::KernelCluster { reps: 8 },
+        ] {
+            assert_eq!(p.token().parse::<SamplingPolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "cluster".parse::<SamplingPolicy>().unwrap(),
+            SamplingPolicy::KernelCluster {
+                reps: DEFAULT_SAMPLING_REPS
+            }
+        );
+        assert!("cluster:0".parse::<SamplingPolicy>().is_err());
+        assert!("interval".parse::<SamplingPolicy>().is_err());
+    }
+
+    #[test]
+    fn sampling_parses_and_shows_in_describe() {
+        let f = FidelityConfig::parse_args("-sim_sampling cluster:3").unwrap();
+        assert_eq!(f.sampling, SamplingPolicy::KernelCluster { reps: 3 });
+        assert!(f.describe().ends_with("+sampled_r3"), "{}", f.describe());
+
+        // Off stays silent so preset descriptions (and the campaign cache
+        // keys derived from them) are unchanged.
+        let f = FidelityConfig::parse_args("-sim_sampling off").unwrap();
+        assert_eq!(f.describe(), FidelityConfig::default().describe());
+        assert!(!f.describe().contains("sampled"), "{}", f.describe());
+    }
+
+    #[test]
+    fn unknown_sim_key_error_lists_all_keys() {
+        let err = FidelityConfig::parse_args("-sim_bogus x").unwrap_err();
+        let msg = err.to_string();
+        for key in [
+            "-sim_alu_model",
+            "-sim_mem_model",
+            "-sim_frontend_model",
+            "-sim_skip_policy",
+            "-sim_sync_quantum",
+            "-sim_sampling",
+        ] {
+            assert!(msg.contains(key), "{msg} missing {key}");
+        }
     }
 
     #[test]

@@ -22,7 +22,13 @@ use swiftsim_metrics::{Json, MetricsCollector};
 /// the shared-memory two-phase engine by default instead of decoupled
 /// per-shard memory slices, so v2 multi-threaded counters are not
 /// comparable.
-pub const RESULT_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the fidelity object gained `sampling` (kernel-launch sampling
+/// policy) and results gained an optional `confidence` block carrying the
+/// per-kernel and whole-app error bounds of a sampled run. Pre-v4 cache
+/// entries have no way to state whether they were sampled, so they are
+/// re-run rather than misread.
+pub const RESULT_SCHEMA_VERSION: u64 = 4;
 
 impl KernelResult {
     /// Serialize to the shared JSON schema.
@@ -69,6 +75,7 @@ impl FidelityConfig {
             ("frontend", Json::str(self.frontend.token())),
             ("skip_policy", Json::str(self.skip_policy.token())),
             ("sync_quantum", Json::str(self.sync_quantum.token())),
+            ("sampling", Json::str(self.sampling.token())),
         ])
     }
 
@@ -96,6 +103,68 @@ impl FidelityConfig {
                     .map_err(|e: crate::error::SimError| e.to_string())?,
                 None => crate::fidelity::SyncQuantum::PerCycle,
             },
+            // Absent in pre-v4 documents; such documents could only have run
+            // unsampled.
+            sampling: match json.get("sampling").and_then(Json::as_str) {
+                Some(tok) => tok
+                    .parse()
+                    .map_err(|e: crate::error::SimError| e.to_string())?,
+                None => crate::fidelity::SamplingPolicy::Off,
+            },
+        })
+    }
+}
+
+impl crate::result::Confidence {
+    /// Serialize to the shared JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clusters", Json::int(self.clusters)),
+            ("sampled_kernels", Json::int(self.sampled_kernels)),
+            ("replayed_kernels", Json::int(self.replayed_kernels)),
+            ("replayed_cycles", Json::int(self.replayed_cycles)),
+            (
+                "kernel_error_bounds",
+                Json::Arr(
+                    self.kernel_error_bounds
+                        .iter()
+                        .map(|&b| Json::Num(b))
+                        .collect(),
+                ),
+            ),
+            ("app_error_bound", Json::Num(self.app_error_bound)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<crate::result::Confidence, String> {
+        Ok(crate::result::Confidence {
+            clusters: json
+                .get("clusters")
+                .and_then(Json::as_u64)
+                .ok_or("confidence: missing clusters")?,
+            sampled_kernels: json
+                .get("sampled_kernels")
+                .and_then(Json::as_u64)
+                .ok_or("confidence: missing sampled_kernels")?,
+            replayed_kernels: json
+                .get("replayed_kernels")
+                .and_then(Json::as_u64)
+                .ok_or("confidence: missing replayed_kernels")?,
+            replayed_cycles: json
+                .get("replayed_cycles")
+                .and_then(Json::as_u64)
+                .ok_or("confidence: missing replayed_cycles")?,
+            kernel_error_bounds: json
+                .get("kernel_error_bounds")
+                .and_then(Json::as_arr)
+                .ok_or("confidence: missing kernel_error_bounds")?
+                .iter()
+                .map(|b| Json::as_f64(b).ok_or("confidence: non-numeric bound".to_owned()))
+                .collect::<Result<Vec<_>, _>>()?,
+            app_error_bound: json
+                .get("app_error_bound")
+                .and_then(Json::as_f64)
+                .ok_or("confidence: missing app_error_bound")?,
         })
     }
 }
@@ -118,6 +187,13 @@ impl SimulationResult {
                 Json::Arr(self.kernels.iter().map(KernelResult::to_json).collect()),
             ),
             ("metrics", self.metrics.to_json()),
+            (
+                "confidence",
+                match &self.confidence {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -168,6 +244,10 @@ impl SimulationResult {
             wall_time: std::time::Duration::from_micros(
                 json.get("wall_time_us").and_then(Json::as_u64).unwrap_or(0),
             ),
+            confidence: match json.get("confidence") {
+                None | Some(Json::Null) => None,
+                Some(c) => Some(crate::result::Confidence::from_json(c)?),
+            },
             // Self-profiling attribution is a live-run artifact and is not
             // part of the result document schema.
             profile: None,
@@ -179,8 +259,9 @@ impl SimulationResult {
 mod tests {
     use super::*;
     use crate::fidelity::{
-        AluModelKind, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
+        AluModelKind, FrontendModelKind, MemoryModelKind, SamplingPolicy, SkipPolicy, SyncQuantum,
     };
+    use crate::result::Confidence;
     use swiftsim_metrics::Value;
 
     fn sample() -> SimulationResult {
@@ -194,6 +275,7 @@ mod tests {
             frontend: FrontendModelKind::Simplified,
             skip_policy: SkipPolicy::EventDriven,
             sync_quantum: SyncQuantum::Cycles(16),
+            sampling: SamplingPolicy::Off,
         };
         SimulationResult {
             app: "bfs".into(),
@@ -208,6 +290,7 @@ mod tests {
             }],
             metrics,
             wall_time: std::time::Duration::from_micros(1234),
+            confidence: None,
             profile: None,
         }
     }
@@ -271,6 +354,47 @@ mod tests {
             pairs[3].1 = Json::obj(vec![("alu", Json::str("quantum"))]);
         }
         assert!(SimulationResult::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn confidence_round_trips() {
+        let mut r = sample();
+        r.fidelity.sampling = SamplingPolicy::KernelCluster { reps: 2 };
+        r.confidence = Some(Confidence {
+            clusters: 3,
+            sampled_kernels: 6,
+            replayed_kernels: 94,
+            replayed_cycles: 123_456,
+            kernel_error_bounds: vec![0.0, 0.031_25],
+            app_error_bound: 0.028,
+        });
+        let json = r.to_json().dump();
+        let back = SimulationResult::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Sampling token lands in the fidelity object.
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed
+                .get("fidelity")
+                .and_then(|f| f.get("sampling"))
+                .and_then(Json::as_str),
+            Some("cluster:2")
+        );
+    }
+
+    #[test]
+    fn missing_sampling_defaults_to_off() {
+        // Documents written before the field existed could only have run
+        // unsampled; reading one must not fail.
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            if let Json::Obj(fid) = &mut pairs[3].1 {
+                fid.retain(|(k, _)| *k != "sampling");
+            }
+        }
+        let back = SimulationResult::from_json(&json).unwrap();
+        assert_eq!(back.fidelity.sampling, SamplingPolicy::Off);
+        assert_eq!(back.confidence, None);
     }
 
     #[test]

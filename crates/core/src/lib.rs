@@ -30,7 +30,7 @@
 //!
 //! ```
 //! use swiftsim_config::presets;
-//! use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+//! use swiftsim_core::{RunOptions, SimulatorPreset};
 //! use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,10 +45,8 @@
 //! }
 //! let app = ApplicationTrace::new("toy", vec![kernel]);
 //!
-//! let sim = SimulatorBuilder::new(presets::rtx2080ti())
-//!     .preset(SimulatorPreset::SwiftMemory)
-//!     .build();
-//! let result = sim.run(&app)?;
+//! let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+//! let result = swiftsim_core::run(&app, &presets::rtx2080ti(), &options)?;
 //! assert!(result.cycles > 0);
 //! # Ok(())
 //! # }
@@ -60,15 +58,18 @@
 pub mod alu;
 mod block_scheduler;
 mod builder;
+pub mod checkpoint;
 mod error;
 mod fidelity;
 mod gpu;
 mod input;
 mod json;
 pub mod mem_system;
+mod options;
 mod parallel;
 mod prefetch;
 mod result;
+mod sampling;
 mod scheduler;
 mod scoreboard;
 mod sm;
@@ -77,16 +78,21 @@ mod twophase;
 
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
-pub use builder::{GpuSimulator, SimulatorBuilder, SimulatorPreset};
+#[allow(deprecated)]
+pub use builder::SimulatorBuilder;
+pub use builder::{run, GpuSimulator, SimulatorPreset};
+pub use checkpoint::Snapshot;
 pub use error::{panic_message, SimError, DEADLOCK_MARKER};
 pub use fidelity::{
-    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
+    AluModelKind, FidelityConfig, FrontendModelKind, MemoryModelKind, SamplingPolicy, SkipPolicy,
+    SyncQuantum, DEFAULT_SAMPLING_REPS,
 };
 pub use input::TraceInput;
 pub use json::RESULT_SCHEMA_VERSION;
 pub use mem_system::{MemReply, MemorySystem};
+pub use options::{CheckpointOptions, RunOptions};
 pub use parallel::max_threads;
-pub use result::{KernelResult, SimulationResult};
+pub use result::{Confidence, KernelResult, SimulationResult};
 pub use scheduler::{GtoScheduler, LrrScheduler, TwoLevelScheduler, WarpSchedulerPolicy, WarpView};
 pub use scoreboard::Scoreboard;
 

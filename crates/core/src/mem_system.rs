@@ -24,11 +24,14 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use swiftsim_config::GpuConfig;
 use swiftsim_mem::FastMap;
 use swiftsim_mem::{
-    AccessOutcome, AddressMapping, DramChannel, FunctionalCacheSim, MemTxn, PcHitRates,
-    ReuseDistanceAnalyzer, SectorCache,
+    AccessOutcome, AddressMapping, DramChannel, DramChannelState, DramStats, FunctionalCacheSim,
+    LineSnapshot, MemTxn, MshrCounters, PcHitRates, ReuseDistanceAnalyzer, SectorCache,
+    SectorCacheState, TagArrayState,
 };
-use swiftsim_metrics::{MetricsCollector, ProfModule, Profiler, Value};
-use swiftsim_noc::{Crossbar, Interconnect, Mesh};
+use swiftsim_metrics::{Json, MetricsCollector, ProfModule, Profiler, Value};
+use swiftsim_noc::{Crossbar, Interconnect, Mesh, NocState, NocStats, PortState};
+
+use crate::checkpoint::{WordReader, WordWriter};
 
 /// Sentinel waiter for requests nobody waits on (forwarded stores).
 const NO_WAITER: u64 = u64::MAX;
@@ -115,6 +118,34 @@ pub trait MemorySystem: Send {
     /// profiling frame is open. Default: no attribution.
     fn report_profile(&mut self, prof: &mut Profiler) {
         let _ = prof;
+    }
+
+    /// Serialize the model's persistent state at a quiescent kernel
+    /// boundary for a checkpoint snapshot (cache tags, DRAM timing,
+    /// lifetime counters — everything that carries across kernels).
+    ///
+    /// Only valid at a kernel boundary, where no request or event is in
+    /// flight; implementations must verify that quiescence and refuse
+    /// otherwise. Models that do not support checkpointing keep the
+    /// default, which refuses.
+    ///
+    /// # Errors
+    ///
+    /// The model is not quiescent, or does not support checkpointing.
+    fn save_state(&self) -> Result<Json, String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
+    /// Restore state serialized by [`MemorySystem::save_state`] into a
+    /// freshly built model of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// The state is malformed, belongs to a different model kind, or
+    /// disagrees with this model's geometry (SM/partition/bank counts).
+    fn load_state(&mut self, state: &Json) -> Result<(), String> {
+        let _ = state;
+        Err(format!("{} does not support checkpointing", self.name()))
     }
 }
 
@@ -865,6 +896,311 @@ impl MemorySystem for CycleAccurateMemory {
         self.prof_advance_ns = 0;
         self.prof_level_events = [0; 4];
     }
+
+    fn save_state(&self) -> Result<Json, String> {
+        // A kernel boundary is quiescent: every event has drained, every
+        // request has completed, every queue is empty. Anything else in
+        // flight would be lost by the snapshot, so refuse loudly.
+        if !self.events.is_empty() {
+            return Err(format!("{} events still scheduled", self.events.len()));
+        }
+        if !self.reqs.is_empty() {
+            return Err(format!("{} requests still pending", self.reqs.len()));
+        }
+        if !self.l2_waiters.is_empty() {
+            return Err(format!(
+                "{} L2 waiters still pending",
+                self.l2_waiters.len()
+            ));
+        }
+        let queued: usize = self.fwd_pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.rsp_pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.dram_pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.l1_blocked.iter().map(VecDeque::len).sum::<usize>()
+            + self.l2_blocked.iter().map(VecDeque::len).sum::<usize>();
+        if queued != 0 {
+            return Err(format!("{queued} messages still queued for injection"));
+        }
+        if self
+            .fwd_armed
+            .iter()
+            .chain(&self.rsp_armed)
+            .chain(&self.dram_armed)
+            .any(|&a| a)
+        {
+            return Err("a drain event is still armed".to_owned());
+        }
+        let caches = |list: &[SectorCache], what: &str| -> Result<Json, String> {
+            let mut out = Vec::with_capacity(list.len());
+            for (i, cache) in list.iter().enumerate() {
+                let state = cache
+                    .save_state()
+                    .map_err(|e| format!("{what}[{i}]: {e}"))?;
+                out.push(Json::str(cache_words(&state)));
+            }
+            Ok(Json::Arr(out))
+        };
+        let mut counters = WordWriter::new();
+        for &c in &[
+            self.event_seq,
+            self.next_token,
+            self.next_l2_waiter,
+            self.retry_cycles,
+            self.accesses,
+            self.store_only,
+            self.events_processed,
+        ] {
+            counters.push(c);
+        }
+        Ok(Json::obj(vec![
+            ("kind", Json::str("cycle_accurate")),
+            ("l1", caches(&self.l1, "l1")?),
+            ("l2", caches(&self.l2, "l2")?),
+            (
+                "dram",
+                Json::Arr(
+                    self.dram
+                        .iter()
+                        .map(|d| Json::str(dram_words(&d.save_state())))
+                        .collect(),
+                ),
+            ),
+            ("fwd_noc", Json::str(noc_words(&self.fwd_noc.save_state()))),
+            ("rsp_noc", Json::str(noc_words(&self.rsp_noc.save_state()))),
+            ("counters", Json::str(counters.finish())),
+        ]))
+    }
+
+    fn load_state(&mut self, state: &Json) -> Result<(), String> {
+        let kind = state.get("kind").and_then(Json::as_str).unwrap_or("?");
+        if kind != "cycle_accurate" {
+            return Err(format!(
+                "memory snapshot is for a {kind:?} model, this run uses cycle_accurate"
+            ));
+        }
+        let arr = |key: &str, expect: usize| -> Result<Vec<&str>, String> {
+            let items = state
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("memory snapshot missing {key} array"))?;
+            if items.len() != expect {
+                return Err(format!(
+                    "memory snapshot has {} {key} entries, this config has {expect}",
+                    items.len()
+                ));
+            }
+            items
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .ok_or_else(|| format!("{key} entry is not a string"))
+                })
+                .collect()
+        };
+        for (i, words) in arr("l1", self.l1.len())?.iter().enumerate() {
+            let parsed = cache_from_words(words, "l1")?;
+            self.l1[i]
+                .restore_state(&parsed)
+                .map_err(|e| format!("l1[{i}]: {e}"))?;
+        }
+        for (i, words) in arr("l2", self.l2.len())?.iter().enumerate() {
+            let parsed = cache_from_words(words, "l2")?;
+            self.l2[i]
+                .restore_state(&parsed)
+                .map_err(|e| format!("l2[{i}]: {e}"))?;
+        }
+        for (i, words) in arr("dram", self.dram.len())?.iter().enumerate() {
+            let parsed = dram_from_words(words)?;
+            self.dram[i]
+                .restore_state(&parsed)
+                .map_err(|e| format!("dram[{i}]: {e}"))?;
+        }
+        let noc_text = |key: &str| -> Result<String, String> {
+            state
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("memory snapshot missing {key}"))
+        };
+        self.fwd_noc
+            .restore_state(&noc_from_words(&noc_text("fwd_noc")?, "fwd_noc")?)
+            .map_err(|e| format!("fwd_noc: {e}"))?;
+        self.rsp_noc
+            .restore_state(&noc_from_words(&noc_text("rsp_noc")?, "rsp_noc")?)
+            .map_err(|e| format!("rsp_noc: {e}"))?;
+        let counters = state
+            .get("counters")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "memory snapshot missing counters".to_owned())?;
+        let mut r = WordReader::new(counters, "memory counters");
+        self.event_seq = r.next()?;
+        self.next_token = r.next()?;
+        self.next_l2_waiter = r.next()?;
+        self.retry_cycles = r.next()?;
+        self.accesses = r.next()?;
+        self.store_only = r.next()?;
+        self.events_processed = r.next()?;
+        r.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint word codecs for the component state structs
+// ---------------------------------------------------------------------------
+
+/// Encode one cache's snapshot as a word stream:
+/// `[nlines, per line (tag, state|valid<<8|dirty<<16, last_use, alloc_time),
+/// rng x4, bank_free_at slice, mshr x4, stats x10]`.
+fn cache_words(state: &SectorCacheState) -> String {
+    let mut w = WordWriter::new();
+    w.push(state.tags.lines.len() as u64);
+    for line in &state.tags.lines {
+        w.push(line.tag);
+        w.push(
+            u64::from(line.state)
+                | u64::from(line.valid_mask) << 8
+                | u64::from(line.dirty_mask) << 16,
+        );
+        w.push(line.last_use);
+        w.push(line.alloc_time);
+    }
+    for &word in &state.tags.rng {
+        w.push(word);
+    }
+    w.push_slice(&state.bank_free_at);
+    w.push(state.mshr.peak);
+    w.push(state.mshr.merges);
+    w.push(state.mshr.reservation_failures);
+    w.push(state.mshr.seq);
+    let s = &state.stats;
+    for &c in &[
+        s.accesses,
+        s.hits,
+        s.misses,
+        s.merged_misses,
+        s.write_forwards,
+        s.reservation_failures,
+        s.bank_conflicts,
+        s.bank_stall_cycles,
+        s.writebacks,
+        s.fills,
+    ] {
+        w.push(c);
+    }
+    w.finish()
+}
+
+fn cache_from_words(text: &str, what: &str) -> Result<SectorCacheState, String> {
+    let mut r = WordReader::new(text, what);
+    let nlines = r.next_usize()?;
+    let mut lines = Vec::with_capacity(nlines.min(1 << 20));
+    for _ in 0..nlines {
+        let tag = r.next()?;
+        let packed = r.next()?;
+        lines.push(LineSnapshot {
+            tag,
+            state: (packed & 0xff) as u8,
+            valid_mask: (packed >> 8 & 0xff) as u8,
+            dirty_mask: (packed >> 16 & 0xff) as u8,
+            last_use: r.next()?,
+            alloc_time: r.next()?,
+        });
+    }
+    let rng = [r.next()?, r.next()?, r.next()?, r.next()?];
+    let bank_free_at = r.next_slice()?;
+    let mshr = MshrCounters {
+        peak: r.next()?,
+        merges: r.next()?,
+        reservation_failures: r.next()?,
+        seq: r.next()?,
+    };
+    let stats = swiftsim_mem::CacheStats {
+        accesses: r.next()?,
+        hits: r.next()?,
+        misses: r.next()?,
+        merged_misses: r.next()?,
+        write_forwards: r.next()?,
+        reservation_failures: r.next()?,
+        bank_conflicts: r.next()?,
+        bank_stall_cycles: r.next()?,
+        writebacks: r.next()?,
+        fills: r.next()?,
+    };
+    r.finish()?;
+    Ok(SectorCacheState {
+        tags: TagArrayState { lines, rng },
+        bank_free_at,
+        mshr,
+        stats,
+    })
+}
+
+/// `[next_free, reads, writes, queued_cycles, busy_cycles, rejections,
+/// in_flight slice]`.
+fn dram_words(state: &DramChannelState) -> String {
+    let mut w = WordWriter::new();
+    w.push(state.next_free);
+    w.push(state.stats.reads);
+    w.push(state.stats.writes);
+    w.push(state.stats.queued_cycles);
+    w.push(state.stats.busy_cycles);
+    w.push(state.stats.rejections);
+    w.push_slice(&state.in_flight);
+    w.finish()
+}
+
+fn dram_from_words(text: &str) -> Result<DramChannelState, String> {
+    let mut r = WordReader::new(text, "dram channel");
+    let next_free = r.next()?;
+    let stats = DramStats {
+        reads: r.next()?,
+        writes: r.next()?,
+        queued_cycles: r.next()?,
+        busy_cycles: r.next()?,
+        rejections: r.next()?,
+    };
+    let in_flight = r.next_slice()?;
+    r.finish()?;
+    Ok(DramChannelState {
+        next_free,
+        in_flight,
+        stats,
+    })
+}
+
+/// `[nports, per port (next_free, in_flight slice), stats x4]`.
+fn noc_words(state: &NocState) -> String {
+    let mut w = WordWriter::new();
+    w.push(state.ports.len() as u64);
+    for port in &state.ports {
+        w.push(port.next_free);
+        w.push_slice(&port.in_flight);
+    }
+    w.push(state.stats.flits);
+    w.push(state.stats.traversals);
+    w.push(state.stats.stall_cycles);
+    w.push(state.stats.rejections);
+    w.finish()
+}
+
+fn noc_from_words(text: &str, what: &str) -> Result<NocState, String> {
+    let mut r = WordReader::new(text, what);
+    let nports = r.next_usize()?;
+    let mut ports = Vec::with_capacity(nports.min(4096));
+    for _ in 0..nports {
+        ports.push(PortState {
+            next_free: r.next()?,
+            in_flight: r.next_slice()?,
+        });
+    }
+    let stats = NocStats {
+        flits: r.next()?,
+        traversals: r.next()?,
+        stall_cycles: r.next()?,
+        rejections: r.next()?,
+    };
+    r.finish()?;
+    Ok(NocState { ports, stats })
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,6 +1409,72 @@ impl MemorySystem for AnalyticalMemory {
             prof.add_cycles(ProfModule::MemAnalytical, contention);
         }
     }
+
+    fn save_state(&self) -> Result<Json, String> {
+        // The per-PC latency table and the Eq. 1 terms are a pure function
+        // of the configuration and the pre-pass, which a resumed run
+        // rebuilds identically — only the evolving timing state travels.
+        // Outstanding completion times may legitimately lie in the future
+        // at a kernel boundary; heap iteration order is unspecified, so
+        // they are sorted for a canonical encoding.
+        let mut w = WordWriter::new();
+        w.push_f64(self.bw_next_free);
+        w.push(self.accesses);
+        w.push(self.txns);
+        w.push(self.contention_cycles);
+        w.push(self.prof_accesses);
+        w.push(self.prof_contention);
+        w.push(self.outstanding.len() as u64);
+        for heap in &self.outstanding {
+            let mut times: Vec<Cycle> = heap.iter().map(|&Reverse(t)| t).collect();
+            times.sort_unstable();
+            w.push_slice(&times);
+        }
+        Ok(Json::obj(vec![
+            ("kind", Json::str("analytical")),
+            ("v", Json::str(w.finish())),
+        ]))
+    }
+
+    fn load_state(&mut self, state: &Json) -> Result<(), String> {
+        let kind = state.get("kind").and_then(Json::as_str).unwrap_or("?");
+        if kind != "analytical" {
+            return Err(format!(
+                "memory snapshot is for a {kind:?} model, this run uses analytical"
+            ));
+        }
+        let text = state
+            .get("v")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "memory snapshot missing words".to_owned())?;
+        let mut r = WordReader::new(text, "analytical memory");
+        let bw_next_free = r.next_f64()?;
+        let accesses = r.next()?;
+        let txns = r.next()?;
+        let contention_cycles = r.next()?;
+        let prof_accesses = r.next()?;
+        let prof_contention = r.next()?;
+        let nsm = r.next_usize()?;
+        if nsm != self.outstanding.len() {
+            return Err(format!(
+                "memory snapshot has {nsm} SMs, this config has {}",
+                self.outstanding.len()
+            ));
+        }
+        let mut outstanding = Vec::with_capacity(nsm);
+        for _ in 0..nsm {
+            outstanding.push(r.next_slice()?.into_iter().map(Reverse).collect());
+        }
+        r.finish()?;
+        self.bw_next_free = bw_next_free;
+        self.accesses = accesses;
+        self.txns = txns;
+        self.contention_cycles = contention_cycles;
+        self.prof_accesses = prof_accesses;
+        self.prof_contention = prof_contention;
+        self.outstanding = outstanding;
+        Ok(())
+    }
 }
 
 /// Streaming accumulator behind [`build_analytical_memory`]: the
@@ -1156,8 +1558,25 @@ pub fn build_analytical_memory(
     cfg: &GpuConfig,
     source: &dyn swiftsim_trace::TraceSource,
 ) -> Result<Box<dyn MemorySystem>, crate::SimError> {
+    let all: Vec<usize> = (0..source.num_kernels()).collect();
+    build_analytical_memory_for(cfg, source, &all)
+}
+
+/// [`build_analytical_memory`] restricted to the given kernel launches —
+/// the pre-pass a sampled run uses, feeding only the launches it will
+/// simulate in detail. Replayed launches are never decoded, which is where
+/// most of kernel-level sampling's speedup comes from.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::Trace`] when a kernel fails to decode.
+pub fn build_analytical_memory_for(
+    cfg: &GpuConfig,
+    source: &dyn swiftsim_trace::TraceSource,
+    kernels: &[usize],
+) -> Result<Box<dyn MemorySystem>, crate::SimError> {
     let mut builder = AnalyticalMemoryBuilder::new(cfg);
-    for k in 0..source.num_kernels() {
+    for &k in kernels {
         let kernel = source.decode_kernel(k)?;
         builder.feed_kernel(&kernel);
     }
@@ -1176,8 +1595,23 @@ pub fn build_analytical_memory_reuse(
     cfg: &GpuConfig,
     source: &dyn swiftsim_trace::TraceSource,
 ) -> Result<Box<dyn MemorySystem>, crate::SimError> {
+    let all: Vec<usize> = (0..source.num_kernels()).collect();
+    build_analytical_memory_reuse_for(cfg, source, &all)
+}
+
+/// [`build_analytical_memory_reuse`] restricted to the given kernel
+/// launches (see [`build_analytical_memory_for`]).
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::Trace`] when a kernel fails to decode.
+pub fn build_analytical_memory_reuse_for(
+    cfg: &GpuConfig,
+    source: &dyn swiftsim_trace::TraceSource,
+    kernels: &[usize],
+) -> Result<Box<dyn MemorySystem>, crate::SimError> {
     let mut builder = ReuseAnalyticalMemoryBuilder::new(cfg);
-    for k in 0..source.num_kernels() {
+    for &k in kernels {
         let kernel = source.decode_kernel(k)?;
         builder.feed_kernel(&kernel);
     }

@@ -241,6 +241,7 @@ pub(crate) fn run_parallel(
             kernels,
             metrics,
             wall_time: std::time::Duration::ZERO, // filled by run()
+            confidence: None,
             profile,
         })
     })

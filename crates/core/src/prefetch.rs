@@ -51,29 +51,46 @@ pub(crate) struct Prefetcher<'scope, 'env> {
     scope: &'scope std::thread::Scope<'scope, 'env>,
     source: &'env dyn TraceSource,
     threaded: bool,
-    total: usize,
+    schedule: Vec<usize>,
     next_spawn: usize,
+    next_get: usize,
     pending: Option<std::thread::ScopedJoinHandle<'scope, DecodeOutput<'env>>>,
     prof: Option<Profiler>,
 }
 
 impl<'scope, 'env> Prefetcher<'scope, 'env> {
-    /// Start the pipeline. `prof` is the profiler decode frames land on;
-    /// `threaded` enables the background thread (callers pass `false` for
-    /// in-memory sources). When threaded, kernel 0's decode starts
-    /// immediately.
+    /// Start the pipeline over every kernel in the source. `prof` is the
+    /// profiler decode frames land on; `threaded` enables the background
+    /// thread (callers pass `false` for in-memory sources). When threaded,
+    /// the first scheduled decode starts immediately.
     pub(crate) fn new(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         source: &'env dyn TraceSource,
         prof: Profiler,
         threaded: bool,
     ) -> Self {
+        let schedule = (0..source.num_kernels()).collect();
+        Prefetcher::with_schedule(scope, source, prof, threaded, schedule)
+    }
+
+    /// Start the pipeline over an explicit, strictly increasing subset of
+    /// kernel indices — a sampled run decodes only its detailed launches,
+    /// a resumed run only the ones past its snapshot.
+    pub(crate) fn with_schedule(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        source: &'env dyn TraceSource,
+        prof: Profiler,
+        threaded: bool,
+        schedule: Vec<usize>,
+    ) -> Self {
+        debug_assert!(schedule.windows(2).all(|w| w[0] < w[1]));
         let mut p = Prefetcher {
             scope,
             source,
             threaded,
-            total: source.num_kernels(),
+            schedule,
             next_spawn: 0,
+            next_get: 0,
             pending: None,
             prof: Some(prof),
         };
@@ -82,8 +99,8 @@ impl<'scope, 'env> Prefetcher<'scope, 'env> {
     }
 
     fn maybe_spawn(&mut self) {
-        if self.threaded && self.next_spawn < self.total {
-            let idx = self.next_spawn;
+        if self.threaded && self.next_spawn < self.schedule.len() {
+            let idx = self.schedule[self.next_spawn];
             self.next_spawn += 1;
             let source = self.source;
             let mut prof = self.prof.take().expect("profiler is checked in");
@@ -94,10 +111,11 @@ impl<'scope, 'env> Prefetcher<'scope, 'env> {
         }
     }
 
-    /// Fetch kernel `idx` (indices must be consecutive from 0) and start
-    /// decoding `idx + 1` in the background.
+    /// Fetch kernel `idx` — which must be the next scheduled index — and
+    /// start decoding the following scheduled kernel in the background.
     pub(crate) fn get(&mut self, idx: usize) -> Result<Cow<'env, KernelTrace>, SimError> {
-        debug_assert!(idx < self.total);
+        debug_assert_eq!(Some(&idx), self.schedule.get(self.next_get));
+        self.next_get += 1;
         let res = if self.threaded {
             match self.pending.take().expect("a decode is pending").join() {
                 Ok((res, prof)) => {
@@ -186,6 +204,27 @@ mod tests {
         assert_eq!(frames[0].name, "decode k0:k0");
         assert_eq!(frames[0].track, 7);
         assert_eq!(frames[1].events(ProfModule::TraceDecode), 2);
+    }
+
+    #[test]
+    fn schedule_skips_unlisted_kernels() {
+        let app = app(6);
+        for threaded in [false, true] {
+            std::thread::scope(|scope| {
+                let mut pf = Prefetcher::with_schedule(
+                    scope,
+                    &app,
+                    Profiler::disabled(),
+                    threaded,
+                    vec![1, 4, 5],
+                );
+                for i in [1usize, 4, 5] {
+                    let k = pf.get(i).expect("decode");
+                    assert_eq!(k.name, format!("k{i}"));
+                }
+                pf.finish();
+            });
+        }
     }
 
     #[test]

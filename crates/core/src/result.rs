@@ -27,6 +27,33 @@ impl KernelResult {
     }
 }
 
+/// Error estimate attached to a sampled run ([`SamplingPolicy`] not Off).
+///
+/// Per-cluster bounds are the relative spread of the representatives'
+/// measured cycle counts; a replayed kernel inherits its cluster's bound,
+/// a detailed kernel's bound is zero. The whole-app bound is the
+/// replayed-cycle-weighted mean of the per-kernel bounds — the fraction of
+/// total predicted cycles that could move if every replayed launch behaved
+/// like the farthest-out representative.
+///
+/// [`SamplingPolicy`]: crate::fidelity::SamplingPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub struct Confidence {
+    /// Distinct launch clusters observed.
+    pub clusters: u64,
+    /// Kernels simulated in detail (cluster representatives).
+    pub sampled_kernels: u64,
+    /// Kernels replayed analytically from a representative.
+    pub replayed_kernels: u64,
+    /// Cycles attributed to replayed kernels.
+    pub replayed_cycles: Cycle,
+    /// Per-kernel relative error bound, in launch order (parallel to
+    /// [`SimulationResult::kernels`]; 0.0 for detailed kernels).
+    pub kernel_error_bounds: Vec<f64>,
+    /// Whole-application relative cycle error bound.
+    pub app_error_bound: f64,
+}
+
 /// Outcome of simulating one application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationResult {
@@ -44,6 +71,8 @@ pub struct SimulationResult {
     pub metrics: MetricsCollector,
     /// Host wall-clock time spent simulating.
     pub wall_time: std::time::Duration,
+    /// Error estimate of a sampled run; `None` when sampling was off.
+    pub confidence: Option<Confidence>,
     /// Self-profiling attribution, when the run was built with
     /// `SimulatorBuilder::profile(true)`. Not serialized to JSON result
     /// documents, so results loaded from the campaign cache carry `None`.
@@ -120,6 +149,7 @@ mod tests {
             ],
             metrics: MetricsCollector::new(),
             wall_time: std::time::Duration::from_millis(500),
+            confidence: None,
             profile: None,
         };
         assert_eq!(result.instructions(), 2000);

@@ -39,19 +39,20 @@
 //! per-SM quiescence cache keeps idle ticks cheap instead.
 
 use crate::block_scheduler::{BlockScheduler, Occupancy};
-use crate::builder::GpuSimulator;
+use crate::builder::{GpuSimulator, RunDriver};
 use crate::error::SimError;
 use crate::fidelity::{
     FidelityConfig, FrontendModelKind, MemoryModelKind, SkipPolicy, SyncQuantum,
 };
 use crate::gpu::{make_alu, merge_into};
 use crate::mem_system::{
-    build_analytical_memory, build_analytical_memory_reuse, CycleAccurateMemory, MemCompletion,
-    MemReply, MemorySystem,
+    build_analytical_memory_for, build_analytical_memory_reuse_for, CycleAccurateMemory,
+    MemCompletion, MemReply, MemorySystem,
 };
 use crate::parallel::split_sms;
 use crate::prefetch::Prefetcher;
 use crate::result::{KernelResult, SimulationResult};
+use crate::sampling::RepMeasure;
 use crate::scheduler::make_policy;
 use crate::sm::{SmCore, SmStats, WbTarget};
 use crate::spsc;
@@ -229,13 +230,21 @@ pub(crate) fn run_two_phase(
         }
     };
 
+    let total = source.num_kernels();
+    let mut driver = RunDriver::new(sim, source)?;
+
     // One shared memory system, built exactly as the single-threaded path
     // builds its — the whole point of the engine.
     let mut mem: Box<dyn MemorySystem> = match sim.fidelity.memory {
         MemoryModelKind::CycleAccurate => Box::new(CycleAccurateMemory::new(&sim.cfg)),
-        MemoryModelKind::Analytical => build_analytical_memory(&sim.cfg, source)?,
-        MemoryModelKind::AnalyticalReuse => build_analytical_memory_reuse(&sim.cfg, source)?,
+        MemoryModelKind::Analytical => {
+            build_analytical_memory_for(&sim.cfg, source, &driver.prepass_indices(total))?
+        }
+        MemoryModelKind::AnalyticalReuse => {
+            build_analytical_memory_reuse_for(&sim.cfg, source, &driver.prepass_indices(total))?
+        }
     };
+    driver.restore_memory(mem.as_mut())?;
 
     // Shard workers render on tracks 0..shards, the coordinator (phase
     // sync, block scheduler, memory) on the next track, decode on the one
@@ -263,34 +272,62 @@ pub(crate) fn run_two_phase(
     mem.set_profiling(sim.profile);
 
     std::thread::scope(|dscope| {
-        let mut pf = Prefetcher::new(dscope, source, decode_prof, source.prefers_prefetch());
-        let mut start: Cycle = 0;
-        let mut kernels = Vec::new();
-        let mut total_stats = SmStats::default();
+        let mut pf = Prefetcher::with_schedule(
+            dscope,
+            source,
+            decode_prof,
+            source.prefers_prefetch(),
+            driver.decode_schedule(total),
+        );
+        let (mut start, mut total_stats, mut kernels) = driver.initial();
 
-        for kidx in 0..source.num_kernels() {
-            let kernel = pf.get(kidx)?;
-            let kernel = &*kernel;
-            let outcome = run_kernel_two_phase(
-                &sim.cfg,
-                kernel,
-                kidx,
-                &sm_id_groups,
-                quantum,
-                sim.fidelity,
-                mem.as_mut(),
-                &mut worker_profs,
-                &mut prof,
-                start,
-            )?;
-            kernels.push(KernelResult {
-                name: kernel.name.clone(),
-                cycles: outcome.end_cycle - start,
-                instructions: outcome.stats.issued,
-                blocks: kernel.blocks().len() as u64,
-            });
-            merge_into(&mut total_stats, outcome.stats);
-            start = outcome.end_cycle;
+        for kidx in driver.start_kernel()..total {
+            if driver.is_detailed(kidx) {
+                let kernel = pf.get(kidx)?;
+                let kernel = &*kernel;
+                let outcome = run_kernel_two_phase(
+                    &sim.cfg,
+                    kernel,
+                    kidx,
+                    &sm_id_groups,
+                    quantum,
+                    sim.fidelity,
+                    mem.as_mut(),
+                    &mut worker_profs,
+                    &mut prof,
+                    start,
+                )?;
+                let measure = RepMeasure {
+                    cycles: outcome.end_cycle - start,
+                    stats: outcome.stats,
+                    instructions: outcome.stats.issued,
+                    blocks: kernel.blocks().len() as u64,
+                };
+                driver.record(kidx, measure);
+                kernels.push(KernelResult {
+                    name: kernel.name.clone(),
+                    cycles: measure.cycles,
+                    instructions: measure.instructions,
+                    blocks: measure.blocks,
+                });
+                merge_into(&mut total_stats, outcome.stats);
+                start = outcome.end_cycle;
+            } else {
+                // Replayed launch: synthesized from its cluster's
+                // representatives, trace body never decoded.
+                let replayed = driver.replay(kidx);
+                kernels.push(KernelResult {
+                    name: source.kernel_meta(kidx).name,
+                    cycles: replayed.cycles,
+                    instructions: replayed.instructions,
+                    blocks: replayed.blocks,
+                });
+                total_stats.add(&replayed.stats);
+                start += replayed.cycles;
+            }
+            if !driver.boundary(kidx, start, &total_stats, &kernels, mem.as_ref())? {
+                break;
+            }
         }
 
         let mut metrics = MetricsCollector::new();
@@ -308,6 +345,7 @@ pub(crate) fn run_two_phase(
                     .collect(),
             )
         });
+        let confidence = driver.confidence(&kernels);
 
         Ok(SimulationResult {
             app: source.name().to_owned(),
@@ -317,6 +355,7 @@ pub(crate) fn run_two_phase(
             kernels,
             metrics,
             wall_time: std::time::Duration::ZERO, // filled by run()
+            confidence,
             profile,
         })
     })

@@ -1,0 +1,313 @@
+//! Checkpoint/resume round-trip suite.
+//!
+//! A run halted at a kernel boundary and resumed from its snapshot must be
+//! **bit-identical** to the same run left uninterrupted — cycles,
+//! per-kernel results, and every metric — at every boundary, under every
+//! preset, from every trace representation, and at every thread count the
+//! two-phase engine supports. Plus the failure paths: truncated or
+//! bit-flipped snapshots must be rejected as [`SimError::Checkpoint`], and
+//! a snapshot must refuse to resume a run whose identity (fidelity, thread
+//! count) differs from the one that took it.
+
+use swiftsim_config::presets;
+use swiftsim_core::{run, RunOptions, SimError, SimulationResult, SimulatorPreset, Snapshot};
+use swiftsim_trace::{ApplicationTrace, ChunkedTraceSource, TextTraceSource};
+
+/// A small config so the detailed presets stay fast in tests.
+fn small_gpu() -> swiftsim_config::GpuConfig {
+    let mut cfg = presets::rtx2080ti();
+    cfg.num_sms = 4;
+    cfg.memory.partitions = 4;
+    cfg
+}
+
+/// A fresh scratch directory per call; unique across concurrently running
+/// test binaries.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swiftsim-ckpt-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// An eight-kernel app with all five memory patterns, so snapshots carry
+/// non-trivial cache and DRAM state across every boundary.
+fn app(target_insts: u64) -> ApplicationTrace {
+    swiftsim_workloads::ingest_stress_app(target_insts)
+}
+
+fn assert_bit_identical(resumed: &SimulationResult, fresh: &SimulationResult, what: &str) {
+    assert_eq!(resumed.cycles, fresh.cycles, "{what}: cycles");
+    assert_eq!(resumed.kernels, fresh.kernels, "{what}: per-kernel results");
+    assert_eq!(resumed.metrics, fresh.metrics, "{what}: metrics");
+}
+
+/// Halt `options` after `halt` kernels (writing a snapshot), then resume
+/// from the snapshot and return the completed result. Asserts the partial
+/// result covers exactly the halted prefix.
+fn halt_and_resume(
+    app: &ApplicationTrace,
+    options: &RunOptions,
+    halt: usize,
+    snap_path: &std::path::Path,
+    what: &str,
+) -> SimulationResult {
+    let gpu = small_gpu();
+    let halted = options
+        .clone()
+        .with_checkpoint_out(snap_path)
+        .with_halt_after(halt);
+    let partial = run(app, &gpu, &halted).expect("halted run");
+    assert_eq!(
+        partial.kernels.len(),
+        halt,
+        "{what}: the partial result covers the simulated prefix"
+    );
+    let snap = Snapshot::read_from(snap_path).expect("snapshot parses");
+    assert_eq!(snap.next_kernel(), halt, "{what}: snapshot boundary");
+    assert_eq!(snap.cycle(), partial.cycles, "{what}: snapshot clock");
+
+    let resumed = options.clone().with_resume(snap_path);
+    run(app, &gpu, &resumed).expect("resumed run")
+}
+
+#[test]
+fn every_kernel_boundary_resumes_bit_identically() {
+    let dir = scratch("boundaries");
+    let app = app(16_000);
+    let total = app.kernels().len();
+    assert_eq!(total, 8, "the suite assumes the eight-kernel stress app");
+
+    let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+    let fresh = run(&app, &small_gpu(), &options).expect("uninterrupted run");
+    assert_eq!(fresh.kernels.len(), total);
+
+    for halt in 1..total {
+        let snap_path = dir.join(format!("boundary{halt}.sstbckpt"));
+        let resumed = halt_and_resume(&app, &options, halt, &snap_path, "boundary");
+        assert_bit_identical(&resumed, &fresh, &format!("halt after kernel {halt}"));
+        // The partial prefix itself must match the fresh run's prefix.
+        assert_eq!(
+            &resumed.kernels[..halt],
+            &fresh.kernels[..halt],
+            "prefix at halt {halt}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_presets_and_thread_counts_resume_bit_identically() {
+    let dir = scratch("presets");
+    let app = app(8_000);
+
+    for preset in [
+        SimulatorPreset::Detailed,
+        SimulatorPreset::SwiftBasic,
+        SimulatorPreset::SwiftMemory,
+    ] {
+        for threads in [1usize, 2, 4] {
+            let options = RunOptions::default()
+                .with_preset(preset)
+                .with_threads(threads);
+            let fresh = run(&app, &small_gpu(), &options).expect("uninterrupted run");
+            let snap_path = dir.join(format!("{preset:?}-t{threads}.sstbckpt"));
+            let resumed = halt_and_resume(
+                &app,
+                &options,
+                3,
+                &snap_path,
+                &format!("{preset:?} t{threads}"),
+            );
+            assert_bit_identical(
+                &resumed,
+                &fresh,
+                &format!("{preset:?} at {threads} threads"),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_backed_sources_resume_bit_identically() {
+    let dir = scratch("sources");
+    let app = app(16_000);
+    let text_path = dir.join("app.sstrace");
+    let bin_path = dir.join("app.sstraceb");
+    app.write_to_file(&text_path).expect("write text trace");
+    app.write_binary_file(&bin_path)
+        .expect("write binary trace");
+
+    let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+    let fresh = run(&app, &small_gpu(), &options).expect("in-memory baseline");
+
+    // Halt and resume through each file-backed representation; every path
+    // must land exactly on the in-memory baseline.
+    let text = TextTraceSource::open(&text_path).expect("open text trace");
+    let snap_path = dir.join("text.sstbckpt");
+    let gpu = small_gpu();
+    let halted = options
+        .clone()
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(3);
+    run(&text, &gpu, &halted).expect("halted text run");
+    let resumed = run(&text, &gpu, &options.clone().with_resume(&snap_path)).expect("text resume");
+    assert_bit_identical(&resumed, &fresh, "text source");
+
+    let chunked = ChunkedTraceSource::open(&bin_path).expect("open chunked trace");
+    let snap_path = dir.join("chunked.sstbckpt");
+    let halted = options
+        .clone()
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(5);
+    run(&chunked, &gpu, &halted).expect("halted chunked run");
+    let resumed =
+        run(&chunked, &gpu, &options.clone().with_resume(&snap_path)).expect("chunked resume");
+    assert_bit_identical(&resumed, &fresh, "chunked source");
+
+    // Snapshots carry the trace content hash, so a snapshot taken from one
+    // representation resumes from another: same content, same identity.
+    let snap_path = dir.join("cross.sstbckpt");
+    let halted = options
+        .clone()
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(4);
+    run(&app, &gpu, &halted).expect("halted in-memory run");
+    let resumed =
+        run(&chunked, &gpu, &options.clone().with_resume(&snap_path)).expect("cross resume");
+    assert_bit_identical(&resumed, &fresh, "memory snapshot resumed via chunked");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_snapshots_are_rejected() {
+    let dir = scratch("trunc");
+    let app = app(16_000);
+    let snap_path = dir.join("full.sstbckpt");
+    let options = RunOptions::default()
+        .with_preset(SimulatorPreset::SwiftMemory)
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(3);
+    run(&app, &small_gpu(), &options).expect("halted run");
+    let text = std::fs::read_to_string(&snap_path).expect("snapshot text");
+
+    // Cut mid-payload, mid-hash, and mid-magic: every truncation must be
+    // detected at parse time and surface as a checkpoint error on resume.
+    for cut in [text.len() - 2, text.len() / 2, text.len() / 8, 5] {
+        let path = dir.join(format!("cut{cut}.sstbckpt"));
+        std::fs::write(&path, &text[..cut]).unwrap();
+        assert!(
+            matches!(Snapshot::read_from(&path), Err(SimError::Checkpoint { .. })),
+            "truncation at {cut}/{} must be rejected",
+            text.len()
+        );
+        let resume = RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftMemory)
+            .with_resume(&path);
+        let err = run(&app, &small_gpu(), &resume).expect_err("resume from truncated snapshot");
+        assert!(
+            matches!(err, SimError::Checkpoint { .. }),
+            "unexpected error at cut {cut}: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_snapshots_are_rejected() {
+    let dir = scratch("flip");
+    let app = app(16_000);
+    let snap_path = dir.join("full.sstbckpt");
+    let options = RunOptions::default()
+        .with_preset(SimulatorPreset::SwiftMemory)
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(3);
+    run(&app, &small_gpu(), &options).expect("halted run");
+    let text = std::fs::read_to_string(&snap_path).expect("snapshot text");
+
+    // Flip one hex digit deep inside the payload line (the memory section's
+    // word stream): the whole-payload hash must catch it.
+    let payload_start = text.match_indices('\n').nth(1).unwrap().0 + 1;
+    let payload = &text[payload_start..];
+    let flip_rel = payload
+        .char_indices()
+        .filter(|(i, c)| *i > payload.len() / 2 && ('0'..='8').contains(c))
+        .map(|(i, _)| i)
+        .next()
+        .expect("payload has a flippable hex digit");
+    let mut bytes = text.clone().into_bytes();
+    bytes[payload_start + flip_rel] = b'9';
+    let flipped_path = dir.join("flipped.sstbckpt");
+    std::fs::write(&flipped_path, bytes).unwrap();
+
+    let err = Snapshot::read_from(&flipped_path).expect_err("flipped snapshot must not parse");
+    assert!(
+        matches!(err, SimError::Checkpoint { .. }),
+        "unexpected error: {err}"
+    );
+    let resume = RunOptions::default()
+        .with_preset(SimulatorPreset::SwiftMemory)
+        .with_resume(&flipped_path);
+    let err = run(&app, &small_gpu(), &resume).expect_err("resume from flipped snapshot");
+    assert!(
+        matches!(err, SimError::Checkpoint { .. }),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identity_mismatches_refuse_to_resume() {
+    let dir = scratch("identity");
+    let app = app(16_000);
+    let snap_path = dir.join("swift-memory.sstbckpt");
+    let options = RunOptions::default()
+        .with_preset(SimulatorPreset::SwiftMemory)
+        .with_checkpoint_out(&snap_path)
+        .with_halt_after(3);
+    run(&app, &small_gpu(), &options).expect("halted run");
+
+    let expect_checkpoint_err = |options: &RunOptions, what: &str| {
+        let err = run(&app, &small_gpu(), options).expect_err(what);
+        assert!(
+            matches!(err, SimError::Checkpoint { .. }),
+            "{what}: unexpected error {err}"
+        );
+        err.to_string()
+    };
+
+    // Different fidelity: the snapshot's measurements came from other
+    // models, so resuming under them cannot be bit-identical.
+    let err = expect_checkpoint_err(
+        &RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftBasic)
+            .with_resume(&snap_path),
+        "resume under a different preset",
+    );
+    assert!(err.contains("fidelity"), "{err}");
+
+    // Different thread count: shard grouping differs.
+    let err = expect_checkpoint_err(
+        &RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftMemory)
+            .with_threads(2)
+            .with_resume(&snap_path),
+        "resume at a different thread count",
+    );
+    assert!(err.contains("thread count"), "{err}");
+
+    // Different trace: the snapshot names another application's content.
+    let other = app.clone(); // same kernels, different app name
+    let other = ApplicationTrace::new("other_app", other.kernels().to_vec());
+    let resume = RunOptions::default()
+        .with_preset(SimulatorPreset::SwiftMemory)
+        .with_resume(&snap_path);
+    let err = run(&other, &small_gpu(), &resume).expect_err("resume with a different trace");
+    assert!(
+        matches!(err, SimError::Checkpoint { .. }) && err.to_string().contains("application"),
+        "{err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

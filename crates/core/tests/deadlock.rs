@@ -3,7 +3,7 @@
 //! waiting warp, not just a cycle number.
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimError, SimulatorBuilder, SimulatorPreset, SyncQuantum};
+use swiftsim_core::{RunOptions, SimError, SimulatorPreset, SyncQuantum};
 use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
 
 /// Two warps in one block: warp 0 waits at a barrier forever, because warp
@@ -31,11 +31,12 @@ fn forced_deadlock_names_the_shard_and_the_stuck_warp() {
     let mut cfg = presets::rtx2080ti();
     cfg.num_sms = 2;
     cfg.memory.partitions = 2;
-    let err = SimulatorBuilder::new(cfg)
-        .preset(SimulatorPreset::SwiftBasic)
-        .build()
-        .run(&deadlocked_app())
-        .expect_err("a wedged trace must be detected, not spin forever");
+    let err = swiftsim_core::run(
+        &deadlocked_app(),
+        &cfg,
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+    )
+    .expect_err("a wedged trace must be detected, not spin forever");
 
     let SimError::Deadlock {
         cycle,
@@ -100,12 +101,14 @@ fn sharded_deadlock_reports_global_sm_ids() {
     for quantum in [SyncQuantum::PerCycle, SyncQuantum::Unsynchronized] {
         let mut fidelity = swiftsim_core::FidelityConfig::for_preset(SimulatorPreset::SwiftBasic);
         fidelity.sync_quantum = quantum;
-        let err = SimulatorBuilder::new(cfg.clone())
-            .fidelity(fidelity)
-            .threads(2)
-            .build()
-            .run(&app_wedged_on_second_sm())
-            .expect_err("the wedged block must be detected");
+        let err = swiftsim_core::run(
+            &app_wedged_on_second_sm(),
+            &cfg,
+            &RunOptions::default()
+                .with_fidelity(fidelity)
+                .with_threads(2),
+        )
+        .expect_err("the wedged block must be detected");
 
         let SimError::Deadlock { shard, detail, .. } = &err else {
             panic!("expected a deadlock under {quantum:?}, got: {err}");

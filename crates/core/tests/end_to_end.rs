@@ -3,7 +3,7 @@
 //! relationships the paper's evaluation depends on.
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimulationResult, SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{RunOptions, SimulationResult, SimulatorPreset};
 use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
 use swiftsim_workloads::Scale;
 
@@ -19,11 +19,12 @@ mod helpers {
     }
 
     pub fn run(preset: SimulatorPreset, app: &ApplicationTrace) -> SimulationResult {
-        SimulatorBuilder::new(small_gpu())
-            .preset(preset)
-            .build()
-            .run(app)
-            .expect("simulation completes")
+        swiftsim_core::run(
+            app,
+            &small_gpu(),
+            &RunOptions::default().with_preset(preset),
+        )
+        .expect("simulation completes")
     }
 }
 use helpers::{run, small_gpu};
@@ -94,17 +95,20 @@ fn hybrid_predictions_track_the_baseline() {
 #[test]
 fn parallel_simulation_matches_workload_and_finishes() {
     let app = tiny_app("hotspot");
-    let single = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .build()
-        .run(&app)
-        .expect("single-thread run");
-    let parallel = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .threads(2)
-        .build()
-        .run(&app)
-        .expect("parallel run");
+    let single = swiftsim_core::run(
+        &app,
+        &small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftMemory),
+    )
+    .expect("single-thread run");
+    let parallel = swiftsim_core::run(
+        &app,
+        &small_gpu(),
+        &RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftMemory)
+            .with_threads(2),
+    )
+    .expect("parallel run");
     assert_eq!(parallel.instructions(), single.instructions());
     // Sharding is an approximation: cycle counts must stay in the same
     // ballpark as the single-threaded run.
@@ -238,11 +242,12 @@ fn inconsistent_trace_is_rejected() {
     let mut kernel = KernelTrace::new("bad", (4, 1, 1), (32, 1, 1));
     kernel.push_block(); // only 1 of 4 declared blocks traced
     let app = ApplicationTrace::new("bad", vec![kernel]);
-    let err = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .build()
-        .run(&app)
-        .unwrap_err();
+    let err = swiftsim_core::run(
+        &app,
+        &small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftMemory),
+    )
+    .unwrap_err();
     assert!(matches!(
         err,
         swiftsim_core::SimError::InconsistentTrace { .. }
@@ -262,11 +267,12 @@ fn oversized_block_is_rejected() {
 }
 
 fn run_err(app: &ApplicationTrace) -> swiftsim_core::SimError {
-    SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftBasic)
-        .build()
-        .run(app)
-        .unwrap_err()
+    swiftsim_core::run(
+        app,
+        &small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+    )
+    .unwrap_err()
 }
 
 #[test]
@@ -278,12 +284,13 @@ fn mesh_topology_is_a_config_swap() {
     let crossbar = run(SimulatorPreset::SwiftBasic, &app).cycles;
     let mut gpu = small_gpu();
     gpu.noc.topology = swiftsim_config::NocTopology::Mesh;
-    let mesh = SimulatorBuilder::new(gpu)
-        .preset(SimulatorPreset::SwiftBasic)
-        .build()
-        .run(&app)
-        .expect("mesh run")
-        .cycles;
+    let mesh = swiftsim_core::run(
+        &app,
+        &gpu,
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+    )
+    .expect("mesh run")
+    .cycles;
     assert!(
         mesh >= crossbar,
         "mesh {mesh} faster than crossbar {crossbar}?"
@@ -296,17 +303,15 @@ fn reuse_distance_model_tracks_funcsim_model() {
     // the same ballpark.
     use swiftsim_core::MemoryModelKind;
     let app = tiny_app("kmeans");
-    let funcsim = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .build()
-        .run(&app)
-        .expect("funcsim-rates run");
-    let reuse = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .memory_model(MemoryModelKind::AnalyticalReuse)
-        .build()
-        .run(&app)
-        .expect("reuse-rates run");
+    let funcsim = swiftsim_core::run(
+        &app,
+        &small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftMemory),
+    )
+    .expect("funcsim-rates run");
+    let mut reuse_options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+    reuse_options.fidelity.memory = MemoryModelKind::AnalyticalReuse;
+    let reuse = swiftsim_core::run(&app, &small_gpu(), &reuse_options).expect("reuse-rates run");
     assert!(reuse.simulator.contains("analytical_memory_rd"));
     let ratio = reuse.cycles as f64 / funcsim.cycles as f64;
     assert!(
@@ -323,13 +328,11 @@ fn custom_hybrid_cycle_accurate_alu_over_analytical_memory() {
     // architect can choose the modeling method per module").
     use swiftsim_core::{AluModelKind, MemoryModelKind, SkipPolicy};
     let app = tiny_app("srad");
-    let r = SimulatorBuilder::new(small_gpu())
-        .alu_model(AluModelKind::CycleAccurate)
-        .memory_model(MemoryModelKind::Analytical)
-        .skip_policy(SkipPolicy::EventDriven)
-        .build()
-        .run(&app)
-        .expect("custom hybrid run");
+    let mut options = RunOptions::default();
+    options.fidelity.alu = AluModelKind::CycleAccurate;
+    options.fidelity.memory = MemoryModelKind::Analytical;
+    options.fidelity.skip_policy = SkipPolicy::EventDriven;
+    let r = swiftsim_core::run(&app, &small_gpu(), &options).expect("custom hybrid run");
     assert_eq!(
         r.simulator,
         "cycle_accurate_alu+analytical_memory+detailed_frontend+event_driven"

@@ -10,8 +10,8 @@
 
 use swiftsim_config::presets;
 use swiftsim_core::{
-    AluModelKind, FidelityConfig, MemoryModelKind, SimulationResult, SimulatorBuilder,
-    SimulatorPreset, SkipPolicy, SyncQuantum,
+    AluModelKind, FidelityConfig, MemoryModelKind, RunOptions, SimulationResult, SimulatorPreset,
+    SkipPolicy, SyncQuantum,
 };
 use swiftsim_metrics::Value;
 use swiftsim_trace::{ChunkedTraceSource, TextTraceSource, TraceSource};
@@ -31,12 +31,14 @@ fn run_with(
     threads: usize,
     source: &dyn TraceSource,
 ) -> SimulationResult {
-    SimulatorBuilder::new(cfg.clone())
-        .fidelity(fidelity)
-        .threads(threads)
-        .build()
-        .run(source)
-        .expect("differential run completes")
+    swiftsim_core::run(
+        source,
+        cfg,
+        &RunOptions::default()
+            .with_fidelity(fidelity)
+            .with_threads(threads),
+    )
+    .expect("differential run completes")
 }
 
 /// Assert the two results are statistically indistinguishable. The

@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_metrics::{FlightRecorder, Json};
 use swiftsim_workloads::Scale;
 
@@ -28,11 +28,13 @@ fn app() -> swiftsim_trace::ApplicationTrace {
 }
 
 fn timed_run(profile: bool, app: &swiftsim_trace::ApplicationTrace) -> (Duration, bool) {
-    let sim = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftMemory)
-        .profile(profile)
-        .try_build()
-        .expect("valid config");
+    let sim = GpuSimulator::try_new(
+        small_gpu(),
+        &RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftMemory)
+            .with_profile(profile),
+    )
+    .expect("valid config");
     let start = Instant::now();
     let result = sim.run(app).expect("run succeeds");
     (start.elapsed(), result.profile.is_some())

@@ -165,7 +165,7 @@ proptest! {
 /// every preset with all instructions issued, deterministically.
 mod random_traces {
     use proptest::prelude::*;
-    use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+    use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
     use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode, WarpTrace};
 
     fn arb_warp_body() -> impl Strategy<Value = Vec<(u8, u64)>> {
@@ -237,7 +237,11 @@ mod random_traces {
                 SimulatorPreset::SwiftBasic,
                 SimulatorPreset::SwiftMemory,
             ] {
-                let sim = SimulatorBuilder::new(cfg.clone()).preset(preset).build();
+                let sim = GpuSimulator::try_new(
+                    cfg.clone(),
+                    &RunOptions::default().with_preset(preset),
+                )
+                .expect("valid config");
                 let a = sim.run(&app).expect("random trace completes");
                 prop_assert_eq!(a.instructions(), app.num_insts());
                 let b = sim.run(&app).expect("rerun completes");

@@ -141,13 +141,14 @@ fn public_api_matches_the_golden_snapshot() {
 /// but this makes the contract explicit at the type level.
 #[test]
 fn load_bearing_exports_exist() {
-    #[allow(unused_imports)]
+    #[allow(unused_imports, deprecated)]
     use swiftsim_core::{
-        alu::AluModel, panic_message, AluModelKind, BlockScheduler, Cycle, FidelityConfig,
-        FrontendModelKind, GpuSimulator, GtoScheduler, KernelResult, LrrScheduler, MemReply,
-        MemoryModelKind, MemorySystem, Occupancy, Scoreboard, SimError, SimulationResult,
-        SimulatorBuilder, SimulatorPreset, SkipPolicy, TraceInput, TwoLevelScheduler,
-        WarpSchedulerPolicy, WarpView, RESULT_SCHEMA_VERSION,
+        alu::AluModel, panic_message, AluModelKind, BlockScheduler, CheckpointOptions, Confidence,
+        Cycle, FidelityConfig, FrontendModelKind, GpuSimulator, GtoScheduler, KernelResult,
+        LrrScheduler, MemReply, MemoryModelKind, MemorySystem, Occupancy, RunOptions,
+        SamplingPolicy, Scoreboard, SimError, SimulationResult, SimulatorBuilder, SimulatorPreset,
+        SkipPolicy, Snapshot, TraceInput, TwoLevelScheduler, WarpSchedulerPolicy, WarpView,
+        RESULT_SCHEMA_VERSION,
     };
     let _ = swiftsim_core::max_threads();
 }

@@ -8,7 +8,7 @@
 //! must fail loudly, never silently mis-simulate.
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_trace::{
     open_trace, ApplicationTrace, ChunkedTraceSource, TextTraceSource, TraceSource,
 };
@@ -71,11 +71,10 @@ fn all_sources_simulate_bit_identically() {
 
     for preset in [SimulatorPreset::SwiftBasic, SimulatorPreset::SwiftMemory] {
         for threads in [1usize, 2] {
-            let sim = SimulatorBuilder::new(small_gpu())
-                .preset(preset)
-                .threads(threads)
-                .try_build()
-                .expect("valid config");
+            let options = RunOptions::default()
+                .with_preset(preset)
+                .with_threads(threads);
+            let sim = GpuSimulator::try_new(small_gpu(), &options).expect("valid config");
             let eager = sim.run(&app).expect("eager run");
             let sources: [&dyn TraceSource; 2] = [&text, &chunked];
             for (label, source) in ["text", "chunked"].iter().zip(sources) {
@@ -157,10 +156,11 @@ fn corrupt_payload_fails_the_run_not_the_process() {
         "hash mismatch on decode"
     );
 
-    let sim = SimulatorBuilder::new(small_gpu())
-        .preset(SimulatorPreset::SwiftBasic)
-        .try_build()
-        .expect("valid config");
+    let sim = GpuSimulator::try_new(
+        small_gpu(),
+        &RunOptions::default().with_preset(SimulatorPreset::SwiftBasic),
+    )
+    .expect("valid config");
     let err = sim.run(&source).expect_err("corrupt trace fails the run");
     assert!(
         matches!(err, swiftsim_core::SimError::Trace { .. }),

@@ -40,13 +40,15 @@ mod tag_array;
 
 pub use addr::AddressMapping;
 pub use coalesce::{coalesce_accesses, MemTxn};
-pub use dram::{DramChannel, DramStats};
+pub use dram::{DramChannel, DramChannelState, DramStats};
 pub use fasthash::FastMap;
 pub use funcsim::{FunctionalCacheSim, PcHitRates};
-pub use mshr::{MshrFile, MshrOutcome};
+pub use mshr::{MshrCounters, MshrFile, MshrOutcome};
 pub use reuse::ReuseDistanceAnalyzer;
-pub use sector_cache::{AccessOutcome, CacheStats, EvictedLine, FillResult, SectorCache};
-pub use tag_array::{LineState, TagArray};
+pub use sector_cache::{
+    AccessOutcome, CacheStats, EvictedLine, FillResult, SectorCache, SectorCacheState,
+};
+pub use tag_array::{LineSnapshot, LineState, TagArray, TagArrayState};
 
 /// A simulation cycle index.
 pub type Cycle = u64;

@@ -39,6 +39,29 @@ impl Line {
     };
 }
 
+/// Serializable snapshot of one cache line (checkpointing). `state` is the
+/// [`LineState`] encoded as 0 = Invalid, 1 = Reserved, 2 = Valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // mirrors the private `Line` fields one-to-one
+pub struct LineSnapshot {
+    pub tag: u64,
+    pub state: u8,
+    pub valid_mask: u8,
+    pub dirty_mask: u8,
+    pub last_use: Cycle,
+    pub alloc_time: Cycle,
+}
+
+/// Serializable snapshot of a whole tag array: every line plus the
+/// replacement policy's RNG state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagArrayState {
+    /// One entry per line, in `set * ways + way` order.
+    pub lines: Vec<LineSnapshot>,
+    /// Replacement RNG state ([`SmallRng::state`]).
+    pub rng: [u64; 4],
+}
+
 /// Result of probing the tag array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Probe {
@@ -258,6 +281,62 @@ impl TagArray {
     /// Number of ways per set.
     pub fn ways(&self) -> usize {
         self.ways
+    }
+
+    /// Snapshot every line and the replacement RNG for checkpointing.
+    pub fn save_state(&self) -> TagArrayState {
+        TagArrayState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| LineSnapshot {
+                    tag: l.tag,
+                    state: match l.state {
+                        LineState::Invalid => 0,
+                        LineState::Reserved => 1,
+                        LineState::Valid => 2,
+                    },
+                    valid_mask: l.valid_mask,
+                    dirty_mask: l.dirty_mask,
+                    last_use: l.last_use,
+                    alloc_time: l.alloc_time,
+                })
+                .collect(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Restore a snapshot taken from an identically configured array.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose geometry or line-state encoding does not
+    /// match this array.
+    pub fn restore_state(&mut self, state: &TagArrayState) -> Result<(), String> {
+        if state.lines.len() != self.lines.len() {
+            return Err(format!(
+                "tag array snapshot has {} lines, this array has {}",
+                state.lines.len(),
+                self.lines.len()
+            ));
+        }
+        for (line, snap) in self.lines.iter_mut().zip(&state.lines) {
+            *line = Line {
+                tag: snap.tag,
+                state: match snap.state {
+                    0 => LineState::Invalid,
+                    1 => LineState::Reserved,
+                    2 => LineState::Valid,
+                    other => return Err(format!("invalid line state encoding {other}")),
+                },
+                valid_mask: snap.valid_mask,
+                dirty_mask: snap.dirty_mask,
+                last_use: snap.last_use,
+                alloc_time: snap.alloc_time,
+            };
+        }
+        self.rng = SmallRng::from_state(state.rng);
+        Ok(())
     }
 }
 

@@ -76,6 +76,36 @@ pub trait Interconnect: Send {
 
     /// Number of destination ports.
     fn num_ports(&self) -> usize;
+
+    /// Snapshot the interconnect's persistent state for checkpointing.
+    /// Port-less models (e.g. [`IdealNoc`]) return an empty port list.
+    fn save_state(&self) -> NocState;
+
+    /// Restore a snapshot taken from an identically configured
+    /// interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose port count does not match.
+    fn restore_state(&mut self, state: &NocState) -> Result<(), String>;
+}
+
+/// Serializable snapshot of one destination port (checkpointing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortState {
+    /// Cycle at which the port can start serializing its next message.
+    pub next_free: Cycle,
+    /// Arrival times of messages still occupying the queue (ascending).
+    pub in_flight: Vec<Cycle>,
+}
+
+/// Serializable snapshot of an [`Interconnect`]'s persistent state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NocState {
+    /// One entry per destination port (empty for port-less models).
+    pub ports: Vec<PortState>,
+    /// Lifetime counters.
+    pub stats: NocStats,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -140,6 +170,43 @@ impl PortFabric {
             port.in_flight.front().copied().unwrap_or(now) + 1
         }
     }
+
+    fn save_state(&self) -> NocState {
+        NocState {
+            ports: self
+                .ports
+                .iter()
+                .map(|p| PortState {
+                    next_free: p.next_free,
+                    in_flight: p.in_flight.iter().copied().collect(),
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NocState) -> Result<(), String> {
+        if state.ports.len() != self.ports.len() {
+            return Err(format!(
+                "NoC snapshot has {} ports, this fabric has {}",
+                state.ports.len(),
+                self.ports.len()
+            ));
+        }
+        for (port, snap) in self.ports.iter_mut().zip(&state.ports) {
+            if snap.in_flight.len() > self.queue_depth {
+                return Err(format!(
+                    "NoC snapshot port holds {} messages, queue depth is {}",
+                    snap.in_flight.len(),
+                    self.queue_depth
+                ));
+            }
+            port.next_free = snap.next_free;
+            port.in_flight = snap.in_flight.iter().copied().collect();
+        }
+        self.stats = state.stats;
+        Ok(())
+    }
 }
 
 /// Full crossbar: every source reaches every destination in the same
@@ -180,6 +247,14 @@ impl Interconnect for Crossbar {
 
     fn num_ports(&self) -> usize {
         self.fabric.ports.len()
+    }
+
+    fn save_state(&self) -> NocState {
+        self.fabric.save_state()
+    }
+
+    fn restore_state(&mut self, state: &NocState) -> Result<(), String> {
+        self.fabric.restore_state(state)
     }
 }
 
@@ -237,6 +312,14 @@ impl Interconnect for Mesh {
     fn num_ports(&self) -> usize {
         self.fabric.ports.len()
     }
+
+    fn save_state(&self) -> NocState {
+        self.fabric.save_state()
+    }
+
+    fn restore_state(&mut self, state: &NocState) -> Result<(), String> {
+        self.fabric.restore_state(state)
+    }
 }
 
 /// An ideal (infinite-bandwidth, zero-latency) interconnect, used by the
@@ -275,6 +358,24 @@ impl Interconnect for IdealNoc {
 
     fn num_ports(&self) -> usize {
         self.ports
+    }
+
+    fn save_state(&self) -> NocState {
+        NocState {
+            ports: Vec::new(),
+            stats: self.stats,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NocState) -> Result<(), String> {
+        if !state.ports.is_empty() {
+            return Err(format!(
+                "ideal NoC snapshot must be port-less, has {} ports",
+                state.ports.len()
+            ));
+        }
+        self.stats = state.stats;
+        Ok(())
     }
 }
 

@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn works_end_to_end_with_a_simulation() {
-        use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+        use swiftsim_core::{run, RunOptions, SimulatorPreset};
         let mut cfg = presets::rtx2080ti();
         cfg.num_sms = 4;
         cfg.memory.partitions = 4;
@@ -282,16 +282,18 @@ mod tests {
 
         // Power estimates attach to any preset; the detailed run (more
         // counters) should report at least as much dynamic energy detail.
-        let detailed = SimulatorBuilder::new(cfg.clone())
-            .preset(SimulatorPreset::Detailed)
-            .build()
-            .run(&app)
-            .expect("run");
-        let fast = SimulatorBuilder::new(cfg)
-            .preset(SimulatorPreset::SwiftMemory)
-            .build()
-            .run(&app)
-            .expect("run");
+        let detailed = run(
+            &app,
+            &cfg,
+            &RunOptions::default().with_preset(SimulatorPreset::Detailed),
+        )
+        .expect("run");
+        let fast = run(
+            &app,
+            &cfg,
+            &RunOptions::default().with_preset(SimulatorPreset::SwiftMemory),
+        )
+        .expect("run");
         let rd = model.estimate(&detailed.metrics);
         let rf = model.estimate(&fast.metrics);
         assert!(rd.total_energy_j() > 0.0);

@@ -89,7 +89,7 @@ pub enum Dispatch {
 enum TaskState {
     Queued,
     Running { executor: String, since: Instant },
-    Terminal(JobOutcome),
+    Terminal(Box<JobOutcome>),
 }
 
 #[derive(Debug)]
@@ -278,7 +278,7 @@ impl JobQueue {
             .map(|(job, prejudged)| Task {
                 job,
                 state: match prejudged {
-                    Some(outcome) => TaskState::Terminal(outcome),
+                    Some(outcome) => TaskState::Terminal(Box::new(outcome)),
                     None => TaskState::Queued,
                 },
                 enqueued: Instant::now(),
@@ -354,7 +354,7 @@ impl JobQueue {
         let mut state = self.lock();
         if let Some(sub) = state.submissions.get_mut(&submission) {
             debug_assert_eq!(outcome.index, index);
-            sub.tasks[index].state = TaskState::Terminal(outcome);
+            sub.tasks[index].state = TaskState::Terminal(Box::new(outcome));
         }
         drop(state);
         self.changed.notify_all();
@@ -384,7 +384,7 @@ impl JobQueue {
             task.state = TaskState::Queued;
             task.enqueued = Instant::now();
         } else {
-            task.state = TaskState::Terminal(JobOutcome {
+            task.state = TaskState::Terminal(Box::new(JobOutcome {
                 index,
                 label,
                 status: JobStatus::Failed {
@@ -392,7 +392,7 @@ impl JobQueue {
                 },
                 attempts: task.losses,
                 wall: Duration::ZERO,
-            });
+            }));
         }
         drop(state);
         self.changed.notify_all();
@@ -518,13 +518,13 @@ impl JobQueue {
         sub.cancel.cancel();
         for (index, task) in sub.tasks.iter_mut().enumerate() {
             if matches!(task.state, TaskState::Queued) {
-                task.state = TaskState::Terminal(JobOutcome {
+                task.state = TaskState::Terminal(Box::new(JobOutcome {
                     index,
                     label: task.job.spec.label(),
                     status: JobStatus::Cancelled,
                     attempts: 0,
                     wall: Duration::ZERO,
-                });
+                }));
             }
         }
         drop(state);
@@ -615,7 +615,7 @@ impl JobQueue {
             match &task.state {
                 TaskState::Terminal(outcome) => {
                     jobs.push(task.job.clone());
-                    outcomes.push(outcome.clone());
+                    outcomes.push(outcome.as_ref().clone());
                 }
                 _ => return None,
             }
@@ -858,12 +858,12 @@ mod tests {
     fn result_stub() -> swiftsim_core::SimulationResult {
         // Cheapest honest way to get a real result: run the tiny job.
         let job = jobs(1).remove(0);
-        swiftsim_core::SimulatorBuilder::new(job.cfg)
-            .fidelity(job.fidelity)
-            .try_build()
-            .unwrap()
-            .run(job.app.as_ref())
-            .unwrap()
+        swiftsim_core::run(
+            job.app.as_ref(),
+            &job.cfg,
+            &swiftsim_core::RunOptions::default().with_fidelity(job.fidelity),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -190,12 +190,12 @@ mod tests {
             .resolve()
             .unwrap()
             .remove(0);
-        swiftsim_core::SimulatorBuilder::new(job.cfg)
-            .fidelity(job.fidelity)
-            .try_build()
-            .unwrap()
-            .run(job.app.as_ref())
-            .unwrap()
+        swiftsim_core::run(
+            job.app.as_ref(),
+            &job.cfg,
+            &swiftsim_core::RunOptions::default().with_fidelity(job.fidelity),
+        )
+        .unwrap()
     }
 
     #[test]

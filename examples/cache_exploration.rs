@@ -12,7 +12,7 @@
 //! ```
 
 use swiftsim_config::{presets, ReplacementPolicy};
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_workloads::Scale;
 
@@ -30,10 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut gpu = presets::rtx2080ti();
         gpu.sm.l1d.sets = gpu.sm.l1d.sets / 4 * scale; // 16/32/64 KiB
         let kib = gpu.sm.l1d.capacity_bytes() / 1024;
-        let sim = SimulatorBuilder::new(gpu)
-            .preset(SimulatorPreset::SwiftBasic)
-            .build();
-        let r = sim.run(&app)?;
+        let options = RunOptions::default().with_preset(SimulatorPreset::SwiftBasic);
+        let r = run(&app, &gpu, &options)?;
         size_table.row(vec![
             format!("{kib} KiB"),
             r.cycles.to_string(),
@@ -52,10 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let mut gpu = presets::rtx2080ti();
         gpu.sm.l1d.replacement = policy;
-        let sim = SimulatorBuilder::new(gpu)
-            .preset(SimulatorPreset::SwiftBasic)
-            .build();
-        let r = sim.run(&app)?;
+        let options = RunOptions::default().with_preset(SimulatorPreset::SwiftBasic);
+        let r = run(&app, &gpu, &options)?;
         policy_table.row(vec![
             policy.to_string(),
             r.cycles.to_string(),

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 use swiftsim_config::presets;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_workloads::Scale;
 
@@ -31,11 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimulatorPreset::SwiftBasic,
         SimulatorPreset::SwiftMemory,
     ] {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .preset(preset)
-            .build();
+        let options = RunOptions::default().with_preset(preset);
         let started = Instant::now();
-        let result = sim.run(&app)?;
+        let result = run(&app, &presets::rtx2080ti(), &options)?;
         let elapsed = started.elapsed();
         let base = *baseline_time.get_or_insert(elapsed);
         table.row(vec![

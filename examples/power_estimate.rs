@@ -8,7 +8,7 @@
 //! ```
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_power::PowerModel;
 use swiftsim_workloads::Scale;
@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimulatorPreset::SwiftBasic,
         SimulatorPreset::SwiftMemory,
     ] {
-        let result = SimulatorBuilder::new(gpu.clone())
-            .preset(preset)
-            .build()
-            .run(&app)?;
+        let result = run(&app, &gpu, &RunOptions::default().with_preset(preset))?;
         let report = model.estimate(&result.metrics);
         table.row(vec![
             preset.label().to_owned(),

@@ -6,7 +6,7 @@
 //! ```
 
 use swiftsim_config::presets;
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{GpuSimulator, RunOptions, SimulatorPreset};
 use swiftsim_trace::{ApplicationTrace, InstBuilder, KernelTrace, Opcode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,9 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Choose the modeling approach per module — here the paper's
     //    Swift-Sim-Basic preset: analytical ALU pipeline, cycle-accurate
     //    warp scheduling and memory hierarchy.
-    let sim = SimulatorBuilder::new(gpu)
-        .preset(SimulatorPreset::SwiftBasic)
-        .build();
+    let options = RunOptions::default().with_preset(SimulatorPreset::SwiftBasic);
+    let sim = GpuSimulator::try_new(gpu, &options)?;
     println!("simulator: {}", sim.description());
 
     // 4. Run and inspect the results.

@@ -13,7 +13,7 @@
 //! ```
 
 use swiftsim_config::{presets, SchedulerPolicy};
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_metrics::Table;
 use swiftsim_workloads::Scale;
 
@@ -35,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for policy in policies {
             let mut gpu = presets::rtx2080ti();
             gpu.sm.scheduler = policy;
-            let sim = SimulatorBuilder::new(gpu)
-                .preset(SimulatorPreset::SwiftMemory)
-                .build();
-            cycles.push(sim.run(&app)?.cycles);
+            let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+            cycles.push(run(&app, &gpu, &options)?.cycles);
         }
 
         let best = policies[cycles

@@ -2,7 +2,7 @@
 //! and trace files on disk through the simulator to the Metrics Gatherer,
 //! crossing every crate boundary.
 
-use swiftsim_core::{SimulatorBuilder, SimulatorPreset};
+use swiftsim_core::{run, RunOptions, SimulatorPreset};
 use swiftsim_integration_tests::small_gpu;
 use swiftsim_trace::ApplicationTrace;
 use swiftsim_workloads::Scale;
@@ -21,16 +21,9 @@ fn config_and_trace_files_round_trip_through_simulation() {
     let parsed = ApplicationTrace::parse(&trace_text).expect("trace round trip");
     assert_eq!(parsed, app);
 
-    let direct = SimulatorBuilder::new(cfg.clone())
-        .preset(SimulatorPreset::SwiftBasic)
-        .build()
-        .run(&app)
-        .expect("direct run");
-    let via_files = SimulatorBuilder::new(cfg)
-        .preset(SimulatorPreset::SwiftBasic)
-        .build()
-        .run(&parsed)
-        .expect("file-mediated run");
+    let options = RunOptions::default().with_preset(SimulatorPreset::SwiftBasic);
+    let direct = run(&app, &cfg, &options).expect("direct run");
+    let via_files = run(&parsed, &cfg, &options).expect("file-mediated run");
     assert_eq!(
         direct.cycles, via_files.cycles,
         "serialization must not change timing"
@@ -46,11 +39,8 @@ fn predictions_differ_across_gpu_presets() {
         .generate(Scale::Tiny);
     let mut cycles = Vec::new();
     for gpu in swiftsim_config::presets::all() {
-        let r = SimulatorBuilder::new(gpu)
-            .preset(SimulatorPreset::SwiftMemory)
-            .build()
-            .run(&app)
-            .expect("run");
+        let options = RunOptions::default().with_preset(SimulatorPreset::SwiftMemory);
+        let r = run(&app, &gpu, &options).expect("run");
         cycles.push(r.cycles);
     }
     assert_eq!(cycles.len(), 3);
@@ -67,16 +57,12 @@ fn more_sms_do_not_hurt() {
     let app = swiftsim_workloads::by_name("sm")
         .expect("workload")
         .generate(Scale::Small);
-    let run = |gpu| {
-        SimulatorBuilder::new(gpu)
-            .preset(SimulatorPreset::SwiftBasic)
-            .build()
-            .run(&app)
-            .expect("run")
-            .cycles
+    let cycles_on = |gpu| {
+        let options = RunOptions::default().with_preset(SimulatorPreset::SwiftBasic);
+        run(&app, &gpu, &options).expect("run").cycles
     };
-    let small = run(swiftsim_config::presets::rtx3060());
-    let big = run(swiftsim_config::presets::rtx3090());
+    let small = cycles_on(swiftsim_config::presets::rtx3060());
+    let big = cycles_on(swiftsim_config::presets::rtx3090());
     assert!(
         big <= small,
         "RTX 3090 ({big} cycles) slower than RTX 3060 ({small} cycles)"
@@ -92,18 +78,16 @@ fn prediction_errors_against_oracle_are_bounded() {
         let app = swiftsim_workloads::by_name(name)
             .expect("workload")
             .generate(Scale::Tiny);
-        let detailed = SimulatorBuilder::new(gpu.clone())
-            .preset(SimulatorPreset::Detailed)
-            .build()
-            .run(&app)
-            .expect("run")
-            .cycles;
+        let detailed = run(
+            &app,
+            &gpu,
+            &RunOptions::default().with_preset(SimulatorPreset::Detailed),
+        )
+        .expect("run")
+        .cycles;
         let hw = swiftsim_workloads::silicon::hardware_cycles(name, &gpu.name, detailed);
         for preset in [SimulatorPreset::SwiftBasic, SimulatorPreset::SwiftMemory] {
-            let predicted = SimulatorBuilder::new(gpu.clone())
-                .preset(preset)
-                .build()
-                .run(&app)
+            let predicted = run(&app, &gpu, &RunOptions::default().with_preset(preset))
                 .expect("run")
                 .cycles;
             let err = swiftsim_metrics::rel_error(predicted as f64, hw as f64);
