@@ -170,9 +170,10 @@ mod tests {
         let cache = ResultCache::new(dir.clone(), CacheMode::Use);
         cache.store(12, "job", &sample(77));
         let path = dir.join(format!("{:016x}.json", 12u64));
+        let current = format!("\"schema\":{}", swiftsim_core::RESULT_SCHEMA_VERSION);
         let downgraded = std::fs::read_to_string(&path)
             .unwrap()
-            .replace("\"schema\":4", "\"schema\":3");
+            .replace(&current, "\"schema\":3");
         assert!(downgraded.contains("\"schema\":3"), "{downgraded}");
         std::fs::write(&path, downgraded).unwrap();
         assert!(cache.lookup(12).is_none(), "stale schema must miss");

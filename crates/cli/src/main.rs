@@ -36,6 +36,7 @@ USAGE:
     swiftsim campaign <SPEC> [CAMPAIGN OPTIONS]
     swiftsim serve [SERVE OPTIONS]
     swiftsim submit <SPEC> [SUBMIT OPTIONS]
+    swiftsim validate [VALIDATE OPTIONS]
 
 FIDELITY GRAMMAR (one grammar, every surface):
     Per-module fidelity is selected by `-sim_*` key/value pairs. Valid keys:
@@ -142,6 +143,38 @@ SUBMIT OPTIONS (after `swiftsim submit <SPEC>`):
     --dump-events                                  print the daemon's flight-recorder ring as
                                                    JSON lines and exit
     --drain                                        ask the daemon to drain and exit
+
+VALIDATE OPTIONS (after `swiftsim validate`):
+    Runs every selected fidelity preset across the workload suite,
+    correlates each preset's typed stats (cycles, IPC, L1/L2 miss rates,
+    DRAM traffic) against the silicon oracle, and prints per-stat MAPE,
+    Pearson and Spearman rank correlation, and worst-offender tables —
+    one figure-style table per (preset x GPU). Deterministic end to end,
+    so the MAPE numbers are exactly reproducible and CI can gate on them.
+    --scale <tiny|small|paper>                     workload scale [default: tiny]
+    --apps <a,b,...>                               comma-separated application subset
+                                                   [default: the full 20-app suite]
+    --gpu <g1,g2,...>                              GPU presets to validate on
+                                                   [default: rtx2080ti]
+    --preset <p1,p2,...>                           presets to validate [default: all three]
+    --threads <N>                                  worker threads per simulation [default: 1]
+    --top <N>                                      worst offenders kept per stat [default: 3]
+    --json <FILE>                                  also write the accuracy report (the
+                                                   BENCH_accuracy.json schema) to FILE
+    --write-thresholds <FILE>                      write CI gate bounds: this run's per-stat
+                                                   MAPE plus --slack, with the exact suite
+                                                   configuration recorded for replay
+    --slack <F>                                    absolute MAPE margin added to bounds
+                                                   [default: 0.05]
+    --check <FILE>                                 accuracy-gate mode: re-run the suite the
+                                                   thresholds file records, compare MAPE
+                                                   against its bounds, exit nonzero listing
+                                                   every violation (config flags above are
+                                                   ignored; the file is the configuration)
+    --oracle accelsim:<FILE>                       score against an imported Accel-Sim-style
+                                                   stat file instead of the silicon oracle
+    --inject-drift <F>                             multiply every prediction by F (gate
+                                                   self-test; proves the gate fails)
 ";
 
 fn main() -> ExitCode {
@@ -768,6 +801,151 @@ fn run_submit_cmd(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(Debug)]
+struct ValidateArgs {
+    options: swiftsim_validate::ValidateOptions,
+    json_out: Option<String>,
+    write_thresholds: Option<String>,
+    slack: f64,
+    check: Option<String>,
+}
+
+fn parse_validate_args(mut argv: Vec<String>) -> Result<ValidateArgs, String> {
+    use swiftsim_validate::{parse_scale, preset_by_label, OracleSource};
+
+    let mut options = swiftsim_validate::ValidateOptions::default();
+    let mut json_out = None;
+    let mut write_thresholds = None;
+    let mut slack = 0.05;
+    let mut check = None;
+
+    let mut it = argv.drain(..);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                emit(USAGE);
+                std::process::exit(0);
+            }
+            "--scale" => options.scale = parse_scale(&value("--scale")?)?,
+            "--apps" => {
+                options.apps = Some(value("--apps")?.split(',').map(str::to_owned).collect());
+            }
+            "--gpu" => {
+                options.gpus = value("--gpu")?
+                    .split(',')
+                    .map(|name| {
+                        presets::by_name(name).ok_or_else(|| format!("unknown GPU preset {name:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--preset" => {
+                options.presets = value("--preset")?
+                    .split(',')
+                    .map(preset_by_label)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid thread count".to_owned())?;
+            }
+            "--top" => {
+                options.top_offenders = value("--top")?
+                    .parse()
+                    .map_err(|_| "invalid offender count".to_owned())?;
+            }
+            "--json" => json_out = Some(value("--json")?),
+            "--write-thresholds" => write_thresholds = Some(value("--write-thresholds")?),
+            "--slack" => {
+                slack = value("--slack")?
+                    .parse()
+                    .map_err(|_| "invalid slack".to_owned())?;
+            }
+            "--check" => check = Some(value("--check")?),
+            "--oracle" => {
+                let spec = value("--oracle")?;
+                let path = spec
+                    .strip_prefix("accelsim:")
+                    .ok_or_else(|| format!("unknown oracle {spec:?} (expected accelsim:<FILE>)"))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                options.oracle =
+                    OracleSource::Imported(swiftsim_validate::parse_accelsim_stats(&text)?);
+            }
+            "--inject-drift" => {
+                options.drift = value("--inject-drift")?
+                    .parse()
+                    .map_err(|_| "invalid drift factor".to_owned())?;
+            }
+            other => return Err(format!("unknown validate option {other:?} (try --help)")),
+        }
+    }
+    Ok(ValidateArgs {
+        options,
+        json_out,
+        write_thresholds,
+        slack,
+        check,
+    })
+}
+
+fn run_validate_cmd(argv: Vec<String>) -> Result<(), String> {
+    let mut args = parse_validate_args(argv)?;
+
+    // Gate mode: the thresholds file records the exact suite it bounds, so
+    // CI needs no other configuration flags.
+    let thresholds = match &args.check {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let t = swiftsim_validate::Thresholds::from_json(&Json::parse(&text)?)?;
+            let recorded = t.to_options()?;
+            args.options.scale = recorded.scale;
+            args.options.apps = recorded.apps;
+            args.options.gpus = recorded.gpus;
+            args.options.presets = recorded.presets;
+            Some(t)
+        }
+        None => None,
+    };
+
+    let report = swiftsim_validate::run_validation(&args.options)?;
+    emit(&report.render());
+
+    if let Some(path) = &args.json_out {
+        let text = report.to_json().dump() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.write_thresholds {
+        let bounds = swiftsim_validate::Thresholds::from_report(&report, args.slack);
+        let text = bounds.to_json().dump() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        emit(&format!(
+            "wrote {} bounds (MAPE + {:.0}% slack) to {path}\n",
+            bounds.max_mape.len(),
+            100.0 * args.slack
+        ));
+    }
+    if let Some(thresholds) = thresholds {
+        let violations = thresholds.check(&report);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("accuracy gate: {v}");
+            }
+            return Err(format!(
+                "accuracy gate failed: {} violation(s)",
+                violations.len()
+            ));
+        }
+        emit(&format!(
+            "accuracy gate passed: {} bounds held\n",
+            thresholds.max_mape.len()
+        ));
+    }
+    Ok(())
+}
+
 fn run(mut argv: Vec<String>) -> Result<(), String> {
     if argv.first().map(String::as_str) == Some("campaign") {
         return run_campaign_cmd(argv.split_off(1));
@@ -777,6 +955,9 @@ fn run(mut argv: Vec<String>) -> Result<(), String> {
     }
     if argv.first().map(String::as_str) == Some("submit") {
         return run_submit_cmd(argv.split_off(1));
+    }
+    if argv.first().map(String::as_str) == Some("validate") {
+        return run_validate_cmd(argv.split_off(1));
     }
     let Some(args) = parse_args(argv)? else {
         return Ok(());

@@ -90,124 +90,6 @@ pub fn run<'a>(
     GpuSimulator::try_new(cfg.clone(), options)?.run(input)
 }
 
-/// Builder for [`GpuSimulator`].
-///
-/// Deprecated: the setter-per-knob surface is replaced by the plain-data
-/// [`RunOptions`] consumed by [`GpuSimulator::try_new`] and the free
-/// [`run`]. Each `SimulatorBuilder` method maps to a `RunOptions` field or
-/// `with_*` method one-to-one.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `RunOptions` with `GpuSimulator::try_new(cfg, &options)` or the free \
-            `run(input, &cfg, &options)`; each builder method maps to a RunOptions field"
-)]
-#[derive(Debug, Clone)]
-pub struct SimulatorBuilder {
-    cfg: GpuConfig,
-    options: RunOptions,
-}
-
-#[allow(deprecated)]
-impl SimulatorBuilder {
-    /// Start from a hardware configuration with the default fidelity:
-    /// the detailed-baseline module choices under the event-driven engine
-    /// ([`FidelityConfig::default`]).
-    pub fn new(cfg: GpuConfig) -> Self {
-        SimulatorBuilder {
-            cfg,
-            options: RunOptions::default(),
-        }
-    }
-
-    /// Apply one of the paper's presets — an alias for
-    /// `fidelity(FidelityConfig::for_preset(preset))`.
-    pub fn preset(self, preset: SimulatorPreset) -> Self {
-        self.fidelity(FidelityConfig::for_preset(preset))
-    }
-
-    /// Set the full per-module fidelity in one call.
-    pub fn fidelity(mut self, fidelity: FidelityConfig) -> Self {
-        self.options.fidelity = fidelity;
-        self
-    }
-
-    /// Choose the ALU-pipeline model.
-    pub fn alu_model(mut self, kind: crate::fidelity::AluModelKind) -> Self {
-        self.options.fidelity.alu = kind;
-        self
-    }
-
-    /// Choose the memory-access model.
-    pub fn memory_model(mut self, kind: MemoryModelKind) -> Self {
-        self.options.fidelity.memory = kind;
-        self
-    }
-
-    /// Model (or simplify away) the instruction/constant caches.
-    pub fn frontend_detailed(mut self, detailed: bool) -> Self {
-        self.options.fidelity.frontend = if detailed {
-            crate::fidelity::FrontendModelKind::Detailed
-        } else {
-            crate::fidelity::FrontendModelKind::Simplified
-        };
-        self
-    }
-
-    /// Choose how the engine advances simulated time.
-    pub fn skip_policy(mut self, policy: crate::fidelity::SkipPolicy) -> Self {
-        self.options.fidelity.skip_policy = policy;
-        self
-    }
-
-    /// Allow (or forbid) skipping cycles in which nothing can happen.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `skip_policy(SkipPolicy::EventDriven)` / `skip_policy(SkipPolicy::Dense)`; \
-                the event-driven engine is now bit-identical to dense ticking"
-    )]
-    pub fn skip_idle(self, skip: bool) -> Self {
-        self.skip_policy(if skip {
-            crate::fidelity::SkipPolicy::EventDriven
-        } else {
-            crate::fidelity::SkipPolicy::Dense
-        })
-    }
-
-    /// Simulate with `threads` worker threads (`0` = auto).
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.options.threads = threads;
-        self
-    }
-
-    /// Record per-module wall-time and cycle attribution while simulating.
-    pub fn profile(mut self, enabled: bool) -> Self {
-        self.options.profile = enabled;
-        self
-    }
-
-    /// Finish building — delegates to [`GpuSimulator::try_new`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidConfig`] describing the first violation.
-    pub fn try_build(self) -> Result<GpuSimulator, SimError> {
-        GpuSimulator::try_new(self.cfg, &self.options)
-    }
-
-    /// Finish building, panicking on an invalid configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics when [`try_build`](SimulatorBuilder::try_build) would return
-    /// an error.
-    pub fn build(self) -> GpuSimulator {
-        match self.try_build() {
-            Ok(sim) => sim,
-            Err(e) => panic!("{e}"),
-        }
-    }
-}
-
 /// A fully configured Swift-Sim simulator instance.
 #[derive(Debug, Clone)]
 pub struct GpuSimulator {
@@ -326,15 +208,6 @@ impl GpuSimulator {
         };
         result.wall_time = started.elapsed();
         Ok(result)
-    }
-
-    /// Simulate the application provided by `source`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `run(&source)` — `run` now accepts any trace source"
-    )]
-    pub fn run_source(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
-        self.run(source)
     }
 
     fn run_single(&self, source: &dyn TraceSource) -> Result<SimulationResult, SimError> {
@@ -672,7 +545,6 @@ impl RunDriver {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shim keeps working for one release; pin that here
 mod tests {
     use super::*;
     use crate::fidelity::{AluModelKind, FrontendModelKind, SkipPolicy};
@@ -731,35 +603,18 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_builder_still_builds_identically() {
-        let via_builder = SimulatorBuilder::new(presets::rtx2080ti())
-            .preset(SimulatorPreset::SwiftMemory)
-            .threads(2)
-            .profile(true)
-            .build();
-        let via_options = GpuSimulator::try_new(
-            presets::rtx2080ti(),
-            &RunOptions::default()
-                .with_preset(SimulatorPreset::SwiftMemory)
-                .with_threads(2)
-                .with_profile(true),
-        )
-        .unwrap();
-        assert_eq!(via_builder.fidelity(), via_options.fidelity());
-        assert_eq!(via_builder.threads, via_options.threads);
-        assert_eq!(via_builder.profile, via_options.profile);
-    }
-
-    #[test]
-    fn deprecated_skip_idle_maps_to_skip_policy() {
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .skip_idle(false)
-            .build();
-        assert_eq!(sim.fidelity().skip_policy, SkipPolicy::Dense);
-        let sim = SimulatorBuilder::new(presets::rtx2080ti())
-            .skip_idle(true)
-            .build();
-        assert_eq!(sim.fidelity().skip_policy, SkipPolicy::EventDriven);
+    fn run_options_build_identically_across_entry_points() {
+        let options = RunOptions::default()
+            .with_preset(SimulatorPreset::SwiftMemory)
+            .with_threads(2)
+            .with_profile(true);
+        let sim = GpuSimulator::try_new(presets::rtx2080ti(), &options).unwrap();
+        assert_eq!(
+            sim.fidelity(),
+            FidelityConfig::for_preset(SimulatorPreset::SwiftMemory)
+        );
+        assert_eq!(sim.threads, 2);
+        assert!(sim.profile);
     }
 
     #[test]
@@ -830,14 +685,6 @@ mod tests {
                 .with_sampling(SamplingPolicy::KernelCluster { reps: 2 }),
         )
         .expect("threads=1 ignores the quantum");
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid simulator configuration")]
-    fn build_panics_on_invalid_config() {
-        let mut cfg = presets::rtx2080ti();
-        cfg.num_sms = 0;
-        let _ = SimulatorBuilder::new(cfg).build();
     }
 
     #[test]

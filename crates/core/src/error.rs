@@ -14,7 +14,8 @@ pub const DEADLOCK_MARKER: &str = "simulation made no progress";
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The simulator configuration is invalid (rejected by
-    /// `SimulatorBuilder::try_build` before any simulation starts).
+    /// [`GpuSimulator::try_new`](crate::GpuSimulator::try_new) before any
+    /// simulation starts).
     InvalidConfig {
         /// Explanation of the problem.
         message: String,

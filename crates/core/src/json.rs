@@ -28,7 +28,14 @@ use swiftsim_metrics::{Json, MetricsCollector};
 /// per-kernel and whole-app error bounds of a sampled run. Pre-v4 cache
 /// entries have no way to state whether they were sampled, so they are
 /// re-run rather than misread.
-pub const RESULT_SCHEMA_VERSION: u64 = 4;
+///
+/// v5: results gained a `stats` block — the typed stat-catalog view
+/// ([`crate::StatId`], [`SimulationResult::stats`]) with stable snake_case
+/// names; unknown stat names are now load-time errors instead of silent
+/// zeros. The analytical memory model also started reporting estimated
+/// `mem.l1.*` / `mem.l2.*` / `mem.dram.*` statistics, so v4 swift-memory
+/// metric sets are incomplete by comparison.
+pub const RESULT_SCHEMA_VERSION: u64 = 5;
 
 impl KernelResult {
     /// Serialize to the shared JSON schema.
@@ -188,6 +195,15 @@ impl SimulationResult {
             ),
             ("metrics", self.metrics.to_json()),
             (
+                "stats",
+                Json::Obj(
+                    self.stats()
+                        .iter()
+                        .map(|&(id, v)| (id.name().to_owned(), Json::Num(v)))
+                        .collect(),
+                ),
+            ),
+            (
                 "confidence",
                 match &self.confidence {
                     Some(c) => c.to_json(),
@@ -217,6 +233,14 @@ impl SimulationResult {
             .iter()
             .map(KernelResult::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // The stats block is derived (rebuilt on demand by `stats()`), but
+        // its names are validated so a renamed stat is a load-time error
+        // here rather than a silent zero downstream.
+        if let Some(Json::Obj(pairs)) = json.get("stats") {
+            for (name, _) in pairs {
+                crate::stats::StatId::from_name(name).map_err(|e| e.to_string())?;
+            }
+        }
         Ok(SimulationResult {
             app: json
                 .get("app")
@@ -354,6 +378,39 @@ mod tests {
             pairs[3].1 = Json::obj(vec![("alu", Json::str("quantum"))]);
         }
         assert!(SimulationResult::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_block_uses_catalog_names() {
+        let json = sample().to_json();
+        let stats = json.get("stats").expect("stats block present");
+        assert_eq!(stats.get("cycles").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(
+            stats.get("instructions").and_then(Json::as_f64),
+            Some(2500.0)
+        );
+        assert_eq!(stats.get("ipc").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(stats.get("l1_miss_rate").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(stats.get("mem_insts").and_then(Json::as_f64), Some(42.0));
+        // Stats the run did not produce are absent, not zero.
+        assert!(stats.get("dram_reads").is_none());
+    }
+
+    #[test]
+    fn unknown_stat_name_is_a_load_time_error() {
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "stats" {
+                    if let Json::Obj(stats) = v {
+                        stats.push(("l1_missrate".to_owned(), Json::Num(0.5)));
+                    }
+                }
+            }
+        }
+        let err = SimulationResult::from_json(&json).unwrap_err();
+        assert!(err.contains("l1_missrate"), "{err}");
+        assert!(err.contains("catalog"), "{err}");
     }
 
     #[test]

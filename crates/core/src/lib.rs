@@ -74,12 +74,11 @@ mod scheduler;
 mod scoreboard;
 mod sm;
 mod spsc;
+mod stats;
 mod twophase;
 
 pub use alu::AluModel;
 pub use block_scheduler::{BlockScheduler, Occupancy};
-#[allow(deprecated)]
-pub use builder::SimulatorBuilder;
 pub use builder::{run, GpuSimulator, SimulatorPreset};
 pub use checkpoint::Snapshot;
 pub use error::{panic_message, SimError, DEADLOCK_MARKER};
@@ -95,6 +94,7 @@ pub use parallel::max_threads;
 pub use result::{Confidence, KernelResult, SimulationResult};
 pub use scheduler::{GtoScheduler, LrrScheduler, TwoLevelScheduler, WarpSchedulerPolicy, WarpView};
 pub use scoreboard::Scoreboard;
+pub use stats::{StatId, StatUnit, UnknownStat};
 
 /// A simulation cycle index.
 pub type Cycle = u64;

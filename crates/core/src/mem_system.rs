@@ -1237,8 +1237,8 @@ impl LatencyTerms {
 #[derive(Debug)]
 pub struct AnalyticalMemory {
     terms: LatencyTerms,
-    /// Per-PC (expected latency, DRAM-served fraction).
-    per_pc: HashMap<u32, (f64, f64)>,
+    /// Per-PC (expected latency, hit-rate profile).
+    per_pc: HashMap<u32, (f64, PcHitRates)>,
     default_latency: f64,
     /// Outstanding transaction completion times per SM, used for the
     /// contention adder.
@@ -1257,6 +1257,17 @@ pub struct AnalyticalMemory {
     accesses: u64,
     txns: u64,
     contention_cycles: u64,
+    /// Expected transactions served by each level, accumulated from the
+    /// per-PC hit-rate profile as transactions flow through `access`. The
+    /// model never simulates the hierarchy, but its own rate profile
+    /// yields estimated `mem.l1.*` / `mem.l2.*` / `mem.dram.*` statistics,
+    /// so the typed stat catalog is populated across every preset and the
+    /// validation harness can correlate them against the oracle.
+    est_l1_hits: f64,
+    est_l1_misses: f64,
+    est_l2_hits: f64,
+    est_dram_reads: f64,
+    est_dram_writes: f64,
     /// Counter snapshots at the last profile flush, so each kernel frame
     /// gets per-kernel deltas from report_profile.
     prof_accesses: u64,
@@ -1270,7 +1281,7 @@ impl AnalyticalMemory {
         let terms = LatencyTerms::from_config(cfg);
         let per_pc = rates
             .iter()
-            .map(|(&pc, &r)| (pc, (terms.expected_latency(r), r.dram)))
+            .map(|(&pc, &r)| (pc, (terms.expected_latency(r), r)))
             .collect();
         // Queueing pressure per outstanding transaction. Saturated-bandwidth
         // behaviour is covered by the explicit service clock below, so this
@@ -1300,6 +1311,11 @@ impl AnalyticalMemory {
             accesses: 0,
             txns: 0,
             contention_cycles: 0,
+            est_l1_hits: 0.0,
+            est_l1_misses: 0.0,
+            est_l2_hits: 0.0,
+            est_dram_reads: 0.0,
+            est_dram_writes: 0.0,
             prof_accesses: 0,
             prof_contention: 0,
         }
@@ -1326,7 +1342,7 @@ impl AnalyticalMemory {
 
     /// The DRAM-served fraction for `pc` (defaults to 1.0 for unknown PCs).
     pub fn dram_rate_of(&self, pc: u32) -> f64 {
-        self.per_pc.get(&pc).map_or(1.0, |&(_, dram)| dram)
+        self.per_pc.get(&pc).map_or(1.0, |&(_, r)| r.dram)
     }
 }
 
@@ -1334,11 +1350,26 @@ impl MemorySystem for AnalyticalMemory {
     fn access(&mut self, sm: usize, pc: u32, txns: &[MemTxn], now: Cycle) -> MemReply {
         self.accesses += 1;
         self.txns += txns.len() as u64;
-        let (l_inst, dram_rate) = self
+        let (l_inst, rates) = self
             .per_pc
             .get(&pc)
             .copied()
-            .unwrap_or((self.default_latency, 1.0));
+            .unwrap_or((self.default_latency, PcHitRates::all_dram()));
+        let dram_rate = rates.dram;
+        // Expected per-level service counts from the rate profile: the
+        // estimated hierarchy statistics the model reports in place of
+        // simulated ones.
+        let n = txns.len() as f64;
+        let writes = txns.iter().filter(|t| t.write).count() as f64;
+        self.est_l1_hits += rates.l1 * n;
+        self.est_l1_misses += (rates.l2 + rates.dram) * n;
+        self.est_l2_hits += rates.l2 * n;
+        // Every DRAM-served transaction fetches the line (write-allocate),
+        // and a missing store additionally writes the dirty line back —
+        // the same ~0.75 writebacks-per-store factor the bandwidth model
+        // below uses.
+        self.est_dram_reads += rates.dram * n;
+        self.est_dram_writes += 0.75 * rates.dram * writes;
         let heap = &mut self.outstanding[sm];
         while heap.peek().is_some_and(|Reverse(t)| *t <= now) {
             heap.pop();
@@ -1387,6 +1418,37 @@ impl MemorySystem for AnalyticalMemory {
         scope.set("txns", Value::Count(self.txns));
         scope.set("contention_cycles", Value::Cycles(self.contention_cycles));
         scope.set("model.pcs", Value::Count(self.per_pc.len() as u64));
+        // Estimated hierarchy statistics, under the same keys the
+        // cycle-accurate hierarchy reports, so the stat catalog's
+        // l1/l2/dram entries exist for every preset.
+        scope.set("l1.hits", Value::Count(self.est_l1_hits.round() as u64));
+        scope.set("l1.misses", Value::Count(self.est_l1_misses.round() as u64));
+        let l1_total = self.est_l1_hits + self.est_l1_misses;
+        scope.set(
+            "l1.miss_rate",
+            Value::Ratio(if l1_total == 0.0 {
+                0.0
+            } else {
+                self.est_l1_misses / l1_total
+            }),
+        );
+        let l2_total = self.est_l2_hits + self.est_dram_reads;
+        scope.set(
+            "l2.miss_rate",
+            Value::Ratio(if l2_total == 0.0 {
+                0.0
+            } else {
+                self.est_dram_reads / l2_total
+            }),
+        );
+        scope.set(
+            "dram.reads",
+            Value::Count(self.est_dram_reads.round() as u64),
+        );
+        scope.set(
+            "dram.writes",
+            Value::Count(self.est_dram_writes.round() as u64),
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -1424,6 +1486,11 @@ impl MemorySystem for AnalyticalMemory {
         w.push(self.contention_cycles);
         w.push(self.prof_accesses);
         w.push(self.prof_contention);
+        w.push_f64(self.est_l1_hits);
+        w.push_f64(self.est_l1_misses);
+        w.push_f64(self.est_l2_hits);
+        w.push_f64(self.est_dram_reads);
+        w.push_f64(self.est_dram_writes);
         w.push(self.outstanding.len() as u64);
         for heap in &self.outstanding {
             let mut times: Vec<Cycle> = heap.iter().map(|&Reverse(t)| t).collect();
@@ -1454,6 +1521,11 @@ impl MemorySystem for AnalyticalMemory {
         let contention_cycles = r.next()?;
         let prof_accesses = r.next()?;
         let prof_contention = r.next()?;
+        let est_l1_hits = r.next_f64()?;
+        let est_l1_misses = r.next_f64()?;
+        let est_l2_hits = r.next_f64()?;
+        let est_dram_reads = r.next_f64()?;
+        let est_dram_writes = r.next_f64()?;
         let nsm = r.next_usize()?;
         if nsm != self.outstanding.len() {
             return Err(format!(
@@ -1472,6 +1544,11 @@ impl MemorySystem for AnalyticalMemory {
         self.contention_cycles = contention_cycles;
         self.prof_accesses = prof_accesses;
         self.prof_contention = prof_contention;
+        self.est_l1_hits = est_l1_hits;
+        self.est_l1_misses = est_l1_misses;
+        self.est_l2_hits = est_l2_hits;
+        self.est_dram_reads = est_dram_reads;
+        self.est_dram_writes = est_dram_writes;
         self.outstanding = outstanding;
         Ok(())
     }

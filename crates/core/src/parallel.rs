@@ -27,13 +27,14 @@ use crate::Cycle;
 use swiftsim_metrics::{MetricsCollector, ProfileReport, Profiler};
 use swiftsim_trace::TraceSource;
 
-/// The worker threads a simulation will use on this host when the builder
-/// is asked for automatic threading (`threads(0)`): the machine's
-/// available parallelism. The final count is additionally capped at the
-/// simulated GPU's SM count by `SimulatorBuilder::try_build` — a shard
-/// needs at least one SM. (An earlier revision hard-capped this at the
-/// paper's 50-thread experimental maximum; the cap is gone, the builder
-/// knob decides.)
+/// The worker threads a simulation will use on this host when the run is
+/// asked for automatic threading (`RunOptions::with_threads(0)`): the
+/// machine's available parallelism. The final count is additionally capped
+/// at the simulated GPU's SM count by
+/// [`GpuSimulator::try_new`](crate::GpuSimulator::try_new) — a shard needs
+/// at least one SM. (An earlier revision hard-capped this at the paper's
+/// 50-thread experimental maximum; the cap is gone, the run option
+/// decides.)
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

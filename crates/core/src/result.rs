@@ -74,8 +74,10 @@ pub struct SimulationResult {
     /// Error estimate of a sampled run; `None` when sampling was off.
     pub confidence: Option<Confidence>,
     /// Self-profiling attribution, when the run was built with
-    /// `SimulatorBuilder::profile(true)`. Not serialized to JSON result
+    /// [`RunOptions::with_profile(true)`]. Not serialized to JSON result
     /// documents, so results loaded from the campaign cache carry `None`.
+    ///
+    /// [`RunOptions::with_profile(true)`]: crate::RunOptions::with_profile
     pub profile: Option<ProfileReport>,
 }
 

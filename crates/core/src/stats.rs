@@ -1,0 +1,315 @@
+//! The typed stat catalog: every statistic a simulation exports, as an
+//! enumerable, documented, stably-named identifier.
+//!
+//! Before this module, consumers (the CLI's `--json`, campaign JSONL rows,
+//! serve results, benches) string-matched into [`MetricsCollector`] keys;
+//! a renamed counter silently read as zero. The catalog closes that hole:
+//!
+//! * every exported stat is a [`StatId`] variant with a stable snake_case
+//!   [`name`](StatId::name), a [`unit`](StatId::unit), and a doc string;
+//! * [`SimulationResult::stats`] returns the enumerable `(StatId, f64)`
+//!   view shared by every product surface, including the validation
+//!   harness (`crates/validate`);
+//! * [`StatId::from_name`] turns an unknown or renamed stat name into a
+//!   **load-time error** instead of a silent zero — result documents with
+//!   unrecognized stat names are rejected by
+//!   [`SimulationResult::from_json`](crate::SimulationResult::from_json).
+//!
+//! Stat names are a compatibility surface: the golden snapshot test
+//! (`tests/stat_catalog.rs`) pins the full catalog; regenerate with
+//! `UPDATE_STATS=1 cargo test -p swiftsim-core --test stat_catalog` when a
+//! change is intentional, and bump [`crate::RESULT_SCHEMA_VERSION`] when a
+//! stat changes meaning.
+//!
+//! [`MetricsCollector`]: swiftsim_metrics::MetricsCollector
+
+use crate::result::SimulationResult;
+use swiftsim_metrics::Value;
+
+/// The unit of one catalog stat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatUnit {
+    /// Simulated cycles.
+    Cycles,
+    /// An event count.
+    Count,
+    /// A dimensionless ratio (rates in `[0, 1]`, IPC).
+    Ratio,
+}
+
+impl StatUnit {
+    /// Stable lowercase token (`"cycles"`, `"count"`, `"ratio"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            StatUnit::Cycles => "cycles",
+            StatUnit::Count => "count",
+            StatUnit::Ratio => "ratio",
+        }
+    }
+}
+
+macro_rules! stat_catalog {
+    ($( $variant:ident => ($name:literal, $unit:ident, $key:expr, $doc:literal), )+) => {
+        /// One statistic of the typed stat catalog.
+        ///
+        /// Variants are ordered as they appear in reports; the order is part
+        /// of the golden snapshot.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum StatId {
+            $(
+                #[doc = $doc]
+                $variant,
+            )+
+        }
+
+        impl StatId {
+            /// Every catalog stat, in report order.
+            pub const ALL: &'static [StatId] = &[ $( StatId::$variant, )+ ];
+
+            /// The stable snake_case name (the key used in the `stats`
+            /// block of result documents).
+            pub fn name(self) -> &'static str {
+                match self { $( StatId::$variant => $name, )+ }
+            }
+
+            /// The stat's unit.
+            pub fn unit(self) -> StatUnit {
+                match self { $( StatId::$variant => StatUnit::$unit, )+ }
+            }
+
+            /// One-line description (the golden catalog pins it).
+            pub fn doc(self) -> &'static str {
+                match self { $( StatId::$variant => $doc, )+ }
+            }
+
+            /// The [`MetricsCollector`] key this stat is sourced from, or
+            /// `None` for stats derived from the result itself.
+            ///
+            /// [`MetricsCollector`]: swiftsim_metrics::MetricsCollector
+            pub fn metric_key(self) -> Option<&'static str> {
+                match self { $( StatId::$variant => $key, )+ }
+            }
+
+            /// Resolve a stable name back to its [`StatId`] — the
+            /// load-time guard against renamed or misspelled stat names.
+            ///
+            /// # Errors
+            ///
+            /// Returns the offending name when it is not in the catalog.
+            pub fn from_name(name: &str) -> Result<StatId, UnknownStat> {
+                match name {
+                    $( $name => Ok(StatId::$variant), )+
+                    _ => Err(UnknownStat { name: name.to_owned() }),
+                }
+            }
+        }
+    };
+}
+
+stat_catalog! {
+    Cycles => ("cycles", Cycles, None,
+        "Total predicted execution cycles (kernels serialize)."),
+    Instructions => ("instructions", Count, None,
+        "Dynamic instructions issued across all kernels."),
+    Ipc => ("ipc", Ratio, None,
+        "Whole-application instructions per cycle over the whole GPU."),
+    SimThreads => ("sim_threads", Count, Some("sim.threads"),
+        "Host worker threads the simulation ran with."),
+    ActiveCycles => ("active_cycles", Cycles, Some("core.active_cycles"),
+        "Cycles in which at least one SM made progress."),
+    MemInsts => ("mem_insts", Count, Some("core.mem_insts"),
+        "Dynamic global/local memory instructions issued."),
+    StallScoreboardCycles => ("stall_scoreboard_cycles", Cycles, Some("core.stall.scoreboard"),
+        "Warp-cycles stalled on scoreboard dependencies."),
+    StallUnitBusyCycles => ("stall_unit_busy_cycles", Cycles, Some("core.stall.unit_busy"),
+        "Warp-cycles stalled on a busy execution unit."),
+    StallBarrierCycles => ("stall_barrier_cycles", Cycles, Some("core.stall.barrier"),
+        "Warp-cycles stalled at block barriers."),
+    StallEmptyCycles => ("stall_empty_cycles", Cycles, Some("core.stall.empty"),
+        "Warp-cycles with no instruction available to issue."),
+    SharedBankConflicts => ("shared_bank_conflicts", Count, Some("core.shared.bank_conflicts"),
+        "Shared-memory bank conflicts observed at issue."),
+    IcacheMisses => ("icache_misses", Count, Some("core.icache.misses"),
+        "Instruction-cache misses (detailed frontend only)."),
+    CcacheMisses => ("ccache_misses", Count, Some("core.ccache.misses"),
+        "Constant-cache misses (detailed frontend only)."),
+    L1Hits => ("l1_hits", Count, Some("mem.l1.hits"),
+        "Global/local transactions served by an L1 data cache."),
+    L1Misses => ("l1_misses", Count, Some("mem.l1.misses"),
+        "Global/local transactions missing all L1 data caches."),
+    L1MissRate => ("l1_miss_rate", Ratio, Some("mem.l1.miss_rate"),
+        "L1 data-cache miss rate: misses / (hits + misses)."),
+    L1BankConflicts => ("l1_bank_conflicts", Count, Some("mem.l1.bank_conflicts"),
+        "L1 data-cache bank conflicts (cycle-accurate memory only)."),
+    L1ReservationFailures => ("l1_reservation_failures", Count, Some("mem.l1.reservation_failures"),
+        "L1 MSHR/line reservation failures (cycle-accurate memory only)."),
+    L2MissRate => ("l2_miss_rate", Ratio, Some("mem.l2.miss_rate"),
+        "L2 miss rate over L2 accesses (L1 misses reaching the L2)."),
+    DramReads => ("dram_reads", Count, Some("mem.dram.reads"),
+        "DRAM read transactions (line fills)."),
+    DramWrites => ("dram_writes", Count, Some("mem.dram.writes"),
+        "DRAM write transactions (dirty-line writebacks)."),
+    NocFwdStallCycles => ("noc_fwd_stall_cycles", Cycles, Some("mem.noc.fwd_stall_cycles"),
+        "Request-NoC port stall cycles (cycle-accurate memory only)."),
+    NocRspStallCycles => ("noc_rsp_stall_cycles", Cycles, Some("mem.noc.rsp_stall_cycles"),
+        "Response-NoC port stall cycles (cycle-accurate memory only)."),
+    MemAccesses => ("mem_accesses", Count, Some("mem.accesses"),
+        "Memory-system access requests (one per coalesced instruction)."),
+    MemRetries => ("mem_retries", Count, Some("mem.retries"),
+        "LD/ST retry cycles after a memory-system rejection."),
+    MemEvents => ("mem_events", Count, Some("mem.events"),
+        "Memory-system events processed (cycle-accurate memory only)."),
+    MemStoreOnlyAccesses => ("mem_store_only_accesses", Count, Some("mem.store_only_accesses"),
+        "Accesses consisting only of store transactions."),
+    MemTxns => ("mem_txns", Count, Some("mem.txns"),
+        "Coalesced memory transactions (analytical memory only)."),
+    MemContentionCycles => ("mem_contention_cycles", Cycles, Some("mem.contention_cycles"),
+        "Extra latency charged by the analytical contention adder."),
+    MemModelPcs => ("mem_model_pcs", Count, Some("mem.model.pcs"),
+        "Distinct PCs with profiled hit rates (analytical memory only)."),
+}
+
+/// Error of [`StatId::from_name`]: the name is not in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStat {
+    /// The unrecognized stat name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown stat name {:?} (not in the typed stat catalog; renamed \
+             stats require a schema bump, see swiftsim_core::StatId)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownStat {}
+
+fn value_to_f64(v: Value) -> f64 {
+    match v {
+        Value::Count(n) | Value::Cycles(n) => n as f64,
+        Value::Ratio(r) => r,
+    }
+}
+
+impl SimulationResult {
+    /// The typed, enumerable view of every stat this run produced, in
+    /// catalog order.
+    ///
+    /// Stats a run's module choices do not generate (e.g. NoC stalls under
+    /// the analytical memory model) are simply absent, so the same
+    /// consumer code works across presets. This is the view behind the
+    /// `stats` block of result documents and the validation harness's
+    /// input.
+    pub fn stats(&self) -> Vec<(StatId, f64)> {
+        let mut out = Vec::with_capacity(StatId::ALL.len());
+        for &id in StatId::ALL {
+            let value = match id {
+                StatId::Cycles => Some(self.cycles as f64),
+                StatId::Instructions => Some(self.instructions() as f64),
+                StatId::Ipc => Some(self.ipc()),
+                _ => self
+                    .metrics
+                    .get(id.metric_key().expect("non-derived stats have a key"))
+                    .map(value_to_f64),
+            };
+            if let Some(v) = value {
+                out.push((id, v));
+            }
+        }
+        out
+    }
+
+    /// Look up one catalog stat by id; `None` when this run did not
+    /// produce it.
+    pub fn stat(&self, id: StatId) -> Option<f64> {
+        match id {
+            StatId::Cycles => Some(self.cycles as f64),
+            StatId::Instructions => Some(self.instructions() as f64),
+            StatId::Ipc => Some(self.ipc()),
+            _ => self
+                .metrics
+                .get(id.metric_key().expect("non-derived stats have a key"))
+                .map(value_to_f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::FidelityConfig;
+    use swiftsim_metrics::MetricsCollector;
+
+    fn result_with(metrics: MetricsCollector) -> SimulationResult {
+        SimulationResult {
+            app: "a".into(),
+            simulator: "s".into(),
+            fidelity: FidelityConfig::default(),
+            cycles: 200,
+            kernels: vec![crate::result::KernelResult {
+                name: "k".into(),
+                cycles: 200,
+                instructions: 500,
+                blocks: 2,
+            }],
+            metrics,
+            wall_time: std::time::Duration::ZERO,
+            confidence: None,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in StatId::ALL {
+            assert!(seen.insert(id.name()), "duplicate stat name {}", id.name());
+            assert!(
+                id.name()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{} is not snake_case",
+                id.name()
+            );
+            assert!(!id.doc().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips_and_rejects_unknown() {
+        for &id in StatId::ALL {
+            assert_eq!(StatId::from_name(id.name()), Ok(id));
+        }
+        let err = StatId::from_name("l1_missrate").unwrap_err();
+        assert!(err.to_string().contains("l1_missrate"), "{err}");
+    }
+
+    #[test]
+    fn stats_view_covers_derived_and_collected() {
+        let mut metrics = MetricsCollector::new();
+        metrics.set("mem.l1.miss_rate", Value::Ratio(0.25));
+        metrics.set("core.mem_insts", Value::Count(42));
+        let r = result_with(metrics);
+        let stats = r.stats();
+        let get = |id: StatId| stats.iter().find(|(s, _)| *s == id).map(|&(_, v)| v);
+        assert_eq!(get(StatId::Cycles), Some(200.0));
+        assert_eq!(get(StatId::Instructions), Some(500.0));
+        assert_eq!(get(StatId::Ipc), Some(2.5));
+        assert_eq!(get(StatId::L1MissRate), Some(0.25));
+        assert_eq!(get(StatId::MemInsts), Some(42.0));
+        // Stats the run did not produce are absent, not zero.
+        assert_eq!(get(StatId::DramReads), None);
+        assert_eq!(r.stat(StatId::L1MissRate), Some(0.25));
+        assert_eq!(r.stat(StatId::DramReads), None);
+        // Catalog order is preserved.
+        let ids: Vec<StatId> = stats.iter().map(|&(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -141,14 +141,14 @@ fn public_api_matches_the_golden_snapshot() {
 /// but this makes the contract explicit at the type level.
 #[test]
 fn load_bearing_exports_exist() {
-    #[allow(unused_imports, deprecated)]
+    #[allow(unused_imports)]
     use swiftsim_core::{
         alu::AluModel, panic_message, AluModelKind, BlockScheduler, CheckpointOptions, Confidence,
         Cycle, FidelityConfig, FrontendModelKind, GpuSimulator, GtoScheduler, KernelResult,
         LrrScheduler, MemReply, MemoryModelKind, MemorySystem, Occupancy, RunOptions,
-        SamplingPolicy, Scoreboard, SimError, SimulationResult, SimulatorBuilder, SimulatorPreset,
-        SkipPolicy, Snapshot, TraceInput, TwoLevelScheduler, WarpSchedulerPolicy, WarpView,
-        RESULT_SCHEMA_VERSION,
+        SamplingPolicy, Scoreboard, SimError, SimulationResult, SimulatorPreset, SkipPolicy,
+        Snapshot, StatId, StatUnit, TraceInput, TwoLevelScheduler, UnknownStat,
+        WarpSchedulerPolicy, WarpView, RESULT_SCHEMA_VERSION,
     };
     let _ = swiftsim_core::max_threads();
 }

@@ -1,0 +1,93 @@
+//! Stat-catalog snapshot: the typed stat surface — names, units, metric
+//! keys, and docs — diffed against a golden file. The catalog is the
+//! contract every stats consumer (`--json`, campaign JSONL, the serve
+//! daemon, the validation harness, imported Accel-Sim stat files) keys
+//! on, so a rename or a unit change must be a reviewed diff plus a
+//! result-schema bump, never an accident.
+//!
+//! When a catalog change is intentional, regenerate with:
+//!
+//! ```sh
+//! UPDATE_STATS=1 cargo test -p swiftsim-core --test stat_catalog
+//! git diff crates/core/tests/golden/stat_catalog.txt  # review the delta
+//! ```
+//!
+//! and bump `RESULT_SCHEMA_VERSION` if a name changed meaning.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use swiftsim_core::StatId;
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/stat_catalog.txt")
+}
+
+fn current_catalog() -> String {
+    let mut out = String::new();
+    writeln!(out, "# swiftsim-core stat catalog").unwrap();
+    writeln!(out, "# name | unit | metric key | doc").unwrap();
+    for &id in StatId::ALL {
+        writeln!(
+            out,
+            "{} | {} | {} | {}",
+            id.name(),
+            id.unit().token(),
+            id.metric_key().unwrap_or("(derived)"),
+            id.doc()
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn stat_catalog_matches_the_golden_snapshot() {
+    let current = current_catalog();
+    let path = golden_path();
+
+    if std::env::var_os("UPDATE_STATS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &current).expect("write golden snapshot");
+        eprintln!("stat catalog snapshot regenerated at {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_STATS=1 to create it",
+            path.display()
+        )
+    });
+    if golden == current {
+        return;
+    }
+
+    let golden_lines: std::collections::BTreeSet<&str> = golden.lines().collect();
+    let current_lines: std::collections::BTreeSet<&str> = current.lines().collect();
+    let mut diff = String::new();
+    for gone in golden_lines.difference(&current_lines) {
+        writeln!(diff, "  - {gone}").unwrap();
+    }
+    for new in current_lines.difference(&golden_lines) {
+        writeln!(diff, "  + {new}").unwrap();
+    }
+    panic!(
+        "the stat catalog no longer matches tests/golden/stat_catalog.txt.\n\
+         Every stats consumer (--json, campaign JSONL, serve, the validation\n\
+         harness) keys on these names. If this change is intentional,\n\
+         regenerate with `UPDATE_STATS=1 cargo test -p swiftsim-core --test\n\
+         stat_catalog`, review and commit the diff, and bump\n\
+         RESULT_SCHEMA_VERSION if a name changed meaning. Changes:\n{diff}"
+    );
+}
+
+/// Every catalog name resolves back to its id, and the error for an
+/// unknown name points at the catalog.
+#[test]
+fn catalog_names_round_trip() {
+    for &id in StatId::ALL {
+        assert_eq!(StatId::from_name(id.name()), Ok(id));
+    }
+    let err = StatId::from_name("gpu_tot_sim_cycle").unwrap_err();
+    assert!(err.to_string().contains("catalog"), "{err}");
+}

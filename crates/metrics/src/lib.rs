@@ -59,5 +59,5 @@ pub use hist::{Gauge, Histogram};
 pub use json::Json;
 pub use profile::{ProfFrame, ProfModule, ProfileReport, Profiler};
 pub use registry::{escape_label_value, sanitize_metric_name, Registry};
-pub use stats::{geomean, mean, mean_abs, rel_error};
+pub use stats::{geomean, mean, mean_abs, pearson, rel_error, spearman};
 pub use table::Table;

@@ -54,6 +54,75 @@ pub fn rel_error(predicted: f64, actual: f64) -> f64 {
     ((predicted - actual) / actual).abs()
 }
 
+/// Pearson product-moment correlation coefficient of paired samples.
+///
+/// Returns 0.0 when fewer than two pairs are given or when either side has
+/// zero variance (correlation is undefined there; 0.0 is the conservative
+/// "no linear relationship demonstrated" report the accuracy tables want).
+pub fn pearson(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation coefficient of paired samples: [`pearson`]
+/// over the ranks, with ties assigned their average (fractional) rank.
+///
+/// Returns 0.0 when fewer than two pairs are given or when either side is
+/// entirely tied.
+pub fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let ranked: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson(&ranked)
+}
+
+/// Average (fractional) ranks of `values`, 1-based: ties share the mean of
+/// the ranks they occupy.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("ranks over non-NaN values")
+    });
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +169,43 @@ mod tests {
     #[should_panic(expected = "zero reference")]
     fn rel_error_rejects_zero_actual() {
         rel_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn pearson_hand_computed() {
+        // Perfect positive and negative linear relationships.
+        assert!((pearson(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[(1.0, 6.0), (2.0, 4.0), (3.0, 2.0)]) + 1.0).abs() < 1e-12);
+        // Hand-computed: x=[1,2,3,5], y=[1,3,2,6] → r = 10/(√8.75·√14).
+        let r = pearson(&[(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (5.0, 6.0)]);
+        let expected = 10.0 / (8.75f64.sqrt() * 14.0f64.sqrt());
+        assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+        // Degenerate inputs report 0.
+        assert_eq!(pearson(&[]), 0.0);
+        assert_eq!(pearson(&[(1.0, 2.0)]), 0.0);
+        assert_eq!(pearson(&[(1.0, 2.0), (1.0, 3.0)]), 0.0);
+    }
+
+    #[test]
+    fn spearman_hand_computed() {
+        // Monotone but non-linear: Spearman 1, Pearson < 1.
+        let pairs = [(1.0, 1.0), (2.0, 8.0), (3.0, 27.0), (4.0, 64.0)];
+        assert!((spearman(&pairs) - 1.0).abs() < 1e-12);
+        assert!(pearson(&pairs) < 1.0);
+        // Hand-computed with a swap: ranks x=[1,2,3,4], y=[2,1,3,4] →
+        // ρ = 1 - 6·Σd²/(n(n²-1)) = 1 - 12/60 = 0.8.
+        let swapped = [(1.0, 20.0), (2.0, 10.0), (3.0, 30.0), (4.0, 40.0)];
+        assert!((spearman(&swapped) - 0.8).abs() < 1e-12);
+        // Ties share fractional ranks and don't panic.
+        let tied = [(1.0, 5.0), (2.0, 5.0), (3.0, 7.0)];
+        let rho = spearman(&tied);
+        assert!(rho > 0.0 && rho <= 1.0, "{rho}");
+        assert_eq!(spearman(&[(2.0, 1.0), (2.0, 3.0)]), 0.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
     }
 }

@@ -1,0 +1,163 @@
+//! End-to-end tests for the validation harness: real simulations, the
+//! silicon oracle, and the CI gate math.
+
+use swiftsim_core::StatId;
+use swiftsim_validate::{
+    run_validation, OracleSource, Thresholds, ValidateOptions, ValidationReport,
+};
+
+fn small_options() -> ValidateOptions {
+    ValidateOptions {
+        apps: Some(vec![
+            "bfs".to_owned(),
+            "hotspot".to_owned(),
+            "nw".to_owned(),
+            "srad".to_owned(),
+            "gemm".to_owned(),
+        ]),
+        ..ValidateOptions::default()
+    }
+}
+
+#[test]
+fn validation_is_deterministic_and_serializable() {
+    let options = small_options();
+    let a = run_validation(&options).expect("validation runs");
+    let b = run_validation(&options).expect("validation runs");
+    // Bit-identical reports back-to-back: the property that makes exact
+    // MAPE thresholds enforceable in CI.
+    assert_eq!(a.to_json().dump(), b.to_json().dump());
+
+    // And the report round-trips through its serialized form.
+    let parsed = swiftsim_metrics::Json::parse(&a.to_json().dump()).unwrap();
+    let back = ValidationReport::from_json(&parsed).expect("report parses");
+    assert_eq!(back, a);
+
+    // Every (preset × GPU) validates every stat for at least one app, and
+    // the rendered table mentions each preset.
+    assert_eq!(a.presets.len(), 3);
+    let rendered = a.render();
+    for p in &a.presets {
+        assert!(
+            p.stats.iter().any(|s| s.n > 0),
+            "{} validated nothing",
+            p.preset
+        );
+        assert!(rendered.contains(&p.preset));
+    }
+}
+
+#[test]
+fn detailed_preset_lands_in_the_paper_error_band() {
+    // The silicon oracle perturbs the detailed baseline by lognormal
+    // factors with σ chosen so the detailed model's cycle MAPE sits near
+    // the ~20% silicon-vs-simulator gap the paper reports. Run the full
+    // 20-app suite so the sample mean is tight enough to band-check.
+    let report = run_validation(&ValidateOptions::default()).expect("validation runs");
+    let detailed = report
+        .presets
+        .iter()
+        .find(|p| p.preset == "detailed-baseline")
+        .expect("detailed preset present");
+    let cycles = detailed
+        .stats
+        .iter()
+        .find(|s| s.stat == StatId::Cycles)
+        .expect("cycles validated");
+    assert_eq!(cycles.n, 20, "all suite apps validated");
+    assert!(
+        (0.10..=0.32).contains(&cycles.mape),
+        "detailed cycle MAPE {:.3} outside the expected ~20% band",
+        cycles.mape
+    );
+    // Rank correlation should survive the perturbation: silicon orders
+    // applications roughly the way the detailed model does. (A ~20%
+    // lognormal jitter does reorder near-tied apps, so the bound is
+    // looser than the MAPE band.)
+    assert!(cycles.spearman > 0.7, "spearman {}", cycles.spearman);
+    assert!(cycles.pearson > 0.9, "pearson {}", cycles.pearson);
+}
+
+#[test]
+fn injected_drift_trips_the_accuracy_gate() {
+    let options = small_options();
+    let clean = run_validation(&options).expect("validation runs");
+    let thresholds = Thresholds::from_report(&clean, 0.02);
+    assert!(
+        thresholds.check(&clean).is_empty(),
+        "a report must pass the thresholds derived from itself"
+    );
+
+    // Inject 40% fidelity drift — the gate must fail loudly.
+    let drifted = run_validation(&ValidateOptions {
+        drift: 1.4,
+        ..options
+    })
+    .expect("validation runs");
+    let violations = thresholds.check(&drifted);
+    assert!(
+        !violations.is_empty(),
+        "40% injected drift must trip the accuracy gate"
+    );
+    assert!(
+        violations.iter().any(|v| v.contains("cycles")),
+        "cycle MAPE must be among the violations: {violations:?}"
+    );
+
+    // The recorded configuration reproduces the bounded suite.
+    let opts = thresholds.to_options().expect("thresholds resolve");
+    assert_eq!(opts.apps.as_deref().map(<[String]>::len), Some(5));
+    assert_eq!(opts.presets.len(), 3);
+}
+
+#[test]
+fn imported_oracle_replaces_silicon() {
+    // Score the basic preset against hand-imported "measurements" equal to
+    // exactly twice its own predictions → MAPE is 0.5 for every stat.
+    let options = ValidateOptions {
+        apps: Some(vec!["bfs".to_owned()]),
+        presets: vec![swiftsim_core::SimulatorPreset::SwiftBasic],
+        ..ValidateOptions::default()
+    };
+    let silicon = run_validation(&options).expect("validation runs");
+    let basic = &silicon.presets[0];
+
+    let mut measured = std::collections::BTreeMap::new();
+    // Rebuild the predictions the harness saw by re-running once more.
+    let preds = run_validation(&ValidateOptions {
+        oracle: OracleSource::Imported(
+            swiftsim_validate::VALIDATED_STATS
+                .iter()
+                .map(|s| (("bfs".to_owned(), s.name().to_owned()), 1.0))
+                .collect(),
+        ),
+        ..options.clone()
+    })
+    .expect("validation runs");
+    for s in &preds.presets[0].stats {
+        // expected == 1.0 here, so predicted == mape-derived value + 1.
+        for o in &s.worst {
+            measured.insert(
+                ("bfs".to_owned(), s.stat.name().to_owned()),
+                2.0 * o.predicted,
+            );
+        }
+    }
+    let doubled = run_validation(&ValidateOptions {
+        oracle: OracleSource::Imported(measured),
+        ..options
+    })
+    .expect("validation runs");
+    for s in &doubled.presets[0].stats {
+        if s.n > 0 {
+            assert!(
+                (s.mape - 0.5).abs() < 1e-9,
+                "{}: mape {} (expected 0.5)",
+                s.stat.name(),
+                s.mape
+            );
+        }
+    }
+    assert_eq!(doubled.oracle, "imported");
+    assert_eq!(basic.gpu, doubled.presets[0].gpu);
+}
